@@ -1,0 +1,65 @@
+// Command csdb-server exposes a vexdb database over TCP using the
+// wire protocols (columnar, binary rows, text rows), so external
+// clients can play the socket-transfer baselines of Figure 1 against
+// it.
+//
+// Usage:
+//
+//	csdb-server [-addr 127.0.0.1:5433] [-db DIR] [-init script.sql]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"vexdb"
+	"vexdb/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5433", "listen address")
+	dbDir := flag.String("db", "", "database directory to serve")
+	initFile := flag.String("init", "", "SQL script executed before serving")
+	flag.Parse()
+
+	var db *vexdb.DB
+	if *dbDir != "" {
+		opened, err := vexdb.OpenDir(*dbDir)
+		if err != nil {
+			fatal(err)
+		}
+		db = opened
+	} else {
+		db = vexdb.Open()
+	}
+	if *initFile != "" {
+		script, err := os.ReadFile(*initFile)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := db.ExecScript(string(script)); err != nil {
+			fatal(err)
+		}
+	}
+
+	srv := wire.NewServer(db.Engine())
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("csdb-server listening on %s (tables: %v)\n", bound, db.TableNames())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "csdb-server:", err)
+	os.Exit(1)
+}

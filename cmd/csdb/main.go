@@ -1,0 +1,195 @@
+// Command csdb is an interactive SQL shell for a vexdb database
+// (with the ML UDF suite loaded). It reads semicolon-terminated
+// statements from stdin or executes -c / -f input, against an
+// in-memory database or a directory opened with -db.
+//
+// Usage:
+//
+//	csdb                      # interactive shell, in-memory DB
+//	csdb -db ./mydb           # open (and on exit save) a directory DB
+//	csdb -c "SELECT 1 + 1"    # run one statement
+//	csdb -f script.sql        # run a script
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vexdb"
+)
+
+func main() {
+	dbDir := flag.String("db", "", "database directory to open (created/saved on exit)")
+	command := flag.String("c", "", "execute a single statement and exit")
+	file := flag.String("f", "", "execute a SQL script file and exit")
+	quiet := flag.Bool("q", false, "suppress timing output")
+	flag.Parse()
+
+	var db *vexdb.DB
+	if *dbDir != "" {
+		if _, err := os.Stat(*dbDir); err == nil {
+			opened, err := vexdb.OpenDir(*dbDir)
+			if err != nil {
+				fatal(err)
+			}
+			db = opened
+		}
+	}
+	if db == nil {
+		db = vexdb.Open()
+	}
+
+	exec := func(stmt string) bool {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			return true
+		}
+		start := time.Now()
+		res, err := db.Exec(stmt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return false
+		}
+		if res.Table != nil {
+			printTable(res)
+		} else if res.RowsAffected > 0 {
+			fmt.Printf("%d rows affected\n", res.RowsAffected)
+		}
+		if !*quiet {
+			fmt.Printf("(%v)\n", time.Since(start).Round(time.Microsecond))
+		}
+		return true
+	}
+
+	switch {
+	case *command != "":
+		if !exec(*command) {
+			os.Exit(1)
+		}
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		for _, stmt := range splitStatements(string(data)) {
+			if !exec(stmt) {
+				os.Exit(1)
+			}
+		}
+	default:
+		repl(db, exec)
+	}
+
+	if *dbDir != "" {
+		if err := db.SaveDir(*dbDir); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func repl(db *vexdb.DB, exec func(string) bool) {
+	fmt.Println("vexdb shell — end statements with ';', '.tables' lists tables, '.quit' exits")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<24)
+	var pending strings.Builder
+	fmt.Print("vexdb> ")
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		switch trimmed {
+		case ".quit", ".exit":
+			return
+		case ".tables":
+			for _, n := range db.TableNames() {
+				fmt.Printf("%s (%d rows)\n", n, db.NumRows(n))
+			}
+			fmt.Print("vexdb> ")
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			exec(strings.TrimSuffix(strings.TrimSpace(pending.String()), ";"))
+			pending.Reset()
+		}
+		fmt.Print("vexdb> ")
+	}
+}
+
+// splitStatements splits a script on top-level semicolons (quotes
+// respected).
+func splitStatements(script string) []string {
+	var out []string
+	var cur strings.Builder
+	inStr := false
+	for i := 0; i < len(script); i++ {
+		c := script[i]
+		switch {
+		case c == '\'':
+			inStr = !inStr
+			cur.WriteByte(c)
+		case c == ';' && !inStr:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if strings.TrimSpace(cur.String()) != "" {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+const maxPrintRows = 50
+
+func printTable(res *vexdb.Result) {
+	tab := res.Table
+	widths := make([]int, len(tab.Names))
+	for i, n := range tab.Names {
+		widths[i] = len(n)
+	}
+	n := tab.NumRows()
+	shown := n
+	if shown > maxPrintRows {
+		shown = maxPrintRows
+	}
+	cells := make([][]string, shown)
+	for r := 0; r < shown; r++ {
+		cells[r] = make([]string, len(tab.Cols))
+		for c, col := range tab.Cols {
+			s := col.Get(r).String()
+			cells[r][c] = s
+			if len(s) > widths[c] {
+				widths[c] = len(s)
+			}
+		}
+	}
+	for i, name := range tab.Names {
+		fmt.Printf("%-*s ", widths[i], name)
+	}
+	fmt.Println()
+	for i := range tab.Names {
+		fmt.Print(strings.Repeat("-", widths[i]), " ")
+	}
+	fmt.Println()
+	for r := 0; r < shown; r++ {
+		for c := range tab.Cols {
+			fmt.Printf("%-*s ", widths[c], cells[r][c])
+		}
+		fmt.Println()
+	}
+	if n > shown {
+		fmt.Printf("... (%d more rows)\n", n-shown)
+	}
+	fmt.Printf("%d row(s)\n", n)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "csdb:", err)
+	os.Exit(1)
+}

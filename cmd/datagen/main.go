@@ -1,0 +1,83 @@
+// Command datagen writes the synthetic voter-classification datasets
+// in every format the benchmark consumes: CSV, per-column binary
+// (npy-like), single-file binary container (hdf5-like), and a native
+// vexdb database directory.
+//
+// Usage:
+//
+//	datagen -out ./data [-rows N] [-precincts N] [-cols N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"vexdb"
+	"vexdb/internal/fileformat/csvio"
+	"vexdb/internal/fileformat/h5io"
+	"vexdb/internal/fileformat/npyio"
+	"vexdb/internal/workload"
+)
+
+func main() {
+	cfg := workload.DefaultConfig()
+	out := flag.String("out", "data", "output directory")
+	rows := flag.Int("rows", cfg.Voters, "voter row count")
+	precincts := flag.Int("precincts", cfg.Precincts, "precinct count")
+	cols := flag.Int("cols", cfg.Columns, "total voter columns")
+	seed := flag.Int64("seed", cfg.Seed, "deterministic seed")
+	flag.Parse()
+	cfg.Voters = *rows
+	cfg.Precincts = *precincts
+	cfg.Columns = *cols
+	cfg.Seed = *seed
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	t0 := time.Now()
+	precinctsDF := workload.GeneratePrecincts(cfg)
+	votersDF := workload.GenerateVoters(cfg, precinctsDF)
+	fmt.Printf("generated %d voters x %d columns, %d precincts in %v\n",
+		votersDF.NumRows(), len(votersDF.Cols), precinctsDF.NumRows(), time.Since(t0).Round(time.Millisecond))
+
+	step := func(name string, fn func() error) {
+		t := time.Now()
+		if err := fn(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("  wrote %-22s %v\n", name, time.Since(t).Round(time.Millisecond))
+	}
+	step("voters.csv", func() error { return csvio.WriteFile(filepath.Join(*out, "voters.csv"), votersDF) })
+	step("precincts.csv", func() error {
+		return csvio.WriteFile(filepath.Join(*out, "precincts.csv"), precinctsDF)
+	})
+	step("npy/ (per column)", func() error {
+		if err := npyio.WriteDir(filepath.Join(*out, "npy"), "voters", votersDF); err != nil {
+			return err
+		}
+		return npyio.WriteDir(filepath.Join(*out, "npy"), "precincts", precinctsDF)
+	})
+	step("voters.h5", func() error { return h5io.WriteFile(filepath.Join(*out, "voters.h5"), votersDF) })
+	step("precincts.h5", func() error {
+		return h5io.WriteFile(filepath.Join(*out, "precincts.h5"), precinctsDF)
+	})
+	step("db/ (vexdb native)", func() error {
+		db := vexdb.Open()
+		if err := db.CreateTableFrom("voters", workload.FrameToTable(votersDF)); err != nil {
+			return err
+		}
+		if err := db.CreateTableFrom("precincts", workload.FrameToTable(precinctsDF)); err != nil {
+			return err
+		}
+		return db.SaveDir(filepath.Join(*out, "db"))
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,166 @@
+// Command voterbench regenerates the paper's evaluation: Figure 1
+// (the voter-classification benchmark across seven data placements)
+// and the ablation experiments E2-E5. Results print as aligned tables
+// comparable with EXPERIMENTS.md.
+//
+// Usage:
+//
+//	voterbench [-rows N] [-precincts N] [-cols N] [-trees N] [-seed N]
+//	           [-exp figure1|serialize|parallel|ensemble|protocols|all]
+//	           [-dir PATH]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"vexdb/internal/workload"
+)
+
+func main() {
+	cfg := workload.DefaultConfig()
+	rows := flag.Int("rows", cfg.Voters, "voter row count (paper: 7500000)")
+	precincts := flag.Int("precincts", cfg.Precincts, "precinct count")
+	cols := flag.Int("cols", cfg.Columns, "total voter columns (paper: 96)")
+	trees := flag.Int("trees", cfg.Estimators, "random forest size")
+	seed := flag.Int64("seed", cfg.Seed, "deterministic seed")
+	exp := flag.String("exp", "figure1", "experiment: figure1|serialize|parallel|ensemble|protocols|all")
+	dir := flag.String("dir", "", "work directory (default: temp)")
+	flag.Parse()
+
+	cfg.Voters = *rows
+	cfg.Precincts = *precincts
+	cfg.Columns = *cols
+	cfg.Estimators = *trees
+	cfg.Seed = *seed
+
+	workDir := *dir
+	if workDir == "" {
+		tmp, err := os.MkdirTemp("", "voterbench-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		workDir = tmp
+	}
+
+	fmt.Printf("preparing environment: %d voters x %d columns, %d precincts (dir %s)\n",
+		cfg.Voters, cfg.Columns, cfg.Precincts, workDir)
+	t0 := time.Now()
+	env, err := workload.Setup(cfg, workDir)
+	if err != nil {
+		fatal(err)
+	}
+	defer env.Close()
+	fmt.Printf("environment ready in %v\n\n", time.Since(t0).Round(time.Millisecond))
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+	}
+	run("figure1", func() error { return runFigure1(env) })
+	run("serialize", func() error { return runSerialize(env) })
+	run("parallel", func() error { return runParallel(env) })
+	run("ensemble", func() error { return runEnsemble(env) })
+	run("protocols", func() error { return runProtocols(env) })
+}
+
+func runFigure1(env *workload.Env) error {
+	fmt.Println("Figure 1 — Voter Classification Benchmark")
+	fmt.Println("(total pipeline time; 'wrangle' is the paper's gray load+preprocess bar)")
+	fmt.Printf("%-30s %12s %12s %12s %12s %10s %8s\n",
+		"method", "wrangle", "train", "predict", "TOTAL", "accuracy", "MAE")
+	results, err := workload.Figure1(env)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%-30s %12v %12v %12v %12v %10.3f %8.3f\n",
+			r.Method,
+			r.WrangleTotal().Round(time.Millisecond),
+			r.Train.Round(time.Millisecond),
+			r.Predict.Round(time.Millisecond),
+			r.Total.Round(time.Millisecond),
+			r.VoterAccuracy, r.PrecinctMAE)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runSerialize(env *workload.Env) error {
+	fmt.Println("E2 — model (de)serialization overhead vs model size (paper §5.1)")
+	fmt.Printf("%8s %12s %14s %14s %14s\n", "trees", "blob bytes", "serialize", "deserialize", "predict-20k")
+	rows, err := workload.E2ModelSerialization(env, []int{1, 2, 4, 8, 16, 32, 64, 128})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%8d %12d %14v %14v %14v\n",
+			r.Trees, r.BlobBytes,
+			r.Serialize.Round(time.Microsecond),
+			r.Deserialize.Round(time.Microsecond),
+			r.PredictOnce.Round(time.Microsecond))
+	}
+	fmt.Println()
+	return nil
+}
+
+func runParallel(env *workload.Env) error {
+	fmt.Println("E3 — parallel prediction UDF scaling")
+	fmt.Printf("%8s %14s %10s\n", "workers", "elapsed", "speedup")
+	var workers []int
+	for w := 1; w <= runtime.NumCPU(); w *= 2 {
+		workers = append(workers, w)
+	}
+	rows, err := workload.E3ParallelUDF(env, workers)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%8d %14v %9.2fx\n", r.Workers, r.Elapsed.Round(time.Millisecond), r.Speedup)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runEnsemble(env *workload.Env) error {
+	fmt.Println("E4 — stored-model meta-analysis and ensembles (paper §3.3)")
+	res, err := workload.E4Ensemble(env)
+	if err != nil {
+		return err
+	}
+	for algo, acc := range res.PerModel {
+		fmt.Printf("%-28s accuracy %.4f\n", algo, acc)
+	}
+	fmt.Printf("%-28s accuracy %.4f\n", "best-by-SQL-meta-analysis", res.BestByMeta)
+	fmt.Printf("%-28s accuracy %.4f\n", "ensemble-majority", res.Majority)
+	fmt.Printf("%-28s accuracy %.4f\n", "ensemble-confidence", res.Confidence)
+	fmt.Println()
+	return nil
+}
+
+func runProtocols(env *workload.Env) error {
+	fmt.Println("E5 — client protocol comparison (full voters table transfer)")
+	fmt.Printf("%-28s %10s %14s\n", "protocol", "rows", "elapsed")
+	rows, err := workload.E5Protocols(env)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-28s %10d %14v\n", r.Protocol, r.Rows, r.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Println()
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "voterbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Quickstart: create tables, train a model inside the database, store
+// it as a BLOB, and classify new rows with SQL — the paper's Listings
+// 1 and 2 in ten statements.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vexdb"
+)
+
+func main() {
+	db := vexdb.Open()
+
+	must(db.Exec(`CREATE TABLE measurements (
+		id BIGINT, sepal_len DOUBLE, sepal_wid DOUBLE, species INTEGER)`))
+
+	// A tiny two-species dataset (think iris): species 0 is small,
+	// species 1 is large.
+	must(db.Exec(`INSERT INTO measurements VALUES
+		(1, 4.9, 3.0, 0), (2, 5.1, 3.5, 0), (3, 4.7, 3.2, 0), (4, 5.0, 3.4, 0),
+		(5, 4.6, 3.1, 0), (6, 5.2, 3.6, 0), (7, 4.8, 3.0, 0), (8, 5.0, 3.3, 0),
+		(9, 6.6, 2.9, 1), (10, 6.9, 3.1, 1), (11, 6.3, 2.8, 1), (12, 7.0, 3.2, 1),
+		(13, 6.5, 3.0, 1), (14, 6.7, 3.1, 1), (15, 6.4, 2.9, 1), (16, 6.8, 3.0, 1)`))
+
+	// Listing 1: train a random forest inside the database and store
+	// the serialized model (with its metadata) in a table.
+	must(db.Exec(`CREATE TABLE models AS
+		SELECT * FROM train_rf((SELECT sepal_len, sepal_wid, species FROM measurements), 8, 6, 42)`))
+
+	meta, err := db.Query("SELECT algo, n_features, trained_rows FROM models")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %s on %d rows (%d features); model stored as a BLOB\n",
+		meta.Column("algo").Get(0).Str(),
+		meta.Column("trained_rows").Get(0).Int64(),
+		meta.Column("n_features").Get(0).Int64())
+
+	// Listing 2: classify new, unlabeled data with the stored model —
+	// the data never leaves the database.
+	must(db.Exec(`CREATE TABLE unknown (id BIGINT, sepal_len DOUBLE, sepal_wid DOUBLE)`))
+	must(db.Exec(`INSERT INTO unknown VALUES (100, 4.8, 3.2), (101, 6.7, 3.0), (102, 5.0, 3.1)`))
+
+	pred, err := db.Query(`
+		SELECT u.id AS id,
+		       predict(m.model, u.sepal_len, u.sepal_wid) AS species,
+		       predict_confidence(m.model, u.sepal_len, u.sepal_wid) AS confidence
+		FROM unknown u, models m ORDER BY u.id`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < pred.NumRows(); i++ {
+		fmt.Printf("row %d -> species %d (confidence %.2f)\n",
+			pred.Column("id").Get(i).Int64(),
+			pred.Column("species").Get(i).Int64(),
+			pred.Column("confidence").Get(i).Float64())
+	}
+}
+
+func must(res *vexdb.Result, err error) *vexdb.Result {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

@@ -1,0 +1,91 @@
+// Voter classification: the paper's Section 4 use case end-to-end
+// inside the database — generate synthetic North-Carolina-shaped
+// voter and precinct data, join and label it with SQL + the
+// weighted_label UDF, train a random forest in a table UDF, classify
+// the held-out voters, and compare aggregated predictions against the
+// known precinct totals.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"vexdb"
+	"vexdb/internal/workload"
+)
+
+func main() {
+	cfg := workload.TestConfig()
+	cfg.Voters = 50_000
+	cfg.Precincts = 500
+	cfg.Estimators = 16
+
+	precincts := workload.GeneratePrecincts(cfg)
+	voters := workload.GenerateVoters(cfg, precincts)
+
+	db := vexdb.Open()
+	if err := db.CreateTableFrom("voters", workload.FrameToTable(voters)); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.CreateTableFrom("precincts", workload.FrameToTable(precincts)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d voters (%d columns), %d precincts\n",
+		db.NumRows("voters"), len(voters.Cols), db.NumRows("precincts"))
+
+	// Preprocess: join each voter with their precinct's totals and
+	// draw a weighted-random "true" label (60% democrat precinct =>
+	// 60% chance of a democrat label).
+	exec(db, `CREATE TABLE labeled AS
+		SELECT v.voter_id AS id, v.precinct_id AS precinct_id,
+		       v.f0, v.f1, v.f2, v.f3,
+		       weighted_label(v.voter_id, CAST(p.dem_votes AS DOUBLE), CAST(p.rep_votes AS DOUBLE), 1) AS label
+		FROM voters v JOIN precincts p ON v.precinct_id = p.precinct_id`)
+
+	// Train on 75% of the voters, inside the database.
+	exec(db, `CREATE TABLE rf_model AS
+		SELECT * FROM train_rf((SELECT f0, f1, f2, f3, label FROM labeled WHERE id % 4 <> 0), 16, 10, 1)`)
+
+	// Classify the held-out 25% and aggregate predictions by precinct.
+	exec(db, `CREATE TABLE predictions AS
+		SELECT l.precinct_id AS precinct_id, l.label AS label,
+		       predict(m.model, l.f0, l.f1, l.f2, l.f3) AS pred
+		FROM labeled l, rf_model m WHERE l.id % 4 = 0`)
+
+	acc, err := db.Query(`
+		SELECT sum(CASE WHEN pred = label THEN 1 ELSE 0 END) AS correct, count(*) AS total
+		FROM predictions`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct := acc.Column("correct").Get(0).Int64()
+	total := acc.Column("total").Get(0).Int64()
+	fmt.Printf("voter-level accuracy: %.3f (%d/%d test voters)\n",
+		float64(correct)/float64(total), correct, total)
+
+	// The paper's evaluation: compare predicted vs actual precinct
+	// vote shares.
+	shares, err := db.Query(`
+		SELECT pr.precinct_id AS pid,
+		       sum(CASE WHEN pr.pred = 0 THEN 1.0 ELSE 0.0 END) / count(*) AS predicted_share,
+		       avg(CAST(p.dem_votes AS DOUBLE) / (p.dem_votes + p.rep_votes)) AS actual_share
+		FROM predictions pr JOIN precincts p ON pr.precinct_id = p.precinct_id
+		GROUP BY pr.precinct_id`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mae := 0.0
+	for i := 0; i < shares.NumRows(); i++ {
+		mae += math.Abs(shares.Column("predicted_share").Get(i).Float64() -
+			shares.Column("actual_share").Get(i).Float64())
+	}
+	mae /= float64(shares.NumRows())
+	fmt.Printf("precinct-share mean absolute error: %.3f over %d precincts\n", mae, shares.NumRows())
+}
+
+func exec(db *vexdb.DB, sql string) {
+	if _, err := db.Exec(sql); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package catalog tracks the schema objects of a database instance:
+// tables (name, column schema, backing column store) and registered
+// user-defined functions. The catalog is safe for concurrent use.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"vexdb/internal/storage"
+	"vexdb/internal/vector"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type vector.Type
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Types returns the column types in order.
+func (s Schema) Types() []vector.Type {
+	out := make([]vector.Type, len(s))
+	for i, c := range s {
+		out[i] = c.Type
+	}
+	return out
+}
+
+// IndexOf returns the position of the named column (case-insensitive),
+// or -1 when absent.
+func (s Schema) IndexOf(name string) int {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Table is a catalog entry pairing a schema with its column store.
+type Table struct {
+	Name   string
+	Schema Schema
+	Data   *storage.ColumnStore
+}
+
+// Catalog is the set of tables and functions of one database.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+// CreateTable registers a new table with the given schema and a fresh
+// column store. It fails when the name is taken or the schema is
+// invalid.
+func (c *Catalog) CreateTable(name string, schema Schema) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("catalog: empty table name")
+	}
+	if len(schema) == 0 {
+		return nil, fmt.Errorf("catalog: table %q has no columns", name)
+	}
+	seen := make(map[string]bool, len(schema))
+	for _, col := range schema {
+		k := key(col.Name)
+		if seen[k] {
+			return nil, fmt.Errorf("catalog: table %q: duplicate column %q", name, col.Name)
+		}
+		seen[k] = true
+		if col.Type == vector.Invalid {
+			return nil, fmt.Errorf("catalog: table %q: column %q has invalid type", name, col.Name)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[key(name)]; ok {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	t := &Table{Name: name, Schema: schema, Data: storage.NewColumnStore(schema.Types())}
+	c.tables[key(name)] = t
+	return t, nil
+}
+
+// AttachTable registers an existing table object (used when loading a
+// database from disk).
+func (c *Catalog) AttachTable(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[key(t.Name)]; ok {
+		return fmt.Errorf("catalog: table %q already exists", t.Name)
+	}
+	c.tables[key(t.Name)] = t
+	return nil
+}
+
+// Table returns the named table (case-insensitive).
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[key(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// HasTable reports whether the named table exists.
+func (c *Catalog) HasTable(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.tables[key(name)]
+	return ok
+}
+
+// DropTable removes the named table.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[key(name)]; !ok {
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	delete(c.tables, key(name))
+	return nil
+}
+
+// TableNames returns all table names, sorted.
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}

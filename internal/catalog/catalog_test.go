@@ -1,0 +1,91 @@
+package catalog
+
+import (
+	"testing"
+
+	"vexdb/internal/vector"
+)
+
+func TestCreateAndLookup(t *testing.T) {
+	c := New()
+	schema := Schema{{"id", vector.Int64}, {"name", vector.String}}
+	tab, err := c.CreateTable("Users", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Data == nil || tab.Data.NumColumns() != 2 {
+		t.Fatal("store not initialized")
+	}
+	// Case-insensitive lookup.
+	got, err := c.Table("users")
+	if err != nil || got != tab {
+		t.Fatalf("lookup: %v %v", got, err)
+	}
+	if !c.HasTable("USERS") {
+		t.Fatal("HasTable case-insensitive")
+	}
+	if _, err := c.CreateTable("users", schema); err == nil {
+		t.Fatal("duplicate create should error")
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	c := New()
+	if _, err := c.CreateTable("", Schema{{"a", vector.Int64}}); err == nil {
+		t.Error("empty name")
+	}
+	if _, err := c.CreateTable("t", nil); err == nil {
+		t.Error("no columns")
+	}
+	if _, err := c.CreateTable("t", Schema{{"a", vector.Int64}, {"A", vector.Int64}}); err == nil {
+		t.Error("duplicate column")
+	}
+	if _, err := c.CreateTable("t", Schema{{"a", vector.Invalid}}); err == nil {
+		t.Error("invalid type")
+	}
+}
+
+func TestDropAndList(t *testing.T) {
+	c := New()
+	mk := func(n string) {
+		if _, err := c.CreateTable(n, Schema{{"a", vector.Int64}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("b_table")
+	mk("a_table")
+	names := c.TableNames()
+	if len(names) != 2 || names[0] != "a_table" || names[1] != "b_table" {
+		t.Fatalf("names = %v", names)
+	}
+	if err := c.DropTable("A_TABLE"); err != nil {
+		t.Fatal(err)
+	}
+	if c.HasTable("a_table") {
+		t.Fatal("still present after drop")
+	}
+	if err := c.DropTable("a_table"); err == nil {
+		t.Fatal("double drop should error")
+	}
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	s := Schema{{"id", vector.Int64}, {"x", vector.Float64}}
+	if s.IndexOf("X") != 1 || s.IndexOf("nope") != -1 {
+		t.Fatal("IndexOf")
+	}
+	if s.Names()[0] != "id" || s.Types()[1] != vector.Float64 {
+		t.Fatal("Names/Types")
+	}
+}
+
+func TestAttachTable(t *testing.T) {
+	c := New()
+	tab := &Table{Name: "x", Schema: Schema{{"a", vector.Int64}}}
+	if err := c.AttachTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachTable(tab); err == nil {
+		t.Fatal("double attach should error")
+	}
+}

@@ -1,0 +1,496 @@
+// Package engine ties the SQL front-end, planner, executor, storage
+// and UDF registry into a database instance. It is wrapped by the
+// public vexdb package.
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"vexdb/internal/catalog"
+	"vexdb/internal/core"
+	"vexdb/internal/exec"
+	"vexdb/internal/plan"
+	"vexdb/internal/sql"
+	"vexdb/internal/storage"
+	"vexdb/internal/vector"
+)
+
+// DB is one database instance: a catalog of tables plus a UDF
+// registry. Queries may run concurrently; DDL and DML take a write
+// lock per statement.
+type DB struct {
+	cat *catalog.Catalog
+	reg *core.Registry
+
+	// ddlMu serializes DDL/DML so concurrent INSERTs into the same
+	// table do not interleave chunk appends with reads mid-statement.
+	ddlMu sync.Mutex
+
+	// Parallelism bounds parallel UDF execution (0 = NumCPU).
+	Parallelism int
+}
+
+// New creates an empty in-memory database with the built-in scalar
+// function library registered.
+func New() *DB {
+	reg := core.NewRegistry()
+	core.RegisterBuiltins(reg)
+	return &DB{cat: catalog.New(), reg: reg}
+}
+
+// Catalog exposes the database catalog.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Registry exposes the UDF registry.
+func (db *DB) Registry() *core.Registry { return db.reg }
+
+// Result is a materialized query result.
+type Result struct {
+	// Table holds the result rows; nil for statements without results.
+	Table *vector.Table
+	// RowsAffected counts rows written by INSERT/DELETE/UPDATE.
+	RowsAffected int64
+}
+
+// Exec parses and executes one SQL statement.
+func (db *DB) Exec(query string) (*Result, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStmt(stmt)
+}
+
+// ExecScript executes a semicolon-separated script, returning the
+// result of the last statement.
+func (db *DB) ExecScript(script string) (*Result, error) {
+	stmts, err := sql.ParseScript(script)
+	if err != nil {
+		return nil, err
+	}
+	var res *Result
+	for _, s := range stmts {
+		res, err = db.ExecStmt(s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// ExecStmt executes a parsed statement.
+func (db *DB) ExecStmt(stmt sql.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sql.Select:
+		tab, err := db.RunSelect(s)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Table: tab}, nil
+	case *sql.CreateTable:
+		return db.execCreate(s)
+	case *sql.DropTable:
+		return db.execDrop(s)
+	case *sql.Insert:
+		return db.execInsert(s)
+	case *sql.Delete:
+		return db.execDelete(s)
+	case *sql.Update:
+		return db.execUpdate(s)
+	}
+	return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+}
+
+// RunSelect binds and executes a SELECT, returning the materialized
+// result.
+func (db *DB) RunSelect(s *sql.Select) (*vector.Table, error) {
+	binder := plan.NewBinder(db.cat, db.reg)
+	node, err := binder.BindSelect(s)
+	if err != nil {
+		return nil, err
+	}
+	node = plan.Prune(node)
+	return exec.Run(node, &exec.Context{Parallelism: db.Parallelism})
+}
+
+func (db *DB) execCreate(s *sql.CreateTable) (*Result, error) {
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	if s.IfNotExists && db.cat.HasTable(s.Name) {
+		return &Result{}, nil
+	}
+	if s.AsSelect != nil {
+		tab, err := db.RunSelect(s.AsSelect)
+		if err != nil {
+			return nil, err
+		}
+		schema := make(catalog.Schema, tab.NumCols())
+		for i, name := range tab.Names {
+			schema[i] = catalog.Column{Name: name, Type: tab.Cols[i].Type()}
+		}
+		ct, err := db.cat.CreateTable(s.Name, schema)
+		if err != nil {
+			return nil, err
+		}
+		if tab.NumRows() > 0 {
+			if err := ct.Data.AppendChunk(tab.Chunk()); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{RowsAffected: int64(tab.NumRows())}, nil
+	}
+	schema := make(catalog.Schema, len(s.Columns))
+	for i, c := range s.Columns {
+		schema[i] = catalog.Column{Name: c.Name, Type: c.Type}
+	}
+	if _, err := db.cat.CreateTable(s.Name, schema); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (db *DB) execDrop(s *sql.DropTable) (*Result, error) {
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	if s.IfExists && !db.cat.HasTable(s.Name) {
+		return &Result{}, nil
+	}
+	if err := db.cat.DropTable(s.Name); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (db *DB) execInsert(s *sql.Insert) (*Result, error) {
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	tab, err := db.cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Map the insert column list to table positions.
+	colIdx := make([]int, 0, len(tab.Schema))
+	if s.Columns == nil {
+		for i := range tab.Schema {
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for _, name := range s.Columns {
+			i := tab.Schema.IndexOf(name)
+			if i < 0 {
+				return nil, fmt.Errorf("engine: table %s has no column %q", s.Table, name)
+			}
+			colIdx = append(colIdx, i)
+		}
+	}
+
+	buildChunk := func(src *vector.Table) (*vector.Chunk, error) {
+		if src.NumCols() != len(colIdx) {
+			return nil, fmt.Errorf("engine: INSERT provides %d columns, expected %d", src.NumCols(), len(colIdx))
+		}
+		n := src.NumRows()
+		cols := make([]*vector.Vector, len(tab.Schema))
+		provided := make(map[int]int)
+		for j, ti := range colIdx {
+			provided[ti] = j
+		}
+		for i, col := range tab.Schema {
+			if j, ok := provided[i]; ok {
+				c := src.Cols[j]
+				if c.Type() != col.Type {
+					cc, err := c.Cast(col.Type)
+					if err != nil {
+						return nil, fmt.Errorf("engine: column %q: %w", col.Name, err)
+					}
+					c = cc
+				}
+				cols[i] = c
+				continue
+			}
+			// Unspecified columns get NULL.
+			v := vector.New(col.Type, n)
+			for r := 0; r < n; r++ {
+				v.AppendValue(vector.Null())
+			}
+			cols[i] = v
+		}
+		return vector.NewChunk(cols...), nil
+	}
+
+	if s.Query != nil {
+		src, err := db.RunSelect(s.Query)
+		if err != nil {
+			return nil, err
+		}
+		ch, err := buildChunk(src)
+		if err != nil {
+			return nil, err
+		}
+		if err := tab.Data.AppendChunk(ch); err != nil {
+			return nil, err
+		}
+		return &Result{RowsAffected: int64(src.NumRows())}, nil
+	}
+
+	// Literal VALUES rows.
+	binder := plan.NewBinder(db.cat, db.reg)
+	var rows int64
+	for _, row := range s.Rows {
+		if len(row) != len(colIdx) {
+			return nil, fmt.Errorf("engine: INSERT row has %d values, expected %d", len(row), len(colIdx))
+		}
+		vals := make([]vector.Value, len(tab.Schema))
+		for i := range vals {
+			vals[i] = vector.Null()
+		}
+		for j, e := range row {
+			bound, err := bindConst(binder, e)
+			if err != nil {
+				return nil, err
+			}
+			v, err := exec.EvalConst(bound)
+			if err != nil {
+				return nil, err
+			}
+			vals[colIdx[j]] = v
+		}
+		if err := tab.Data.AppendRow(vals); err != nil {
+			return nil, err
+		}
+		rows++
+	}
+	return &Result{RowsAffected: rows}, nil
+}
+
+// bindConst binds an expression with no visible columns.
+func bindConst(b *plan.Binder, e sql.Expr) (plan.Expr, error) {
+	sel := &sql.Select{Items: []sql.SelectItem{{Expr: e}}}
+	node, err := b.BindSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	proj, ok := node.(*plan.Project)
+	if !ok || len(proj.Exprs) != 1 {
+		return nil, fmt.Errorf("engine: expected constant expression")
+	}
+	return proj.Exprs[0], nil
+}
+
+// execDelete rewrites the table keeping rows where the predicate is
+// not TRUE (column-store style copy-on-delete).
+func (db *DB) execDelete(s *sql.Delete) (*Result, error) {
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	tab, err := db.cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	if s.Where == nil {
+		n := tab.Data.NumRows()
+		tab.Data.Truncate()
+		return &Result{RowsAffected: int64(n)}, nil
+	}
+	keep, removed, err := db.partitionRows(tab, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	tab.Data.Truncate()
+	if keep.NumRows() > 0 {
+		if err := tab.Data.AppendChunk(keep.Chunk()); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{RowsAffected: removed}, nil
+}
+
+// partitionRows evaluates pred over the whole table and returns the
+// rows where it is not TRUE, plus the count of removed rows.
+func (db *DB) partitionRows(tab *catalog.Table, pred sql.Expr) (*vector.Table, int64, error) {
+	binder := plan.NewBinder(db.cat, db.reg)
+	sc := newTableScope(tab)
+	bound, err := binder.BindExprIn(pred, sc)
+	if err != nil {
+		return nil, 0, err
+	}
+	full := materializeTable(tab)
+	ch := full.Chunk()
+	if ch.NumRows() == 0 {
+		return full, 0, nil
+	}
+	pv, err := exec.Evaluate(bound, ch)
+	if err != nil {
+		return nil, 0, err
+	}
+	if pv.Type() != vector.Bool {
+		return nil, 0, fmt.Errorf("engine: WHERE predicate must be boolean")
+	}
+	var keepSel []int
+	var removed int64
+	for i := 0; i < ch.NumRows(); i++ {
+		if !pv.IsNull(i) && pv.Bools()[i] {
+			removed++
+			continue
+		}
+		keepSel = append(keepSel, i)
+	}
+	kept := ch.Gather(keepSel)
+	out, err := vector.NewTable(tab.Schema.Names(), kept.Cols())
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, removed, nil
+}
+
+// execUpdate rewrites the table applying SET expressions to matching
+// rows.
+func (db *DB) execUpdate(s *sql.Update) (*Result, error) {
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	tab, err := db.cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	binder := plan.NewBinder(db.cat, db.reg)
+	sc := newTableScope(tab)
+
+	full := materializeTable(tab)
+	ch := full.Chunk()
+	n := ch.NumRows()
+	if n == 0 {
+		return &Result{}, nil
+	}
+
+	match := make([]bool, n)
+	if s.Where == nil {
+		for i := range match {
+			match[i] = true
+		}
+	} else {
+		bound, err := binder.BindExprIn(s.Where, sc)
+		if err != nil {
+			return nil, err
+		}
+		pv, err := exec.Evaluate(bound, ch)
+		if err != nil {
+			return nil, err
+		}
+		if pv.Type() != vector.Bool {
+			return nil, fmt.Errorf("engine: WHERE predicate must be boolean")
+		}
+		for i := 0; i < n; i++ {
+			match[i] = !pv.IsNull(i) && pv.Bools()[i]
+		}
+	}
+
+	var affected int64
+	for _, m := range match {
+		if m {
+			affected++
+		}
+	}
+
+	for _, asn := range s.Set {
+		ci := tab.Schema.IndexOf(asn.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: table %s has no column %q", s.Table, asn.Column)
+		}
+		bound, err := binder.BindExprIn(asn.Value, sc)
+		if err != nil {
+			return nil, err
+		}
+		nv, err := exec.Evaluate(bound, ch)
+		if err != nil {
+			return nil, err
+		}
+		colType := tab.Schema[ci].Type
+		if nv.Type() != colType {
+			nv, err = nv.Cast(colType)
+			if err != nil {
+				return nil, fmt.Errorf("engine: column %q: %w", asn.Column, err)
+			}
+		}
+		old := full.Cols[ci]
+		merged := vector.New(colType, n)
+		for i := 0; i < n; i++ {
+			if match[i] {
+				merged.AppendValue(nv.Get(i))
+			} else {
+				merged.AppendValue(old.Get(i))
+			}
+		}
+		full.Cols[ci] = merged
+	}
+
+	tab.Data.Truncate()
+	if err := tab.Data.AppendChunk(full.Chunk()); err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: affected}, nil
+}
+
+func materializeTable(tab *catalog.Table) *vector.Table {
+	cols := make([]*vector.Vector, len(tab.Schema))
+	for i := range tab.Schema {
+		cols[i] = tab.Data.Column(i)
+	}
+	out, err := vector.NewTable(tab.Schema.Names(), cols)
+	if err != nil {
+		// Columns come straight from storage; lengths always match.
+		panic(err)
+	}
+	return out
+}
+
+func newTableScope(tab *catalog.Table) *plan.TableScope {
+	return plan.NewTableScope(tab)
+}
+
+// ----------------------------------------------------------- persistence
+
+// SaveDir writes every table to dir as <name>.vxtb files.
+func (db *DB) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range db.cat.TableNames() {
+		tab, err := db.cat.Table(name)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, strings.ToLower(name)+".vxtb")
+		if err := storage.SaveTableFile(path, tab.Schema.Names(), tab.Data); err != nil {
+			return fmt.Errorf("engine: save table %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// LoadDir attaches every *.vxtb table file found in dir.
+func (db *DB) LoadDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".vxtb") {
+			continue
+		}
+		names, store, err := storage.LoadTableFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return fmt.Errorf("engine: load %s: %w", e.Name(), err)
+		}
+		schema := make(catalog.Schema, len(names))
+		for i, n := range names {
+			schema[i] = catalog.Column{Name: n, Type: store.Types()[i]}
+		}
+		tabName := strings.TrimSuffix(e.Name(), ".vxtb")
+		if err := db.cat.AttachTable(&catalog.Table{Name: tabName, Schema: schema, Data: store}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

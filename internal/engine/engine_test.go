@@ -1,0 +1,555 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"vexdb/internal/core"
+	"vexdb/internal/vector"
+)
+
+func newTestDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	mustExec(t, db, "CREATE TABLE users (id BIGINT, name VARCHAR, age INTEGER, score DOUBLE)")
+	mustExec(t, db, `INSERT INTO users VALUES
+		(1, 'alice', 30, 9.5),
+		(2, 'bob', 25, 7.25),
+		(3, 'carol', 35, 8.0),
+		(4, 'dave', 25, NULL),
+		(5, 'erin', NULL, 5.5)`)
+	mustExec(t, db, "CREATE TABLE orders (user_id BIGINT, amount DOUBLE, item VARCHAR)")
+	mustExec(t, db, `INSERT INTO orders VALUES
+		(1, 10.0, 'book'), (1, 20.0, 'pen'), (2, 5.0, 'book'), (3, 50.0, 'desk'), (9, 1.0, 'ghost')`)
+	return db
+}
+
+func mustExec(t *testing.T, db *DB, q string) *Result {
+	t.Helper()
+	res, err := db.Exec(q)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", q, err)
+	}
+	return res
+}
+
+func mustQuery(t *testing.T, db *DB, q string) *vector.Table {
+	t.Helper()
+	res := mustExec(t, db, q)
+	if res.Table == nil {
+		t.Fatalf("Exec(%q): no result table", q)
+	}
+	return res.Table
+}
+
+func TestSelectProjection(t *testing.T) {
+	db := newTestDB(t)
+	tab := mustQuery(t, db, "SELECT name, age * 2 AS dbl FROM users WHERE id = 3")
+	if tab.NumRows() != 1 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	if tab.Column("name").Get(0).Str() != "carol" {
+		t.Fatal("name wrong")
+	}
+	if tab.Column("dbl").Get(0).Int64() != 70 {
+		t.Fatalf("dbl = %v", tab.Column("dbl").Get(0))
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := newTestDB(t)
+	tab := mustQuery(t, db, "SELECT * FROM users")
+	if tab.NumCols() != 4 || tab.NumRows() != 5 {
+		t.Fatalf("dims %dx%d", tab.NumCols(), tab.NumRows())
+	}
+}
+
+func TestWhereNullSemantics(t *testing.T) {
+	db := newTestDB(t)
+	// age = 25 must not match the NULL-age row.
+	tab := mustQuery(t, db, "SELECT id FROM users WHERE age = 25 ORDER BY id")
+	if tab.NumRows() != 2 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	tab = mustQuery(t, db, "SELECT id FROM users WHERE age IS NULL")
+	if tab.NumRows() != 1 || tab.Column("id").Get(0).Int64() != 5 {
+		t.Fatal("IS NULL wrong")
+	}
+	tab = mustQuery(t, db, "SELECT id FROM users WHERE score IS NOT NULL")
+	if tab.NumRows() != 4 {
+		t.Fatalf("IS NOT NULL rows = %d", tab.NumRows())
+	}
+}
+
+func TestOrderByLimitOffset(t *testing.T) {
+	db := newTestDB(t)
+	tab := mustQuery(t, db, "SELECT id FROM users ORDER BY score DESC LIMIT 2")
+	// NULLs sort last ascending, first descending: dave (NULL score)
+	// leads, then alice (9.5).
+	if tab.Column("id").Get(0).Int64() != 4 || tab.Column("id").Get(1).Int64() != 1 {
+		t.Fatalf("order: %v,%v", tab.Column("id").Get(0), tab.Column("id").Get(1))
+	}
+	tab = mustQuery(t, db, "SELECT id FROM users ORDER BY id LIMIT 2 OFFSET 2")
+	if tab.NumRows() != 2 || tab.Column("id").Get(0).Int64() != 3 {
+		t.Fatal("limit/offset wrong")
+	}
+	// Positional ORDER BY.
+	tab = mustQuery(t, db, "SELECT id, age FROM users WHERE age IS NOT NULL ORDER BY 2 DESC, 1 ASC")
+	if tab.Column("id").Get(0).Int64() != 3 {
+		t.Fatal("positional order by")
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	db := newTestDB(t)
+	tab := mustQuery(t, db, `
+		SELECT age, count(*) AS n, avg(score) AS avgs, min(name) AS mn
+		FROM users GROUP BY age ORDER BY n DESC, age ASC`)
+	// ages: 25 (bob, dave), 30 (alice), 35 (carol), NULL (erin)
+	if tab.NumRows() != 4 {
+		t.Fatalf("groups = %d", tab.NumRows())
+	}
+	if tab.Column("age").Get(0).Int64() != 25 || tab.Column("n").Get(0).Int64() != 2 {
+		t.Fatalf("first group wrong: %v n=%v", tab.Column("age").Get(0), tab.Column("n").Get(0))
+	}
+	// avg over (7.25, NULL) = 7.25 — aggregates skip NULLs.
+	if tab.Column("avgs").Get(0).Float64() != 7.25 {
+		t.Fatalf("avg = %v", tab.Column("avgs").Get(0))
+	}
+	if tab.Column("mn").Get(0).Str() != "bob" {
+		t.Fatal("min(name)")
+	}
+}
+
+func TestGlobalAggregateEmptyInput(t *testing.T) {
+	db := newTestDB(t)
+	tab := mustQuery(t, db, "SELECT count(*) AS n, sum(age) AS s FROM users WHERE id > 100")
+	if tab.NumRows() != 1 {
+		t.Fatal("global agg must yield one row")
+	}
+	if tab.Column("n").Get(0).Int64() != 0 {
+		t.Fatal("count = 0")
+	}
+	if !tab.Column("s").Get(0).IsNull() {
+		t.Fatal("sum of empty = NULL")
+	}
+}
+
+func TestHaving(t *testing.T) {
+	db := newTestDB(t)
+	tab := mustQuery(t, db, `
+		SELECT user_id, sum(amount) AS total FROM orders
+		GROUP BY user_id HAVING sum(amount) > 10 ORDER BY total DESC`)
+	if tab.NumRows() != 2 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	if tab.Column("user_id").Get(0).Int64() != 3 || tab.Column("total").Get(0).Float64() != 50 {
+		t.Fatal("having wrong")
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	db := newTestDB(t)
+	tab := mustQuery(t, db, "SELECT count(DISTINCT item) AS n FROM orders")
+	if tab.Column("n").Get(0).Int64() != 4 {
+		t.Fatalf("distinct items = %v", tab.Column("n").Get(0))
+	}
+}
+
+func TestInnerJoin(t *testing.T) {
+	db := newTestDB(t)
+	tab := mustQuery(t, db, `
+		SELECT u.name, o.amount FROM users u
+		JOIN orders o ON u.id = o.user_id
+		ORDER BY o.amount DESC`)
+	if tab.NumRows() != 4 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	if tab.Column("name").Get(0).Str() != "carol" {
+		t.Fatal("top joined row wrong")
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	db := newTestDB(t)
+	tab := mustQuery(t, db, `
+		SELECT u.id, o.amount FROM users u
+		LEFT JOIN orders o ON u.id = o.user_id
+		ORDER BY u.id, o.amount`)
+	// alice 2 orders + bob 1 + carol 1 + dave/erin null-padded = 6.
+	if tab.NumRows() != 6 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	last := tab.Column("amount").Get(tab.NumRows() - 1)
+	if !last.IsNull() {
+		t.Fatal("unmatched rows must have NULL right columns")
+	}
+}
+
+func TestJoinWithResidual(t *testing.T) {
+	db := newTestDB(t)
+	tab := mustQuery(t, db, `
+		SELECT u.name, o.amount FROM users u
+		JOIN orders o ON u.id = o.user_id AND o.amount > 10
+		ORDER BY o.amount`)
+	if tab.NumRows() != 2 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+}
+
+func TestCrossJoin(t *testing.T) {
+	db := newTestDB(t)
+	tab := mustQuery(t, db, "SELECT count(*) AS n FROM users, orders")
+	if tab.Column("n").Get(0).Int64() != 25 {
+		t.Fatalf("cross join count = %v", tab.Column("n").Get(0))
+	}
+}
+
+func TestGroupByJoinAggregate(t *testing.T) {
+	db := newTestDB(t)
+	tab := mustQuery(t, db, `
+		SELECT u.name, count(*) AS n, sum(o.amount) AS total
+		FROM users u JOIN orders o ON u.id = o.user_id
+		GROUP BY u.name ORDER BY total DESC`)
+	if tab.NumRows() != 3 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	if tab.Column("name").Get(1).Str() != "alice" || tab.Column("total").Get(1).Float64() != 30 {
+		t.Fatal("alice total wrong")
+	}
+}
+
+func TestSubqueryInFrom(t *testing.T) {
+	db := newTestDB(t)
+	tab := mustQuery(t, db, `
+		SELECT big.name FROM (SELECT name, score FROM users WHERE score > 7) AS big
+		ORDER BY big.score DESC`)
+	if tab.NumRows() != 3 || tab.Column("name").Get(0).Str() != "alice" {
+		t.Fatal("subquery wrong")
+	}
+}
+
+func TestCaseExpression(t *testing.T) {
+	db := newTestDB(t)
+	tab := mustQuery(t, db, `
+		SELECT name, CASE WHEN age >= 30 THEN 'old' WHEN age IS NULL THEN 'unknown' ELSE 'young' END AS bucket
+		FROM users ORDER BY id`)
+	want := []string{"old", "young", "old", "young", "unknown"}
+	for i, w := range want {
+		if got := tab.Column("bucket").Get(i).Str(); got != w {
+			t.Errorf("row %d: %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestCastDivisionModulo(t *testing.T) {
+	db := newTestDB(t)
+	tab := mustQuery(t, db, "SELECT 7 / 2 AS d, 7 % 2 AS m, CAST(7.9 AS INTEGER) AS c")
+	if tab.Column("d").Get(0).Float64() != 3.5 {
+		t.Fatalf("7/2 = %v (division is DOUBLE)", tab.Column("d").Get(0))
+	}
+	if tab.Column("m").Get(0).Int64() != 1 {
+		t.Fatal("modulo")
+	}
+	if tab.Column("c").Get(0).Int64() != 7 {
+		t.Fatal("cast")
+	}
+}
+
+func TestDivisionByZeroIsNull(t *testing.T) {
+	db := newTestDB(t)
+	tab := mustQuery(t, db, "SELECT 1 / 0 AS x, 1 % 0 AS y")
+	if !tab.Column("x").Get(0).IsNull() || !tab.Column("y").Get(0).IsNull() {
+		t.Fatal("division by zero must be NULL")
+	}
+}
+
+func TestBuiltinFunctions(t *testing.T) {
+	db := newTestDB(t)
+	tab := mustQuery(t, db, "SELECT sqrt(16.0) AS s, upper(name) AS u, length(name) AS l FROM users WHERE id = 1")
+	if tab.Column("s").Get(0).Float64() != 4 {
+		t.Fatal("sqrt")
+	}
+	if tab.Column("u").Get(0).Str() != "ALICE" || tab.Column("l").Get(0).Int64() != 5 {
+		t.Fatal("string funcs")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := newTestDB(t)
+	tab := mustQuery(t, db, "SELECT DISTINCT age FROM users ORDER BY age")
+	if tab.NumRows() != 4 { // 25, 30, 35, NULL
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+}
+
+func TestUnion(t *testing.T) {
+	db := newTestDB(t)
+	tab := mustQuery(t, db, "SELECT id FROM users WHERE id <= 2 UNION ALL SELECT id FROM users WHERE id <= 1")
+	if tab.NumRows() != 3 {
+		t.Fatalf("union all rows = %d", tab.NumRows())
+	}
+	tab = mustQuery(t, db, "SELECT id FROM users WHERE id <= 2 UNION SELECT id FROM users WHERE id <= 1")
+	if tab.NumRows() != 2 {
+		t.Fatalf("union rows = %d", tab.NumRows())
+	}
+}
+
+func TestInList(t *testing.T) {
+	db := newTestDB(t)
+	tab := mustQuery(t, db, "SELECT id FROM users WHERE name IN ('alice', 'bob') ORDER BY id")
+	if tab.NumRows() != 2 {
+		t.Fatal("IN")
+	}
+	tab = mustQuery(t, db, "SELECT id FROM users WHERE name NOT IN ('alice', 'bob') ORDER BY id")
+	if tab.NumRows() != 3 {
+		t.Fatal("NOT IN")
+	}
+}
+
+func TestBetweenAndConcat(t *testing.T) {
+	db := newTestDB(t)
+	tab := mustQuery(t, db, "SELECT id FROM users WHERE age BETWEEN 25 AND 30 ORDER BY id")
+	if tab.NumRows() != 3 {
+		t.Fatalf("between rows = %d", tab.NumRows())
+	}
+	tab = mustQuery(t, db, "SELECT name || '!' AS x FROM users WHERE id = 1")
+	if tab.Column("x").Get(0).Str() != "alice!" {
+		t.Fatal("concat")
+	}
+}
+
+func TestInsertSelectAndCTAS(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE young AS SELECT id, name FROM users WHERE age < 30")
+	tab := mustQuery(t, db, "SELECT count(*) AS n FROM young")
+	if tab.Column("n").Get(0).Int64() != 2 {
+		t.Fatal("CTAS")
+	}
+	res := mustExec(t, db, "INSERT INTO young SELECT id, name FROM users WHERE age >= 30")
+	if res.RowsAffected != 2 {
+		t.Fatalf("insert-select affected = %d", res.RowsAffected)
+	}
+	tab = mustQuery(t, db, "SELECT count(*) AS n FROM young")
+	if tab.Column("n").Get(0).Int64() != 4 {
+		t.Fatal("after insert-select")
+	}
+}
+
+func TestInsertColumnSubset(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "INSERT INTO users (id, name) VALUES (6, 'frank')")
+	tab := mustQuery(t, db, "SELECT age FROM users WHERE id = 6")
+	if !tab.Column("age").Get(0).IsNull() {
+		t.Fatal("unspecified column must be NULL")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := newTestDB(t)
+	res := mustExec(t, db, "DELETE FROM orders WHERE amount < 10")
+	if res.RowsAffected != 2 {
+		t.Fatalf("deleted = %d", res.RowsAffected)
+	}
+	tab := mustQuery(t, db, "SELECT count(*) AS n FROM orders")
+	if tab.Column("n").Get(0).Int64() != 3 {
+		t.Fatal("rows after delete")
+	}
+	res = mustExec(t, db, "DELETE FROM orders")
+	if res.RowsAffected != 3 {
+		t.Fatal("delete all")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := newTestDB(t)
+	res := mustExec(t, db, "UPDATE users SET score = score + 1, name = upper(name) WHERE id <= 2")
+	if res.RowsAffected != 2 {
+		t.Fatalf("updated = %d", res.RowsAffected)
+	}
+	tab := mustQuery(t, db, "SELECT name, score FROM users WHERE id = 1")
+	if tab.Column("name").Get(0).Str() != "ALICE" || tab.Column("score").Get(0).Float64() != 10.5 {
+		t.Fatalf("update result: %v %v", tab.Column("name").Get(0), tab.Column("score").Get(0))
+	}
+	// Unmatched rows untouched.
+	tab = mustQuery(t, db, "SELECT name FROM users WHERE id = 3")
+	if tab.Column("name").Get(0).Str() != "carol" {
+		t.Fatal("unmatched row modified")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "DROP TABLE orders")
+	if _, err := db.Exec("SELECT * FROM orders"); err == nil {
+		t.Fatal("query after drop should fail")
+	}
+	mustExec(t, db, "DROP TABLE IF EXISTS orders")
+	if _, err := db.Exec("DROP TABLE orders"); err == nil {
+		t.Fatal("double drop should fail")
+	}
+}
+
+func TestScalarUDF(t *testing.T) {
+	db := newTestDB(t)
+	err := db.Registry().RegisterScalar(&core.ScalarFunc{
+		Name:       "plus_ten",
+		Arity:      1,
+		Parallel:   true,
+		ReturnType: core.FixedReturn(vector.Float64),
+		Eval: func(args []*vector.Vector) (*vector.Vector, error) {
+			in, err := args[0].AsFloat64s()
+			if err != nil {
+				return nil, err
+			}
+			out := make([]float64, len(in))
+			for i, x := range in {
+				out[i] = x + 10
+			}
+			return vector.FromFloat64s(out), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := mustQuery(t, db, "SELECT plus_ten(score) AS s FROM users WHERE id = 1")
+	if tab.Column("s").Get(0).Float64() != 19.5 {
+		t.Fatalf("udf = %v", tab.Column("s").Get(0))
+	}
+}
+
+func TestTableUDF(t *testing.T) {
+	db := newTestDB(t)
+	err := db.Registry().RegisterTable(&core.TableFunc{
+		Name: "summarize",
+		Columns: []core.ColumnDecl{
+			{Name: "total", Type: vector.Float64},
+			{Name: "rows", Type: vector.Int64},
+		},
+		Fn: func(args []core.TableArg) (*vector.Table, error) {
+			if len(args) != 2 || !args[0].IsTable() || args[1].IsTable() {
+				return nil, fmt.Errorf("summarize(table, factor)")
+			}
+			factor := args[1].Scalar.Float64()
+			in := args[0].Table
+			sum := 0.0
+			vals, err := in.Cols[0].AsFloat64s()
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range vals {
+				sum += v
+			}
+			return vector.NewTable([]string{"total", "rows"}, []*vector.Vector{
+				vector.FromFloat64s([]float64{sum * factor}),
+				vector.FromInt64s([]int64{int64(in.NumRows())}),
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := mustQuery(t, db, "SELECT * FROM summarize((SELECT amount FROM orders), 2)")
+	if tab.Column("total").Get(0).Float64() != 172 {
+		t.Fatalf("total = %v", tab.Column("total").Get(0))
+	}
+	if tab.Column("rows").Get(0).Int64() != 5 {
+		t.Fatal("rows")
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	db := newTestDB(t)
+	dir := t.TempDir()
+	if err := db.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	db2 := New()
+	if err := db2.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	tab := mustQuery(t, db2, "SELECT count(*) AS n FROM users")
+	if tab.Column("n").Get(0).Int64() != 5 {
+		t.Fatal("reload row count")
+	}
+	tab = mustQuery(t, db2, "SELECT name FROM users WHERE id = 2")
+	if tab.Column("name").Get(0).Str() != "bob" {
+		t.Fatal("reload contents")
+	}
+}
+
+func TestExecScript(t *testing.T) {
+	db := New()
+	res, err := db.ExecScript(`
+		CREATE TABLE t (a BIGINT);
+		INSERT INTO t VALUES (1), (2), (3);
+		SELECT sum(a) AS s FROM t;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Column("s").Get(0).Int64() != 6 {
+		t.Fatal("script result")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := newTestDB(t)
+	bad := []string{
+		"SELECT nope FROM users",
+		"SELECT * FROM missing",
+		"SELECT id FROM users WHERE name",                                   // non-bool predicate
+		"SELECT name, count(*) FROM users",                                  // bare column with aggregate
+		"INSERT INTO users VALUES (1)",                                      // arity
+		"INSERT INTO users (zzz) VALUES (1)",                                // unknown column
+		"SELECT unknown_fn(id) FROM users",                                  // unknown function
+		"SELECT * FROM unknown_tf((SELECT 1))",                              // unknown table function
+		"SELECT u.id FROM users u JOIN users v ON u.id = v.id WHERE id = 1", // ambiguous
+	}
+	for _, q := range bad {
+		if _, err := db.Exec(q); err == nil {
+			t.Errorf("Exec(%q) should fail", q)
+		}
+	}
+}
+
+func TestLargeScanAcrossSegments(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE big (x BIGINT)")
+	// Insert enough rows to span several segments via insert-select
+	// doubling.
+	mustExec(t, db, "INSERT INTO big VALUES (1)")
+	for i := 0; i < 13; i++ { // 2^13 = 8192 rows
+		mustExec(t, db, "INSERT INTO big SELECT x FROM big")
+	}
+	tab := mustQuery(t, db, "SELECT count(*) AS n, sum(x) AS s FROM big")
+	if tab.Column("n").Get(0).Int64() != 8192 || tab.Column("s").Get(0).Int64() != 8192 {
+		t.Fatalf("n=%v s=%v", tab.Column("n").Get(0), tab.Column("s").Get(0))
+	}
+}
+
+func TestAggregateExpressionOverAggregates(t *testing.T) {
+	db := newTestDB(t)
+	tab := mustQuery(t, db, `
+		SELECT user_id, sum(amount) / count(*) AS mean
+		FROM orders GROUP BY user_id ORDER BY user_id`)
+	if tab.Column("mean").Get(0).Float64() != 15 {
+		t.Fatalf("mean = %v", tab.Column("mean").Get(0))
+	}
+}
+
+func TestGroupByExpression(t *testing.T) {
+	db := newTestDB(t)
+	tab := mustQuery(t, db, `
+		SELECT age % 10 AS bucket, count(*) AS n FROM users
+		WHERE age IS NOT NULL GROUP BY age % 10 ORDER BY bucket`)
+	if tab.NumRows() != 2 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	// ages 30,25,35,25 -> bucket 0 holds {30}, bucket 5 holds {25,35,25}.
+	if tab.Column("bucket").Get(0).Int64() != 0 || tab.Column("n").Get(0).Int64() != 1 {
+		t.Fatalf("bucket0 = %v n=%v", tab.Column("bucket").Get(0), tab.Column("n").Get(0))
+	}
+	if tab.Column("n").Get(1).Int64() != 3 {
+		t.Fatalf("bucket5 n=%v", tab.Column("n").Get(1))
+	}
+}

@@ -1,0 +1,233 @@
+package exec
+
+import (
+	"fmt"
+
+	"vexdb/internal/plan"
+	"vexdb/internal/vector"
+)
+
+// hashAggOp implements hash aggregation with optional grouping. With
+// no GROUP BY it produces exactly one row (even for empty input, per
+// SQL semantics).
+type hashAggOp struct {
+	spec  *plan.Aggregate
+	child Operator
+	done  bool
+}
+
+type aggState struct {
+	count    int64
+	sumF     float64
+	sumI     int64
+	min      vector.Value
+	max      vector.Value
+	distinct map[string]struct{}
+}
+
+type groupState struct {
+	keyVals []vector.Value
+	aggs    []aggState
+}
+
+func (a *hashAggOp) Open(ctx *Context) error {
+	a.done = false
+	return a.child.Open(ctx)
+}
+
+func (a *hashAggOp) Next() (*vector.Chunk, error) {
+	if a.done {
+		return nil, nil
+	}
+	a.done = true
+
+	groups := make(map[string]*groupState)
+	var order []string // deterministic output order: first appearance
+
+	var key []byte
+	for {
+		ch, err := a.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if ch == nil {
+			break
+		}
+		n := ch.NumRows()
+		groupVecs := make([]*vector.Vector, len(a.spec.GroupBy))
+		for i, g := range a.spec.GroupBy {
+			v, err := Evaluate(g, ch)
+			if err != nil {
+				return nil, err
+			}
+			groupVecs[i] = v
+		}
+		argVecs := make([]*vector.Vector, len(a.spec.Aggs))
+		for i, s := range a.spec.Aggs {
+			if s.Arg == nil {
+				continue
+			}
+			v, err := Evaluate(s.Arg, ch)
+			if err != nil {
+				return nil, err
+			}
+			argVecs[i] = v
+		}
+		for r := 0; r < n; r++ {
+			key = key[:0]
+			for _, gv := range groupVecs {
+				key = appendRowKey(key, gv, r)
+			}
+			ks := string(key)
+			g, ok := groups[ks]
+			if !ok {
+				g = &groupState{aggs: make([]aggState, len(a.spec.Aggs))}
+				g.keyVals = make([]vector.Value, len(groupVecs))
+				for i, gv := range groupVecs {
+					g.keyVals[i] = gv.Get(r)
+				}
+				for i, s := range a.spec.Aggs {
+					if s.Distinct {
+						g.aggs[i].distinct = make(map[string]struct{})
+					}
+				}
+				groups[ks] = g
+				order = append(order, ks)
+			}
+			for i, s := range a.spec.Aggs {
+				if err := updateAgg(&g.aggs[i], s, argVecs[i], r); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Global aggregation over empty input still yields one row.
+	if len(a.spec.GroupBy) == 0 && len(groups) == 0 {
+		g := &groupState{aggs: make([]aggState, len(a.spec.Aggs))}
+		for i, s := range a.spec.Aggs {
+			if s.Distinct {
+				g.aggs[i].distinct = make(map[string]struct{})
+			}
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	schema := a.spec.Schema()
+	cols := make([]*vector.Vector, len(schema))
+	for i, c := range schema {
+		cols[i] = vector.New(c.Type, len(groups))
+	}
+	ng := len(a.spec.GroupBy)
+	for _, ks := range order {
+		g := groups[ks]
+		for i, kv := range g.keyVals {
+			appendCast(cols[i], kv, schema[i].Type)
+		}
+		for i, s := range a.spec.Aggs {
+			appendCast(cols[ng+i], finalizeAgg(&g.aggs[i], s), schema[ng+i].Type)
+		}
+	}
+	return vector.NewChunk(cols...), nil
+}
+
+func appendCast(col *vector.Vector, v vector.Value, t vector.Type) {
+	if !v.IsNull() && v.Type() != t {
+		if cv, err := v.Cast(t); err == nil {
+			v = cv
+		}
+	}
+	col.AppendValue(v)
+}
+
+func updateAgg(st *aggState, spec plan.AggSpec, arg *vector.Vector, r int) error {
+	if spec.Arg == nil { // count(*)
+		st.count++
+		return nil
+	}
+	if arg.IsNull(r) {
+		return nil // aggregates skip NULLs
+	}
+	if spec.Distinct {
+		key := appendRowKey(nil, arg, r)
+		if _, seen := st.distinct[string(key)]; seen {
+			return nil
+		}
+		st.distinct[string(key)] = struct{}{}
+	}
+	v := arg.Get(r)
+	switch spec.Kind {
+	case plan.AggCount:
+		st.count++
+	case plan.AggSum, plan.AggAvg:
+		st.count++
+		switch arg.Type() {
+		case vector.Float64:
+			st.sumF += v.Float64()
+		case vector.Int32, vector.Int64:
+			st.sumI += v.Int64()
+			st.sumF += v.Float64()
+		default:
+			return fmt.Errorf("exec: cannot sum %s", arg.Type())
+		}
+	case plan.AggMin:
+		if st.min.Type() == vector.Invalid { // unset or NULL: first value wins
+			st.min = v
+			return nil
+		}
+		c, err := v.Compare(st.min)
+		if err != nil {
+			return err
+		}
+		if c < 0 {
+			st.min = v
+		}
+	case plan.AggMax:
+		if st.max.Type() == vector.Invalid {
+			st.max = v
+			return nil
+		}
+		c, err := v.Compare(st.max)
+		if err != nil {
+			return err
+		}
+		if c > 0 {
+			st.max = v
+		}
+	}
+	return nil
+}
+
+func finalizeAgg(st *aggState, spec plan.AggSpec) vector.Value {
+	switch spec.Kind {
+	case plan.AggCount:
+		return vector.NewInt64(st.count)
+	case plan.AggSum:
+		if st.count == 0 {
+			return vector.Null()
+		}
+		if spec.Typ == vector.Float64 {
+			return vector.NewFloat64(st.sumF)
+		}
+		return vector.NewInt64(st.sumI)
+	case plan.AggAvg:
+		if st.count == 0 {
+			return vector.Null()
+		}
+		return vector.NewFloat64(st.sumF / float64(st.count))
+	case plan.AggMin:
+		if st.min.Type() == vector.Invalid {
+			return vector.Null()
+		}
+		return st.min
+	case plan.AggMax:
+		if st.max.Type() == vector.Invalid {
+			return vector.Null()
+		}
+		return st.max
+	}
+	return vector.Null()
+}
+
+func (a *hashAggOp) Close() error { return a.child.Close() }

@@ -1,0 +1,598 @@
+// Package exec implements the vectorized execution engine: pull-based
+// operators exchanging chunks of column vectors, vectorized expression
+// evaluation with SQL three-valued logic, hash join, hash aggregation,
+// sorting and table-UDF invocation.
+package exec
+
+import (
+	"fmt"
+
+	"vexdb/internal/plan"
+	"vexdb/internal/sql"
+	"vexdb/internal/vector"
+)
+
+// Evaluate computes a bound expression over a chunk, returning a
+// vector with one row per input row.
+func Evaluate(e plan.Expr, ch *vector.Chunk) (*vector.Vector, error) {
+	switch x := e.(type) {
+	case *plan.ColRef:
+		return ch.Col(x.Idx), nil
+	case *plan.Const:
+		return vector.Constant(x.Val, ch.NumRows(), x.Typ), nil
+	case *plan.BinOp:
+		return evalBinOp(x, ch)
+	case *plan.Neg:
+		return evalNeg(x, ch)
+	case *plan.Not:
+		return evalNot(x, ch)
+	case *plan.IsNull:
+		return evalIsNull(x, ch)
+	case *plan.Cast:
+		in, err := Evaluate(x.Operand, ch)
+		if err != nil {
+			return nil, err
+		}
+		return in.Cast(x.To)
+	case *plan.Case:
+		return evalCase(x, ch)
+	case *plan.In:
+		return evalIn(x, ch)
+	case *plan.Call:
+		args := make([]*vector.Vector, len(x.Args))
+		for i, a := range x.Args {
+			v, err := Evaluate(a, ch)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		out, err := x.Fn.Eval(args)
+		if err != nil {
+			return nil, fmt.Errorf("exec: UDF %s: %w", x.Fn.Name, err)
+		}
+		if out.Len() != ch.NumRows() {
+			return nil, fmt.Errorf("exec: UDF %s returned %d rows for %d inputs", x.Fn.Name, out.Len(), ch.NumRows())
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("exec: cannot evaluate %T", e)
+}
+
+// EvalConst evaluates an expression with no column references (a
+// constant) to a single value.
+func EvalConst(e plan.Expr) (vector.Value, error) {
+	one := vector.FromInt32s([]int32{0})
+	ch := vector.NewChunk(one)
+	v, err := Evaluate(e, ch)
+	if err != nil {
+		return vector.Null(), err
+	}
+	if v.Len() != 1 {
+		return vector.Null(), fmt.Errorf("exec: constant expression produced %d rows", v.Len())
+	}
+	return v.Get(0), nil
+}
+
+func combineNulls(out *vector.Vector, ins ...*vector.Vector) {
+	for _, in := range ins {
+		if nulls := in.Nulls(); nulls != nil {
+			for i, isNull := range nulls {
+				if isNull {
+					out.SetNull(i)
+				}
+			}
+		}
+	}
+}
+
+func evalBinOp(x *plan.BinOp, ch *vector.Chunk) (*vector.Vector, error) {
+	switch x.Op {
+	case sql.OpAnd, sql.OpOr:
+		return evalLogical(x, ch)
+	}
+	l, err := Evaluate(x.Left, ch)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Evaluate(x.Right, ch)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case sql.OpAdd, sql.OpSub, sql.OpMul, sql.OpDiv, sql.OpMod:
+		return evalArith(x.Op, x.Typ, l, r)
+	case sql.OpEq, sql.OpNe, sql.OpLt, sql.OpLe, sql.OpGt, sql.OpGe:
+		return evalCompare(x.Op, l, r)
+	case sql.OpConcat:
+		return evalConcat(l, r)
+	}
+	return nil, fmt.Errorf("exec: operator %s not implemented", x.Op)
+}
+
+func evalConcat(l, r *vector.Vector) (*vector.Vector, error) {
+	n := l.Len()
+	out := make([]string, n)
+	ls, err := asStrings(l)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := asStrings(r)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		out[i] = ls[i] + rs[i]
+	}
+	res := vector.FromStrings(out)
+	combineNulls(res, l, r)
+	return res, nil
+}
+
+func asStrings(v *vector.Vector) ([]string, error) {
+	if v.Type() == vector.String {
+		return v.Strings(), nil
+	}
+	sv, err := v.Cast(vector.String)
+	if err != nil {
+		return nil, err
+	}
+	return sv.Strings(), nil
+}
+
+func evalArith(op sql.BinaryOp, outType vector.Type, l, r *vector.Vector) (*vector.Vector, error) {
+	n := l.Len()
+	if outType == vector.Float64 {
+		a, err := l.AsFloat64s()
+		if err != nil {
+			return nil, err
+		}
+		b, err := r.AsFloat64s()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, n)
+		switch op {
+		case sql.OpAdd:
+			for i := range out {
+				out[i] = a[i] + b[i]
+			}
+		case sql.OpSub:
+			for i := range out {
+				out[i] = a[i] - b[i]
+			}
+		case sql.OpMul:
+			for i := range out {
+				out[i] = a[i] * b[i]
+			}
+		case sql.OpDiv:
+			for i := range out {
+				out[i] = a[i] / b[i] // IEEE semantics; NULL handled below
+			}
+		case sql.OpMod:
+			for i := range out {
+				if b[i] == 0 {
+					out[i] = 0
+				} else {
+					out[i] = float64(int64(a[i]) % int64(b[i]))
+				}
+			}
+		}
+		res := vector.FromFloat64s(out)
+		combineNulls(res, l, r)
+		// Division by zero yields NULL, not Inf.
+		if op == sql.OpDiv {
+			for i := range b {
+				if b[i] == 0 {
+					res.SetNull(i)
+				}
+			}
+		}
+		return res, nil
+	}
+	// Integer path (Int32 or Int64 output).
+	a, err := asInt64s(l)
+	if err != nil {
+		return nil, err
+	}
+	b, err := asInt64s(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, n)
+	var divZero []int
+	switch op {
+	case sql.OpAdd:
+		for i := range out {
+			out[i] = a[i] + b[i]
+		}
+	case sql.OpSub:
+		for i := range out {
+			out[i] = a[i] - b[i]
+		}
+	case sql.OpMul:
+		for i := range out {
+			out[i] = a[i] * b[i]
+		}
+	case sql.OpMod:
+		for i := range out {
+			if b[i] == 0 {
+				divZero = append(divZero, i)
+				continue
+			}
+			out[i] = a[i] % b[i]
+		}
+	default:
+		return nil, fmt.Errorf("exec: integer %s not supported", op)
+	}
+	var res *vector.Vector
+	if outType == vector.Int32 {
+		o32 := make([]int32, n)
+		for i, v := range out {
+			o32[i] = int32(v)
+		}
+		res = vector.FromInt32s(o32)
+	} else {
+		res = vector.FromInt64s(out)
+	}
+	combineNulls(res, l, r)
+	for _, i := range divZero {
+		res.SetNull(i)
+	}
+	return res, nil
+}
+
+func asInt64s(v *vector.Vector) ([]int64, error) {
+	switch v.Type() {
+	case vector.Int64:
+		return v.Int64s(), nil
+	case vector.Int32:
+		out := make([]int64, v.Len())
+		for i, x := range v.Int32s() {
+			out[i] = int64(x)
+		}
+		return out, nil
+	case vector.Float64:
+		out := make([]int64, v.Len())
+		for i, x := range v.Float64s() {
+			out[i] = int64(x)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("exec: %s is not an integer type", v.Type())
+}
+
+func evalCompare(op sql.BinaryOp, l, r *vector.Vector) (*vector.Vector, error) {
+	n := l.Len()
+	out := make([]bool, n)
+	lt, rt := l.Type(), r.Type()
+	switch {
+	case lt.IsNumeric() && rt.IsNumeric():
+		if lt == vector.Float64 || rt == vector.Float64 {
+			a, _ := l.AsFloat64s()
+			b, _ := r.AsFloat64s()
+			for i := range out {
+				out[i] = cmpToBool(op, compareFloat(a[i], b[i]))
+			}
+		} else {
+			a, _ := asInt64s(l)
+			b, _ := asInt64s(r)
+			for i := range out {
+				out[i] = cmpToBool(op, compareInt(a[i], b[i]))
+			}
+		}
+	case lt == vector.String && rt == vector.String:
+		a, b := l.Strings(), r.Strings()
+		for i := range out {
+			out[i] = cmpToBool(op, compareString(a[i], b[i]))
+		}
+	case lt == vector.Bool && rt == vector.Bool:
+		a, b := l.Bools(), r.Bools()
+		for i := range out {
+			switch op {
+			case sql.OpEq:
+				out[i] = a[i] == b[i]
+			case sql.OpNe:
+				out[i] = a[i] != b[i]
+			default:
+				out[i] = cmpToBool(op, compareBool(a[i], b[i]))
+			}
+		}
+	case lt == vector.Blob && rt == vector.Blob:
+		a, b := l.Blobs(), r.Blobs()
+		for i := range out {
+			c := compareString(string(a[i]), string(b[i]))
+			out[i] = cmpToBool(op, c)
+		}
+	case lt == vector.Invalid || rt == vector.Invalid:
+		// Comparison against an untyped NULL constant: all NULL.
+		res := vector.FromBools(out)
+		for i := 0; i < n; i++ {
+			res.SetNull(i)
+		}
+		return res, nil
+	default:
+		return nil, fmt.Errorf("exec: cannot compare %s with %s", lt, rt)
+	}
+	res := vector.FromBools(out)
+	combineNulls(res, l, r)
+	return res, nil
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func compareInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func compareString(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func compareBool(a, b bool) int {
+	switch {
+	case !a && b:
+		return -1
+	case a && !b:
+		return 1
+	}
+	return 0
+}
+
+func cmpToBool(op sql.BinaryOp, c int) bool {
+	switch op {
+	case sql.OpEq:
+		return c == 0
+	case sql.OpNe:
+		return c != 0
+	case sql.OpLt:
+		return c < 0
+	case sql.OpLe:
+		return c <= 0
+	case sql.OpGt:
+		return c > 0
+	case sql.OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// evalLogical implements AND/OR with SQL three-valued logic.
+func evalLogical(x *plan.BinOp, ch *vector.Chunk) (*vector.Vector, error) {
+	l, err := Evaluate(x.Left, ch)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Evaluate(x.Right, ch)
+	if err != nil {
+		return nil, err
+	}
+	if l.Type() != vector.Bool || r.Type() != vector.Bool {
+		return nil, fmt.Errorf("exec: %s requires boolean operands, got %s and %s", x.Op, l.Type(), r.Type())
+	}
+	n := l.Len()
+	a, b := l.Bools(), r.Bools()
+	out := make([]bool, n)
+	res := vector.FromBools(out)
+	isAnd := x.Op == sql.OpAnd
+	for i := 0; i < n; i++ {
+		ln, rn := l.IsNull(i), r.IsNull(i)
+		switch {
+		case !ln && !rn:
+			if isAnd {
+				out[i] = a[i] && b[i]
+			} else {
+				out[i] = a[i] || b[i]
+			}
+		case isAnd:
+			// NULL AND FALSE = FALSE, otherwise NULL.
+			if (!ln && !a[i]) || (!rn && !b[i]) {
+				out[i] = false
+			} else {
+				res.SetNull(i)
+			}
+		default:
+			// NULL OR TRUE = TRUE, otherwise NULL.
+			if (!ln && a[i]) || (!rn && b[i]) {
+				out[i] = true
+			} else {
+				res.SetNull(i)
+			}
+		}
+	}
+	return res, nil
+}
+
+func evalNeg(x *plan.Neg, ch *vector.Chunk) (*vector.Vector, error) {
+	in, err := Evaluate(x.Operand, ch)
+	if err != nil {
+		return nil, err
+	}
+	switch in.Type() {
+	case vector.Float64:
+		out := make([]float64, in.Len())
+		for i, v := range in.Float64s() {
+			out[i] = -v
+		}
+		res := vector.FromFloat64s(out)
+		combineNulls(res, in)
+		return res, nil
+	case vector.Int64:
+		out := make([]int64, in.Len())
+		for i, v := range in.Int64s() {
+			out[i] = -v
+		}
+		res := vector.FromInt64s(out)
+		combineNulls(res, in)
+		return res, nil
+	case vector.Int32:
+		out := make([]int32, in.Len())
+		for i, v := range in.Int32s() {
+			out[i] = -v
+		}
+		res := vector.FromInt32s(out)
+		combineNulls(res, in)
+		return res, nil
+	}
+	return nil, fmt.Errorf("exec: cannot negate %s", in.Type())
+}
+
+func evalNot(x *plan.Not, ch *vector.Chunk) (*vector.Vector, error) {
+	in, err := Evaluate(x.Operand, ch)
+	if err != nil {
+		return nil, err
+	}
+	if in.Type() != vector.Bool {
+		return nil, fmt.Errorf("exec: NOT requires a boolean operand, got %s", in.Type())
+	}
+	out := make([]bool, in.Len())
+	for i, v := range in.Bools() {
+		out[i] = !v
+	}
+	res := vector.FromBools(out)
+	combineNulls(res, in)
+	return res, nil
+}
+
+func evalIsNull(x *plan.IsNull, ch *vector.Chunk) (*vector.Vector, error) {
+	in, err := Evaluate(x.Operand, ch)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, in.Len())
+	for i := range out {
+		isNull := in.IsNull(i)
+		if x.Negate {
+			out[i] = !isNull
+		} else {
+			out[i] = isNull
+		}
+	}
+	return vector.FromBools(out), nil
+}
+
+func evalCase(x *plan.Case, ch *vector.Chunk) (*vector.Vector, error) {
+	n := ch.NumRows()
+	conds := make([]*vector.Vector, len(x.Whens))
+	thens := make([]*vector.Vector, len(x.Whens))
+	for i, w := range x.Whens {
+		c, err := Evaluate(w.Cond, ch)
+		if err != nil {
+			return nil, err
+		}
+		if c.Type() != vector.Bool {
+			return nil, fmt.Errorf("exec: CASE condition must be boolean, got %s", c.Type())
+		}
+		t, err := Evaluate(w.Then, ch)
+		if err != nil {
+			return nil, err
+		}
+		conds[i], thens[i] = c, t
+	}
+	var els *vector.Vector
+	if x.Else != nil {
+		v, err := Evaluate(x.Else, ch)
+		if err != nil {
+			return nil, err
+		}
+		els = v
+	}
+	out := vector.New(x.Typ, n)
+rows:
+	for i := 0; i < n; i++ {
+		for w := range conds {
+			if !conds[w].IsNull(i) && conds[w].Bools()[i] {
+				v := thens[w].Get(i)
+				if !v.IsNull() && v.Type() != x.Typ {
+					cv, err := v.Cast(x.Typ)
+					if err != nil {
+						return nil, err
+					}
+					v = cv
+				}
+				out.AppendValue(v)
+				continue rows
+			}
+		}
+		if els != nil {
+			v := els.Get(i)
+			if !v.IsNull() && v.Type() != x.Typ {
+				cv, err := v.Cast(x.Typ)
+				if err != nil {
+					return nil, err
+				}
+				v = cv
+			}
+			out.AppendValue(v)
+		} else {
+			out.AppendValue(vector.Null())
+		}
+	}
+	return out, nil
+}
+
+func evalIn(x *plan.In, ch *vector.Chunk) (*vector.Vector, error) {
+	op, err := Evaluate(x.Operand, ch)
+	if err != nil {
+		return nil, err
+	}
+	list := make([]*vector.Vector, len(x.List))
+	for i, le := range x.List {
+		v, err := Evaluate(le, ch)
+		if err != nil {
+			return nil, err
+		}
+		list[i] = v
+	}
+	n := op.Len()
+	out := make([]bool, n)
+	res := vector.FromBools(out)
+	for i := 0; i < n; i++ {
+		if op.IsNull(i) {
+			res.SetNull(i)
+			continue
+		}
+		v := op.Get(i)
+		match := false
+		anyNull := false
+		for _, lv := range list {
+			if lv.IsNull(i) {
+				anyNull = true
+				continue
+			}
+			if v.Equal(lv.Get(i)) {
+				match = true
+				break
+			}
+		}
+		switch {
+		case match:
+			out[i] = !x.Negate
+		case anyNull:
+			res.SetNull(i) // unknown membership
+		default:
+			out[i] = x.Negate
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,277 @@
+package exec
+
+import (
+	"fmt"
+
+	"vexdb/internal/plan"
+	"vexdb/internal/sql"
+	"vexdb/internal/vector"
+)
+
+// hashJoinOp implements inner and left outer equi-joins: the right
+// input is materialized into a hash table keyed on the right key
+// expressions; left chunks probe it. With no key pairs it degrades to
+// a cross product (single-bucket join). Residual ON conjuncts are
+// applied to joined rows.
+type hashJoinOp struct {
+	spec  *plan.HashJoin
+	left  Operator
+	right Operator
+
+	build    *vector.Chunk // materialized right input
+	buildIdx map[string][]int
+	// buildIdx64 is the fast path for a single integer equi-key.
+	buildIdx64 map[int64][]int32
+	done       bool
+}
+
+func (j *hashJoinOp) Open(ctx *Context) error {
+	j.done = false
+	if err := j.right.Open(ctx); err != nil {
+		return err
+	}
+	build, err := drain(j.right)
+	if err != nil {
+		return err
+	}
+	j.build = build
+	j.buildIdx = nil
+	j.buildIdx64 = nil
+	if build.NumCols() == 0 || build.NumRows() == 0 {
+		j.buildIdx = map[string][]int{}
+		return j.left.Open(ctx)
+	}
+	keyVecs := make([]*vector.Vector, len(j.spec.RightKeys))
+	for i, k := range j.spec.RightKeys {
+		v, err := Evaluate(k, build)
+		if err != nil {
+			return err
+		}
+		keyVecs[i] = v
+	}
+	leftIntKey := len(j.spec.LeftKeys) == 1 &&
+		(j.spec.LeftKeys[0].Type() == vector.Int64 || j.spec.LeftKeys[0].Type() == vector.Int32)
+	if len(keyVecs) == 1 && isIntKey(keyVecs[0]) && leftIntKey {
+		j.buildIdx64 = make(map[int64][]int32, build.NumRows())
+		kv := keyVecs[0]
+		for r := 0; r < build.NumRows(); r++ {
+			if kv.IsNull(r) {
+				continue // NULL keys never match
+			}
+			k := intKeyAt(kv, r)
+			j.buildIdx64[k] = append(j.buildIdx64[k], int32(r))
+		}
+		return j.left.Open(ctx)
+	}
+	j.buildIdx = make(map[string][]int, build.NumRows())
+	var key []byte
+	for r := 0; r < build.NumRows(); r++ {
+		key = key[:0]
+		null := false
+		for _, kv := range keyVecs {
+			if kv.IsNull(r) {
+				null = true
+				break
+			}
+			key = appendRowKey(key, kv, r)
+		}
+		if null {
+			continue // NULL keys never match
+		}
+		j.buildIdx[string(key)] = append(j.buildIdx[string(key)], r)
+	}
+	return j.left.Open(ctx)
+}
+
+func isIntKey(v *vector.Vector) bool {
+	return v.Type() == vector.Int64 || v.Type() == vector.Int32
+}
+
+func intKeyAt(v *vector.Vector, r int) int64 {
+	if v.Type() == vector.Int64 {
+		return v.Int64s()[r]
+	}
+	return int64(v.Int32s()[r])
+}
+
+func (j *hashJoinOp) Next() (*vector.Chunk, error) {
+	if j.done {
+		return nil, nil
+	}
+	for {
+		ch, err := j.left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if ch == nil {
+			j.done = true
+			return nil, nil
+		}
+		out, err := j.probe(ch)
+		if err != nil {
+			return nil, err
+		}
+		if out != nil && out.NumRows() > 0 {
+			return out, nil
+		}
+	}
+}
+
+func (j *hashJoinOp) probe(ch *vector.Chunk) (*vector.Chunk, error) {
+	n := ch.NumRows()
+	keyVecs := make([]*vector.Vector, len(j.spec.LeftKeys))
+	for i, k := range j.spec.LeftKeys {
+		v, err := Evaluate(k, ch)
+		if err != nil {
+			return nil, err
+		}
+		keyVecs[i] = v
+	}
+	var leftSel, rightSel []int
+	var unmatched []int
+	var key []byte
+	noKeys := len(j.spec.LeftKeys) == 0
+	var allRight []int
+	if noKeys {
+		allRight = make([]int, j.build.NumRows())
+		for i := range allRight {
+			allRight[i] = i
+		}
+	}
+	for r := 0; r < n; r++ {
+		matched := false
+		switch {
+		case noKeys:
+			for _, m := range allRight {
+				leftSel = append(leftSel, r)
+				rightSel = append(rightSel, m)
+			}
+			matched = len(allRight) > 0
+		case j.buildIdx64 != nil:
+			kv := keyVecs[0]
+			if !kv.IsNull(r) {
+				for _, m := range j.buildIdx64[intKeyAt(kv, r)] {
+					leftSel = append(leftSel, r)
+					rightSel = append(rightSel, int(m))
+					matched = true
+				}
+			}
+		default:
+			key = key[:0]
+			null := false
+			for _, kv := range keyVecs {
+				if kv.IsNull(r) {
+					null = true
+					break
+				}
+				key = appendRowKey(key, kv, r)
+			}
+			if !null {
+				for _, m := range j.buildIdx[string(key)] {
+					leftSel = append(leftSel, r)
+					rightSel = append(rightSel, m)
+					matched = true
+				}
+			}
+		}
+		if !matched && j.spec.Kind == sql.LeftJoin {
+			unmatched = append(unmatched, r)
+		}
+	}
+
+	leftCols := ch.Gather(leftSel).Cols()
+	rightCols := j.gatherBuild(rightSel)
+	joined := vector.NewChunk(append(leftCols, rightCols...)...)
+
+	if j.spec.Extra != nil && joined.NumRows() > 0 {
+		pred, err := Evaluate(j.spec.Extra, joined)
+		if err != nil {
+			return nil, err
+		}
+		if pred.Type() != vector.Bool {
+			return nil, fmt.Errorf("exec: join condition must be boolean, got %s", pred.Type())
+		}
+		sel := make([]int, 0, joined.NumRows())
+		keep := make(map[int]bool) // left rows that survived the residual
+		for i := 0; i < joined.NumRows(); i++ {
+			if !pred.IsNull(i) && pred.Bools()[i] {
+				sel = append(sel, i)
+				keep[leftSel[i]] = true
+			}
+		}
+		if j.spec.Kind == sql.LeftJoin {
+			// Left rows whose every match failed the residual are
+			// emitted null-padded.
+			seen := make(map[int]bool)
+			for _, l := range leftSel {
+				if !seen[l] && !keep[l] {
+					unmatched = append(unmatched, l)
+				}
+				seen[l] = true
+			}
+		}
+		joined = joined.Gather(sel)
+	}
+
+	if j.spec.Kind == sql.LeftJoin && len(unmatched) > 0 {
+		padded := j.padUnmatched(ch, unmatched)
+		joined = concatChunks(joined, padded)
+	}
+	return joined, nil
+}
+
+// gatherBuild gathers build-side rows; with an empty build relation it
+// synthesizes empty columns of the right schema's types.
+func (j *hashJoinOp) gatherBuild(sel []int) []*vector.Vector {
+	if j.build.NumCols() > 0 {
+		return j.build.Gather(sel).Cols()
+	}
+	rightSchema := j.spec.Right.Schema()
+	cols := make([]*vector.Vector, len(rightSchema))
+	for i, c := range rightSchema {
+		cols[i] = vector.New(c.Type, 0)
+	}
+	return cols
+}
+
+// padUnmatched builds output rows for unmatched left rows with NULL
+// right columns.
+func (j *hashJoinOp) padUnmatched(ch *vector.Chunk, rows []int) *vector.Chunk {
+	leftCols := ch.Gather(rows).Cols()
+	rightSchema := j.spec.Right.Schema()
+	rightCols := make([]*vector.Vector, len(rightSchema))
+	for i, c := range rightSchema {
+		v := vector.New(c.Type, len(rows))
+		for range rows {
+			v.AppendValue(vector.Null())
+		}
+		rightCols[i] = v
+	}
+	return vector.NewChunk(append(leftCols, rightCols...)...)
+}
+
+func concatChunks(a, b *vector.Chunk) *vector.Chunk {
+	if a.NumCols() == 0 || a.NumRows() == 0 {
+		return b
+	}
+	if b.NumRows() == 0 {
+		return a
+	}
+	cols := make([]*vector.Vector, a.NumCols())
+	for i := range cols {
+		v := vector.New(a.Col(i).Type(), a.NumRows()+b.NumRows())
+		v.AppendVector(a.Col(i))
+		v.AppendVector(b.Col(i))
+		cols[i] = v
+	}
+	return vector.NewChunk(cols...)
+}
+
+func (j *hashJoinOp) Close() error {
+	lerr := j.left.Close()
+	rerr := j.right.Close()
+	if lerr != nil {
+		return lerr
+	}
+	return rerr
+}

@@ -1,0 +1,53 @@
+package exec
+
+import (
+	"encoding/binary"
+	"math"
+
+	"vexdb/internal/core"
+	"vexdb/internal/plan"
+	"vexdb/internal/vector"
+)
+
+// appendRowKey appends a type-tagged binary encoding of row i of v to
+// key. The encoding is injective per type so it can serve as a hash
+// map key for grouping, distinct and join probing.
+func appendRowKey(key []byte, v *vector.Vector, i int) []byte {
+	if v.IsNull(i) {
+		return append(key, 0xFF)
+	}
+	switch v.Type() {
+	case vector.Bool:
+		if v.Bools()[i] {
+			return append(key, 1, 1)
+		}
+		return append(key, 1, 0)
+	case vector.Int32:
+		key = append(key, 2)
+		return binary.LittleEndian.AppendUint32(key, uint32(v.Int32s()[i]))
+	case vector.Int64:
+		key = append(key, 3)
+		return binary.LittleEndian.AppendUint64(key, uint64(v.Int64s()[i]))
+	case vector.Float64:
+		key = append(key, 4)
+		return binary.LittleEndian.AppendUint64(key, math.Float64bits(v.Float64s()[i]))
+	case vector.String:
+		s := v.Strings()[i]
+		key = append(key, 5)
+		key = binary.LittleEndian.AppendUint32(key, uint32(len(s)))
+		return append(key, s...)
+	case vector.Blob:
+		b := v.Blobs()[i]
+		key = append(key, 6)
+		key = binary.LittleEndian.AppendUint32(key, uint32(len(b)))
+		return append(key, b...)
+	}
+	return append(key, 0xFE)
+}
+
+// EvalPartitionedCall evaluates a bound UDF call over already
+// evaluated argument vectors, partitioned across workers when the
+// function allows it.
+func EvalPartitionedCall(call *plan.Call, args []*vector.Vector, workers int) (*vector.Vector, error) {
+	return core.EvalPartitioned(call.Fn, args, workers)
+}

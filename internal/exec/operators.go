@@ -1,0 +1,637 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"vexdb/internal/catalog"
+	"vexdb/internal/plan"
+	"vexdb/internal/vector"
+)
+
+// Operator is a pull-based vectorized execution operator. Next returns
+// nil when the input is exhausted.
+type Operator interface {
+	Open(ctx *Context) error
+	Next() (*vector.Chunk, error)
+	Close() error
+}
+
+// Context carries per-query execution settings.
+type Context struct {
+	// Parallelism bounds the goroutines used by parallel operators and
+	// partitioned UDF evaluation. Zero means runtime.NumCPU().
+	Parallelism int
+}
+
+// Workers returns the effective parallelism.
+func (c *Context) Workers() int {
+	if c == nil || c.Parallelism <= 0 {
+		return runtime.NumCPU()
+	}
+	return c.Parallelism
+}
+
+// Build converts a bound plan into an operator tree.
+func Build(node plan.Node) (Operator, error) {
+	switch n := node.(type) {
+	case *plan.Scan:
+		return &scanOp{table: n.Table, projection: n.Projection}, nil
+	case *plan.Material:
+		return &materialOp{data: n.Data}, nil
+	case *plan.TableFuncScan:
+		return newTableFuncOp(n)
+	case *plan.Filter:
+		child, err := Build(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &filterOp{pred: n.Pred, child: child}, nil
+	case *plan.Project:
+		child, err := Build(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		if projectHasUDF(n.Exprs) {
+			// UDF calls in the select list receive whole columns, as
+			// MonetDB/Python vectorized UDFs do: materialize the child
+			// and evaluate once over the full input.
+			return &udfProjectOp{exprs: n.Exprs, child: child}, nil
+		}
+		return &projectOp{exprs: n.Exprs, child: child}, nil
+	case *plan.HashJoin:
+		left, err := Build(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Build(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &hashJoinOp{spec: n, left: left, right: right}, nil
+	case *plan.Aggregate:
+		child, err := Build(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &hashAggOp{spec: n, child: child}, nil
+	case *plan.Sort:
+		child, err := Build(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &sortOp{keys: n.Keys, child: child}, nil
+	case *plan.Limit:
+		child, err := Build(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &limitOp{count: n.Count, offset: n.Offset, child: child}, nil
+	case *plan.Distinct:
+		child, err := Build(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &distinctOp{child: child}, nil
+	case *plan.Union:
+		left, err := Build(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Build(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		var op Operator = &unionOp{left: left, right: right, types: n.Schema().Types()}
+		if !n.All {
+			op = &distinctOp{child: op}
+		}
+		return op, nil
+	}
+	return nil, fmt.Errorf("exec: unsupported plan node %T", node)
+}
+
+// Run executes a plan to completion, returning the materialized result
+// table with the plan's column names.
+func Run(node plan.Node, ctx *Context) (*vector.Table, error) {
+	op, err := Build(node)
+	if err != nil {
+		return nil, err
+	}
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	schema := node.Schema()
+	cols := make([]*vector.Vector, len(schema))
+	for i, c := range schema {
+		cols[i] = vector.New(c.Type, 0)
+	}
+	out, err := vector.NewTable(schema.Names(), cols)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		ch, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if ch == nil {
+			return out, nil
+		}
+		if err := appendChunkCasting(out, ch, schema); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// appendChunkCasting appends ch to out, casting columns whose runtime
+// type differs from the declared schema (e.g. untyped NULL columns).
+func appendChunkCasting(out *vector.Table, ch *vector.Chunk, schema catalog.Schema) error {
+	cols := make([]*vector.Vector, ch.NumCols())
+	for i := 0; i < ch.NumCols(); i++ {
+		c := ch.Col(i)
+		if c.Type() != schema[i].Type {
+			cc, err := c.Cast(schema[i].Type)
+			if err != nil {
+				return fmt.Errorf("exec: result column %q: %w", schema[i].Name, err)
+			}
+			c = cc
+		}
+		cols[i] = c
+	}
+	return out.AppendChunk(vector.NewChunk(cols...))
+}
+
+// ----------------------------------------------------------------- scan
+
+type scanOp struct {
+	table      *catalog.Table
+	projection []int
+	seg        int
+}
+
+func (s *scanOp) Open(*Context) error { s.seg = 0; return nil }
+
+func (s *scanOp) Next() (*vector.Chunk, error) {
+	if s.seg >= s.table.Data.NumSegments() {
+		return nil, nil
+	}
+	ch := s.table.Data.Segment(s.seg, s.projection)
+	s.seg++
+	return ch, nil
+}
+
+func (s *scanOp) Close() error { return nil }
+
+// ----------------------------------------------------------------- material
+
+type materialOp struct {
+	data *vector.Table
+	pos  int
+}
+
+func (m *materialOp) Open(*Context) error { m.pos = 0; return nil }
+
+func (m *materialOp) Next() (*vector.Chunk, error) {
+	n := m.data.NumRows()
+	if m.pos >= n {
+		return nil, nil
+	}
+	end := m.pos + vector.DefaultChunkSize
+	if end > n {
+		end = n
+	}
+	ch := m.data.Chunk().Slice(m.pos, end)
+	m.pos = end
+	return ch, nil
+}
+
+func (m *materialOp) Close() error { return nil }
+
+// ----------------------------------------------------------------- filter
+
+type filterOp struct {
+	pred  plan.Expr
+	child Operator
+}
+
+func (f *filterOp) Open(ctx *Context) error { return f.child.Open(ctx) }
+
+func (f *filterOp) Next() (*vector.Chunk, error) {
+	for {
+		ch, err := f.child.Next()
+		if err != nil || ch == nil {
+			return ch, err
+		}
+		pred, err := Evaluate(f.pred, ch)
+		if err != nil {
+			return nil, err
+		}
+		if pred.Type() != vector.Bool {
+			return nil, fmt.Errorf("exec: WHERE predicate must be boolean, got %s", pred.Type())
+		}
+		sel := make([]int, 0, ch.NumRows())
+		bools := pred.Bools()
+		for i := 0; i < ch.NumRows(); i++ {
+			if !pred.IsNull(i) && bools[i] {
+				sel = append(sel, i)
+			}
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		if len(sel) == ch.NumRows() {
+			return ch, nil
+		}
+		return ch.Gather(sel), nil
+	}
+}
+
+func (f *filterOp) Close() error { return f.child.Close() }
+
+// ----------------------------------------------------------------- project
+
+type projectOp struct {
+	exprs []plan.Expr
+	child Operator
+}
+
+func (p *projectOp) Open(ctx *Context) error { return p.child.Open(ctx) }
+
+func (p *projectOp) Next() (*vector.Chunk, error) {
+	ch, err := p.child.Next()
+	if err != nil || ch == nil {
+		return nil, err
+	}
+	cols := make([]*vector.Vector, len(p.exprs))
+	for i, e := range p.exprs {
+		v, err := Evaluate(e, ch)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = v
+	}
+	return vector.NewChunk(cols...), nil
+}
+
+func (p *projectOp) Close() error { return p.child.Close() }
+
+func projectHasUDF(exprs []plan.Expr) bool {
+	var has func(e plan.Expr) bool
+	has = func(e plan.Expr) bool {
+		switch x := e.(type) {
+		case *plan.Call:
+			return true
+		case *plan.BinOp:
+			return has(x.Left) || has(x.Right)
+		case *plan.Neg:
+			return has(x.Operand)
+		case *plan.Not:
+			return has(x.Operand)
+		case *plan.IsNull:
+			return has(x.Operand)
+		case *plan.Cast:
+			return has(x.Operand)
+		case *plan.Case:
+			for _, w := range x.Whens {
+				if has(w.Cond) || has(w.Then) {
+					return true
+				}
+			}
+			return x.Else != nil && has(x.Else)
+		case *plan.In:
+			if has(x.Operand) {
+				return true
+			}
+			for _, l := range x.List {
+				if has(l) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, e := range exprs {
+		if has(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// drain materializes an operator's full output as one chunk.
+func drain(op Operator) (*vector.Chunk, error) {
+	var acc []*vector.Vector
+	for {
+		ch, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if ch == nil {
+			break
+		}
+		if acc == nil {
+			acc = make([]*vector.Vector, ch.NumCols())
+			for i := range acc {
+				acc[i] = vector.New(ch.Col(i).Type(), ch.NumRows())
+			}
+		}
+		for i := range acc {
+			acc[i].AppendVector(ch.Col(i))
+		}
+	}
+	if acc == nil {
+		return vector.NewChunk(), nil
+	}
+	return vector.NewChunk(acc...), nil
+}
+
+// udfProjectOp materializes its child and evaluates the projection
+// once over the whole input, so vectorized UDFs see entire columns.
+// Parallel UDF calls at the top level of an expression are partitioned
+// across the context's worker count.
+type udfProjectOp struct {
+	exprs []plan.Expr
+	child Operator
+	ctx   *Context
+	done  bool
+}
+
+func (p *udfProjectOp) Open(ctx *Context) error {
+	p.ctx = ctx
+	p.done = false
+	return p.child.Open(ctx)
+}
+
+func (p *udfProjectOp) Next() (*vector.Chunk, error) {
+	if p.done {
+		return nil, nil
+	}
+	p.done = true
+	in, err := drain(p.child)
+	if err != nil {
+		return nil, err
+	}
+	if in.NumCols() == 0 || in.NumRows() == 0 {
+		return nil, nil
+	}
+	cols := make([]*vector.Vector, len(p.exprs))
+	for i, e := range p.exprs {
+		v, err := p.evalFull(e, in)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = v
+	}
+	return vector.NewChunk(cols...), nil
+}
+
+// evalFull evaluates an expression over the whole input, partitioning
+// top-level Parallel UDF calls across workers.
+func (p *udfProjectOp) evalFull(e plan.Expr, in *vector.Chunk) (*vector.Vector, error) {
+	if call, ok := e.(*plan.Call); ok && call.Fn.Parallel {
+		args := make([]*vector.Vector, len(call.Args))
+		for i, a := range call.Args {
+			v, err := p.evalFull(a, in)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		return EvalPartitionedCall(call, args, p.ctx.Workers())
+	}
+	return Evaluate(e, in)
+}
+
+func (p *udfProjectOp) Close() error { return p.child.Close() }
+
+// ----------------------------------------------------------------- limit
+
+type limitOp struct {
+	count   int64
+	offset  int64
+	child   Operator
+	skipped int64
+	emitted int64
+}
+
+func (l *limitOp) Open(ctx *Context) error {
+	l.skipped, l.emitted = 0, 0
+	return l.child.Open(ctx)
+}
+
+func (l *limitOp) Next() (*vector.Chunk, error) {
+	for {
+		if l.count >= 0 && l.emitted >= l.count {
+			return nil, nil
+		}
+		ch, err := l.child.Next()
+		if err != nil || ch == nil {
+			return ch, err
+		}
+		n := int64(ch.NumRows())
+		if l.skipped < l.offset {
+			if l.skipped+n <= l.offset {
+				l.skipped += n
+				continue
+			}
+			ch = ch.Slice(int(l.offset-l.skipped), int(n))
+			l.skipped = l.offset
+			n = int64(ch.NumRows())
+		}
+		if l.count >= 0 && l.emitted+n > l.count {
+			ch = ch.Slice(0, int(l.count-l.emitted))
+			n = int64(ch.NumRows())
+		}
+		l.emitted += n
+		return ch, nil
+	}
+}
+
+func (l *limitOp) Close() error { return l.child.Close() }
+
+// ----------------------------------------------------------------- sort
+
+type sortOp struct {
+	keys  []plan.SortKey
+	child Operator
+	out   *vector.Chunk
+	done  bool
+}
+
+func (s *sortOp) Open(ctx *Context) error {
+	s.out, s.done = nil, false
+	return s.child.Open(ctx)
+}
+
+func (s *sortOp) Next() (*vector.Chunk, error) {
+	if s.done {
+		return nil, nil
+	}
+	s.done = true
+	in, err := drain(s.child)
+	if err != nil {
+		return nil, err
+	}
+	if in.NumCols() == 0 || in.NumRows() == 0 {
+		return nil, nil
+	}
+	keyVecs := make([]*vector.Vector, len(s.keys))
+	for i, k := range s.keys {
+		v, err := Evaluate(k.Expr, in)
+		if err != nil {
+			return nil, err
+		}
+		keyVecs[i] = v
+	}
+	n := in.NumRows()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(idx, func(a, b int) bool {
+		ra, rb := idx[a], idx[b]
+		for ki, k := range s.keys {
+			kv := keyVecs[ki]
+			an, bn := kv.IsNull(ra), kv.IsNull(rb)
+			if an || bn {
+				if an == bn {
+					continue
+				}
+				// NULLs sort last ascending, first descending.
+				less := bn
+				if k.Desc {
+					less = an
+				}
+				return less
+			}
+			c, err := kv.Get(ra).Compare(kv.Get(rb))
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	return in.Gather(idx), nil
+}
+
+func (s *sortOp) Close() error { return s.child.Close() }
+
+// ----------------------------------------------------------------- distinct
+
+type distinctOp struct {
+	child Operator
+	seen  map[string]struct{}
+}
+
+func (d *distinctOp) Open(ctx *Context) error {
+	d.seen = make(map[string]struct{})
+	return d.child.Open(ctx)
+}
+
+func (d *distinctOp) Next() (*vector.Chunk, error) {
+	for {
+		ch, err := d.child.Next()
+		if err != nil || ch == nil {
+			return ch, err
+		}
+		sel := make([]int, 0, ch.NumRows())
+		var key []byte
+		for i := 0; i < ch.NumRows(); i++ {
+			key = key[:0]
+			for c := 0; c < ch.NumCols(); c++ {
+				key = appendRowKey(key, ch.Col(c), i)
+			}
+			k := string(key)
+			if _, ok := d.seen[k]; ok {
+				continue
+			}
+			d.seen[k] = struct{}{}
+			sel = append(sel, i)
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		if len(sel) == ch.NumRows() {
+			return ch, nil
+		}
+		return ch.Gather(sel), nil
+	}
+}
+
+func (d *distinctOp) Close() error { return d.child.Close() }
+
+// ----------------------------------------------------------------- union
+
+type unionOp struct {
+	left, right Operator
+	types       []vector.Type
+	onRight     bool
+}
+
+func (u *unionOp) Open(ctx *Context) error {
+	u.onRight = false
+	if err := u.left.Open(ctx); err != nil {
+		return err
+	}
+	return u.right.Open(ctx)
+}
+
+func (u *unionOp) Next() (*vector.Chunk, error) {
+	for {
+		var src Operator
+		if !u.onRight {
+			src = u.left
+		} else {
+			src = u.right
+		}
+		ch, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if ch == nil {
+			if u.onRight {
+				return nil, nil
+			}
+			u.onRight = true
+			continue
+		}
+		// Cast columns to the union's declared (left) types.
+		cols := make([]*vector.Vector, ch.NumCols())
+		for i := 0; i < ch.NumCols(); i++ {
+			c := ch.Col(i)
+			if c.Type() != u.types[i] {
+				cc, err := c.Cast(u.types[i])
+				if err != nil {
+					return nil, fmt.Errorf("exec: UNION column %d: %w", i+1, err)
+				}
+				c = cc
+			}
+			cols[i] = c
+		}
+		return vector.NewChunk(cols...), nil
+	}
+}
+
+func (u *unionOp) Close() error {
+	lerr := u.left.Close()
+	rerr := u.right.Close()
+	if lerr != nil {
+		return lerr
+	}
+	return rerr
+}

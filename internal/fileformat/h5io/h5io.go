@@ -1,0 +1,240 @@
+// Package h5io implements the HDF5/PyTables baseline of Figure 1: a
+// single binary container file holding many named, typed datasets
+// behind a directory, read with one seek plus one bulk read per
+// dataset. It substitutes for HDF5 with the same access pattern
+// (single file, dataset directory, typed binary payloads) without the
+// external C library.
+package h5io
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"vexdb/internal/frame"
+)
+
+// Container format (little-endian):
+//
+//	magic    [6]byte "GOH5F1"
+//	ndatasets uint32
+//	directory entries: nameLen uint16, name, dtype uint8,
+//	                   offset uint64 (from file start), count uint64
+//	payloads (8 bytes per value)
+var magic = []byte("GOH5F1")
+
+const (
+	dtypeInt64 uint8 = iota + 1
+	dtypeFloat64
+)
+
+// WriteFile writes all dataframe columns as datasets of one container.
+func WriteFile(path string, df *frame.DataFrame) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, df); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+func write(f *os.File, df *frame.DataFrame) error {
+	// Directory size is computable up front, so payload offsets are
+	// known before writing.
+	headerSize := len(magic) + 4
+	for i := range df.Cols {
+		headerSize += 2 + len(df.Cols[i].Name) + 1 + 8 + 8
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if _, err := bw.Write(magic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(df.Cols))); err != nil {
+		return err
+	}
+	offset := uint64(headerSize)
+	for i := range df.Cols {
+		c := &df.Cols[i]
+		var dtype uint8
+		switch c.Kind {
+		case frame.Int:
+			dtype = dtypeInt64
+		case frame.Float:
+			dtype = dtypeFloat64
+		default:
+			return fmt.Errorf("h5io: column %q: string columns unsupported", c.Name)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(c.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(c.Name); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(dtype); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, offset); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint64(c.Len())); err != nil {
+			return err
+		}
+		offset += uint64(c.Len()) * 8
+	}
+	var buf [8]byte
+	for i := range df.Cols {
+		c := &df.Cols[i]
+		switch c.Kind {
+		case frame.Int:
+			for _, v := range c.Ints {
+				binary.LittleEndian.PutUint64(buf[:], uint64(v))
+				if _, err := bw.Write(buf[:]); err != nil {
+					return err
+				}
+			}
+		case frame.Float:
+			for _, v := range c.Floats {
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+				if _, err := bw.Write(buf[:]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// dirEntry is one dataset directory record.
+type dirEntry struct {
+	name   string
+	dtype  uint8
+	offset uint64
+	count  uint64
+}
+
+func readDirectory(f *os.File) ([]dirEntry, error) {
+	br := bufio.NewReader(f)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("h5io: read magic: %w", err)
+	}
+	if string(got) != string(magic) {
+		return nil, fmt.Errorf("h5io: bad magic %q", got)
+	}
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	entries := make([]dirEntry, n)
+	for i := range entries {
+		var nameLen uint16
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, err
+		}
+		nb := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nb); err != nil {
+			return nil, err
+		}
+		entries[i].name = string(nb)
+		dt, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		entries[i].dtype = dt
+		if err := binary.Read(br, binary.LittleEndian, &entries[i].offset); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &entries[i].count); err != nil {
+			return nil, err
+		}
+	}
+	return entries, nil
+}
+
+// ReadFile loads every dataset of the container into a dataframe.
+func ReadFile(path string) (*frame.DataFrame, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	entries, err := readDirectory(f)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]frame.Column, len(entries))
+	for i, e := range entries {
+		col, err := readDataset(f, e)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = col
+	}
+	return frame.New(cols...)
+}
+
+// ReadDataset loads a single named dataset (seek + bulk read).
+func ReadDataset(path, name string) (frame.Column, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return frame.Column{}, err
+	}
+	defer f.Close()
+	entries, err := readDirectory(f)
+	if err != nil {
+		return frame.Column{}, err
+	}
+	for _, e := range entries {
+		if e.name == name {
+			return readDataset(f, e)
+		}
+	}
+	return frame.Column{}, fmt.Errorf("h5io: dataset %q not found in %s", name, path)
+}
+
+// Datasets lists the dataset names in a container.
+func Datasets(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	entries, err := readDirectory(f)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.name
+	}
+	return out, nil
+}
+
+func readDataset(f *os.File, e dirEntry) (frame.Column, error) {
+	payload := make([]byte, e.count*8)
+	if _, err := f.ReadAt(payload, int64(e.offset)); err != nil {
+		return frame.Column{}, fmt.Errorf("h5io: dataset %q: %w", e.name, err)
+	}
+	switch e.dtype {
+	case dtypeInt64:
+		vals := make([]int64, e.count)
+		for i := range vals {
+			vals[i] = int64(binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+		return frame.IntCol(e.name, vals), nil
+	case dtypeFloat64:
+		vals := make([]float64, e.count)
+		for i := range vals {
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+		return frame.FloatCol(e.name, vals), nil
+	}
+	return frame.Column{}, fmt.Errorf("h5io: dataset %q: unknown dtype %d", e.name, e.dtype)
+}

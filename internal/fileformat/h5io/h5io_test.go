@@ -1,0 +1,67 @@
+package h5io
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vexdb/internal/frame"
+)
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.h5")
+	df, err := frame.New(
+		frame.IntCol("id", []int64{1, 2, 3}),
+		frame.FloatCol("v", []float64{0.5, -1, 2}),
+		frame.IntCol("flag", []int64{0, 1, 0}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, df); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 3 || got.Col("v").Floats[2] != 2 || got.Col("flag").Ints[1] != 1 {
+		t.Fatalf("contents: %+v", got)
+	}
+}
+
+func TestSingleDatasetAndList(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.h5")
+	df, _ := frame.New(
+		frame.IntCol("a", []int64{7}),
+		frame.FloatCol("b", []float64{8}),
+	)
+	if err := WriteFile(path, df); err != nil {
+		t.Fatal(err)
+	}
+	names, err := Datasets(path)
+	if err != nil || len(names) != 2 || names[1] != "b" {
+		t.Fatalf("datasets = %v, %v", names, err)
+	}
+	col, err := ReadDataset(path, "b")
+	if err != nil || col.Floats[0] != 8 {
+		t.Fatalf("dataset b: %+v %v", col, err)
+	}
+	if _, err := ReadDataset(path, "zzz"); err == nil {
+		t.Fatal("missing dataset should fail")
+	}
+}
+
+func TestStringRejectedAndBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.h5")
+	df, _ := frame.New(frame.StrCol("s", []string{"x"}))
+	if err := WriteFile(path, df); err == nil {
+		t.Fatal("string dataset should be rejected")
+	}
+	if err := os.WriteFile(path, []byte("NOTAH5FILE"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("bad magic should fail")
+	}
+}

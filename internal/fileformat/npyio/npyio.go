@@ -1,0 +1,167 @@
+// Package npyio implements the NumPy-binary-files baseline of
+// Figure 1: each column is one little-endian binary file on disk plus
+// a small manifest, mirroring how the paper stores each of the 96
+// voter columns as a separate .npy file. Loading is a header check
+// plus one bulk read per column — the fastest external format, but
+// with the data-management burden of one file per column that the
+// paper calls out.
+package npyio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vexdb/internal/frame"
+)
+
+// Column file format: magic "GONPY1", dtype uint8, count uint64, raw
+// little-endian payload. The manifest "<name>.manifest" lists
+// "column,dtype" lines.
+var magic = []byte("GONPY1")
+
+// dtype tags.
+const (
+	dtypeInt64 uint8 = iota + 1
+	dtypeFloat64
+)
+
+// WriteDir writes each dataframe column as <dir>/<dataset>.<col>.npy
+// plus a manifest. String columns are rejected: the binary baseline
+// carries only numeric data (as in the paper's voter features).
+func WriteDir(dir, dataset string, df *frame.DataFrame) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var manifest strings.Builder
+	for i := range df.Cols {
+		c := &df.Cols[i]
+		var dtype uint8
+		switch c.Kind {
+		case frame.Int:
+			dtype = dtypeInt64
+		case frame.Float:
+			dtype = dtypeFloat64
+		default:
+			return fmt.Errorf("npyio: column %q: string columns unsupported", c.Name)
+		}
+		path := columnPath(dir, dataset, c.Name)
+		if err := writeColumn(path, dtype, c); err != nil {
+			return fmt.Errorf("npyio: column %q: %w", c.Name, err)
+		}
+		fmt.Fprintf(&manifest, "%s,%d\n", c.Name, dtype)
+	}
+	return os.WriteFile(manifestPath(dir, dataset), []byte(manifest.String()), 0o644)
+}
+
+func columnPath(dir, dataset, col string) string {
+	return filepath.Join(dir, dataset+"."+col+".npy")
+}
+
+func manifestPath(dir, dataset string) string {
+	return filepath.Join(dir, dataset+".manifest")
+}
+
+func writeColumn(path string, dtype uint8, c *frame.Column) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if _, err := bw.Write(magic); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.WriteByte(dtype); err != nil {
+		f.Close()
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(c.Len())); err != nil {
+		f.Close()
+		return err
+	}
+	var buf [8]byte
+	switch dtype {
+	case dtypeInt64:
+		for _, v := range c.Ints {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			if _, err := bw.Write(buf[:]); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	case dtypeFloat64:
+		for _, v := range c.Floats {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			if _, err := bw.Write(buf[:]); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadDir loads every column listed in the dataset's manifest.
+func ReadDir(dir, dataset string) (*frame.DataFrame, error) {
+	mf, err := os.ReadFile(manifestPath(dir, dataset))
+	if err != nil {
+		return nil, fmt.Errorf("npyio: read manifest: %w", err)
+	}
+	var cols []frame.Column
+	for _, line := range strings.Split(strings.TrimSpace(string(mf)), "\n") {
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, ",", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("npyio: bad manifest line %q", line)
+		}
+		name := parts[0]
+		col, err := readColumn(columnPath(dir, dataset, name), name)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+	}
+	return frame.New(cols...)
+}
+
+func readColumn(path, name string) (frame.Column, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return frame.Column{}, fmt.Errorf("npyio: %w", err)
+	}
+	if len(data) < len(magic)+1+8 || string(data[:len(magic)]) != string(magic) {
+		return frame.Column{}, fmt.Errorf("npyio: %s: bad header", path)
+	}
+	dtype := data[len(magic)]
+	count := binary.LittleEndian.Uint64(data[len(magic)+1:])
+	payload := data[len(magic)+9:]
+	if uint64(len(payload)) != count*8 {
+		return frame.Column{}, fmt.Errorf("npyio: %s: %d payload bytes for %d values", path, len(payload), count)
+	}
+	switch dtype {
+	case dtypeInt64:
+		vals := make([]int64, count)
+		for i := range vals {
+			vals[i] = int64(binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+		return frame.IntCol(name, vals), nil
+	case dtypeFloat64:
+		vals := make([]float64, count)
+		for i := range vals {
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+		return frame.FloatCol(name, vals), nil
+	}
+	return frame.Column{}, fmt.Errorf("npyio: %s: unknown dtype %d", path, dtype)
+}

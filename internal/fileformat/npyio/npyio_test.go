@@ -1,0 +1,67 @@
+package npyio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vexdb/internal/frame"
+)
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	df, err := frame.New(
+		frame.IntCol("id", []int64{1, 2, 3}),
+		frame.FloatCol("v", []float64{1.5, -2, 0}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDir(dir, "voters", df); err != nil {
+		t.Fatal(err)
+	}
+	// One file per column, plus the manifest.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("files = %d, want 3 (2 columns + manifest)", len(entries))
+	}
+	got, err := ReadDir(dir, "voters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 3 || got.Col("id").Ints[2] != 3 || got.Col("v").Floats[0] != 1.5 {
+		t.Fatalf("contents wrong: %+v", got)
+	}
+}
+
+func TestStringColumnRejected(t *testing.T) {
+	df, _ := frame.New(frame.StrCol("s", []string{"x"}))
+	if err := WriteDir(t.TempDir(), "d", df); err == nil {
+		t.Fatal("string column should be rejected")
+	}
+}
+
+func TestCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	df, _ := frame.New(frame.IntCol("id", []int64{1, 2}))
+	if err := WriteDir(dir, "d", df); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "d.id.npy")
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, data[:len(data)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDir(dir, "d"); err == nil {
+		t.Fatal("truncated column should fail")
+	}
+}
+
+func TestMissingManifest(t *testing.T) {
+	if _, err := ReadDir(t.TempDir(), "nope"); err == nil {
+		t.Fatal("missing manifest should fail")
+	}
+}

@@ -1,0 +1,248 @@
+// Package frame is a small columnar dataframe used by the *external*
+// benchmark pipelines (the pandas analog): once data has been loaded
+// from CSV, binary files or a database socket, the client-side
+// preprocessing — joins and aggregations — happens here, exactly as
+// the paper's non-in-database variants do in pandas.
+package frame
+
+import (
+	"fmt"
+)
+
+// Kind tags a column's payload type.
+type Kind uint8
+
+// Column payload kinds.
+const (
+	Int Kind = iota
+	Float
+	Str
+)
+
+// Column is one named, typed column. Exactly one payload slice is in
+// use according to Kind.
+type Column struct {
+	Name   string
+	Kind   Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+}
+
+// Len returns the column's row count.
+func (c *Column) Len() int {
+	switch c.Kind {
+	case Int:
+		return len(c.Ints)
+	case Float:
+		return len(c.Floats)
+	default:
+		return len(c.Strs)
+	}
+}
+
+func (c *Column) gather(sel []int) Column {
+	out := Column{Name: c.Name, Kind: c.Kind}
+	switch c.Kind {
+	case Int:
+		out.Ints = make([]int64, len(sel))
+		for i, s := range sel {
+			out.Ints[i] = c.Ints[s]
+		}
+	case Float:
+		out.Floats = make([]float64, len(sel))
+		for i, s := range sel {
+			out.Floats[i] = c.Floats[s]
+		}
+	default:
+		out.Strs = make([]string, len(sel))
+		for i, s := range sel {
+			out.Strs[i] = c.Strs[s]
+		}
+	}
+	return out
+}
+
+// IntCol builds an integer column.
+func IntCol(name string, v []int64) Column { return Column{Name: name, Kind: Int, Ints: v} }
+
+// FloatCol builds a float column.
+func FloatCol(name string, v []float64) Column { return Column{Name: name, Kind: Float, Floats: v} }
+
+// StrCol builds a string column.
+func StrCol(name string, v []string) Column { return Column{Name: name, Kind: Str, Strs: v} }
+
+// DataFrame is an ordered set of equal-length columns.
+type DataFrame struct {
+	Cols []Column
+}
+
+// New builds a dataframe, validating equal column lengths.
+func New(cols ...Column) (*DataFrame, error) {
+	if len(cols) > 0 {
+		n := cols[0].Len()
+		for _, c := range cols[1:] {
+			if c.Len() != n {
+				return nil, fmt.Errorf("frame: column %q has %d rows, %q has %d", c.Name, c.Len(), cols[0].Name, n)
+			}
+		}
+	}
+	return &DataFrame{Cols: cols}, nil
+}
+
+// NumRows returns the row count.
+func (df *DataFrame) NumRows() int {
+	if len(df.Cols) == 0 {
+		return 0
+	}
+	return df.Cols[0].Len()
+}
+
+// Col returns the named column or nil.
+func (df *DataFrame) Col(name string) *Column {
+	for i := range df.Cols {
+		if df.Cols[i].Name == name {
+			return &df.Cols[i]
+		}
+	}
+	return nil
+}
+
+// MustCol returns the named column or an error.
+func (df *DataFrame) MustCol(name string) (*Column, error) {
+	c := df.Col(name)
+	if c == nil {
+		return nil, fmt.Errorf("frame: no column %q", name)
+	}
+	return c, nil
+}
+
+// AddColumn appends a column (length must match).
+func (df *DataFrame) AddColumn(c Column) error {
+	if len(df.Cols) > 0 && c.Len() != df.NumRows() {
+		return fmt.Errorf("frame: column %q has %d rows, frame has %d", c.Name, c.Len(), df.NumRows())
+	}
+	df.Cols = append(df.Cols, c)
+	return nil
+}
+
+// Filter returns the rows where keep returns true.
+func (df *DataFrame) Filter(keep func(row int) bool) *DataFrame {
+	var sel []int
+	for i := 0; i < df.NumRows(); i++ {
+		if keep(i) {
+			sel = append(sel, i)
+		}
+	}
+	return df.gather(sel)
+}
+
+func (df *DataFrame) gather(sel []int) *DataFrame {
+	cols := make([]Column, len(df.Cols))
+	for i := range df.Cols {
+		cols[i] = df.Cols[i].gather(sel)
+	}
+	return &DataFrame{Cols: cols}
+}
+
+// InnerJoinInt joins df with right on two int64 key columns (hash join
+// building on right). Output columns: all of df, then all of right
+// except its key column. Right-side columns whose names collide get a
+// "_r" suffix.
+func (df *DataFrame) InnerJoinInt(right *DataFrame, leftKey, rightKey string) (*DataFrame, error) {
+	lk, err := df.MustCol(leftKey)
+	if err != nil {
+		return nil, err
+	}
+	rk, err := right.MustCol(rightKey)
+	if err != nil {
+		return nil, err
+	}
+	if lk.Kind != Int || rk.Kind != Int {
+		return nil, fmt.Errorf("frame: join keys must be integer columns")
+	}
+	idx := make(map[int64][]int, right.NumRows())
+	for i, k := range rk.Ints {
+		idx[k] = append(idx[k], i)
+	}
+	var leftSel, rightSel []int
+	for i, k := range lk.Ints {
+		for _, m := range idx[k] {
+			leftSel = append(leftSel, i)
+			rightSel = append(rightSel, m)
+		}
+	}
+	out := df.gather(leftSel)
+	taken := make(map[string]bool, len(out.Cols))
+	for _, c := range out.Cols {
+		taken[c.Name] = true
+	}
+	for i := range right.Cols {
+		c := &right.Cols[i]
+		if c.Name == rightKey {
+			continue
+		}
+		gc := c.gather(rightSel)
+		if taken[gc.Name] {
+			gc.Name += "_r"
+		}
+		out.Cols = append(out.Cols, gc)
+		taken[gc.Name] = true
+	}
+	return out, nil
+}
+
+// GroupSumInt groups rows by an int64 key column and sums the given
+// float columns, returning a frame with the key plus one sum column
+// per input (named "sum_<col>") and a "count" column. Group order is
+// first appearance.
+func (df *DataFrame) GroupSumInt(key string, sumCols ...string) (*DataFrame, error) {
+	kc, err := df.MustCol(key)
+	if err != nil {
+		return nil, err
+	}
+	if kc.Kind != Int {
+		return nil, fmt.Errorf("frame: group key %q must be an integer column", key)
+	}
+	srcs := make([]*Column, len(sumCols))
+	for i, name := range sumCols {
+		c, err := df.MustCol(name)
+		if err != nil {
+			return nil, err
+		}
+		srcs[i] = c
+	}
+	slot := make(map[int64]int, 1024)
+	var keys []int64
+	sums := make([][]float64, len(sumCols))
+	var counts []int64
+	for r, k := range kc.Ints {
+		s, ok := slot[k]
+		if !ok {
+			s = len(keys)
+			slot[k] = s
+			keys = append(keys, k)
+			counts = append(counts, 0)
+			for i := range sums {
+				sums[i] = append(sums[i], 0)
+			}
+		}
+		counts[s]++
+		for i, c := range srcs {
+			switch c.Kind {
+			case Float:
+				sums[i][s] += c.Floats[r]
+			case Int:
+				sums[i][s] += float64(c.Ints[r])
+			default:
+				return nil, fmt.Errorf("frame: cannot sum string column %q", c.Name)
+			}
+		}
+	}
+	cols := []Column{IntCol(key, keys)}
+	for i, name := range sumCols {
+		cols = append(cols, FloatCol("sum_"+name, sums[i]))
+	}
+	cols = append(cols, IntCol("count", counts))
+	return New(cols...)
+}

@@ -1,0 +1,100 @@
+package frame
+
+import "testing"
+
+func sample(t *testing.T) *DataFrame {
+	t.Helper()
+	df, err := New(
+		IntCol("id", []int64{1, 2, 3, 4}),
+		FloatCol("v", []float64{10, 20, 30, 40}),
+		StrCol("s", []string{"a", "b", "c", "d"}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return df
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(IntCol("a", []int64{1}), IntCol("b", []int64{1, 2})); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+func TestColAccess(t *testing.T) {
+	df := sample(t)
+	if df.NumRows() != 4 {
+		t.Fatal("rows")
+	}
+	if df.Col("v").Floats[1] != 20 || df.Col("zzz") != nil {
+		t.Fatal("col lookup")
+	}
+	if _, err := df.MustCol("zzz"); err == nil {
+		t.Fatal("MustCol missing should fail")
+	}
+}
+
+func TestAddColumnAndFilter(t *testing.T) {
+	df := sample(t)
+	if err := df.AddColumn(IntCol("x", []int64{0, 1, 0, 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := df.AddColumn(IntCol("bad", []int64{1})); err == nil {
+		t.Fatal("short column should fail")
+	}
+	f := df.Filter(func(r int) bool { return df.Col("x").Ints[r] == 1 })
+	if f.NumRows() != 2 || f.Col("id").Ints[0] != 2 || f.Col("s").Strs[1] != "d" {
+		t.Fatalf("filter: %+v", f)
+	}
+}
+
+func TestInnerJoinInt(t *testing.T) {
+	left, _ := New(
+		IntCol("id", []int64{1, 2, 2, 3}),
+		FloatCol("v", []float64{1, 2, 2.5, 3}))
+	right, _ := New(
+		IntCol("key", []int64{2, 3, 9}),
+		FloatCol("w", []float64{20, 30, 90}),
+		FloatCol("v", []float64{200, 300, 900})) // name collision
+	j, err := left.InnerJoinInt(right, "id", "key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// id=2 matches twice, id=3 once; id=1 and key=9 drop out.
+	if j.NumRows() != 3 {
+		t.Fatalf("rows = %d", j.NumRows())
+	}
+	if j.Col("w") == nil || j.Col("v_r") == nil {
+		t.Fatal("joined columns missing / collision suffix missing")
+	}
+	if j.Col("w").Floats[0] != 20 || j.Col("v_r").Floats[2] != 300 {
+		t.Fatalf("join values wrong: %+v", j.Col("w").Floats)
+	}
+	if _, err := left.InnerJoinInt(right, "v", "key"); err == nil {
+		t.Fatal("non-int key should fail")
+	}
+}
+
+func TestGroupSumInt(t *testing.T) {
+	df, _ := New(
+		IntCol("g", []int64{1, 2, 1, 1}),
+		FloatCol("a", []float64{1, 2, 3, 4}),
+		IntCol("b", []int64{10, 20, 30, 40}))
+	g, err := df.GroupSumInt("g", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRows() != 2 {
+		t.Fatalf("groups = %d", g.NumRows())
+	}
+	// First-appearance order: group 1 first.
+	if g.Col("g").Ints[0] != 1 || g.Col("sum_a").Floats[0] != 8 || g.Col("sum_b").Floats[0] != 80 {
+		t.Fatalf("group 1 sums wrong: %+v", g)
+	}
+	if g.Col("count").Ints[0] != 3 || g.Col("count").Ints[1] != 1 {
+		t.Fatal("counts wrong")
+	}
+	if _, err := df.GroupSumInt("a"); err == nil {
+		t.Fatal("float group key should fail")
+	}
+}

@@ -1,0 +1,165 @@
+// Package plan turns parsed SQL into bound logical plans: column
+// references are resolved to positions, types are inferred, equi-join
+// keys are extracted, and aggregates are split from projections. The
+// executor consumes these plans directly.
+package plan
+
+import (
+	"fmt"
+
+	"vexdb/internal/core"
+	"vexdb/internal/sql"
+	"vexdb/internal/vector"
+)
+
+// Expr is a bound, typed scalar expression evaluated over chunks.
+type Expr interface {
+	// Type returns the expression's result type.
+	Type() vector.Type
+}
+
+// ColRef reads column Idx of the input chunk.
+type ColRef struct {
+	Idx  int
+	Typ  vector.Type
+	Name string // for diagnostics and result naming
+}
+
+// Const is a constant value.
+type Const struct {
+	Val vector.Value
+	Typ vector.Type
+}
+
+// BinOp applies a binary operator.
+type BinOp struct {
+	Op    sql.BinaryOp
+	Left  Expr
+	Right Expr
+	Typ   vector.Type
+}
+
+// Not is boolean negation (SQL three-valued).
+type Not struct {
+	Operand Expr
+}
+
+// Neg is arithmetic negation.
+type Neg struct {
+	Operand Expr
+}
+
+// IsNull tests for NULL.
+type IsNull struct {
+	Operand Expr
+	Negate  bool
+}
+
+// Cast converts to a target type.
+type Cast struct {
+	Operand Expr
+	To      vector.Type
+}
+
+// When is one CASE branch.
+type When struct {
+	Cond Expr
+	Then Expr
+}
+
+// Case is a searched CASE expression (simple CASE is desugared during
+// binding).
+type Case struct {
+	Whens []When
+	Else  Expr // nil means NULL
+	Typ   vector.Type
+}
+
+// Call invokes a registered scalar UDF.
+type Call struct {
+	Fn   *core.ScalarFunc
+	Args []Expr
+	Typ  vector.Type
+}
+
+// In tests membership in a literal list.
+type In struct {
+	Operand Expr
+	List    []Expr
+	Negate  bool
+}
+
+func (e *ColRef) Type() vector.Type { return e.Typ }
+func (e *Const) Type() vector.Type  { return e.Typ }
+func (e *BinOp) Type() vector.Type  { return e.Typ }
+func (e *Not) Type() vector.Type    { return vector.Bool }
+func (e *Neg) Type() vector.Type    { return e.Operand.Type() }
+func (e *IsNull) Type() vector.Type { return vector.Bool }
+func (e *Cast) Type() vector.Type   { return e.To }
+func (e *Case) Type() vector.Type   { return e.Typ }
+func (e *Call) Type() vector.Type   { return e.Typ }
+func (e *In) Type() vector.Type     { return vector.Bool }
+
+// binOpType infers the result type of a binary operator application.
+func binOpType(op sql.BinaryOp, l, r vector.Type) (vector.Type, error) {
+	switch op {
+	case sql.OpAdd, sql.OpSub, sql.OpMul, sql.OpMod:
+		t, ok := vector.CommonNumeric(l, r)
+		if !ok {
+			return vector.Invalid, fmt.Errorf("operator %s requires numeric operands, got %s and %s", op, l, r)
+		}
+		return t, nil
+	case sql.OpDiv:
+		// Division always yields DOUBLE (simplifies analytical SQL; the
+		// workloads in this repo never need integer division).
+		if !l.IsNumeric() || !r.IsNumeric() {
+			return vector.Invalid, fmt.Errorf("operator / requires numeric operands, got %s and %s", l, r)
+		}
+		return vector.Float64, nil
+	case sql.OpEq, sql.OpNe, sql.OpLt, sql.OpLe, sql.OpGt, sql.OpGe:
+		comparable := (l.IsNumeric() && r.IsNumeric()) || l == r
+		if !comparable && l != vector.Invalid && r != vector.Invalid {
+			return vector.Invalid, fmt.Errorf("cannot compare %s with %s", l, r)
+		}
+		return vector.Bool, nil
+	case sql.OpAnd, sql.OpOr:
+		return vector.Bool, nil
+	case sql.OpConcat:
+		return vector.String, nil
+	}
+	return vector.Invalid, fmt.Errorf("unknown operator %s", op)
+}
+
+// ExprString renders a bound expression for plan display and result
+// column naming.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *ColRef:
+		if x.Name != "" {
+			return x.Name
+		}
+		return fmt.Sprintf("#%d", x.Idx)
+	case *Const:
+		return x.Val.String()
+	case *BinOp:
+		return fmt.Sprintf("(%s %s %s)", ExprString(x.Left), x.Op, ExprString(x.Right))
+	case *Not:
+		return fmt.Sprintf("NOT %s", ExprString(x.Operand))
+	case *Neg:
+		return fmt.Sprintf("-%s", ExprString(x.Operand))
+	case *IsNull:
+		if x.Negate {
+			return fmt.Sprintf("%s IS NOT NULL", ExprString(x.Operand))
+		}
+		return fmt.Sprintf("%s IS NULL", ExprString(x.Operand))
+	case *Cast:
+		return fmt.Sprintf("CAST(%s AS %s)", ExprString(x.Operand), x.To)
+	case *Case:
+		return "CASE"
+	case *Call:
+		return x.Fn.Name + "(...)"
+	case *In:
+		return fmt.Sprintf("%s IN (...)", ExprString(x.Operand))
+	}
+	return "?"
+}

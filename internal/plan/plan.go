@@ -1,0 +1,201 @@
+package plan
+
+import (
+	"vexdb/internal/catalog"
+	"vexdb/internal/core"
+	"vexdb/internal/sql"
+	"vexdb/internal/vector"
+)
+
+// Node is a bound logical plan node. Schema returns the node's output
+// columns in order.
+type Node interface {
+	Schema() catalog.Schema
+}
+
+// Scan reads a base table. Projection (set by Prune) restricts the
+// produced columns to the listed table-schema positions; nil produces
+// every column.
+type Scan struct {
+	Table      *catalog.Table
+	Projection []int
+}
+
+// Schema implements Node.
+func (s *Scan) Schema() catalog.Schema {
+	if s.Projection == nil {
+		return s.Table.Schema
+	}
+	out := make(catalog.Schema, len(s.Projection))
+	for i, p := range s.Projection {
+		out[i] = s.Table.Schema[p]
+	}
+	return out
+}
+
+// MaterialScan reads an already materialized table (UNION inputs,
+// VALUES, cached relations).
+type Material struct {
+	Data  *vector.Table
+	Schem catalog.Schema
+}
+
+// Schema implements Node.
+func (m *Material) Schema() catalog.Schema { return m.Schem }
+
+// FuncArg is one bound argument of a table-function scan: either a
+// subplan producing a relation or a constant scalar expression
+// (evaluated once at execution time).
+type FuncArg struct {
+	Sub       Node // non-nil for relation arguments
+	ConstExpr Expr // used when Sub is nil
+}
+
+// TableFuncScan invokes a table UDF with bound arguments and scans its
+// result (Listing 1 of the paper: SELECT * FROM train(...)).
+type TableFuncScan struct {
+	Fn   *core.TableFunc
+	Args []FuncArg
+}
+
+// Schema implements Node.
+func (t *TableFuncScan) Schema() catalog.Schema {
+	s := make(catalog.Schema, len(t.Fn.Columns))
+	for i, c := range t.Fn.Columns {
+		s[i] = catalog.Column{Name: c.Name, Type: c.Type}
+	}
+	return s
+}
+
+// Filter keeps rows where Pred evaluates to TRUE.
+type Filter struct {
+	Pred  Expr
+	Child Node
+}
+
+// Schema implements Node.
+func (f *Filter) Schema() catalog.Schema { return f.Child.Schema() }
+
+// Project computes output columns from expressions over the child.
+type Project struct {
+	Exprs []Expr
+	Names []string
+	Child Node
+}
+
+// Schema implements Node.
+func (p *Project) Schema() catalog.Schema {
+	s := make(catalog.Schema, len(p.Exprs))
+	for i, e := range p.Exprs {
+		s[i] = catalog.Column{Name: p.Names[i], Type: e.Type()}
+	}
+	return s
+}
+
+// HashJoin joins Left and Right on equi-key pairs; Extra holds any
+// residual non-equi conjuncts of the ON clause. Output columns are the
+// left schema followed by the right schema.
+type HashJoin struct {
+	Kind      sql.JoinKind
+	Left      Node
+	Right     Node
+	LeftKeys  []Expr // evaluated over Left's schema
+	RightKeys []Expr // evaluated over Right's schema
+	Extra     Expr   // evaluated over the combined schema; may be nil
+}
+
+// Schema implements Node.
+func (j *HashJoin) Schema() catalog.Schema {
+	ls, rs := j.Left.Schema(), j.Right.Schema()
+	out := make(catalog.Schema, 0, len(ls)+len(rs))
+	out = append(out, ls...)
+	out = append(out, rs...)
+	return out
+}
+
+// AggKind identifies an aggregate function.
+type AggKind uint8
+
+// Aggregate kinds.
+const (
+	AggCount AggKind = iota // count(*) when Arg == nil
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// AggSpec is one aggregate computation.
+type AggSpec struct {
+	Kind     AggKind
+	Arg      Expr // nil for count(*)
+	Distinct bool
+	Name     string
+	Typ      vector.Type
+}
+
+// Aggregate groups the child by GroupBy expressions and computes Aggs.
+// Output columns are the group expressions followed by the aggregates.
+type Aggregate struct {
+	GroupBy    []Expr
+	GroupNames []string
+	Aggs       []AggSpec
+	Child      Node
+}
+
+// Schema implements Node.
+func (a *Aggregate) Schema() catalog.Schema {
+	out := make(catalog.Schema, 0, len(a.GroupBy)+len(a.Aggs))
+	for i, g := range a.GroupBy {
+		out = append(out, catalog.Column{Name: a.GroupNames[i], Type: g.Type()})
+	}
+	for _, s := range a.Aggs {
+		out = append(out, catalog.Column{Name: s.Name, Type: s.Typ})
+	}
+	return out
+}
+
+// SortKey is one ORDER BY key over the child's output columns.
+type SortKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// Sort orders the child's rows.
+type Sort struct {
+	Keys  []SortKey
+	Child Node
+}
+
+// Schema implements Node.
+func (s *Sort) Schema() catalog.Schema { return s.Child.Schema() }
+
+// Limit returns at most Count rows after skipping Offset rows.
+// Count < 0 means no limit.
+type Limit struct {
+	Count  int64
+	Offset int64
+	Child  Node
+}
+
+// Schema implements Node.
+func (l *Limit) Schema() catalog.Schema { return l.Child.Schema() }
+
+// Distinct removes duplicate rows.
+type Distinct struct {
+	Child Node
+}
+
+// Schema implements Node.
+func (d *Distinct) Schema() catalog.Schema { return d.Child.Schema() }
+
+// Union concatenates two inputs with identical arity (types must be
+// pairwise compatible). All=false removes duplicates.
+type Union struct {
+	Left  Node
+	Right Node
+	All   bool
+}
+
+// Schema implements Node.
+func (u *Union) Schema() catalog.Schema { return u.Left.Schema() }

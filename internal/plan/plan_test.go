@@ -1,0 +1,269 @@
+package plan
+
+import (
+	"testing"
+
+	"vexdb/internal/catalog"
+	"vexdb/internal/core"
+	"vexdb/internal/sql"
+	"vexdb/internal/vector"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	if _, err := cat.CreateTable("wide", catalog.Schema{
+		{Name: "a", Type: vector.Int64},
+		{Name: "b", Type: vector.Float64},
+		{Name: "c", Type: vector.String},
+		{Name: "d", Type: vector.Int64},
+		{Name: "e", Type: vector.Float64},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateTable("dim", catalog.Schema{
+		{Name: "k", Type: vector.Int64},
+		{Name: "label", Type: vector.String},
+		{Name: "weight", Type: vector.Float64},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func bind(t *testing.T, cat *catalog.Catalog, query string) Node {
+	t.Helper()
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := core.NewRegistry()
+	core.RegisterBuiltins(reg)
+	node, err := NewBinder(cat, reg).BindSelect(stmt.(*sql.Select))
+	if err != nil {
+		t.Fatalf("bind %q: %v", query, err)
+	}
+	return node
+}
+
+func findScans(node Node) []*Scan {
+	var out []*Scan
+	var walk func(Node)
+	walk = func(n Node) {
+		switch x := n.(type) {
+		case *Scan:
+			out = append(out, x)
+		case *Filter:
+			walk(x.Child)
+		case *Project:
+			walk(x.Child)
+		case *HashJoin:
+			walk(x.Left)
+			walk(x.Right)
+		case *Aggregate:
+			walk(x.Child)
+		case *Sort:
+			walk(x.Child)
+		case *Limit:
+			walk(x.Child)
+		case *Distinct:
+			walk(x.Child)
+		case *Union:
+			walk(x.Left)
+			walk(x.Right)
+		case *TableFuncScan:
+			for _, a := range x.Args {
+				if a.Sub != nil {
+					walk(a.Sub)
+				}
+			}
+		}
+	}
+	walk(node)
+	return out
+}
+
+func TestPruneNarrowsScan(t *testing.T) {
+	cat := testCatalog(t)
+	node := bind(t, cat, "SELECT a FROM wide WHERE b > 1")
+	pruned := Prune(node)
+	scans := findScans(pruned)
+	if len(scans) != 1 {
+		t.Fatalf("scans = %d", len(scans))
+	}
+	// Only a and b are referenced.
+	if got := len(scans[0].Schema()); got != 2 {
+		t.Fatalf("pruned scan has %d columns, want 2", got)
+	}
+	// Root schema unchanged.
+	if len(pruned.Schema()) != 1 || pruned.Schema()[0].Name != "a" {
+		t.Fatalf("root schema changed: %v", pruned.Schema())
+	}
+}
+
+func TestPruneStarKeepsAll(t *testing.T) {
+	cat := testCatalog(t)
+	pruned := Prune(bind(t, cat, "SELECT * FROM wide"))
+	scans := findScans(pruned)
+	if len(scans[0].Schema()) != 5 {
+		t.Fatalf("star scan pruned to %d columns", len(scans[0].Schema()))
+	}
+}
+
+func TestPruneJoin(t *testing.T) {
+	cat := testCatalog(t)
+	node := bind(t, cat, `
+		SELECT w.a, d.label FROM wide w
+		JOIN dim d ON w.d = d.k
+		WHERE d.weight > 0`)
+	pruned := Prune(node)
+	scans := findScans(pruned)
+	if len(scans) != 2 {
+		t.Fatalf("scans = %d", len(scans))
+	}
+	// wide needs a and d (join key); dim needs k, label, weight.
+	if len(scans[0].Schema()) != 2 {
+		t.Fatalf("left scan has %d columns, want 2", len(scans[0].Schema()))
+	}
+	if len(scans[1].Schema()) != 3 {
+		t.Fatalf("right scan has %d columns, want 3", len(scans[1].Schema()))
+	}
+	if len(pruned.Schema()) != 2 {
+		t.Fatal("root schema changed")
+	}
+}
+
+func TestPruneAggregate(t *testing.T) {
+	cat := testCatalog(t)
+	node := bind(t, cat, "SELECT d, sum(b) AS s FROM wide GROUP BY d")
+	pruned := Prune(node)
+	scans := findScans(pruned)
+	if len(scans[0].Schema()) != 2 { // d and b
+		t.Fatalf("scan has %d columns, want 2", len(scans[0].Schema()))
+	}
+}
+
+func TestPruneCountStarKeepsOneColumn(t *testing.T) {
+	cat := testCatalog(t)
+	node := bind(t, cat, "SELECT count(*) FROM wide")
+	pruned := Prune(node)
+	scans := findScans(pruned)
+	if len(scans[0].Schema()) != 1 {
+		t.Fatalf("count(*) scan has %d columns, want 1 (row-count carrier)", len(scans[0].Schema()))
+	}
+}
+
+func TestPruneOrderByHiddenColumn(t *testing.T) {
+	cat := testCatalog(t)
+	// ORDER BY on a non-projected column adds a hidden sort column;
+	// pruning must keep it.
+	node := bind(t, cat, "SELECT a FROM wide ORDER BY e DESC")
+	pruned := Prune(node)
+	if len(pruned.Schema()) != 1 || pruned.Schema()[0].Name != "a" {
+		t.Fatalf("root schema = %v", pruned.Schema())
+	}
+	scans := findScans(pruned)
+	if len(scans[0].Schema()) != 2 { // a and e
+		t.Fatalf("scan has %d columns", len(scans[0].Schema()))
+	}
+}
+
+func TestPruneDistinctKeepsAll(t *testing.T) {
+	cat := testCatalog(t)
+	node := bind(t, cat, "SELECT DISTINCT a, b FROM wide")
+	pruned := Prune(node)
+	scans := findScans(pruned)
+	if len(scans[0].Schema()) != 2 {
+		t.Fatalf("scan has %d columns", len(scans[0].Schema()))
+	}
+}
+
+func TestBinderAmbiguity(t *testing.T) {
+	cat := testCatalog(t)
+	stmt, err := sql.Parse("SELECT k FROM dim d1 JOIN dim d2 ON d1.k = d2.k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := core.NewRegistry()
+	if _, err := NewBinder(cat, reg).BindSelect(stmt.(*sql.Select)); err == nil {
+		t.Fatal("ambiguous column should fail to bind")
+	}
+}
+
+func TestBinderTypeInference(t *testing.T) {
+	cat := testCatalog(t)
+	node := bind(t, cat, "SELECT a + b AS s, a / d AS q, a = d AS eq, c || 'x' AS cc FROM wide")
+	schema := node.Schema()
+	if schema[0].Type != vector.Float64 { // int + float widens
+		t.Errorf("a+b type = %v", schema[0].Type)
+	}
+	if schema[1].Type != vector.Float64 { // division is always double
+		t.Errorf("a/d type = %v", schema[1].Type)
+	}
+	if schema[2].Type != vector.Bool {
+		t.Errorf("a=d type = %v", schema[2].Type)
+	}
+	if schema[3].Type != vector.String {
+		t.Errorf("concat type = %v", schema[3].Type)
+	}
+}
+
+func TestBinderRejectsBadAggregates(t *testing.T) {
+	cat := testCatalog(t)
+	reg := core.NewRegistry()
+	core.RegisterBuiltins(reg)
+	bad := []string{
+		"SELECT sum(c) FROM wide",             // sum over string
+		"SELECT avg(c) FROM wide",             // avg over string
+		"SELECT sum(sum(a)) FROM wide",        // nested aggregate
+		"SELECT a, sum(b) FROM wide",          // bare column without group by
+		"SELECT a FROM wide WHERE sum(b) > 1", // aggregate in WHERE
+	}
+	for _, q := range bad {
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		if _, err := NewBinder(cat, reg).BindSelect(stmt.(*sql.Select)); err == nil {
+			t.Errorf("bind %q should fail", q)
+		}
+	}
+}
+
+func TestEquiKeyExtraction(t *testing.T) {
+	cat := testCatalog(t)
+	node := bind(t, cat, `
+		SELECT w.a FROM wide w JOIN dim d ON w.d = d.k AND w.b > d.weight`)
+	var join *HashJoin
+	var walk func(Node)
+	walk = func(n Node) {
+		switch x := n.(type) {
+		case *HashJoin:
+			join = x
+		case *Project:
+			walk(x.Child)
+		case *Filter:
+			walk(x.Child)
+		}
+	}
+	walk(node)
+	if join == nil {
+		t.Fatal("no join in plan")
+	}
+	if len(join.LeftKeys) != 1 || len(join.RightKeys) != 1 {
+		t.Fatalf("equi keys = %d/%d", len(join.LeftKeys), len(join.RightKeys))
+	}
+	if join.Extra == nil {
+		t.Fatal("residual predicate missing")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := &BinOp{Op: sql.OpAdd,
+		Left:  &ColRef{Idx: 0, Name: "a", Typ: vector.Int64},
+		Right: &Const{Val: vector.NewInt64(1), Typ: vector.Int64},
+		Typ:   vector.Int64}
+	if got := ExprString(e); got != "(a + 1)" {
+		t.Fatalf("ExprString = %q", got)
+	}
+}

@@ -1,0 +1,54 @@
+// Package sql implements the SQL front-end of the engine: a hand
+// written lexer and recursive-descent parser producing the AST
+// consumed by the planner. The dialect covers the subset needed by the
+// paper's workloads: DDL, INSERT/DELETE/UPDATE, and SELECT with joins,
+// grouping, ordering, table-valued functions and vectorized UDF calls.
+package sql
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokInt
+	TokFloat
+	TokString
+	TokSymbol // operators and punctuation, e.g. "(", ",", "<="
+)
+
+// Token is one lexical token with its source position (1-based).
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; identifiers keep original case
+	Pos  int    // byte offset in the input
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "<eof>"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// keywords is the set of reserved words recognized by the lexer.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true, "ASC": true,
+	"DESC": true, "AS": true, "AND": true, "OR": true, "NOT": true,
+	"NULL": true, "TRUE": true, "FALSE": true, "IS": true, "IN": true,
+	"BETWEEN": true, "CASE": true, "WHEN": true, "THEN": true, "ELSE": true,
+	"END": true, "CAST": true, "CREATE": true, "TABLE": true, "DROP": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "DELETE": true,
+	"UPDATE": true, "SET": true, "JOIN": true, "INNER": true, "LEFT": true,
+	"OUTER": true, "ON": true, "DISTINCT": true, "IF": true, "EXISTS": true,
+	"UNION": true, "ALL": true,
+}

@@ -1,0 +1,360 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"vexdb/internal/vector"
+)
+
+// On-disk table format (all integers little-endian):
+//
+//	magic   [8]byte  "VXTB0001"
+//	ncols   uint32
+//	nrows   uint64
+//	per column: nameLen uint16, name bytes, type uint8
+//	per column block:
+//	  payloadLen uint64, payload bytes, crc32(payload) uint32
+//
+// Fixed-width payloads are the raw values; Bool additionally packs the
+// null mask after the data. Variable-width payloads are
+// length-prefixed entries (uint32 length, 0xFFFFFFFF marks NULL).
+var tableMagic = [8]byte{'V', 'X', 'T', 'B', '0', '0', '0', '1'}
+
+const nullMarker = uint32(0xFFFFFFFF)
+
+// WriteTable writes names, types and full column data to w.
+func WriteTable(w io.Writer, names []string, store *ColumnStore) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(tableMagic[:]); err != nil {
+		return err
+	}
+	types := store.Types()
+	if len(names) != len(types) {
+		return fmt.Errorf("storage: %d names for %d columns", len(names), len(types))
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(types))); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(store.NumRows())); err != nil {
+		return err
+	}
+	for i, name := range names {
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(types[i])); err != nil {
+			return err
+		}
+	}
+	for c := range types {
+		col := store.Column(c)
+		payload, err := encodeColumn(col)
+		if err != nil {
+			return fmt.Errorf("storage: column %q: %w", names[c], err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint64(len(payload))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(payload); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, crc32.ChecksumIEEE(payload)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTable reads a table written by WriteTable.
+func ReadTable(r io.Reader) (names []string, store *ColumnStore, err error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, nil, fmt.Errorf("storage: read magic: %w", err)
+	}
+	if magic != tableMagic {
+		return nil, nil, fmt.Errorf("storage: bad magic %q", magic[:])
+	}
+	var ncols uint32
+	if err := binary.Read(br, binary.LittleEndian, &ncols); err != nil {
+		return nil, nil, err
+	}
+	var nrows uint64
+	if err := binary.Read(br, binary.LittleEndian, &nrows); err != nil {
+		return nil, nil, err
+	}
+	types := make([]vector.Type, ncols)
+	names = make([]string, ncols)
+	for i := range names {
+		var nameLen uint16
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, nil, err
+		}
+		nb := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nb); err != nil {
+			return nil, nil, err
+		}
+		names[i] = string(nb)
+		tb, err := br.ReadByte()
+		if err != nil {
+			return nil, nil, err
+		}
+		types[i] = vector.Type(tb)
+	}
+	store = NewColumnStore(types)
+	cols := make([]*vector.Vector, ncols)
+	for c := range types {
+		var plen uint64
+		if err := binary.Read(br, binary.LittleEndian, &plen); err != nil {
+			return nil, nil, err
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, nil, err
+		}
+		var sum uint32
+		if err := binary.Read(br, binary.LittleEndian, &sum); err != nil {
+			return nil, nil, err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil, nil, fmt.Errorf("storage: column %q: checksum mismatch", names[c])
+		}
+		col, err := decodeColumn(types[c], int(nrows), payload)
+		if err != nil {
+			return nil, nil, fmt.Errorf("storage: column %q: %w", names[c], err)
+		}
+		cols[c] = col
+	}
+	if ncols > 0 {
+		if err := store.AppendChunk(vector.NewChunk(cols...)); err != nil {
+			return nil, nil, err
+		}
+	}
+	return names, store, nil
+}
+
+// SaveTableFile writes the table to path atomically (temp + rename).
+func SaveTableFile(path string, names []string, store *ColumnStore) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := WriteTable(f, names, store); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadTableFile reads a table file written by SaveTableFile.
+func LoadTableFile(path string) ([]string, *ColumnStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadTable(f)
+}
+
+func encodeColumn(col *vector.Vector) ([]byte, error) {
+	n := col.Len()
+	switch col.Type() {
+	case vector.Bool:
+		out := make([]byte, 0, 2*n)
+		for i, b := range col.Bools() {
+			var v byte
+			if b {
+				v = 1
+			}
+			if col.IsNull(i) {
+				v = 2
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case vector.Int32:
+		out := make([]byte, 0, 4*n+n)
+		for i, x := range col.Int32s() {
+			out = binary.LittleEndian.AppendUint32(out, uint32(x))
+			_ = i
+		}
+		return appendNullTrailer(out, col), nil
+	case vector.Int64:
+		out := make([]byte, 0, 8*n+n)
+		for _, x := range col.Int64s() {
+			out = binary.LittleEndian.AppendUint64(out, uint64(x))
+		}
+		return appendNullTrailer(out, col), nil
+	case vector.Float64:
+		out := make([]byte, 0, 8*n+n)
+		for _, x := range col.Float64s() {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(x))
+		}
+		return appendNullTrailer(out, col), nil
+	case vector.String:
+		var out []byte
+		for i, s := range col.Strings() {
+			if col.IsNull(i) {
+				out = binary.LittleEndian.AppendUint32(out, nullMarker)
+				continue
+			}
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(s)))
+			out = append(out, s...)
+		}
+		return out, nil
+	case vector.Blob:
+		var out []byte
+		for i, b := range col.Blobs() {
+			if col.IsNull(i) {
+				out = binary.LittleEndian.AppendUint32(out, nullMarker)
+				continue
+			}
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(b)))
+			out = append(out, b...)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("unsupported column type %v", col.Type())
+}
+
+// appendNullTrailer appends one byte per row (1 = NULL) when the
+// column has NULLs, or nothing when it has none. The decoder detects
+// the trailer from the payload length.
+func appendNullTrailer(out []byte, col *vector.Vector) []byte {
+	if !col.HasNulls() {
+		return out
+	}
+	for i := 0; i < col.Len(); i++ {
+		var v byte
+		if col.IsNull(i) {
+			v = 1
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func decodeColumn(t vector.Type, n int, payload []byte) (*vector.Vector, error) {
+	switch t {
+	case vector.Bool:
+		if len(payload) != n {
+			return nil, fmt.Errorf("bool payload %d bytes for %d rows", len(payload), n)
+		}
+		v := vector.New(vector.Bool, n)
+		for _, b := range payload {
+			switch b {
+			case 2:
+				v.AppendValue(vector.Null())
+			default:
+				v.AppendValue(vector.NewBool(b == 1))
+			}
+		}
+		return v, nil
+	case vector.Int32:
+		data, nulls, err := splitFixed(payload, n, 4)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(binary.LittleEndian.Uint32(data[4*i:]))
+		}
+		return applyNulls(vector.FromInt32s(out), nulls), nil
+	case vector.Int64:
+		data, nulls, err := splitFixed(payload, n, 8)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int64, n)
+		for i := range out {
+			out[i] = int64(binary.LittleEndian.Uint64(data[8*i:]))
+		}
+		return applyNulls(vector.FromInt64s(out), nulls), nil
+	case vector.Float64:
+		data, nulls, err := splitFixed(payload, n, 8)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+		}
+		return applyNulls(vector.FromFloat64s(out), nulls), nil
+	case vector.String:
+		v := vector.New(vector.String, n)
+		off := 0
+		for i := 0; i < n; i++ {
+			if off+4 > len(payload) {
+				return nil, fmt.Errorf("truncated string column at row %d", i)
+			}
+			l := binary.LittleEndian.Uint32(payload[off:])
+			off += 4
+			if l == nullMarker {
+				v.AppendValue(vector.Null())
+				continue
+			}
+			if off+int(l) > len(payload) {
+				return nil, fmt.Errorf("truncated string column at row %d", i)
+			}
+			v.AppendValue(vector.NewString(string(payload[off : off+int(l)])))
+			off += int(l)
+		}
+		return v, nil
+	case vector.Blob:
+		v := vector.New(vector.Blob, n)
+		off := 0
+		for i := 0; i < n; i++ {
+			if off+4 > len(payload) {
+				return nil, fmt.Errorf("truncated blob column at row %d", i)
+			}
+			l := binary.LittleEndian.Uint32(payload[off:])
+			off += 4
+			if l == nullMarker {
+				v.AppendValue(vector.Null())
+				continue
+			}
+			if off+int(l) > len(payload) {
+				return nil, fmt.Errorf("truncated blob column at row %d", i)
+			}
+			v.AppendValue(vector.NewBlob(append([]byte(nil), payload[off:off+int(l)]...)))
+			off += int(l)
+		}
+		return v, nil
+	}
+	return nil, fmt.Errorf("unsupported column type %v", t)
+}
+
+func splitFixed(payload []byte, n, width int) (data, nulls []byte, err error) {
+	switch len(payload) {
+	case n * width:
+		return payload, nil, nil
+	case n*width + n:
+		return payload[:n*width], payload[n*width:], nil
+	default:
+		return nil, nil, fmt.Errorf("payload %d bytes for %d rows of width %d", len(payload), n, width)
+	}
+}
+
+func applyNulls(v *vector.Vector, nulls []byte) *vector.Vector {
+	for i, b := range nulls {
+		if b == 1 {
+			v.SetNull(i)
+		}
+	}
+	return v
+}

@@ -1,0 +1,252 @@
+package storage
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"vexdb/internal/vector"
+)
+
+func testStore(t *testing.T, n int) *ColumnStore {
+	t.Helper()
+	s := NewColumnStore([]vector.Type{vector.Int64, vector.Float64, vector.String})
+	ids := make([]int64, n)
+	fs := make([]float64, n)
+	ss := make([]string, n)
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		fs[i] = float64(i) * 1.5
+		ss[i] = "row"
+	}
+	if err := s.AppendChunk(vector.NewChunk(
+		vector.FromInt64s(ids), vector.FromFloat64s(fs), vector.FromStrings(ss))); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAppendAcrossSegments(t *testing.T) {
+	n := SegmentRows*2 + 100
+	s := testStore(t, n)
+	if s.NumRows() != n {
+		t.Fatalf("rows = %d, want %d", s.NumRows(), n)
+	}
+	if s.NumSegments() != 3 {
+		t.Fatalf("segments = %d, want 3", s.NumSegments())
+	}
+	// Last row survives segmentation.
+	col := s.Column(0)
+	if col.Len() != n || col.Int64s()[n-1] != int64(n-1) {
+		t.Fatalf("column materialization wrong")
+	}
+}
+
+func TestSegmentProjection(t *testing.T) {
+	s := testStore(t, 10)
+	ch := s.Segment(0, []int{2, 0})
+	if ch.NumCols() != 2 {
+		t.Fatalf("cols = %d", ch.NumCols())
+	}
+	if ch.Col(0).Type() != vector.String || ch.Col(1).Type() != vector.Int64 {
+		t.Fatal("projection order wrong")
+	}
+	full := s.Segment(0, nil)
+	if full.NumCols() != 3 || full.NumRows() != 10 {
+		t.Fatal("full segment wrong")
+	}
+}
+
+func TestAppendRowWithCast(t *testing.T) {
+	s := NewColumnStore([]vector.Type{vector.Int32, vector.Float64})
+	if err := s.AppendRow([]vector.Value{vector.NewInt64(7), vector.NewInt64(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRow([]vector.Value{vector.Null(), vector.NewFloat64(1.5)}); err != nil {
+		t.Fatal(err)
+	}
+	c0 := s.Column(0)
+	if c0.Get(0).Int64() != 7 || !c0.IsNull(1) {
+		t.Fatal("row contents wrong")
+	}
+	if err := s.AppendRow([]vector.Value{vector.NewInt64(1)}); err == nil {
+		t.Error("arity mismatch should error")
+	}
+}
+
+func TestAppendChunkArityError(t *testing.T) {
+	s := NewColumnStore([]vector.Type{vector.Int64})
+	err := s.AppendChunk(vector.NewChunk(
+		vector.FromInt64s([]int64{1}), vector.FromInt64s([]int64{2})))
+	if err == nil {
+		t.Fatal("want arity error")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	s := testStore(t, 100)
+	s.Truncate()
+	if s.NumRows() != 0 || s.NumSegments() != 0 {
+		t.Fatal("truncate did not clear")
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	s := NewColumnStore([]vector.Type{
+		vector.Bool, vector.Int32, vector.Int64, vector.Float64, vector.String, vector.Blob})
+	b := vector.New(vector.Bool, 3)
+	b.AppendValue(vector.NewBool(true))
+	b.AppendValue(vector.Null())
+	b.AppendValue(vector.NewBool(false))
+	i32 := vector.New(vector.Int32, 3)
+	i32.AppendValue(vector.NewInt32(-5))
+	i32.AppendValue(vector.Null())
+	i32.AppendValue(vector.NewInt32(5))
+	i64 := vector.FromInt64s([]int64{1 << 40, -9, 0})
+	f := vector.FromFloat64s([]float64{1.5, -2.25, 0})
+	str := vector.New(vector.String, 3)
+	str.AppendValue(vector.NewString("hello"))
+	str.AppendValue(vector.Null())
+	str.AppendValue(vector.NewString(""))
+	bl := vector.New(vector.Blob, 3)
+	bl.AppendValue(vector.NewBlob([]byte{0, 1, 255}))
+	bl.AppendValue(vector.Null())
+	bl.AppendValue(vector.NewBlob(nil))
+	if err := s.AppendChunk(vector.NewChunk(b, i32, i64, f, str, bl)); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	names := []string{"b", "i32", "i64", "f", "s", "bl"}
+	if err := WriteTable(&buf, names, s); err != nil {
+		t.Fatal(err)
+	}
+	gotNames, got, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotNames) != 6 || gotNames[4] != "s" {
+		t.Fatalf("names = %v", gotNames)
+	}
+	if got.NumRows() != 3 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	for c := 0; c < 6; c++ {
+		want := s.Column(c)
+		have := got.Column(c)
+		for r := 0; r < 3; r++ {
+			if want.IsNull(r) != have.IsNull(r) {
+				t.Fatalf("col %d row %d null mismatch", c, r)
+			}
+			if !want.IsNull(r) && !want.Get(r).Equal(have.Get(r)) {
+				// blob nil vs empty: both fine
+				if c == 5 && len(want.Get(r).Bytes()) == 0 && len(have.Get(r).Bytes()) == 0 {
+					continue
+				}
+				t.Fatalf("col %d row %d: %v != %v", c, r, want.Get(r), have.Get(r))
+			}
+		}
+	}
+}
+
+func TestDiskCorruptionDetected(t *testing.T) {
+	s := testStore(t, 50)
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, []string{"a", "b", "c"}, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a byte inside the first column payload (past the header).
+	data[len(data)-20] ^= 0xFF
+	_, _, err := ReadTable(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestDiskBadMagic(t *testing.T) {
+	_, _, err := ReadTable(bytes.NewReader([]byte("NOTATABLEFILE")))
+	if err == nil {
+		t.Fatal("want bad magic error")
+	}
+}
+
+func TestSaveLoadTableFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.vxtb")
+	s := testStore(t, SegmentRows+5)
+	if err := SaveTableFile(path, []string{"a", "b", "c"}, s); err != nil {
+		t.Fatal(err)
+	}
+	names, got, err := LoadTableFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names[0] != "a" || got.NumRows() != SegmentRows+5 {
+		t.Fatalf("load: names=%v rows=%d", names, got.NumRows())
+	}
+}
+
+// Property: disk round trip preserves arbitrary int64/float64 columns.
+func TestQuickDiskRoundTrip(t *testing.T) {
+	f := func(a []int64, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		s := NewColumnStore([]vector.Type{vector.Int64, vector.Float64})
+		if n > 0 {
+			if err := s.AppendChunk(vector.NewChunk(
+				vector.FromInt64s(a[:n]), vector.FromFloat64s(b[:n]))); err != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteTable(&buf, []string{"a", "b"}, s); err != nil {
+			return false
+		}
+		_, got, err := ReadTable(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumRows() != n {
+			return false
+		}
+		ga := got.Column(0).Int64s()
+		gb := got.Column(1).Float64s()
+		for i := 0; i < n; i++ {
+			if ga[i] != a[i] {
+				return false
+			}
+			if gb[i] != b[i] && !(b[i] != b[i] && gb[i] != gb[i]) { // NaN-safe
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAppendScan(t *testing.T) {
+	s := NewColumnStore([]vector.Type{vector.Int64})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = s.AppendRow([]vector.Value{vector.NewInt64(int64(i))})
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		_ = s.NumRows()
+		if s.NumSegments() > 0 {
+			_ = s.Segment(0, nil)
+		}
+	}
+	<-done
+	if s.NumRows() != 100 {
+		t.Fatalf("rows = %d", s.NumRows())
+	}
+}

@@ -1,0 +1,171 @@
+// Package storage implements the in-memory segmented column store
+// backing engine tables, plus a checksummed on-disk columnar format
+// for persistence. Data is stored append-only in column segments whose
+// row count matches the execution chunk size, so scans hand segments
+// to the executor without copying.
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"vexdb/internal/vector"
+)
+
+// SegmentRows is the row capacity of one column segment. It equals the
+// execution chunk size so sealed segments can be scanned zero-copy.
+const SegmentRows = vector.DefaultChunkSize
+
+// ColumnStore holds the data of one table as a list of segments. Each
+// segment stores up to SegmentRows rows of every column. Appends and
+// scans are safe for concurrent use.
+type ColumnStore struct {
+	mu    sync.RWMutex
+	types []vector.Type
+	segs  []*segment
+	rows  int
+}
+
+type segment struct {
+	cols []*vector.Vector
+	rows int
+}
+
+// NewColumnStore creates an empty store for columns of the given types.
+func NewColumnStore(types []vector.Type) *ColumnStore {
+	return &ColumnStore{types: append([]vector.Type(nil), types...)}
+}
+
+// Types returns the column types.
+func (s *ColumnStore) Types() []vector.Type { return s.types }
+
+// NumRows returns the current row count.
+func (s *ColumnStore) NumRows() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rows
+}
+
+// NumColumns returns the column count.
+func (s *ColumnStore) NumColumns() int { return len(s.types) }
+
+func newSegment(types []vector.Type) *segment {
+	cols := make([]*vector.Vector, len(types))
+	for i, t := range types {
+		cols[i] = vector.New(t, SegmentRows)
+	}
+	return &segment{cols: cols}
+}
+
+// AppendChunk appends the rows of ch. Column arity and types must
+// match the store schema; numeric columns are cast when they differ.
+func (s *ColumnStore) AppendChunk(ch *vector.Chunk) error {
+	if ch.NumCols() != len(s.types) {
+		return fmt.Errorf("storage: append %d columns to %d-column table", ch.NumCols(), len(s.types))
+	}
+	cast := make([]*vector.Vector, ch.NumCols())
+	for i := 0; i < ch.NumCols(); i++ {
+		c := ch.Col(i)
+		if c.Type() != s.types[i] {
+			cc, err := c.Cast(s.types[i])
+			if err != nil {
+				return fmt.Errorf("storage: column %d: %w", i, err)
+			}
+			c = cc
+		}
+		cast[i] = c
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	offset := 0
+	n := ch.NumRows()
+	for offset < n {
+		seg := s.lastOpenSegment()
+		room := SegmentRows - seg.rows
+		take := n - offset
+		if take > room {
+			take = room
+		}
+		for i, col := range seg.cols {
+			col.AppendVector(cast[i].Slice(offset, offset+take))
+		}
+		seg.rows += take
+		offset += take
+		s.rows += take
+	}
+	return nil
+}
+
+func (s *ColumnStore) lastOpenSegment() *segment {
+	if len(s.segs) == 0 || s.segs[len(s.segs)-1].rows == SegmentRows {
+		s.segs = append(s.segs, newSegment(s.types))
+	}
+	return s.segs[len(s.segs)-1]
+}
+
+// AppendRow appends a single row of values.
+func (s *ColumnStore) AppendRow(vals []vector.Value) error {
+	if len(vals) != len(s.types) {
+		return fmt.Errorf("storage: row has %d values, table has %d columns", len(vals), len(s.types))
+	}
+	cols := make([]*vector.Vector, len(s.types))
+	for i, t := range s.types {
+		cols[i] = vector.New(t, 1)
+		v := vals[i]
+		if !v.IsNull() && v.Type() != t {
+			cv, err := v.Cast(t)
+			if err != nil {
+				return fmt.Errorf("storage: column %d: %w", i, err)
+			}
+			v = cv
+		}
+		cols[i].AppendValue(v)
+	}
+	return s.AppendChunk(vector.NewChunk(cols...))
+}
+
+// NumSegments returns the number of segments.
+func (s *ColumnStore) NumSegments() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.segs)
+}
+
+// Segment returns segment i's columns restricted to the projected
+// column indexes (nil projects all), as a chunk. Sealed segments are
+// returned zero-copy.
+func (s *ColumnStore) Segment(i int, projection []int) *vector.Chunk {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seg := s.segs[i]
+	if projection == nil {
+		cols := make([]*vector.Vector, len(seg.cols))
+		copy(cols, seg.cols)
+		return vector.NewChunk(cols...)
+	}
+	cols := make([]*vector.Vector, len(projection))
+	for j, p := range projection {
+		cols[j] = seg.cols[p]
+	}
+	return vector.NewChunk(cols...)
+}
+
+// Column materializes the full column c as one contiguous vector.
+func (s *ColumnStore) Column(c int) *vector.Vector {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := vector.New(s.types[c], s.rows)
+	for _, seg := range s.segs {
+		out.AppendVector(seg.cols[c])
+	}
+	return out
+}
+
+// Truncate removes all rows, keeping the schema.
+func (s *ColumnStore) Truncate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.segs = nil
+	s.rows = 0
+}

@@ -1,0 +1,133 @@
+// Package vector implements the typed column vectors that flow through
+// the vectorized execution engine. A Vector holds a single column of
+// values of one logical type together with an optional null mask.
+// Operators exchange Chunks, which are batches of equally sized vectors
+// capped at DefaultChunkSize rows.
+package vector
+
+import "fmt"
+
+// Type identifies the logical type of a column or value.
+type Type uint8
+
+// Logical column types supported by the engine.
+const (
+	// Invalid is the zero Type; it is never a valid column type.
+	Invalid Type = iota
+	// Bool is a boolean column.
+	Bool
+	// Int32 is a 32-bit signed integer column.
+	Int32
+	// Int64 is a 64-bit signed integer column.
+	Int64
+	// Float64 is a double-precision floating point column.
+	Float64
+	// String is a variable-length UTF-8 string column.
+	String
+	// Blob is a variable-length binary column.
+	Blob
+)
+
+// DefaultChunkSize is the number of rows per chunk exchanged between
+// vectorized operators. It matches the small-vector designs of
+// MonetDB/X100-style engines: large enough to amortize interpretation
+// overhead, small enough to stay cache resident.
+const DefaultChunkSize = 2048
+
+// String returns the SQL-facing name of the type.
+func (t Type) String() string {
+	switch t {
+	case Bool:
+		return "BOOLEAN"
+	case Int32:
+		return "INTEGER"
+	case Int64:
+		return "BIGINT"
+	case Float64:
+		return "DOUBLE"
+	case String:
+		return "VARCHAR"
+	case Blob:
+		return "BLOB"
+	default:
+		return fmt.Sprintf("INVALID(%d)", uint8(t))
+	}
+}
+
+// IsNumeric reports whether the type participates in arithmetic.
+func (t Type) IsNumeric() bool {
+	switch t {
+	case Int32, Int64, Float64:
+		return true
+	}
+	return false
+}
+
+// FixedWidth returns the on-disk width in bytes for fixed-width types
+// and 0 for variable-width types (String, Blob).
+func (t Type) FixedWidth() int {
+	switch t {
+	case Bool:
+		return 1
+	case Int32:
+		return 4
+	case Int64, Float64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// TypeFromName parses a SQL type name (case-insensitive aliases
+// included) into a Type. It returns Invalid and false for unknown
+// names.
+func TypeFromName(name string) (Type, bool) {
+	switch normalizeTypeName(name) {
+	case "BOOLEAN", "BOOL":
+		return Bool, true
+	case "INTEGER", "INT", "INT32":
+		return Int32, true
+	case "BIGINT", "INT64", "LONG":
+		return Int64, true
+	case "DOUBLE", "FLOAT", "FLOAT64", "REAL":
+		return Float64, true
+	case "VARCHAR", "STRING", "TEXT", "CHAR":
+		return String, true
+	case "BLOB", "BYTEA", "BINARY":
+		return Blob, true
+	}
+	return Invalid, false
+}
+
+func normalizeTypeName(name string) string {
+	b := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '(' {
+			// Strip length parameters such as VARCHAR(32).
+			break
+		}
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		b = append(b, c)
+	}
+	return string(b)
+}
+
+// CommonNumeric returns the widest numeric type needed to combine a and
+// b in arithmetic, following SQL-style implicit promotion
+// (INT32 < INT64 < FLOAT64). It returns Invalid and false when either
+// side is non-numeric.
+func CommonNumeric(a, b Type) (Type, bool) {
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return Invalid, false
+	}
+	if a == Float64 || b == Float64 {
+		return Float64, true
+	}
+	if a == Int64 || b == Int64 {
+		return Int64, true
+	}
+	return Int32, true
+}

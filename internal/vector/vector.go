@@ -1,0 +1,431 @@
+package vector
+
+import "fmt"
+
+// Vector is a single column of values of one type with an optional
+// null mask. Exactly one of the typed payload slices is in use,
+// selected by the vector's type. The zero Vector is not usable; create
+// vectors with New or the typed constructors.
+type Vector struct {
+	typ    Type
+	length int
+	// nulls is nil when the vector contains no NULLs. When non-nil it
+	// has the vector's length and nulls[i] marks row i as NULL.
+	nulls []bool
+
+	bools []bool
+	i32   []int32
+	i64   []int64
+	f64   []float64
+	strs  []string
+	blobs [][]byte
+}
+
+// New returns an empty vector of the given type with capacity hint n.
+func New(t Type, n int) *Vector {
+	v := &Vector{typ: t}
+	switch t {
+	case Bool:
+		v.bools = make([]bool, 0, n)
+	case Int32:
+		v.i32 = make([]int32, 0, n)
+	case Int64:
+		v.i64 = make([]int64, 0, n)
+	case Float64:
+		v.f64 = make([]float64, 0, n)
+	case String:
+		v.strs = make([]string, 0, n)
+	case Blob:
+		v.blobs = make([][]byte, 0, n)
+	default:
+		panic(fmt.Sprintf("vector.New: invalid type %v", t))
+	}
+	return v
+}
+
+// FromBools wraps a bool slice as a Bool vector without copying.
+func FromBools(data []bool) *Vector {
+	return &Vector{typ: Bool, length: len(data), bools: data}
+}
+
+// FromInt32s wraps an int32 slice as an Int32 vector without copying.
+func FromInt32s(data []int32) *Vector {
+	return &Vector{typ: Int32, length: len(data), i32: data}
+}
+
+// FromInt64s wraps an int64 slice as an Int64 vector without copying.
+func FromInt64s(data []int64) *Vector {
+	return &Vector{typ: Int64, length: len(data), i64: data}
+}
+
+// FromFloat64s wraps a float64 slice as a Float64 vector without copying.
+func FromFloat64s(data []float64) *Vector {
+	return &Vector{typ: Float64, length: len(data), f64: data}
+}
+
+// FromStrings wraps a string slice as a String vector without copying.
+func FromStrings(data []string) *Vector {
+	return &Vector{typ: String, length: len(data), strs: data}
+}
+
+// FromBlobs wraps a [][]byte slice as a Blob vector without copying.
+func FromBlobs(data [][]byte) *Vector {
+	return &Vector{typ: Blob, length: len(data), blobs: data}
+}
+
+// Constant returns a vector of n copies of val. A NULL val yields an
+// all-NULL Float64-typed vector unless typeHint is valid.
+func Constant(val Value, n int, typeHint Type) *Vector {
+	t := val.Type()
+	if t == Invalid {
+		t = typeHint
+		if t == Invalid {
+			t = Float64
+		}
+	}
+	v := New(t, n)
+	for i := 0; i < n; i++ {
+		v.AppendValue(val)
+	}
+	return v
+}
+
+// Type returns the vector's type.
+func (v *Vector) Type() Type { return v.typ }
+
+// Len returns the number of rows.
+func (v *Vector) Len() int { return v.length }
+
+// HasNulls reports whether the vector contains at least one NULL.
+func (v *Vector) HasNulls() bool {
+	if v.nulls == nil {
+		return false
+	}
+	for _, n := range v.nulls {
+		if n {
+			return true
+		}
+	}
+	return false
+}
+
+// IsNull reports whether row i is NULL.
+func (v *Vector) IsNull(i int) bool {
+	return v.nulls != nil && v.nulls[i]
+}
+
+// SetNull marks row i as NULL.
+func (v *Vector) SetNull(i int) {
+	v.ensureNulls()
+	v.nulls[i] = true
+}
+
+func (v *Vector) ensureNulls() {
+	if v.nulls == nil {
+		v.nulls = make([]bool, v.length, max(v.length, 8))
+	}
+	for len(v.nulls) < v.length {
+		v.nulls = append(v.nulls, false)
+	}
+}
+
+// Bools returns the Bool payload. The slice aliases vector storage.
+func (v *Vector) Bools() []bool { return v.bools }
+
+// Int32s returns the Int32 payload. The slice aliases vector storage.
+func (v *Vector) Int32s() []int32 { return v.i32 }
+
+// Int64s returns the Int64 payload. The slice aliases vector storage.
+func (v *Vector) Int64s() []int64 { return v.i64 }
+
+// Float64s returns the Float64 payload. The slice aliases vector storage.
+func (v *Vector) Float64s() []float64 { return v.f64 }
+
+// Strings returns the String payload. The slice aliases vector storage.
+func (v *Vector) Strings() []string { return v.strs }
+
+// Blobs returns the Blob payload. The slice aliases vector storage.
+func (v *Vector) Blobs() [][]byte { return v.blobs }
+
+// Nulls returns the null mask, or nil when the vector has no NULLs.
+func (v *Vector) Nulls() []bool { return v.nulls }
+
+// Get returns the value at row i.
+func (v *Vector) Get(i int) Value {
+	if v.IsNull(i) {
+		return Null()
+	}
+	switch v.typ {
+	case Bool:
+		return NewBool(v.bools[i])
+	case Int32:
+		return NewInt32(v.i32[i])
+	case Int64:
+		return NewInt64(v.i64[i])
+	case Float64:
+		return NewFloat64(v.f64[i])
+	case String:
+		return NewString(v.strs[i])
+	case Blob:
+		return NewBlob(v.blobs[i])
+	}
+	return Null()
+}
+
+// AppendValue appends val to the vector, casting numerics if needed.
+// Appending NULL grows the null mask.
+func (v *Vector) AppendValue(val Value) {
+	if val.IsNull() {
+		v.appendZero()
+		v.ensureNulls()
+		v.nulls[v.length-1] = true
+		return
+	}
+	switch v.typ {
+	case Bool:
+		v.bools = append(v.bools, val.Bool())
+	case Int32:
+		v.i32 = append(v.i32, int32(val.Int64()))
+	case Int64:
+		v.i64 = append(v.i64, val.Int64())
+	case Float64:
+		v.f64 = append(v.f64, val.Float64())
+	case String:
+		v.strs = append(v.strs, val.Str())
+	case Blob:
+		v.blobs = append(v.blobs, val.Bytes())
+	}
+	v.length++
+	if v.nulls != nil {
+		v.nulls = append(v.nulls, false)
+	}
+}
+
+func (v *Vector) appendZero() {
+	switch v.typ {
+	case Bool:
+		v.bools = append(v.bools, false)
+	case Int32:
+		v.i32 = append(v.i32, 0)
+	case Int64:
+		v.i64 = append(v.i64, 0)
+	case Float64:
+		v.f64 = append(v.f64, 0)
+	case String:
+		v.strs = append(v.strs, "")
+	case Blob:
+		v.blobs = append(v.blobs, nil)
+	}
+	v.length++
+}
+
+// AppendVector appends all rows of o (which must have the same type).
+func (v *Vector) AppendVector(o *Vector) {
+	if v.typ != o.typ {
+		panic(fmt.Sprintf("AppendVector: type mismatch %v vs %v", v.typ, o.typ))
+	}
+	switch v.typ {
+	case Bool:
+		v.bools = append(v.bools, o.bools...)
+	case Int32:
+		v.i32 = append(v.i32, o.i32...)
+	case Int64:
+		v.i64 = append(v.i64, o.i64...)
+	case Float64:
+		v.f64 = append(v.f64, o.f64...)
+	case String:
+		v.strs = append(v.strs, o.strs...)
+	case Blob:
+		v.blobs = append(v.blobs, o.blobs...)
+	}
+	oldLen := v.length
+	v.length += o.length
+	if v.nulls != nil || o.nulls != nil {
+		v.ensureNullsTo(oldLen)
+		if o.nulls != nil {
+			v.nulls = append(v.nulls, o.nulls...)
+		} else {
+			for i := 0; i < o.length; i++ {
+				v.nulls = append(v.nulls, false)
+			}
+		}
+	}
+}
+
+func (v *Vector) ensureNullsTo(n int) {
+	if v.nulls == nil {
+		v.nulls = make([]bool, n)
+		return
+	}
+	for len(v.nulls) < n {
+		v.nulls = append(v.nulls, false)
+	}
+}
+
+// Slice returns a new vector containing rows [from, to). Payload
+// slices alias the original storage.
+func (v *Vector) Slice(from, to int) *Vector {
+	out := &Vector{typ: v.typ, length: to - from}
+	switch v.typ {
+	case Bool:
+		out.bools = v.bools[from:to]
+	case Int32:
+		out.i32 = v.i32[from:to]
+	case Int64:
+		out.i64 = v.i64[from:to]
+	case Float64:
+		out.f64 = v.f64[from:to]
+	case String:
+		out.strs = v.strs[from:to]
+	case Blob:
+		out.blobs = v.blobs[from:to]
+	}
+	if v.nulls != nil {
+		out.nulls = v.nulls[from:to]
+	}
+	return out
+}
+
+// Gather returns a new vector containing the rows selected by sel, in
+// sel order. Row indices may repeat.
+func (v *Vector) Gather(sel []int) *Vector {
+	out := New(v.typ, len(sel))
+	switch v.typ {
+	case Bool:
+		for _, i := range sel {
+			out.bools = append(out.bools, v.bools[i])
+		}
+	case Int32:
+		for _, i := range sel {
+			out.i32 = append(out.i32, v.i32[i])
+		}
+	case Int64:
+		for _, i := range sel {
+			out.i64 = append(out.i64, v.i64[i])
+		}
+	case Float64:
+		for _, i := range sel {
+			out.f64 = append(out.f64, v.f64[i])
+		}
+	case String:
+		for _, i := range sel {
+			out.strs = append(out.strs, v.strs[i])
+		}
+	case Blob:
+		for _, i := range sel {
+			out.blobs = append(out.blobs, v.blobs[i])
+		}
+	}
+	out.length = len(sel)
+	if v.nulls != nil {
+		out.nulls = make([]bool, len(sel))
+		for j, i := range sel {
+			out.nulls[j] = v.nulls[i]
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the vector. Blob payload bytes are
+// shared (blobs are treated as immutable once stored).
+func (v *Vector) Clone() *Vector {
+	out := &Vector{typ: v.typ, length: v.length}
+	switch v.typ {
+	case Bool:
+		out.bools = append([]bool(nil), v.bools...)
+	case Int32:
+		out.i32 = append([]int32(nil), v.i32...)
+	case Int64:
+		out.i64 = append([]int64(nil), v.i64...)
+	case Float64:
+		out.f64 = append([]float64(nil), v.f64...)
+	case String:
+		out.strs = append([]string(nil), v.strs...)
+	case Blob:
+		out.blobs = append([][]byte(nil), v.blobs...)
+	}
+	if v.nulls != nil {
+		out.nulls = append([]bool(nil), v.nulls...)
+	}
+	return out
+}
+
+// Cast converts the whole vector to the target type. NULL rows stay
+// NULL. Unsupported casts return an error.
+func (v *Vector) Cast(to Type) (*Vector, error) {
+	if v.typ == to {
+		return v, nil
+	}
+	out := New(to, v.length)
+	for i := 0; i < v.length; i++ {
+		if v.IsNull(i) {
+			out.AppendValue(Null())
+			continue
+		}
+		cv, err := v.Get(i).Cast(to)
+		if err != nil {
+			return nil, fmt.Errorf("cast row %d: %w", i, err)
+		}
+		out.AppendValue(cv)
+	}
+	return out, nil
+}
+
+// AsFloat64s returns the vector as a float64 slice, converting numeric
+// types. NULL rows become 0. It errors on non-numeric vectors.
+func (v *Vector) AsFloat64s() ([]float64, error) {
+	switch v.typ {
+	case Float64:
+		return v.f64, nil
+	case Int32:
+		out := make([]float64, v.length)
+		for i, x := range v.i32 {
+			out[i] = float64(x)
+		}
+		return out, nil
+	case Int64:
+		out := make([]float64, v.length)
+		for i, x := range v.i64 {
+			out[i] = float64(x)
+		}
+		return out, nil
+	case Bool:
+		out := make([]float64, v.length)
+		for i, x := range v.bools {
+			if x {
+				out[i] = 1
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("vector type %s is not numeric", v.typ)
+}
+
+// AsInt32s returns the vector as an int32 slice, converting numeric
+// types with truncation. It errors on non-numeric vectors.
+func (v *Vector) AsInt32s() ([]int32, error) {
+	switch v.typ {
+	case Int32:
+		return v.i32, nil
+	case Int64:
+		out := make([]int32, v.length)
+		for i, x := range v.i64 {
+			out[i] = int32(x)
+		}
+		return out, nil
+	case Float64:
+		out := make([]int32, v.length)
+		for i, x := range v.f64 {
+			out[i] = int32(x)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("vector type %s is not an integer type", v.typ)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,566 @@
+// Package wire implements the client/server protocols used by the
+// socket-transfer baselines of Figure 1. A Server exposes a vexdb
+// engine over TCP; clients fetch query results with one of three
+// encodings whose costs mirror the paper's comparison systems:
+//
+//   - TextRows: row-at-a-time, text-serialized fields (the
+//     PostgreSQL-protocol analog) — every value is printed and
+//     re-parsed, the slowest path.
+//   - BinaryRows: row-at-a-time, binary fields (the MySQL-protocol
+//     analog) — no text conversion but still row-major framing.
+//   - Columnar: the engine's native bulk columnar transfer (what a
+//     redesigned client protocol can achieve, cf. Raasveldt &
+//     Mühleisen, VLDB 2017).
+//
+// RowIterate provides the SQLite analog: an in-process row-at-a-time
+// cursor with per-value boxing but no socket.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"vexdb/internal/storage"
+	"vexdb/internal/vector"
+)
+
+// Protocol selects the result encoding.
+type Protocol uint8
+
+// Supported protocols.
+const (
+	// TextRows serializes every value to text, row by row (pg-like).
+	TextRows Protocol = iota + 1
+	// BinaryRows sends binary values, row by row (mysql-like).
+	BinaryRows
+	// Columnar bulk-transfers whole columns (vexdb native).
+	Columnar
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case TextRows:
+		return "text-rows"
+	case BinaryRows:
+		return "binary-rows"
+	case Columnar:
+		return "columnar"
+	}
+	return fmt.Sprintf("protocol(%d)", uint8(p))
+}
+
+// Request framing: u32 length, protocol byte, SQL bytes.
+// Response framing: status byte (0 ok / 1 error). Errors carry
+// u32 length + message. OK responses carry the protocol-specific
+// payload.
+
+func writeRequest(w io.Writer, proto Protocol, sql string) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(sql)))
+	hdr[4] = byte(proto)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, sql)
+	return err
+}
+
+func readRequest(r io.Reader) (Protocol, string, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, "", err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > 1<<24 {
+		return 0, "", fmt.Errorf("wire: request too large (%d bytes)", n)
+	}
+	sql := make([]byte, n)
+	if _, err := io.ReadFull(r, sql); err != nil {
+		return 0, "", err
+	}
+	return Protocol(hdr[4]), string(sql), nil
+}
+
+func writeError(w io.Writer, err error) error {
+	msg := err.Error()
+	if _, werr := w.Write([]byte{1}); werr != nil {
+		return werr
+	}
+	var l [4]byte
+	binary.LittleEndian.PutUint32(l[:], uint32(len(msg)))
+	if _, werr := w.Write(l[:]); werr != nil {
+		return werr
+	}
+	_, werr := io.WriteString(w, msg)
+	return werr
+}
+
+func readStatus(r io.Reader) error {
+	var status [1]byte
+	if _, err := io.ReadFull(r, status[:]); err != nil {
+		return err
+	}
+	if status[0] == 0 {
+		return nil
+	}
+	var l [4]byte
+	if _, err := io.ReadFull(r, l[:]); err != nil {
+		return err
+	}
+	msg := make([]byte, binary.LittleEndian.Uint32(l[:]))
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return err
+	}
+	return fmt.Errorf("wire: server error: %s", msg)
+}
+
+// ----------------------------------------------------------- header
+
+func writeHeader(w io.Writer, tab *vector.Table) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(tab.NumCols()))
+	if _, err := w.Write(b[:]); err != nil {
+		return err
+	}
+	for i, name := range tab.Names {
+		var nl [2]byte
+		binary.LittleEndian.PutUint16(nl[:], uint16(len(name)))
+		if _, err := w.Write(nl[:]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, name); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte{byte(tab.Cols[i].Type())}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readHeader(r io.Reader) (names []string, types []vector.Type, err error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return nil, nil, err
+	}
+	n := binary.LittleEndian.Uint32(b[:])
+	if n > 1<<16 {
+		return nil, nil, fmt.Errorf("wire: implausible column count %d", n)
+	}
+	names = make([]string, n)
+	types = make([]vector.Type, n)
+	for i := range names {
+		var nl [2]byte
+		if _, err := io.ReadFull(r, nl[:]); err != nil {
+			return nil, nil, err
+		}
+		nb := make([]byte, binary.LittleEndian.Uint16(nl[:]))
+		if _, err := io.ReadFull(r, nb); err != nil {
+			return nil, nil, err
+		}
+		names[i] = string(nb)
+		var t [1]byte
+		if _, err := io.ReadFull(r, t[:]); err != nil {
+			return nil, nil, err
+		}
+		types[i] = vector.Type(t[0])
+	}
+	return names, types, nil
+}
+
+// ----------------------------------------------------------- text rows
+
+const textEndMarker = "\\."
+
+// writeTextRows streams the result row-at-a-time as tab-separated
+// text with escaping — every value passes through a text conversion,
+// reproducing the cost profile of the PostgreSQL wire protocol.
+func writeTextRows(w *bufio.Writer, tab *vector.Table) error {
+	if err := writeHeader(w, tab); err != nil {
+		return err
+	}
+	n := tab.NumRows()
+	for r := 0; r < n; r++ {
+		for c, col := range tab.Cols {
+			if c > 0 {
+				if err := w.WriteByte('\t'); err != nil {
+					return err
+				}
+			}
+			if err := writeTextField(w, col, r); err != nil {
+				return err
+			}
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	if _, err := w.WriteString(textEndMarker + "\n"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func writeTextField(w *bufio.Writer, col *vector.Vector, r int) error {
+	if col.IsNull(r) {
+		_, err := w.WriteString("\\N")
+		return err
+	}
+	switch col.Type() {
+	case vector.Int32:
+		_, err := w.WriteString(strconv.FormatInt(int64(col.Int32s()[r]), 10))
+		return err
+	case vector.Int64:
+		_, err := w.WriteString(strconv.FormatInt(col.Int64s()[r], 10))
+		return err
+	case vector.Float64:
+		_, err := w.WriteString(strconv.FormatFloat(col.Float64s()[r], 'g', -1, 64))
+		return err
+	case vector.Bool:
+		if col.Bools()[r] {
+			_, err := w.WriteString("t")
+			return err
+		}
+		_, err := w.WriteString("f")
+		return err
+	case vector.String:
+		_, err := w.WriteString(escapeText(col.Strings()[r]))
+		return err
+	case vector.Blob:
+		_, err := w.WriteString(hexEncode(col.Blobs()[r]))
+		return err
+	}
+	return fmt.Errorf("wire: unsupported type %v", col.Type())
+}
+
+func escapeText(s string) string {
+	if !strings.ContainsAny(s, "\t\n\\") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\t':
+			b.WriteString("\\t")
+		case '\n':
+			b.WriteString("\\n")
+		case '\\':
+			b.WriteString("\\\\")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+func unescapeText(s string) string {
+	if !strings.Contains(s, "\\") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case 't':
+				b.WriteByte('\t')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+const hexDigits = "0123456789abcdef"
+
+func hexEncode(b []byte) string {
+	out := make([]byte, 2*len(b))
+	for i, v := range b {
+		out[2*i] = hexDigits[v>>4]
+		out[2*i+1] = hexDigits[v&0xF]
+	}
+	return string(out)
+}
+
+func hexDecode(s string) ([]byte, error) {
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("wire: odd hex length")
+	}
+	out := make([]byte, len(s)/2)
+	for i := range out {
+		hi := strings.IndexByte(hexDigits, s[2*i])
+		lo := strings.IndexByte(hexDigits, s[2*i+1])
+		if hi < 0 || lo < 0 {
+			return nil, fmt.Errorf("wire: bad hex byte %q", s[2*i:2*i+2])
+		}
+		out[i] = byte(hi<<4 | lo)
+	}
+	return out, nil
+}
+
+// readTextRows parses the text-row stream back into columns: the
+// client-side conversion cost of the pg-like path.
+func readTextRows(r *bufio.Reader) (*vector.Table, error) {
+	names, types, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]*vector.Vector, len(types))
+	for i, t := range types {
+		cols[i] = vector.New(t, 1024)
+	}
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("wire: read row: %w", err)
+		}
+		line = strings.TrimSuffix(line, "\n")
+		if line == textEndMarker {
+			break
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != len(cols) {
+			return nil, fmt.Errorf("wire: row has %d fields, expected %d", len(fields), len(cols))
+		}
+		for i, f := range fields {
+			if err := appendTextField(cols[i], types[i], f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return vector.NewTable(names, cols)
+}
+
+func appendTextField(col *vector.Vector, t vector.Type, f string) error {
+	if f == "\\N" {
+		col.AppendValue(vector.Null())
+		return nil
+	}
+	switch t {
+	case vector.Int32:
+		v, err := strconv.ParseInt(f, 10, 32)
+		if err != nil {
+			return fmt.Errorf("wire: parse int %q: %w", f, err)
+		}
+		col.AppendValue(vector.NewInt32(int32(v)))
+	case vector.Int64:
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return fmt.Errorf("wire: parse bigint %q: %w", f, err)
+		}
+		col.AppendValue(vector.NewInt64(v))
+	case vector.Float64:
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return fmt.Errorf("wire: parse double %q: %w", f, err)
+		}
+		col.AppendValue(vector.NewFloat64(v))
+	case vector.Bool:
+		col.AppendValue(vector.NewBool(f == "t"))
+	case vector.String:
+		col.AppendValue(vector.NewString(unescapeText(f)))
+	case vector.Blob:
+		b, err := hexDecode(f)
+		if err != nil {
+			return err
+		}
+		col.AppendValue(vector.NewBlob(b))
+	default:
+		return fmt.Errorf("wire: unsupported type %v", t)
+	}
+	return nil
+}
+
+// ----------------------------------------------------------- binary rows
+
+// writeBinaryRows streams the result row-at-a-time with binary field
+// encoding (mysql-like): marker byte 1 per row, 0 terminates. Fields:
+// null flag byte, then the value (fixed width, or u32 length + bytes).
+func writeBinaryRows(w *bufio.Writer, tab *vector.Table) error {
+	if err := writeHeader(w, tab); err != nil {
+		return err
+	}
+	n := tab.NumRows()
+	var buf [9]byte
+	for r := 0; r < n; r++ {
+		if err := w.WriteByte(1); err != nil {
+			return err
+		}
+		for _, col := range tab.Cols {
+			if col.IsNull(r) {
+				if err := w.WriteByte(1); err != nil {
+					return err
+				}
+				continue
+			}
+			buf[0] = 0
+			switch col.Type() {
+			case vector.Int32:
+				binary.LittleEndian.PutUint32(buf[1:5], uint32(col.Int32s()[r]))
+				if _, err := w.Write(buf[:5]); err != nil {
+					return err
+				}
+			case vector.Int64:
+				binary.LittleEndian.PutUint64(buf[1:9], uint64(col.Int64s()[r]))
+				if _, err := w.Write(buf[:9]); err != nil {
+					return err
+				}
+			case vector.Float64:
+				binary.LittleEndian.PutUint64(buf[1:9], math.Float64bits(col.Float64s()[r]))
+				if _, err := w.Write(buf[:9]); err != nil {
+					return err
+				}
+			case vector.Bool:
+				buf[1] = 0
+				if col.Bools()[r] {
+					buf[1] = 1
+				}
+				if _, err := w.Write(buf[:2]); err != nil {
+					return err
+				}
+			case vector.String:
+				s := col.Strings()[r]
+				binary.LittleEndian.PutUint32(buf[1:5], uint32(len(s)))
+				if _, err := w.Write(buf[:5]); err != nil {
+					return err
+				}
+				if _, err := w.WriteString(s); err != nil {
+					return err
+				}
+			case vector.Blob:
+				b := col.Blobs()[r]
+				binary.LittleEndian.PutUint32(buf[1:5], uint32(len(b)))
+				if _, err := w.Write(buf[:5]); err != nil {
+					return err
+				}
+				if _, err := w.Write(b); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("wire: unsupported type %v", col.Type())
+			}
+		}
+	}
+	return w.WriteByte(0)
+}
+
+func readBinaryRows(r *bufio.Reader) (*vector.Table, error) {
+	names, types, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]*vector.Vector, len(types))
+	for i, t := range types {
+		cols[i] = vector.New(t, 1024)
+	}
+	var buf [8]byte
+	for {
+		marker, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("wire: read row marker: %w", err)
+		}
+		if marker == 0 {
+			break
+		}
+		for i, t := range types {
+			nullFlag, err := r.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			if nullFlag == 1 {
+				cols[i].AppendValue(vector.Null())
+				continue
+			}
+			switch t {
+			case vector.Int32:
+				if _, err := io.ReadFull(r, buf[:4]); err != nil {
+					return nil, err
+				}
+				cols[i].AppendValue(vector.NewInt32(int32(binary.LittleEndian.Uint32(buf[:4]))))
+			case vector.Int64:
+				if _, err := io.ReadFull(r, buf[:8]); err != nil {
+					return nil, err
+				}
+				cols[i].AppendValue(vector.NewInt64(int64(binary.LittleEndian.Uint64(buf[:8]))))
+			case vector.Float64:
+				if _, err := io.ReadFull(r, buf[:8]); err != nil {
+					return nil, err
+				}
+				cols[i].AppendValue(vector.NewFloat64(math.Float64frombits(binary.LittleEndian.Uint64(buf[:8]))))
+			case vector.Bool:
+				b, err := r.ReadByte()
+				if err != nil {
+					return nil, err
+				}
+				cols[i].AppendValue(vector.NewBool(b == 1))
+			case vector.String:
+				if _, err := io.ReadFull(r, buf[:4]); err != nil {
+					return nil, err
+				}
+				sb := make([]byte, binary.LittleEndian.Uint32(buf[:4]))
+				if _, err := io.ReadFull(r, sb); err != nil {
+					return nil, err
+				}
+				cols[i].AppendValue(vector.NewString(string(sb)))
+			case vector.Blob:
+				if _, err := io.ReadFull(r, buf[:4]); err != nil {
+					return nil, err
+				}
+				bb := make([]byte, binary.LittleEndian.Uint32(buf[:4]))
+				if _, err := io.ReadFull(r, bb); err != nil {
+					return nil, err
+				}
+				cols[i].AppendValue(vector.NewBlob(bb))
+			default:
+				return nil, fmt.Errorf("wire: unsupported type %v", t)
+			}
+		}
+	}
+	return vector.NewTable(names, cols)
+}
+
+// ----------------------------------------------------------- columnar
+
+func writeColumnar(w *bufio.Writer, tab *vector.Table) error {
+	store := storage.NewColumnStore(columnTypes(tab))
+	if tab.NumRows() > 0 {
+		if err := store.AppendChunk(tab.Chunk()); err != nil {
+			return err
+		}
+	}
+	return storage.WriteTable(w, tab.Names, store)
+}
+
+func readColumnar(r *bufio.Reader) (*vector.Table, error) {
+	names, store, err := storage.ReadTable(r)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]*vector.Vector, store.NumColumns())
+	for i := range cols {
+		cols[i] = store.Column(i)
+	}
+	return vector.NewTable(names, cols)
+}
+
+func columnTypes(tab *vector.Table) []vector.Type {
+	out := make([]vector.Type, tab.NumCols())
+	for i, c := range tab.Cols {
+		out[i] = c.Type()
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"vexdb/internal/engine"
+	"vexdb/internal/vector"
+)
+
+// Server exposes an engine over TCP. Each connection handles a
+// sequence of requests; one goroutine per connection.
+type Server struct {
+	db *engine.DB
+	ln net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps a database for network serving.
+func NewServer(db *engine.DB) *Server {
+	return &Server{db: db, conns: make(map[net.Conn]struct{})}
+}
+
+// Start listens on addr (use "127.0.0.1:0" for an ephemeral port) and
+// serves in the background. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("wire: listen: %w", err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<20)
+	for {
+		proto, query, err := readRequest(br)
+		if err != nil {
+			return // client hung up or sent garbage
+		}
+		res, err := s.db.Exec(query)
+		if err != nil {
+			if werr := writeError(bw, err); werr != nil {
+				return
+			}
+			if bw.Flush() != nil {
+				return
+			}
+			continue
+		}
+		tab := res.Table
+		if tab == nil {
+			// Statements without results return an empty relation.
+			tab = &vector.Table{}
+		}
+		if _, err := bw.Write([]byte{0}); err != nil {
+			return
+		}
+		switch proto {
+		case TextRows:
+			err = writeTextRows(bw, tab)
+		case BinaryRows:
+			err = writeBinaryRows(bw, tab)
+		case Columnar:
+			err = writeColumnar(bw, tab)
+		default:
+			err = fmt.Errorf("wire: unknown protocol %d", proto)
+		}
+		if err != nil {
+			return
+		}
+		if bw.Flush() != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting and closes live connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// Client is a connection to a wire server. Not safe for concurrent
+// use; open one client per goroutine.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 1<<20),
+		bw:   bufio.NewWriterSize(conn, 1<<16),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Query executes sql on the server and materializes the result using
+// the requested protocol.
+func (c *Client) Query(proto Protocol, sql string) (*vector.Table, error) {
+	if err := writeRequest(c.bw, proto, sql); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	if err := readStatus(c.br); err != nil {
+		return nil, err
+	}
+	switch proto {
+	case TextRows:
+		return readTextRows(c.br)
+	case BinaryRows:
+		return readBinaryRows(c.br)
+	case Columnar:
+		return readColumnar(c.br)
+	}
+	return nil, fmt.Errorf("wire: unknown protocol %d", proto)
+}
+
+// Exec executes a statement discarding any result rows.
+func (c *Client) Exec(sql string) error {
+	_, err := c.Query(Columnar, sql)
+	return err
+}
+
+// RowIterate is the SQLite analog: execute a query in-process and
+// materialize the result through a row-at-a-time cursor with
+// per-value boxing (no socket, but all the per-row API overhead).
+func RowIterate(db *engine.DB, sql string) (*vector.Table, error) {
+	res, err := db.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	if res.Table == nil {
+		return nil, errors.New("wire: statement returned no rows")
+	}
+	src := res.Table
+	cols := make([]*vector.Vector, src.NumCols())
+	for i, c := range src.Cols {
+		cols[i] = vector.New(c.Type(), src.NumRows())
+	}
+	n := src.NumRows()
+	for r := 0; r < n; r++ {
+		// One boxed Value per field per row, as a row-cursor API
+		// (sqlite3_column_*) would force.
+		for i, c := range src.Cols {
+			cols[i].AppendValue(c.Get(r))
+		}
+	}
+	return vector.NewTable(src.Names, cols)
+}

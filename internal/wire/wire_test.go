@@ -1,0 +1,233 @@
+package wire
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vexdb/internal/engine"
+)
+
+func startServer(t *testing.T) (*engine.DB, string) {
+	t.Helper()
+	db := engine.New()
+	script := []string{
+		"CREATE TABLE t (id BIGINT, v DOUBLE, name VARCHAR, raw BLOB)",
+	}
+	for _, q := range script {
+		if _, err := db.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO t (id, v, name) VALUES ")
+	for i := 0; i < 500; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, "(%d, %f, 'row %d')", i, float64(i)*0.5, i)
+	}
+	if _, err := db.Exec(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(db)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return db, addr
+}
+
+func TestAllProtocolsRoundTrip(t *testing.T) {
+	_, addr := startServer(t)
+	for _, proto := range []Protocol{TextRows, BinaryRows, Columnar} {
+		t.Run(proto.String(), func(t *testing.T) {
+			c, err := Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			tab, err := c.Query(proto, "SELECT id, v, name, raw FROM t ORDER BY id")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tab.NumRows() != 500 || tab.NumCols() != 4 {
+				t.Fatalf("dims %dx%d", tab.NumCols(), tab.NumRows())
+			}
+			if tab.Column("id").Get(7).Int64() != 7 {
+				t.Fatal("id wrong")
+			}
+			if tab.Column("v").Get(3).Float64() != 1.5 {
+				t.Fatal("v wrong")
+			}
+			if tab.Column("name").Get(10).Str() != "row 10" {
+				t.Fatal("name wrong")
+			}
+			if !tab.Column("raw").IsNull(0) {
+				t.Fatal("null blob wrong")
+			}
+		})
+	}
+}
+
+func TestEscapingAndSpecialValues(t *testing.T) {
+	db := engine.New()
+	if _, err := db.Exec("CREATE TABLE s (x VARCHAR, b BOOLEAN, i INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO s VALUES ('tab	and
+newline', TRUE, -5), (NULL, FALSE, NULL)`); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(db)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, proto := range []Protocol{TextRows, BinaryRows, Columnar} {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := c.Query(proto, "SELECT x, b, i FROM s")
+		c.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		if got := tab.Column("x").Get(0).Str(); got != "tab\tand\nnewline" {
+			t.Fatalf("%s: escaped string = %q", proto, got)
+		}
+		if !tab.Column("x").IsNull(1) || !tab.Column("i").IsNull(1) {
+			t.Fatalf("%s: null handling", proto)
+		}
+		if tab.Column("b").Get(0).Bool() != true || tab.Column("i").Get(0).Int64() != -5 {
+			t.Fatalf("%s: values", proto)
+		}
+	}
+}
+
+func TestServerError(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query(TextRows, "SELECT * FROM no_such_table"); err == nil {
+		t.Fatal("server error not propagated")
+	}
+	// The connection stays usable after an error.
+	tab, err := c.Query(TextRows, "SELECT count(*) AS n FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Column("n").Get(0).Int64() != 500 {
+		t.Fatal("post-error query")
+	}
+}
+
+func TestClientExecAndMultipleRequests(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Exec("CREATE TABLE made_remotely (a BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Exec("INSERT INTO made_remotely VALUES (1), (2)"); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := c.Query(BinaryRows, "SELECT sum(a) AS s FROM made_remotely")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Column("s").Get(0).Int64() != 3 {
+		t.Fatal("remote DDL/DML failed")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, addr := startServer(t)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			c, err := Dial(addr)
+			if err != nil {
+				done <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 5; j++ {
+				tab, err := c.Query(Columnar, "SELECT count(*) AS n FROM t")
+				if err != nil {
+					done <- err
+					return
+				}
+				if tab.Column("n").Get(0).Int64() != 500 {
+					done <- fmt.Errorf("wrong count")
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRowIterate(t *testing.T) {
+	db, _ := startServer(t)
+	tab, err := RowIterate(db, "SELECT id, v FROM t ORDER BY id LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 10 || tab.Column("v").Get(4).Float64() != 2 {
+		t.Fatalf("row iterate: %d rows", tab.NumRows())
+	}
+	if _, err := RowIterate(db, "SELECT * FROM nope"); err == nil {
+		t.Fatal("error not propagated")
+	}
+}
+
+func TestHexCodec(t *testing.T) {
+	b := []byte{0, 1, 0xAB, 0xFF}
+	s := hexEncode(b)
+	if s != "0001abff" {
+		t.Fatalf("hex = %q", s)
+	}
+	back, err := hexDecode(s)
+	if err != nil || string(back) != string(b) {
+		t.Fatal("hex round trip")
+	}
+	if _, err := hexDecode("abc"); err == nil {
+		t.Error("odd length should fail")
+	}
+	if _, err := hexDecode("zz"); err == nil {
+		t.Error("bad digit should fail")
+	}
+}
+
+func TestEmptyResult(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, proto := range []Protocol{TextRows, BinaryRows, Columnar} {
+		tab, err := c.Query(proto, "SELECT id FROM t WHERE id < 0")
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		if tab.NumRows() != 0 {
+			t.Fatalf("%s: %d rows", proto, tab.NumRows())
+		}
+	}
+}

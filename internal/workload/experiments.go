@@ -1,0 +1,275 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"vexdb"
+	"vexdb/internal/wire"
+	"vexdb/ml"
+	"vexdb/modelstore"
+)
+
+// SerializationResult is one row of experiment E2: model
+// (de)serialization overhead versus model size (the paper's §5.1
+// future-work concern, measured).
+type SerializationResult struct {
+	Trees       int
+	BlobBytes   int
+	Serialize   time.Duration
+	Deserialize time.Duration
+	// PredictOnce is the prediction time over the probe set, for
+	// comparing the (de)serialization overhead against useful work.
+	PredictOnce time.Duration
+}
+
+// E2ModelSerialization measures serialize/deserialize round trips for
+// growing random forests trained on the environment's data.
+func E2ModelSerialization(env *Env, treeCounts []int) ([]SerializationResult, error) {
+	cfg := env.Cfg
+	X, y, err := trainingMatrix(env, 20_000)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SerializationResult, 0, len(treeCounts))
+	for _, trees := range treeCounts {
+		f := ml.NewRandomForest(trees)
+		f.MaxDepth = cfg.MaxDepth
+		f.Seed = cfg.Seed
+		if err := f.Fit(X, y); err != nil {
+			return nil, fmt.Errorf("E2 fit %d trees: %w", trees, err)
+		}
+		r := SerializationResult{Trees: trees}
+
+		t0 := time.Now()
+		blob, err := ml.Marshal(f)
+		if err != nil {
+			return nil, err
+		}
+		r.Serialize = time.Since(t0)
+		r.BlobBytes = len(blob)
+
+		t1 := time.Now()
+		back, err := ml.Unmarshal(blob)
+		if err != nil {
+			return nil, err
+		}
+		r.Deserialize = time.Since(t1)
+
+		t2 := time.Now()
+		if _, err := back.Predict(X); err != nil {
+			return nil, err
+		}
+		r.PredictOnce = time.Since(t2)
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// trainingMatrix extracts up to maxRows labeled training rows from
+// the generated voters (client-side, shared by the ablations).
+func trainingMatrix(env *Env, maxRows int) ([][]float64, []int, error) {
+	cfg := env.Cfg
+	joined, err := env.Voters.InnerJoinInt(env.Precincts, "precinct_id", "precinct_id")
+	if err != nil {
+		return nil, nil, err
+	}
+	n := joined.NumRows()
+	if n > maxRows {
+		n = maxRows
+	}
+	ids := joined.Col("voter_id").Ints
+	demV := joined.Col("dem_votes").Ints
+	repV := joined.Col("rep_votes").Ints
+	feats := FeatureNames(cfg)
+	X := make([][]float64, len(feats))
+	for f, name := range feats {
+		X[f] = joined.Col(name).Floats[:n]
+	}
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		u := splitmix64(uint64(ids[i]), uint64(cfg.Seed))
+		if u >= float64(demV[i])/float64(demV[i]+repV[i]) {
+			y[i] = 1
+		}
+	}
+	return X, y, nil
+}
+
+// ParallelResult is one row of experiment E3: prediction UDF latency
+// versus the engine's parallelism setting.
+type ParallelResult struct {
+	Workers int
+	Elapsed time.Duration
+	Speedup float64 // relative to Workers == 1
+}
+
+// E3ParallelUDF runs the in-database prediction query under growing
+// parallelism (the paper's "parallel processing opportunities").
+func E3ParallelUDF(env *Env, workerCounts []int) ([]ParallelResult, error) {
+	cfg := env.Cfg
+	db := env.DB
+	// Ensure the labeled table and model exist (reuse the in-db
+	// pipeline's artifacts, building them if needed).
+	if !db.HasTable("labeled") || !db.HasTable("rf_model") {
+		if _, err := RunInDatabase(env); err != nil {
+			return nil, err
+		}
+	}
+	featList := prefixAll("l.", FeatureNames(cfg))
+	query := fmt.Sprintf(`SELECT count(*) AS n FROM (
+		SELECT predict(m.model, %s) AS pred
+		FROM labeled l, rf_model m) q WHERE q.pred >= 0`, featList)
+
+	out := make([]ParallelResult, 0, len(workerCounts))
+	var base time.Duration
+	for _, w := range workerCounts {
+		db.SetParallelism(w)
+		t0 := time.Now()
+		if _, err := db.Query(query); err != nil {
+			db.SetParallelism(cfg.Parallelism)
+			return nil, fmt.Errorf("E3 workers=%d: %w", w, err)
+		}
+		elapsed := time.Since(t0)
+		if len(out) == 0 {
+			base = elapsed
+		}
+		out = append(out, ParallelResult{
+			Workers: w,
+			Elapsed: elapsed,
+			Speedup: float64(base) / float64(elapsed),
+		})
+	}
+	db.SetParallelism(cfg.Parallelism)
+	return out, nil
+}
+
+// EnsembleResult is experiment E4: accuracy of individual stored
+// models versus meta-analysis-driven selection and ensembles
+// (paper §3.3).
+type EnsembleResult struct {
+	PerModel   map[string]float64 // algo -> test accuracy
+	BestByMeta float64            // accuracy of the model SQL meta-analysis selects
+	Majority   float64
+	Confidence float64
+}
+
+// E4Ensemble trains several model families, stores them with their
+// validation scores, selects the best via the model store's relational
+// query, and compares ensemble strategies.
+func E4Ensemble(env *Env) (*EnsembleResult, error) {
+	X, y, err := trainingMatrix(env, 20_000)
+	if err != nil {
+		return nil, err
+	}
+	trainX, trainY, testX, testY, err := ml.TrainTestSplit(X, y, 0.25, env.Cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	db := vexdb.Open()
+	store, err := modelstore.Open(db)
+	if err != nil {
+		return nil, err
+	}
+	models := []ml.Classifier{
+		func() ml.Classifier {
+			f := ml.NewRandomForest(env.Cfg.Estimators)
+			f.MaxDepth = env.Cfg.MaxDepth
+			f.Seed = env.Cfg.Seed
+			return f
+		}(),
+		ml.NewDecisionTree(),
+		ml.NewLogisticRegression(),
+		ml.NewGaussianNB(),
+	}
+	out := &EnsembleResult{PerModel: make(map[string]float64)}
+	var ids []int64
+	for _, m := range models {
+		if err := m.Fit(trainX, trainY); err != nil {
+			return nil, fmt.Errorf("E4 fit %s: %w", m.Name(), err)
+		}
+		pred, err := m.Predict(testX)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := ml.Accuracy(testY, pred)
+		if err != nil {
+			return nil, err
+		}
+		out.PerModel[m.Name()] = acc
+		id, err := store.Save("voters_"+m.Name(), m, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := store.RecordScore(id, "voters_test", "accuracy", acc); err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	bestID, err := store.Best("voters_test", "accuracy")
+	if err != nil {
+		return nil, err
+	}
+	best, _, err := store.Load(bestID)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := best.Predict(testX)
+	if err != nil {
+		return nil, err
+	}
+	out.BestByMeta, _ = ml.Accuracy(testY, bp)
+
+	ens, err := store.LoadEnsemble(ids...)
+	if err != nil {
+		return nil, err
+	}
+	mp, err := ens.PredictMajority(testX)
+	if err != nil {
+		return nil, err
+	}
+	out.Majority, _ = ml.Accuracy(testY, mp)
+	cp, _, err := ens.PredictHighestConfidence(testX)
+	if err != nil {
+		return nil, err
+	}
+	out.Confidence, _ = ml.Accuracy(testY, cp)
+	return out, nil
+}
+
+// ProtocolResult is one row of experiment E5: bulk result transfer
+// time per client protocol.
+type ProtocolResult struct {
+	Protocol string
+	Rows     int
+	Elapsed  time.Duration
+}
+
+// E5Protocols transfers the whole voters table through each wire
+// protocol plus the in-process row cursor, isolating the client
+// protocol cost the paper's introduction blames for the socket
+// bottleneck.
+func E5Protocols(env *Env) ([]ProtocolResult, error) {
+	out := make([]ProtocolResult, 0, 4)
+	for _, proto := range []wire.Protocol{wire.Columnar, wire.BinaryRows, wire.TextRows} {
+		c, err := wire.Dial(env.Addr)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		tab, err := c.Query(proto, "SELECT * FROM voters")
+		elapsed := time.Since(t0)
+		c.Close()
+		if err != nil {
+			return nil, fmt.Errorf("E5 %s: %w", proto, err)
+		}
+		out = append(out, ProtocolResult{Protocol: proto.String(), Rows: tab.NumRows(), Elapsed: elapsed})
+	}
+	t0 := time.Now()
+	tab, err := wire.RowIterate(env.ServerDB, "SELECT * FROM voters")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, ProtocolResult{Protocol: "row-cursor (in-process)", Rows: tab.NumRows(), Elapsed: time.Since(t0)})
+	return out, nil
+}

@@ -1,0 +1,602 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"vexdb"
+	"vexdb/internal/engine"
+	"vexdb/internal/fileformat/csvio"
+	"vexdb/internal/fileformat/h5io"
+	"vexdb/internal/fileformat/npyio"
+	"vexdb/internal/frame"
+	"vexdb/internal/vector"
+	"vexdb/internal/wire"
+	"vexdb/ml"
+)
+
+// Result is one Figure-1 bar: the timing breakdown and quality of a
+// full voter-classification pipeline run under one data placement.
+type Result struct {
+	Method string
+	// Load is the time to get raw bytes into client memory (zero for
+	// the in-database pipeline, where the data is resident).
+	Load time.Duration
+	// Wrangle is join + label generation + train/test split.
+	Wrangle time.Duration
+	// Train is model fitting (including in-DB model storage).
+	Train time.Duration
+	// Predict is classification of the test set plus the per-precinct
+	// aggregation of predictions.
+	Predict time.Duration
+	// Total is the end-to-end pipeline time.
+	Total time.Duration
+	// VoterAccuracy is agreement with the generated voter labels.
+	VoterAccuracy float64
+	// PrecinctMAE is the mean absolute error between predicted and
+	// actual per-precinct democrat vote shares (the paper's
+	// aggregated evaluation).
+	PrecinctMAE float64
+	// TestRows is the classified row count.
+	TestRows int
+}
+
+// WrangleTotal is the Figure-1 gray bar: load + initial wrangling.
+func (r Result) WrangleTotal() time.Duration { return r.Load + r.Wrangle }
+
+// Env holds the prepared benchmark environment: generated datasets
+// written in every external format, a resident database for the
+// in-database pipeline, and a server for the socket pipelines.
+type Env struct {
+	Cfg       Config
+	Dir       string
+	Voters    *frame.DataFrame
+	Precincts *frame.DataFrame
+
+	// DB holds the resident data for the in-database pipeline.
+	DB *vexdb.DB
+	// ServerDB backs the wire server and the sqlite-like row API.
+	ServerDB *engine.DB
+	server   *wire.Server
+	// Addr is the wire server's address.
+	Addr string
+
+	csvVoters    string
+	csvPrecincts string
+	h5Path       string
+	npyDir       string
+}
+
+// Setup generates the datasets, writes every external format under
+// dir, loads the database instances and starts the wire server. The
+// preparation itself is not part of any measured pipeline (each
+// format's data is "already on disk" / "already in the database", as
+// in the paper).
+func Setup(cfg Config, dir string) (*Env, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	env := &Env{Cfg: cfg, Dir: dir}
+	env.Precincts = GeneratePrecincts(cfg)
+	env.Voters = GenerateVoters(cfg, env.Precincts)
+
+	// External file formats.
+	env.csvVoters = filepath.Join(dir, "voters.csv")
+	env.csvPrecincts = filepath.Join(dir, "precincts.csv")
+	if err := csvio.WriteFile(env.csvVoters, env.Voters); err != nil {
+		return nil, err
+	}
+	if err := csvio.WriteFile(env.csvPrecincts, env.Precincts); err != nil {
+		return nil, err
+	}
+	env.npyDir = filepath.Join(dir, "npy")
+	if err := npyio.WriteDir(env.npyDir, "voters", env.Voters); err != nil {
+		return nil, err
+	}
+	if err := npyio.WriteDir(env.npyDir, "precincts", env.Precincts); err != nil {
+		return nil, err
+	}
+	env.h5Path = filepath.Join(dir, "voters.h5")
+	if err := h5io.WriteFile(env.h5Path, env.Voters); err != nil {
+		return nil, err
+	}
+	h5Precincts := filepath.Join(dir, "precincts.h5")
+	if err := h5io.WriteFile(h5Precincts, env.Precincts); err != nil {
+		return nil, err
+	}
+
+	// Resident database for the in-database pipeline.
+	env.DB = vexdb.Open()
+	if cfg.Parallelism > 0 {
+		env.DB.SetParallelism(cfg.Parallelism)
+	}
+	if err := env.DB.CreateTableFrom("voters", frameToTable(env.Voters)); err != nil {
+		return nil, err
+	}
+	if err := env.DB.CreateTableFrom("precincts", frameToTable(env.Precincts)); err != nil {
+		return nil, err
+	}
+
+	// Server database for socket and row-API pipelines.
+	env.ServerDB = engine.New()
+	if err := bulkLoadEngine(env.ServerDB, "voters", env.Voters); err != nil {
+		return nil, err
+	}
+	if err := bulkLoadEngine(env.ServerDB, "precincts", env.Precincts); err != nil {
+		return nil, err
+	}
+	env.server = wire.NewServer(env.ServerDB)
+	addr, err := env.server.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	env.Addr = addr
+	return env, nil
+}
+
+// Close stops the wire server.
+func (e *Env) Close() {
+	if e.server != nil {
+		e.server.Close()
+	}
+}
+
+// FrameToTable converts a dataframe to an engine relation.
+func FrameToTable(df *frame.DataFrame) *vector.Table { return frameToTable(df) }
+
+// frameToTable converts a dataframe to an engine relation.
+func frameToTable(df *frame.DataFrame) *vector.Table {
+	names := make([]string, len(df.Cols))
+	cols := make([]*vector.Vector, len(df.Cols))
+	for i := range df.Cols {
+		c := &df.Cols[i]
+		names[i] = c.Name
+		switch c.Kind {
+		case frame.Int:
+			cols[i] = vector.FromInt64s(c.Ints)
+		case frame.Float:
+			cols[i] = vector.FromFloat64s(c.Floats)
+		default:
+			cols[i] = vector.FromStrings(c.Strs)
+		}
+	}
+	tab, err := vector.NewTable(names, cols)
+	if err != nil {
+		panic(err) // frames are equal-length by construction
+	}
+	return tab
+}
+
+// tableToFrame converts a wire result back into a dataframe (the
+// client-side representation of the external pipelines).
+func tableToFrame(tab *vector.Table) (*frame.DataFrame, error) {
+	cols := make([]frame.Column, tab.NumCols())
+	for i, c := range tab.Cols {
+		switch c.Type() {
+		case vector.Int64:
+			cols[i] = frame.IntCol(tab.Names[i], c.Int64s())
+		case vector.Int32:
+			v64 := make([]int64, c.Len())
+			for j, v := range c.Int32s() {
+				v64[j] = int64(v)
+			}
+			cols[i] = frame.IntCol(tab.Names[i], v64)
+		case vector.Float64:
+			cols[i] = frame.FloatCol(tab.Names[i], c.Float64s())
+		case vector.String:
+			cols[i] = frame.StrCol(tab.Names[i], c.Strings())
+		default:
+			return nil, fmt.Errorf("workload: cannot convert column type %s", c.Type())
+		}
+	}
+	return frame.New(cols...)
+}
+
+func bulkLoadEngine(db *engine.DB, name string, df *frame.DataFrame) error {
+	tab := frameToTable(df)
+	cols := make([]string, len(tab.Names))
+	for i, n := range tab.Names {
+		t := "BIGINT"
+		if tab.Cols[i].Type() == vector.Float64 {
+			t = "DOUBLE"
+		} else if tab.Cols[i].Type() == vector.String {
+			t = "VARCHAR"
+		}
+		cols[i] = n + " " + t
+	}
+	if _, err := db.Exec(fmt.Sprintf("CREATE TABLE %s (%s)", name, strings.Join(cols, ", "))); err != nil {
+		return err
+	}
+	cat, err := db.Catalog().Table(name)
+	if err != nil {
+		return err
+	}
+	return cat.Data.AppendChunk(tab.Chunk())
+}
+
+// --------------------------------------------------- in-database run
+
+// RunInDatabase executes the whole pipeline inside the engine: SQL
+// join + weighted_label UDF for wrangling, train_rf table UDF for
+// training (model stored in a table), predict scalar UDF + SQL
+// aggregation for classification — the paper's MonetDB/Python bar.
+func RunInDatabase(env *Env) (Result, error) {
+	cfg := env.Cfg
+	db := env.DB
+	res := Result{Method: "vexdb (in-database)"}
+	for _, tbl := range []string{"labeled", "rf_model", "predictions"} {
+		if _, err := db.Exec("DROP TABLE IF EXISTS " + tbl); err != nil {
+			return res, err
+		}
+	}
+	feats := FeatureNames(cfg)
+	featList := strings.Join(feats, ", ")
+
+	start := time.Now()
+	// Wrangle: join voters with precinct totals, draw labels.
+	wrangleSQL := fmt.Sprintf(`CREATE TABLE labeled AS
+		SELECT v.voter_id AS id, v.precinct_id AS precinct_id, %s,
+		       weighted_label(v.voter_id, CAST(p.dem_votes AS DOUBLE), CAST(p.rep_votes AS DOUBLE), %d) AS label
+		FROM voters v JOIN precincts p ON v.precinct_id = p.precinct_id`,
+		prefixAll("v.", feats), cfg.Seed)
+	if _, err := db.Exec(wrangleSQL); err != nil {
+		return res, fmt.Errorf("in-db wrangle: %w", err)
+	}
+	res.Wrangle = time.Since(start)
+
+	// Train on the training partition and store the model (Listing 1).
+	tTrain := time.Now()
+	trainSQL := fmt.Sprintf(`CREATE TABLE rf_model AS
+		SELECT * FROM train_rf((SELECT %s, label FROM labeled WHERE id %% %d <> 0), %d, %d, %d)`,
+		featList, cfg.TestModulus, cfg.Estimators, cfg.MaxDepth, cfg.Seed)
+	if _, err := db.Exec(trainSQL); err != nil {
+		return res, fmt.Errorf("in-db train: %w", err)
+	}
+	res.Train = time.Since(tTrain)
+
+	// Predict the test partition with the stored model (Listing 2)
+	// and aggregate per precinct.
+	tPred := time.Now()
+	predictSQL := fmt.Sprintf(`CREATE TABLE predictions AS
+		SELECT l.precinct_id AS precinct_id, l.label AS label,
+		       predict(m.model, %s) AS pred
+		FROM labeled l, rf_model m WHERE l.id %% %d = 0`,
+		prefixAll("l.", feats), cfg.TestModulus)
+	if _, err := db.Exec(predictSQL); err != nil {
+		return res, fmt.Errorf("in-db predict: %w", err)
+	}
+	agg, err := db.Query(`
+		SELECT precinct_id,
+		       sum(CASE WHEN pred = 0 THEN 1 ELSE 0 END) AS dem_pred,
+		       sum(CASE WHEN pred = label THEN 1 ELSE 0 END) AS correct,
+		       count(*) AS total
+		FROM predictions GROUP BY precinct_id`)
+	if err != nil {
+		return res, fmt.Errorf("in-db aggregate: %w", err)
+	}
+	res.Predict = time.Since(tPred)
+	res.Total = time.Since(start)
+
+	fillQuality(&res, env,
+		agg.Column("precinct_id").Int64s(),
+		agg.Column("dem_pred").Int64s(),
+		agg.Column("correct").Int64s(),
+		agg.Column("total").Int64s())
+	return res, nil
+}
+
+func prefixAll(prefix string, names []string) string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = prefix + n
+	}
+	return strings.Join(out, ", ")
+}
+
+// fillQuality computes voter accuracy and precinct-share MAE from
+// per-precinct aggregates.
+func fillQuality(res *Result, env *Env, precinctIDs, demPred, correct, total []int64) {
+	dem := env.Precincts.Col("dem_votes").Ints
+	rep := env.Precincts.Col("rep_votes").Ints
+	var sumCorrect, sumTotal int64
+	mae, groups := 0.0, 0
+	for i, p := range precinctIDs {
+		sumCorrect += correct[i]
+		sumTotal += total[i]
+		if total[i] == 0 {
+			continue
+		}
+		actual := float64(dem[p]) / float64(dem[p]+rep[p])
+		predicted := float64(demPred[i]) / float64(total[i])
+		mae += math.Abs(predicted - actual)
+		groups++
+	}
+	if sumTotal > 0 {
+		res.VoterAccuracy = float64(sumCorrect) / float64(sumTotal)
+	}
+	if groups > 0 {
+		res.PrecinctMAE = mae / float64(groups)
+	}
+	res.TestRows = int(sumTotal)
+}
+
+// --------------------------------------------------- external runs
+
+// loader fetches both datasets into client memory for an external
+// pipeline.
+type loader func(env *Env) (voters, precincts *frame.DataFrame, err error)
+
+// runExternal executes the client-side pipeline: load via the given
+// loader, wrangle with the dataframe library (the pandas analog),
+// train and predict with the ml library directly.
+func runExternal(env *Env, method string, load loader) (Result, error) {
+	cfg := env.Cfg
+	res := Result{Method: method}
+	start := time.Now()
+
+	voters, precincts, err := load(env)
+	if err != nil {
+		return res, fmt.Errorf("%s load: %w", method, err)
+	}
+	res.Load = time.Since(start)
+
+	// Wrangle: join + label generation + split.
+	tWrangle := time.Now()
+	joined, err := voters.InnerJoinInt(precincts, "precinct_id", "precinct_id")
+	if err != nil {
+		return res, fmt.Errorf("%s join: %w", method, err)
+	}
+	ids := joined.Col("voter_id").Ints
+	demV := joined.Col("dem_votes").Ints
+	repV := joined.Col("rep_votes").Ints
+	n := len(ids)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		u := splitmix64(uint64(ids[i]), uint64(cfg.Seed))
+		p0 := float64(demV[i]) / float64(demV[i]+repV[i])
+		if u < p0 {
+			labels[i] = 0
+		} else {
+			labels[i] = 1
+		}
+	}
+	feats := FeatureNames(cfg)
+	X := make([][]float64, len(feats))
+	for f, name := range feats {
+		col := joined.Col(name)
+		if col == nil {
+			return res, fmt.Errorf("%s: missing feature %s after join", method, name)
+		}
+		X[f] = col.Floats
+	}
+	var trainIdx, testIdx []int
+	for i := 0; i < n; i++ {
+		if ids[i]%int64(cfg.TestModulus) == 0 {
+			testIdx = append(testIdx, i)
+		} else {
+			trainIdx = append(trainIdx, i)
+		}
+	}
+	gatherX := func(idx []int) ([][]float64, []int) {
+		gx := make([][]float64, len(X))
+		for f, col := range X {
+			g := make([]float64, len(idx))
+			for i, r := range idx {
+				g[i] = col[r]
+			}
+			gx[f] = g
+		}
+		gy := make([]int, len(idx))
+		for i, r := range idx {
+			gy[i] = labels[r]
+		}
+		return gx, gy
+	}
+	trainX, trainY := gatherX(trainIdx)
+	testX, testY := gatherX(testIdx)
+	res.Wrangle = time.Since(tWrangle)
+
+	// Train.
+	tTrain := time.Now()
+	forest := ml.NewRandomForest(cfg.Estimators)
+	forest.MaxDepth = cfg.MaxDepth
+	forest.Seed = cfg.Seed
+	if err := forest.Fit(trainX, trainY); err != nil {
+		return res, fmt.Errorf("%s train: %w", method, err)
+	}
+	res.Train = time.Since(tTrain)
+
+	// Predict + aggregate per precinct.
+	tPred := time.Now()
+	pred, err := forest.Predict(testX)
+	if err != nil {
+		return res, fmt.Errorf("%s predict: %w", method, err)
+	}
+	type aggRow struct{ demPred, correct, total int64 }
+	agg := make(map[int64]*aggRow)
+	prec := joined.Col("precinct_id").Ints
+	for i, r := range testIdx {
+		a := agg[prec[r]]
+		if a == nil {
+			a = &aggRow{}
+			agg[prec[r]] = a
+		}
+		if pred[i] == 0 {
+			a.demPred++
+		}
+		if pred[i] == testY[i] {
+			a.correct++
+		}
+		a.total++
+	}
+	res.Predict = time.Since(tPred)
+	res.Total = time.Since(start)
+
+	pids := make([]int64, 0, len(agg))
+	demPred := make([]int64, 0, len(agg))
+	correct := make([]int64, 0, len(agg))
+	total := make([]int64, 0, len(agg))
+	for p, a := range agg {
+		pids = append(pids, p)
+		demPred = append(demPred, a.demPred)
+		correct = append(correct, a.correct)
+		total = append(total, a.total)
+	}
+	fillQuality(&res, env, pids, demPred, correct, total)
+	return res, nil
+}
+
+// csvTypes builds the parse schema for the voters CSV.
+func csvTypes(cfg Config) []csvio.ColType {
+	types := make([]csvio.ColType, cfg.Columns)
+	types[0], types[1] = csvio.Int, csvio.Int // voter_id, precinct_id
+	for i := 0; i < cfg.Features; i++ {
+		types[2+i] = csvio.Float
+	}
+	for i := 2 + cfg.Features; i < cfg.Columns; i++ {
+		types[i] = csvio.Int
+	}
+	return types
+}
+
+// RunCSV loads from text files with the optimized CSV parser.
+func RunCSV(env *Env) (Result, error) {
+	return runExternal(env, "csv", func(env *Env) (*frame.DataFrame, *frame.DataFrame, error) {
+		voters, err := csvio.ReadFile(env.csvVoters, csvTypes(env.Cfg))
+		if err != nil {
+			return nil, nil, err
+		}
+		precincts, err := csvio.ReadFile(env.csvPrecincts, []csvio.ColType{csvio.Int, csvio.Int, csvio.Int})
+		if err != nil {
+			return nil, nil, err
+		}
+		return voters, precincts, nil
+	})
+}
+
+// RunNumpy loads from per-column binary files.
+func RunNumpy(env *Env) (Result, error) {
+	return runExternal(env, "numpy-binary", func(env *Env) (*frame.DataFrame, *frame.DataFrame, error) {
+		voters, err := npyio.ReadDir(env.npyDir, "voters")
+		if err != nil {
+			return nil, nil, err
+		}
+		precincts, err := npyio.ReadDir(env.npyDir, "precincts")
+		if err != nil {
+			return nil, nil, err
+		}
+		return voters, precincts, nil
+	})
+}
+
+// RunHDF5 loads from the single-file binary container.
+func RunHDF5(env *Env) (Result, error) {
+	return runExternal(env, "hdf5-binary", func(env *Env) (*frame.DataFrame, *frame.DataFrame, error) {
+		voters, err := h5io.ReadFile(env.h5Path)
+		if err != nil {
+			return nil, nil, err
+		}
+		precincts, err := h5io.ReadFile(filepath.Join(env.Dir, "precincts.h5"))
+		if err != nil {
+			return nil, nil, err
+		}
+		return voters, precincts, nil
+	})
+}
+
+func socketLoader(proto wire.Protocol) loader {
+	return func(env *Env) (*frame.DataFrame, *frame.DataFrame, error) {
+		c, err := wire.Dial(env.Addr)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer c.Close()
+		vt, err := c.Query(proto, "SELECT * FROM voters")
+		if err != nil {
+			return nil, nil, err
+		}
+		pt, err := c.Query(proto, "SELECT * FROM precincts")
+		if err != nil {
+			return nil, nil, err
+		}
+		voters, err := tableToFrame(vt)
+		if err != nil {
+			return nil, nil, err
+		}
+		precincts, err := tableToFrame(pt)
+		if err != nil {
+			return nil, nil, err
+		}
+		return voters, precincts, nil
+	}
+}
+
+// RunPostgresLike transfers the data over a socket with row-at-a-time
+// text serialization.
+func RunPostgresLike(env *Env) (Result, error) {
+	return runExternal(env, "postgres-like (text socket)", socketLoader(wire.TextRows))
+}
+
+// RunMySQLLike transfers the data over a socket with row-at-a-time
+// binary serialization.
+func RunMySQLLike(env *Env) (Result, error) {
+	return runExternal(env, "mysql-like (binary socket)", socketLoader(wire.BinaryRows))
+}
+
+// RunSQLiteLike reads through an in-process row-at-a-time cursor.
+func RunSQLiteLike(env *Env) (Result, error) {
+	return runExternal(env, "sqlite-like (row API)", func(env *Env) (*frame.DataFrame, *frame.DataFrame, error) {
+		vt, err := wire.RowIterate(env.ServerDB, "SELECT * FROM voters")
+		if err != nil {
+			return nil, nil, err
+		}
+		pt, err := wire.RowIterate(env.ServerDB, "SELECT * FROM precincts")
+		if err != nil {
+			return nil, nil, err
+		}
+		voters, err := tableToFrame(vt)
+		if err != nil {
+			return nil, nil, err
+		}
+		precincts, err := tableToFrame(pt)
+		if err != nil {
+			return nil, nil, err
+		}
+		return voters, precincts, nil
+	})
+}
+
+// Figure1 runs the full benchmark: every pipeline variant of the
+// paper's Figure 1, in its display order. Each pipeline executes
+// twice and the second (hot) run is reported — "all the tests are hot
+// runs" (paper §4).
+func Figure1(env *Env) ([]Result, error) {
+	runs := []func(*Env) (Result, error){
+		RunInDatabase,
+		RunNumpy,
+		RunHDF5,
+		RunCSV,
+		RunPostgresLike,
+		RunMySQLLike,
+		RunSQLiteLike,
+	}
+	out := make([]Result, 0, len(runs))
+	for _, run := range runs {
+		if _, err := run(env); err != nil { // warmup
+			return out, err
+		}
+		r, err := run(env)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package vexdb
+
+import (
+	"fmt"
+	"os"
+
+	"vexdb/internal/fileformat/csvio"
+	"vexdb/internal/frame"
+	"vexdb/internal/vector"
+)
+
+// ImportCSV bulk-loads a headered CSV file into an existing table.
+// The file's columns must match the table's schema in order; numeric
+// and string column types are supported (BOOLEAN and BLOB columns
+// cannot be imported from CSV). It returns the number of rows loaded.
+func (db *DB) ImportCSV(table, path string) (int64, error) {
+	tab, err := db.eng.Catalog().Table(table)
+	if err != nil {
+		return 0, err
+	}
+	types := make([]csvio.ColType, len(tab.Schema))
+	for i, col := range tab.Schema {
+		switch col.Type {
+		case Int32, Int64:
+			types[i] = csvio.Int
+		case Float64:
+			types[i] = csvio.Float
+		case String:
+			types[i] = csvio.Str
+		default:
+			return 0, fmt.Errorf("vexdb: column %q: cannot import %s from CSV", col.Name, col.Type)
+		}
+	}
+	df, err := csvio.ReadFile(path, types)
+	if err != nil {
+		return 0, err
+	}
+	cols := make([]*Vector, len(df.Cols))
+	for i := range df.Cols {
+		c := &df.Cols[i]
+		switch c.Kind {
+		case frame.Int:
+			if tab.Schema[i].Type == Int32 {
+				v := vector.New(Int32, c.Len())
+				for _, x := range c.Ints {
+					v.AppendValue(vector.NewInt32(int32(x)))
+				}
+				cols[i] = v
+			} else {
+				cols[i] = vector.FromInt64s(c.Ints)
+			}
+		case frame.Float:
+			cols[i] = vector.FromFloat64s(c.Floats)
+		default:
+			cols[i] = vector.FromStrings(c.Strs)
+		}
+	}
+	if err := tab.Data.AppendChunk(vector.NewChunk(cols...)); err != nil {
+		return 0, err
+	}
+	return int64(df.NumRows()), nil
+}
+
+// ExportCSV writes a query's result to a headered CSV file. BOOLEAN
+// and BLOB result columns are not supported.
+func (db *DB) ExportCSV(query, path string) (int64, error) {
+	tab, err := db.Query(query)
+	if err != nil {
+		return 0, err
+	}
+	cols := make([]frame.Column, tab.NumCols())
+	for i, c := range tab.Cols {
+		switch c.Type() {
+		case Int64:
+			cols[i] = frame.IntCol(tab.Names[i], c.Int64s())
+		case Int32:
+			wide := make([]int64, c.Len())
+			for j, x := range c.Int32s() {
+				wide[j] = int64(x)
+			}
+			cols[i] = frame.IntCol(tab.Names[i], wide)
+		case Float64:
+			cols[i] = frame.FloatCol(tab.Names[i], c.Float64s())
+		case String:
+			cols[i] = frame.StrCol(tab.Names[i], c.Strings())
+		default:
+			return 0, fmt.Errorf("vexdb: column %q: cannot export %s to CSV", tab.Names[i], c.Type())
+		}
+	}
+	df, err := frame.New(cols...)
+	if err != nil {
+		return 0, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	if err := csvio.WriteFrame(f, df); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	return int64(df.NumRows()), nil
+}

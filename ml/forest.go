@@ -1,0 +1,188 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// RandomForest is a bagged ensemble of CART trees with per-split
+// feature subsampling — the model the paper trains in Listing 1
+// (sklearn.ensemble.RandomForestClassifier analog). Trees are fitted
+// in parallel across a worker pool.
+type RandomForest struct {
+	// NEstimators is the number of trees (default 16).
+	NEstimators int
+	// MaxDepth bounds each tree's depth (default 12; 0 = unbounded).
+	MaxDepth int
+	// MinSamplesLeaf is the minimum rows per leaf (default 1).
+	MinSamplesLeaf int
+	// MaxFeatures is the per-split feature budget; 0 = sqrt(p).
+	MaxFeatures int
+	// Seed makes training deterministic.
+	Seed int64
+	// Workers bounds fitting parallelism; 0 = NumCPU.
+	Workers int
+
+	trees   []*DecisionTree
+	classes []int
+	nfeat   int
+}
+
+// NewRandomForest returns a forest with n trees and common defaults.
+func NewRandomForest(n int) *RandomForest {
+	return &RandomForest{NEstimators: n, MaxDepth: 12, MinSamplesLeaf: 1}
+}
+
+// Name implements Classifier.
+func (f *RandomForest) Name() string { return "random_forest" }
+
+// Classes implements Classifier.
+func (f *RandomForest) Classes() []int { return f.classes }
+
+// NumTrees returns the number of fitted trees.
+func (f *RandomForest) NumTrees() int { return len(f.trees) }
+
+// Fit implements Classifier. Each tree is trained on a bootstrap
+// sample of the rows with sqrt(p) feature subsampling per split.
+func (f *RandomForest) Fit(X [][]float64, y []int) error {
+	n, err := validateXY(X, y)
+	if err != nil {
+		return err
+	}
+	if f.NEstimators <= 0 {
+		f.NEstimators = 16
+	}
+	classes, cidx := classIndex(y)
+	f.classes = classes
+	f.nfeat = len(X)
+	mtry := f.MaxFeatures
+	if mtry <= 0 {
+		mtry = int(math.Sqrt(float64(len(X))))
+		if mtry < 1 {
+			mtry = 1
+		}
+	}
+	_ = cidx
+
+	f.trees = make([]*DecisionTree, f.NEstimators)
+	workers := f.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > f.NEstimators {
+		workers = f.NEstimators
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range jobs {
+				t := &DecisionTree{
+					MaxDepth:       f.MaxDepth,
+					MinSamplesLeaf: f.MinSamplesLeaf,
+					MaxFeatures:    mtry,
+					Seed:           f.Seed + int64(ti)*7919,
+				}
+				bx, by := bootstrap(X, y, n, newRNG(f.Seed+int64(ti)*104729+1))
+				if err := t.Fit(bx, by); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("ml: tree %d: %w", ti, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				f.trees[ti] = t
+			}
+		}()
+	}
+	for ti := 0; ti < f.NEstimators; ti++ {
+		jobs <- ti
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		f.trees = nil
+		return firstErr
+	}
+	return nil
+}
+
+// bootstrap draws n rows with replacement, materializing the sampled
+// columns (column-major).
+func bootstrap(X [][]float64, y []int, n int, r *rng) ([][]float64, []int) {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = r.Intn(n)
+	}
+	bx := make([][]float64, len(X))
+	for fi, col := range X {
+		sampled := make([]float64, n)
+		for i, s := range idx {
+			sampled[i] = col[s]
+		}
+		bx[fi] = sampled
+	}
+	by := make([]int, n)
+	for i, s := range idx {
+		by[i] = y[s]
+	}
+	return bx, by
+}
+
+// PredictProba implements Classifier: the average of the trees' leaf
+// distributions.
+func (f *RandomForest) PredictProba(X [][]float64) ([][]float64, error) {
+	if len(f.trees) == 0 {
+		return nil, ErrNotFitted
+	}
+	n, err := validateX(X)
+	if err != nil {
+		return nil, err
+	}
+	if len(X) != f.nfeat {
+		return nil, fmt.Errorf("ml: forest fitted on %d features, got %d", f.nfeat, len(X))
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, len(f.classes))
+	}
+	buf := make([]float64, 0, f.nfeat)
+	for r := 0; r < n; r++ {
+		buf = row(X, r, buf)
+		acc := out[r]
+		for _, t := range f.trees {
+			p := t.predictRowProbs(buf)
+			for c := range acc {
+				acc[c] += p[c]
+			}
+		}
+		inv := 1 / float64(len(f.trees))
+		for c := range acc {
+			acc[c] *= inv
+		}
+	}
+	return out, nil
+}
+
+// Predict implements Classifier.
+func (f *RandomForest) Predict(X [][]float64) ([]int, error) {
+	probs, err := f.PredictProba(X)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(probs))
+	for i, p := range probs {
+		out[i] = f.classes[argmax(p)]
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accuracy returns the fraction of predictions equal to the truth.
+func Accuracy(truth, pred []int) (float64, error) {
+	if len(truth) != len(pred) {
+		return 0, fmt.Errorf("ml: %d truths vs %d predictions", len(truth), len(pred))
+	}
+	if len(truth) == 0 {
+		return 0, fmt.Errorf("ml: empty inputs")
+	}
+	correct := 0
+	for i := range truth {
+		if truth[i] == pred[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(truth)), nil
+}
+
+// ConfusionMatrix counts [trueClassIdx][predClassIdx] occurrences over
+// the sorted unique classes of truth ∪ pred. It returns the matrix and
+// the class order.
+func ConfusionMatrix(truth, pred []int) ([][]int, []int, error) {
+	if len(truth) != len(pred) {
+		return nil, nil, fmt.Errorf("ml: %d truths vs %d predictions", len(truth), len(pred))
+	}
+	all := append(append([]int{}, truth...), pred...)
+	classes, cidx := classIndex(all)
+	m := make([][]int, len(classes))
+	for i := range m {
+		m[i] = make([]int, len(classes))
+	}
+	for i := range truth {
+		m[cidx[truth[i]]][cidx[pred[i]]]++
+	}
+	return m, classes, nil
+}
+
+// ClassReport holds per-class precision/recall/F1.
+type ClassReport struct {
+	Class     int
+	Precision float64
+	Recall    float64
+	F1        float64
+	Support   int
+}
+
+// PrecisionRecallF1 computes per-class metrics from truth and
+// predictions.
+func PrecisionRecallF1(truth, pred []int) ([]ClassReport, error) {
+	m, classes, err := ConfusionMatrix(truth, pred)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ClassReport, len(classes))
+	for ci, c := range classes {
+		tp := m[ci][ci]
+		fp, fn, support := 0, 0, 0
+		for k := range classes {
+			if k != ci {
+				fp += m[k][ci]
+				fn += m[ci][k]
+			}
+			support += m[ci][k]
+		}
+		var prec, rec, f1 float64
+		if tp+fp > 0 {
+			prec = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			rec = float64(tp) / float64(tp+fn)
+		}
+		if prec+rec > 0 {
+			f1 = 2 * prec * rec / (prec + rec)
+		}
+		out[ci] = ClassReport{Class: c, Precision: prec, Recall: rec, F1: f1, Support: support}
+	}
+	return out, nil
+}
+
+// LogLoss computes the cross-entropy of predicted probabilities
+// against integer truths, clamping probabilities to [eps, 1-eps].
+func LogLoss(truth []int, probs [][]float64, classes []int) (float64, error) {
+	if len(truth) != len(probs) {
+		return 0, fmt.Errorf("ml: %d truths vs %d probability rows", len(truth), len(probs))
+	}
+	if len(truth) == 0 {
+		return 0, fmt.Errorf("ml: empty inputs")
+	}
+	cidx := make(map[int]int, len(classes))
+	for i, c := range classes {
+		cidx[c] = i
+	}
+	const eps = 1e-15
+	total := 0.0
+	for i, t := range truth {
+		ci, ok := cidx[t]
+		if !ok {
+			return 0, fmt.Errorf("ml: truth class %d not in model classes", t)
+		}
+		p := probs[i][ci]
+		if p < eps {
+			p = eps
+		}
+		if p > 1-eps {
+			p = 1 - eps
+		}
+		total -= math.Log(p)
+	}
+	return total / float64(len(truth)), nil
+}

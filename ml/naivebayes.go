@@ -1,0 +1,162 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// GaussianNB is a Gaussian naive Bayes classifier: per-class feature
+// means and variances with log-likelihood scoring.
+type GaussianNB struct {
+	// VarSmoothing is added to every variance for numerical stability
+	// (default 1e-9 times the largest feature variance).
+	VarSmoothing float64
+
+	classes []int
+	priors  []float64   // log priors per class
+	means   [][]float64 // [class][feature]
+	vars    [][]float64 // [class][feature]
+	nfeat   int
+}
+
+// NewGaussianNB returns a Gaussian naive Bayes model with defaults.
+func NewGaussianNB() *GaussianNB { return &GaussianNB{} }
+
+// Name implements Classifier.
+func (m *GaussianNB) Name() string { return "gaussian_nb" }
+
+// Classes implements Classifier.
+func (m *GaussianNB) Classes() []int { return m.classes }
+
+// Fit implements Classifier.
+func (m *GaussianNB) Fit(X [][]float64, y []int) error {
+	n, err := validateXY(X, y)
+	if err != nil {
+		return err
+	}
+	classes, cidx := classIndex(y)
+	m.classes = classes
+	m.nfeat = len(X)
+	k := len(classes)
+	counts := make([]float64, k)
+	m.means = make([][]float64, k)
+	m.vars = make([][]float64, k)
+	for c := 0; c < k; c++ {
+		m.means[c] = make([]float64, m.nfeat)
+		m.vars[c] = make([]float64, m.nfeat)
+	}
+	for i, c := range y {
+		ci := cidx[c]
+		counts[ci]++
+		for f := 0; f < m.nfeat; f++ {
+			m.means[ci][f] += X[f][i]
+		}
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for f := 0; f < m.nfeat; f++ {
+			m.means[c][f] /= counts[c]
+		}
+	}
+	for i, c := range y {
+		ci := cidx[c]
+		for f := 0; f < m.nfeat; f++ {
+			d := X[f][i] - m.means[ci][f]
+			m.vars[ci][f] += d * d
+		}
+	}
+	// Smoothing relative to the global variance scale.
+	maxVar := 0.0
+	for c := 0; c < k; c++ {
+		for f := 0; f < m.nfeat; f++ {
+			if counts[c] > 0 {
+				m.vars[c][f] /= counts[c]
+			}
+			if m.vars[c][f] > maxVar {
+				maxVar = m.vars[c][f]
+			}
+		}
+	}
+	eps := m.VarSmoothing
+	if eps <= 0 {
+		eps = 1e-9 * maxVar
+		if eps <= 0 {
+			eps = 1e-9
+		}
+	}
+	for c := 0; c < k; c++ {
+		for f := 0; f < m.nfeat; f++ {
+			m.vars[c][f] += eps
+		}
+	}
+	m.priors = make([]float64, k)
+	for c := 0; c < k; c++ {
+		m.priors[c] = math.Log(counts[c] / float64(n))
+	}
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (m *GaussianNB) PredictProba(X [][]float64) ([][]float64, error) {
+	if m.means == nil {
+		return nil, ErrNotFitted
+	}
+	n, err := validateX(X)
+	if err != nil {
+		return nil, err
+	}
+	if len(X) != m.nfeat {
+		return nil, fmt.Errorf("ml: model fitted on %d features, got %d", m.nfeat, len(X))
+	}
+	k := len(m.classes)
+	out := make([][]float64, n)
+	logp := make([]float64, k)
+	for r := 0; r < n; r++ {
+		for c := 0; c < k; c++ {
+			lp := m.priors[c]
+			for f := 0; f < m.nfeat; f++ {
+				v := m.vars[c][f]
+				d := X[f][r] - m.means[c][f]
+				lp += -0.5*math.Log(2*math.Pi*v) - d*d/(2*v)
+			}
+			logp[c] = lp
+		}
+		out[r] = softmaxFromLogs(logp)
+	}
+	return out, nil
+}
+
+// softmaxFromLogs exponentiates shifted log scores into probabilities.
+func softmaxFromLogs(logp []float64) []float64 {
+	maxLog := logp[0]
+	for _, v := range logp[1:] {
+		if v > maxLog {
+			maxLog = v
+		}
+	}
+	out := make([]float64, len(logp))
+	sum := 0.0
+	for i, v := range logp {
+		out[i] = math.Exp(v - maxLog)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Predict implements Classifier.
+func (m *GaussianNB) Predict(X [][]float64) ([]int, error) {
+	probs, err := m.PredictProba(X)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(probs))
+	for i, p := range probs {
+		out[i] = m.classes[argmax(p)]
+	}
+	return out, nil
+}

@@ -1,0 +1,259 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// StandardScaler centers features to zero mean and unit variance,
+// mirroring the preprocessing stage of the paper's pipeline.
+type StandardScaler struct {
+	Means []float64
+	Stds  []float64
+}
+
+// Fit computes per-feature means and standard deviations.
+func (s *StandardScaler) Fit(X [][]float64) error {
+	n, err := validateX(X)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("ml: cannot fit scaler on zero rows")
+	}
+	s.Means = make([]float64, len(X))
+	s.Stds = make([]float64, len(X))
+	for f, col := range X {
+		sum := 0.0
+		for _, v := range col {
+			sum += v
+		}
+		mean := sum / float64(n)
+		varSum := 0.0
+		for _, v := range col {
+			d := v - mean
+			varSum += d * d
+		}
+		std := math.Sqrt(varSum / float64(n))
+		if std == 0 {
+			std = 1
+		}
+		s.Means[f] = mean
+		s.Stds[f] = std
+	}
+	return nil
+}
+
+// Transform returns scaled copies of the feature columns.
+func (s *StandardScaler) Transform(X [][]float64) ([][]float64, error) {
+	if s.Means == nil {
+		return nil, ErrNotFitted
+	}
+	if len(X) != len(s.Means) {
+		return nil, fmt.Errorf("ml: scaler fitted on %d features, got %d", len(s.Means), len(X))
+	}
+	out := make([][]float64, len(X))
+	for f, col := range X {
+		sc := make([]float64, len(col))
+		m, sd := s.Means[f], s.Stds[f]
+		for i, v := range col {
+			sc[i] = (v - m) / sd
+		}
+		out[f] = sc
+	}
+	return out, nil
+}
+
+// FitTransform fits the scaler and transforms in one call.
+func (s *StandardScaler) FitTransform(X [][]float64) ([][]float64, error) {
+	if err := s.Fit(X); err != nil {
+		return nil, err
+	}
+	return s.Transform(X)
+}
+
+// MinMaxScaler rescales features into [0, 1].
+type MinMaxScaler struct {
+	Mins []float64
+	Maxs []float64
+}
+
+// Fit computes per-feature minima and maxima.
+func (s *MinMaxScaler) Fit(X [][]float64) error {
+	_, err := validateX(X)
+	if err != nil {
+		return err
+	}
+	s.Mins = make([]float64, len(X))
+	s.Maxs = make([]float64, len(X))
+	for f, col := range X {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range col {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		s.Mins[f], s.Maxs[f] = lo, hi
+	}
+	return nil
+}
+
+// Transform rescales feature columns into [0, 1].
+func (s *MinMaxScaler) Transform(X [][]float64) ([][]float64, error) {
+	if s.Mins == nil {
+		return nil, ErrNotFitted
+	}
+	if len(X) != len(s.Mins) {
+		return nil, fmt.Errorf("ml: scaler fitted on %d features, got %d", len(s.Mins), len(X))
+	}
+	out := make([][]float64, len(X))
+	for f, col := range X {
+		sc := make([]float64, len(col))
+		lo, hi := s.Mins[f], s.Maxs[f]
+		span := hi - lo
+		if span == 0 {
+			span = 1
+		}
+		for i, v := range col {
+			sc[i] = (v - lo) / span
+		}
+		out[f] = sc
+	}
+	return out, nil
+}
+
+// ImputeMean replaces NaN entries with the per-feature mean of the
+// non-NaN values, in place. It returns the number of imputed cells.
+func ImputeMean(X [][]float64) int {
+	imputed := 0
+	for _, col := range X {
+		sum, cnt := 0.0, 0
+		for _, v := range col {
+			if !math.IsNaN(v) {
+				sum += v
+				cnt++
+			}
+		}
+		mean := 0.0
+		if cnt > 0 {
+			mean = sum / float64(cnt)
+		}
+		for i, v := range col {
+			if math.IsNaN(v) {
+				col[i] = mean
+				imputed++
+			}
+		}
+	}
+	return imputed
+}
+
+// TrainTestSplit splits rows into train and test partitions with the
+// given test fraction, deterministically shuffled by seed.
+func TrainTestSplit(X [][]float64, y []int, testFraction float64, seed int64) (trainX [][]float64, trainY []int, testX [][]float64, testY []int, err error) {
+	n, err := validateXY(X, y)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if testFraction <= 0 || testFraction >= 1 {
+		return nil, nil, nil, nil, fmt.Errorf("ml: test fraction %v out of (0,1)", testFraction)
+	}
+	perm := newRNG(seed).Perm(n)
+	nTest := int(float64(n) * testFraction)
+	if nTest == 0 {
+		nTest = 1
+	}
+	testIdx, trainIdx := perm[:nTest], perm[nTest:]
+	gather := func(idx []int) ([][]float64, []int) {
+		gx := make([][]float64, len(X))
+		for f, col := range X {
+			g := make([]float64, len(idx))
+			for i, r := range idx {
+				g[i] = col[r]
+			}
+			gx[f] = g
+		}
+		gy := make([]int, len(idx))
+		for i, r := range idx {
+			gy[i] = y[r]
+		}
+		return gx, gy
+	}
+	trainX, trainY = gather(trainIdx)
+	testX, testY = gather(testIdx)
+	return trainX, trainY, testX, testY, nil
+}
+
+// KFold yields k (trainIdx, testIdx) partitions of n rows,
+// deterministically shuffled by seed.
+func KFold(n, k int, seed int64) ([][2][]int, error) {
+	if k < 2 || k > n {
+		return nil, fmt.Errorf("ml: k=%d folds for %d rows", k, n)
+	}
+	perm := newRNG(seed).Perm(n)
+	folds := make([][]int, k)
+	for i, r := range perm {
+		folds[i%k] = append(folds[i%k], r)
+	}
+	out := make([][2][]int, k)
+	for i := 0; i < k; i++ {
+		var train []int
+		for j := 0; j < k; j++ {
+			if j != i {
+				train = append(train, folds[j]...)
+			}
+		}
+		out[i] = [2][]int{train, folds[i]}
+	}
+	return out, nil
+}
+
+// CrossValidate fits and scores the model factory over k folds,
+// returning per-fold accuracies.
+func CrossValidate(factory func() Classifier, X [][]float64, y []int, k int, seed int64) ([]float64, error) {
+	n, err := validateXY(X, y)
+	if err != nil {
+		return nil, err
+	}
+	folds, err := KFold(n, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	gather := func(idx []int) ([][]float64, []int) {
+		gx := make([][]float64, len(X))
+		for f, col := range X {
+			g := make([]float64, len(idx))
+			for i, r := range idx {
+				g[i] = col[r]
+			}
+			gx[f] = g
+		}
+		gy := make([]int, len(idx))
+		for i, r := range idx {
+			gy[i] = y[r]
+		}
+		return gx, gy
+	}
+	scores := make([]float64, k)
+	for i, fold := range folds {
+		trX, trY := gather(fold[0])
+		teX, teY := gather(fold[1])
+		model := factory()
+		if err := model.Fit(trX, trY); err != nil {
+			return nil, fmt.Errorf("ml: fold %d: %w", i, err)
+		}
+		pred, err := model.Predict(teX)
+		if err != nil {
+			return nil, fmt.Errorf("ml: fold %d: %w", i, err)
+		}
+		acc, err := Accuracy(teY, pred)
+		if err != nil {
+			return nil, err
+		}
+		scores[i] = acc
+	}
+	return scores, nil
+}

@@ -1,0 +1,51 @@
+package ml
+
+// rng is a small deterministic xorshift64* random number generator.
+// The package avoids math/rand so model training is reproducible
+// across Go versions and so per-tree generators are cheap.
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed int64) *rng {
+	s := uint64(seed)
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	return &rng{state: s}
+}
+
+func (r *rng) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a uniform int in [0, n).
+func (r *rng) Intn(n int) int {
+	if n <= 0 {
+		panic("ml: Intn with non-positive n")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *rng) Float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *rng) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

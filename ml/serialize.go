@@ -1,0 +1,337 @@
+package ml
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Model serialization: the pickle analog of the paper. Marshal turns a
+// fitted Classifier into a self-describing versioned binary blob that
+// can be stored in a BLOB column; Unmarshal restores it inside a
+// prediction UDF. Format (little-endian):
+//
+//	magic   [4]byte "VXML"
+//	version uint16 (currently 1)
+//	kind    uint8 (model type tag)
+//	payload model-specific
+var modelMagic = [4]byte{'V', 'X', 'M', 'L'}
+
+const serializeVersion = 1
+
+// Model type tags.
+const (
+	kindDecisionTree uint8 = iota + 1
+	kindRandomForest
+	kindLogReg
+	kindGaussianNB
+	kindKNN
+)
+
+// Marshal serializes a fitted model to its binary representation.
+func Marshal(c Classifier) ([]byte, error) {
+	w := &writer{}
+	w.bytes(modelMagic[:])
+	w.u16(serializeVersion)
+	switch m := c.(type) {
+	case *DecisionTree:
+		w.u8(kindDecisionTree)
+		marshalTree(w, m)
+	case *RandomForest:
+		if len(m.trees) == 0 {
+			return nil, ErrNotFitted
+		}
+		w.u8(kindRandomForest)
+		w.i64(int64(m.NEstimators))
+		w.i64(int64(m.MaxDepth))
+		w.i64(int64(m.MinSamplesLeaf))
+		w.i64(int64(m.MaxFeatures))
+		w.i64(m.Seed)
+		w.ints(m.classes)
+		w.i64(int64(m.nfeat))
+		w.i64(int64(len(m.trees)))
+		for _, t := range m.trees {
+			marshalTree(w, t)
+		}
+	case *LogisticRegression:
+		if m.weights == nil {
+			return nil, ErrNotFitted
+		}
+		w.u8(kindLogReg)
+		w.f64(m.LearningRate)
+		w.i64(int64(m.Iterations))
+		w.f64(m.L2)
+		w.ints(m.classes)
+		w.i64(int64(m.nfeat))
+		w.i64(int64(len(m.weights)))
+		for _, wv := range m.weights {
+			w.floats(wv)
+		}
+	case *GaussianNB:
+		if m.means == nil {
+			return nil, ErrNotFitted
+		}
+		w.u8(kindGaussianNB)
+		w.f64(m.VarSmoothing)
+		w.ints(m.classes)
+		w.i64(int64(m.nfeat))
+		w.floats(m.priors)
+		w.i64(int64(len(m.means)))
+		for i := range m.means {
+			w.floats(m.means[i])
+			w.floats(m.vars[i])
+		}
+	case *KNN:
+		if m.trainX == nil {
+			return nil, ErrNotFitted
+		}
+		w.u8(kindKNN)
+		w.i64(int64(m.K))
+		w.ints(m.classes)
+		w.i64(int64(m.nfeat))
+		w.i64(int64(len(m.trainX)))
+		for _, col := range m.trainX {
+			w.floats(col)
+		}
+		w.ints(m.trainY)
+	default:
+		return nil, fmt.Errorf("ml: cannot marshal %T", c)
+	}
+	return w.buf, nil
+}
+
+func marshalTree(w *writer, t *DecisionTree) {
+	if len(t.nodes) == 0 {
+		// An unfitted tree marshals with zero nodes; Unmarshal yields
+		// an unfitted tree.
+		w.i64(int64(t.MaxDepth))
+		w.i64(int64(t.MinSamplesLeaf))
+		w.i64(int64(t.MaxFeatures))
+		w.i64(t.Seed)
+		w.ints(nil)
+		w.i64(0)
+		w.i64(0)
+		return
+	}
+	w.i64(int64(t.MaxDepth))
+	w.i64(int64(t.MinSamplesLeaf))
+	w.i64(int64(t.MaxFeatures))
+	w.i64(t.Seed)
+	w.ints(t.classes)
+	w.i64(int64(t.nfeat))
+	w.i64(int64(len(t.nodes)))
+	for i := range t.nodes {
+		nd := &t.nodes[i]
+		w.i32(nd.feature)
+		w.i32(nd.left)
+		w.i32(nd.right)
+		w.f64(nd.threshold)
+		if nd.left < 0 {
+			w.floats(nd.probs)
+		}
+	}
+}
+
+// Unmarshal deserializes a model blob produced by Marshal.
+func Unmarshal(data []byte) (Classifier, error) {
+	r := &reader{buf: data}
+	var magic [4]byte
+	r.bytes(magic[:])
+	if magic != modelMagic {
+		return nil, fmt.Errorf("ml: bad model magic %q", magic[:])
+	}
+	if v := r.u16(); v != serializeVersion {
+		return nil, fmt.Errorf("ml: unsupported model version %d", v)
+	}
+	kind := r.u8()
+	var out Classifier
+	switch kind {
+	case kindDecisionTree:
+		t := &DecisionTree{}
+		unmarshalTree(r, t)
+		out = t
+	case kindRandomForest:
+		f := &RandomForest{}
+		f.NEstimators = int(r.i64())
+		f.MaxDepth = int(r.i64())
+		f.MinSamplesLeaf = int(r.i64())
+		f.MaxFeatures = int(r.i64())
+		f.Seed = r.i64()
+		f.classes = r.ints()
+		f.nfeat = int(r.i64())
+		ntrees := int(r.i64())
+		if ntrees < 0 || ntrees > 1<<20 {
+			return nil, fmt.Errorf("ml: corrupt forest: %d trees", ntrees)
+		}
+		f.trees = make([]*DecisionTree, ntrees)
+		for i := range f.trees {
+			t := &DecisionTree{}
+			unmarshalTree(r, t)
+			f.trees[i] = t
+		}
+		out = f
+	case kindLogReg:
+		m := &LogisticRegression{}
+		m.LearningRate = r.f64()
+		m.Iterations = int(r.i64())
+		m.L2 = r.f64()
+		m.classes = r.ints()
+		m.nfeat = int(r.i64())
+		k := int(r.i64())
+		if k < 0 || k > 1<<20 {
+			return nil, fmt.Errorf("ml: corrupt model: %d weight vectors", k)
+		}
+		m.weights = make([][]float64, k)
+		for i := range m.weights {
+			m.weights[i] = r.floats()
+		}
+		out = m
+	case kindGaussianNB:
+		m := &GaussianNB{}
+		m.VarSmoothing = r.f64()
+		m.classes = r.ints()
+		m.nfeat = int(r.i64())
+		m.priors = r.floats()
+		k := int(r.i64())
+		if k < 0 || k > 1<<20 {
+			return nil, fmt.Errorf("ml: corrupt model: %d classes", k)
+		}
+		m.means = make([][]float64, k)
+		m.vars = make([][]float64, k)
+		for i := 0; i < k; i++ {
+			m.means[i] = r.floats()
+			m.vars[i] = r.floats()
+		}
+		out = m
+	case kindKNN:
+		m := &KNN{}
+		m.K = int(r.i64())
+		m.classes = r.ints()
+		m.nfeat = int(r.i64())
+		k := int(r.i64())
+		if k < 0 || k > 1<<20 {
+			return nil, fmt.Errorf("ml: corrupt model: %d feature columns", k)
+		}
+		m.trainX = make([][]float64, k)
+		for i := range m.trainX {
+			m.trainX[i] = r.floats()
+		}
+		m.trainY = r.ints()
+		out = m
+	default:
+		return nil, fmt.Errorf("ml: unknown model kind %d", kind)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("ml: corrupt model blob: %w", r.err)
+	}
+	return out, nil
+}
+
+func unmarshalTree(r *reader, t *DecisionTree) {
+	t.MaxDepth = int(r.i64())
+	t.MinSamplesLeaf = int(r.i64())
+	t.MaxFeatures = int(r.i64())
+	t.Seed = r.i64()
+	t.classes = r.ints()
+	t.nfeat = int(r.i64())
+	n := int(r.i64())
+	if n < 0 || n > 1<<28 || r.err != nil {
+		r.fail(fmt.Errorf("corrupt tree: %d nodes", n))
+		return
+	}
+	t.nodes = make([]treeNode, n)
+	for i := 0; i < n; i++ {
+		nd := &t.nodes[i]
+		nd.feature = r.i32()
+		nd.left = r.i32()
+		nd.right = r.i32()
+		nd.threshold = r.f64()
+		if nd.left < 0 {
+			nd.probs = r.floats()
+		}
+	}
+}
+
+// ------------------------------------------------------------ writer
+
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) bytes(b []byte) { w.buf = append(w.buf, b...) }
+func (w *writer) u8(v uint8)     { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16)   { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *writer) i32(v int32)    { w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(v)) }
+func (w *writer) i64(v int64)    { w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(v)) }
+func (w *writer) f64(v float64)  { w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v)) }
+
+func (w *writer) floats(v []float64) {
+	w.i64(int64(len(v)))
+	for _, x := range v {
+		w.f64(x)
+	}
+}
+
+func (w *writer) ints(v []int) {
+	w.i64(int64(len(v)))
+	for _, x := range v {
+		w.i64(int64(x))
+	}
+}
+
+// ------------------------------------------------------------ reader
+
+type reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil || r.pos+n > len(r.buf) {
+		r.fail(fmt.Errorf("unexpected end of blob at offset %d", r.pos))
+		return make([]byte, n)
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func (r *reader) bytes(dst []byte) { copy(dst, r.take(len(dst))) }
+func (r *reader) u8() uint8        { return r.take(1)[0] }
+func (r *reader) u16() uint16      { return binary.LittleEndian.Uint16(r.take(2)) }
+func (r *reader) i32() int32       { return int32(binary.LittleEndian.Uint32(r.take(4))) }
+func (r *reader) i64() int64       { return int64(binary.LittleEndian.Uint64(r.take(8))) }
+func (r *reader) f64() float64     { return math.Float64frombits(binary.LittleEndian.Uint64(r.take(8))) }
+
+func (r *reader) floats() []float64 {
+	n := int(r.i64())
+	if n < 0 || n > 1<<28 || r.err != nil {
+		r.fail(fmt.Errorf("corrupt float slice length %d", n))
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64()
+	}
+	return out
+}
+
+func (r *reader) ints() []int {
+	n := int(r.i64())
+	if n < 0 || n > 1<<28 || r.err != nil {
+		r.fail(fmt.Errorf("corrupt int slice length %d", n))
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(r.i64())
+	}
+	return out
+}

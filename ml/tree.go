@@ -1,0 +1,296 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DecisionTree is a CART classification tree split on the Gini
+// impurity criterion. The zero value is usable with defaults; set
+// hyperparameters before Fit.
+type DecisionTree struct {
+	// MaxDepth bounds tree depth; 0 means unbounded.
+	MaxDepth int
+	// MinSamplesLeaf is the minimum rows per leaf (default 1).
+	MinSamplesLeaf int
+	// MaxFeatures is the number of features examined per split;
+	// 0 means all features (random forests set sqrt(p)).
+	MaxFeatures int
+	// Seed drives feature subsampling when MaxFeatures > 0.
+	Seed int64
+
+	nodes   []treeNode
+	classes []int
+	nfeat   int
+}
+
+// treeNode is one node in the flattened tree. Leaves have left == -1.
+type treeNode struct {
+	feature   int32
+	left      int32
+	right     int32
+	threshold float64
+	// probs holds the class distribution at the node (leaves only).
+	probs []float64
+}
+
+// NewDecisionTree returns a tree with common defaults (depth 12,
+// one-sample leaves).
+func NewDecisionTree() *DecisionTree {
+	return &DecisionTree{MaxDepth: 12, MinSamplesLeaf: 1}
+}
+
+// Name implements Classifier.
+func (t *DecisionTree) Name() string { return "decision_tree" }
+
+// Classes implements Classifier.
+func (t *DecisionTree) Classes() []int { return t.classes }
+
+// Fit implements Classifier.
+func (t *DecisionTree) Fit(X [][]float64, y []int) error {
+	n, err := validateXY(X, y)
+	if err != nil {
+		return err
+	}
+	classes, cidx := classIndex(y)
+	t.classes = classes
+	t.nfeat = len(X)
+	t.nodes = t.nodes[:0]
+	yi := make([]int, n)
+	for i, c := range y {
+		yi[i] = cidx[c]
+	}
+	samples := make([]int, n)
+	for i := range samples {
+		samples[i] = i
+	}
+	b := &treeBuilder{
+		X: X, y: yi, nclasses: len(classes), tree: t,
+		minLeaf: max(1, t.MinSamplesLeaf),
+		rng:     newRNG(t.Seed + 1),
+	}
+	b.build(samples, 0)
+	return nil
+}
+
+type treeBuilder struct {
+	X        [][]float64
+	y        []int
+	nclasses int
+	tree     *DecisionTree
+	minLeaf  int
+	rng      *rng
+}
+
+// build grows the subtree over samples and returns its node index.
+func (b *treeBuilder) build(samples []int, depth int) int32 {
+	counts := make([]float64, b.nclasses)
+	for _, s := range samples {
+		counts[b.y[s]]++
+	}
+	nodeIdx := int32(len(b.tree.nodes))
+	b.tree.nodes = append(b.tree.nodes, treeNode{left: -1, right: -1})
+
+	pure := 0
+	for _, c := range counts {
+		if c > 0 {
+			pure++
+		}
+	}
+	stop := pure <= 1 ||
+		(b.tree.MaxDepth > 0 && depth >= b.tree.MaxDepth) ||
+		len(samples) < 2*b.minLeaf
+	if !stop {
+		feat, thresh, ok := b.bestSplit(samples, counts)
+		if ok {
+			var left, right []int
+			for _, s := range samples {
+				if b.X[feat][s] <= thresh {
+					left = append(left, s)
+				} else {
+					right = append(right, s)
+				}
+			}
+			if len(left) >= b.minLeaf && len(right) >= b.minLeaf {
+				l := b.build(left, depth+1)
+				r := b.build(right, depth+1)
+				nd := &b.tree.nodes[nodeIdx]
+				nd.feature = int32(feat)
+				nd.threshold = thresh
+				nd.left = l
+				nd.right = r
+				return nodeIdx
+			}
+		}
+	}
+	// Leaf: normalize counts into a class distribution.
+	total := float64(len(samples))
+	probs := make([]float64, b.nclasses)
+	for i, c := range counts {
+		probs[i] = c / total
+	}
+	b.tree.nodes[nodeIdx].probs = probs
+	return nodeIdx
+}
+
+// bestSplit scans a (possibly random) subset of features for the
+// threshold minimizing weighted Gini impurity.
+func (b *treeBuilder) bestSplit(samples []int, totalCounts []float64) (int, float64, bool) {
+	nfeat := len(b.X)
+	featOrder := make([]int, nfeat)
+	for i := range featOrder {
+		featOrder[i] = i
+	}
+	tryFeats := nfeat
+	if b.tree.MaxFeatures > 0 && b.tree.MaxFeatures < nfeat {
+		tryFeats = b.tree.MaxFeatures
+		// Partial Fisher-Yates to pick tryFeats random features.
+		for i := 0; i < tryFeats; i++ {
+			j := i + b.rng.Intn(nfeat-i)
+			featOrder[i], featOrder[j] = featOrder[j], featOrder[i]
+		}
+	}
+
+	n := float64(len(samples))
+	bestGain := 1e-12
+	bestFeat, bestThresh := -1, 0.0
+	parentImp := giniImpurity(totalCounts, n)
+
+	vals := make([]float64, len(samples))
+	order := make([]int, len(samples))
+	leftCounts := make([]float64, b.nclasses)
+	rightCounts := make([]float64, b.nclasses)
+
+	for fi := 0; fi < tryFeats; fi++ {
+		f := featOrder[fi]
+		col := b.X[f]
+		for i, s := range samples {
+			vals[i] = col[s]
+			order[i] = i
+		}
+		sort.Slice(order, func(a, c int) bool { return vals[order[a]] < vals[order[c]] })
+
+		copy(rightCounts, totalCounts)
+		for i := range leftCounts {
+			leftCounts[i] = 0
+		}
+		nLeft := 0.0
+		for i := 0; i < len(order)-1; i++ {
+			s := samples[order[i]]
+			cls := b.y[s]
+			leftCounts[cls]++
+			rightCounts[cls]--
+			nLeft++
+			v, vNext := vals[order[i]], vals[order[i+1]]
+			if v == vNext {
+				continue // cannot split between equal values
+			}
+			nRight := n - nLeft
+			if int(nLeft) < b.minLeaf || int(nRight) < b.minLeaf {
+				continue
+			}
+			imp := (nLeft*giniImpurity(leftCounts, nLeft) + nRight*giniImpurity(rightCounts, nRight)) / n
+			gain := parentImp - imp
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestThresh = (v + vNext) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return 0, 0, false
+	}
+	return bestFeat, bestThresh, true
+}
+
+func giniImpurity(counts []float64, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	sumSq := 0.0
+	for _, c := range counts {
+		p := c / n
+		sumSq += p * p
+	}
+	return 1 - sumSq
+}
+
+// predictRowProbs walks the tree for one row.
+func (t *DecisionTree) predictRowProbs(x []float64) []float64 {
+	i := int32(0)
+	for {
+		nd := &t.nodes[i]
+		if nd.left < 0 {
+			return nd.probs
+		}
+		if x[nd.feature] <= nd.threshold {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+}
+
+// Predict implements Classifier.
+func (t *DecisionTree) Predict(X [][]float64) ([]int, error) {
+	probs, err := t.PredictProba(X)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(probs))
+	for i, p := range probs {
+		out[i] = t.classes[argmax(p)]
+	}
+	return out, nil
+}
+
+// PredictProba implements Classifier.
+func (t *DecisionTree) PredictProba(X [][]float64) ([][]float64, error) {
+	if len(t.nodes) == 0 {
+		return nil, ErrNotFitted
+	}
+	n, err := validateX(X)
+	if err != nil {
+		return nil, err
+	}
+	if len(X) != t.nfeat {
+		return nil, fmt.Errorf("ml: tree fitted on %d features, got %d", t.nfeat, len(X))
+	}
+	out := make([][]float64, n)
+	buf := make([]float64, 0, t.nfeat)
+	for r := 0; r < n; r++ {
+		buf = row(X, r, buf)
+		p := t.predictRowProbs(buf)
+		out[r] = append([]float64(nil), p...)
+	}
+	return out, nil
+}
+
+// Depth returns the maximum depth of the fitted tree (0 for a stump).
+func (t *DecisionTree) Depth() int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	var depth func(i int32) int
+	depth = func(i int32) int {
+		nd := &t.nodes[i]
+		if nd.left < 0 {
+			return 0
+		}
+		l, r := depth(nd.left), depth(nd.right)
+		return 1 + int(math.Max(float64(l), float64(r)))
+	}
+	return depth(0)
+}
+
+// NumNodes returns the number of nodes in the fitted tree.
+func (t *DecisionTree) NumNodes() int { return len(t.nodes) }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,419 @@
+package vexdb
+
+import (
+	"fmt"
+	"sync"
+
+	"vexdb/internal/core"
+	"vexdb/internal/vector"
+	"vexdb/ml"
+)
+
+// registerMLFunctions installs the machine-learning UDF suite, the Go
+// analog of the paper's Listing 1 (training) and Listing 2
+// (classification):
+//
+//	train_rf(rel, n_estimators, max_depth, seed) -> (model, algo, ...)
+//	train_tree(rel, max_depth)                   -> (model, algo, ...)
+//	train_logreg(rel, iterations)                -> (model, algo, ...)
+//	train_nb(rel)                                -> (model, algo, ...)
+//	predict(model, f0, f1, ...)            -> INTEGER
+//	predict_confidence(model, f0, f1, ...) -> DOUBLE
+//	weighted_label(id, w0, w1, seed)       -> INTEGER
+//
+// Training relations use the convention of the paper's train(data,
+// classes) UDF generalized to many features: every column except the
+// last is a numeric feature, the last column is the integer class
+// label.
+// The cached predict variants implement the paper's §5.1 future work:
+// "the database system could be extended to directly store snapshots
+// of the in-memory representation of the models to avoid this
+// (de)serialization overhead". A per-database cache maps model blobs
+// to their deserialized in-memory form, so repeated predict calls (and
+// the per-partition calls of parallel UDF execution) skip
+// deserialization entirely.
+func registerMLFunctions(db *DB) {
+	cache := newModelCache()
+	db.modelCache = cache
+	mustRegisterTable := func(f *TableFunc) {
+		if err := db.RegisterTable(f); err != nil {
+			panic(err)
+		}
+	}
+	mustRegisterScalar := func(f *ScalarFunc) {
+		if err := db.RegisterScalar(f); err != nil {
+			panic(err)
+		}
+	}
+
+	trainColumns := []ColumnDecl{
+		{Name: "model", Type: Blob},
+		{Name: "algo", Type: String},
+		{Name: "n_features", Type: Int64},
+		{Name: "trained_rows", Type: Int64},
+	}
+
+	trainResult := func(clf ml.Classifier, rows, feats int) (*Table, error) {
+		blob, err := ml.Marshal(clf)
+		if err != nil {
+			return nil, err
+		}
+		return vector.NewTable(
+			[]string{"model", "algo", "n_features", "trained_rows"},
+			[]*Vector{
+				vector.FromBlobs([][]byte{blob}),
+				vector.FromStrings([]string{clf.Name()}),
+				vector.FromInt64s([]int64{int64(feats)}),
+				vector.FromInt64s([]int64{int64(rows)}),
+			})
+	}
+
+	mustRegisterTable(&TableFunc{
+		Name:    "train_rf",
+		Columns: trainColumns,
+		Fn: func(args []TableArg) (*Table, error) {
+			X, y, err := trainingData("train_rf", args, 3)
+			if err != nil {
+				return nil, err
+			}
+			f := ml.NewRandomForest(int(scalarInt(args, 1, 16)))
+			f.MaxDepth = int(scalarInt(args, 2, 12))
+			f.Seed = scalarInt(args, 3, 1)
+			if err := f.Fit(X, y); err != nil {
+				return nil, err
+			}
+			return trainResult(f, len(y), len(X))
+		},
+	})
+
+	mustRegisterTable(&TableFunc{
+		Name:    "train_tree",
+		Columns: trainColumns,
+		Fn: func(args []TableArg) (*Table, error) {
+			X, y, err := trainingData("train_tree", args, 1)
+			if err != nil {
+				return nil, err
+			}
+			t := ml.NewDecisionTree()
+			t.MaxDepth = int(scalarInt(args, 1, 12))
+			if err := t.Fit(X, y); err != nil {
+				return nil, err
+			}
+			return trainResult(t, len(y), len(X))
+		},
+	})
+
+	mustRegisterTable(&TableFunc{
+		Name:    "train_logreg",
+		Columns: trainColumns,
+		Fn: func(args []TableArg) (*Table, error) {
+			X, y, err := trainingData("train_logreg", args, 1)
+			if err != nil {
+				return nil, err
+			}
+			m := ml.NewLogisticRegression()
+			m.Iterations = int(scalarInt(args, 1, 200))
+			if err := m.Fit(X, y); err != nil {
+				return nil, err
+			}
+			return trainResult(m, len(y), len(X))
+		},
+	})
+
+	mustRegisterTable(&TableFunc{
+		Name:    "train_nb",
+		Columns: trainColumns,
+		Fn: func(args []TableArg) (*Table, error) {
+			X, y, err := trainingData("train_nb", args, 0)
+			if err != nil {
+				return nil, err
+			}
+			m := ml.NewGaussianNB()
+			if err := m.Fit(X, y); err != nil {
+				return nil, err
+			}
+			return trainResult(m, len(y), len(X))
+		},
+	})
+
+	mustRegisterScalar(&ScalarFunc{
+		Name:       "predict",
+		Arity:      -1,
+		Parallel:   true,
+		ReturnType: core.FixedReturn(Int32),
+		Eval: func(args []*Vector) (*Vector, error) {
+			clf, X, err := predictInputs("predict", args)
+			if err != nil {
+				return nil, err
+			}
+			labels, err := clf.Predict(X)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]int32, len(labels))
+			for i, l := range labels {
+				out[i] = int32(l)
+			}
+			return vector.FromInt32s(out), nil
+		},
+	})
+
+	mustRegisterScalar(&ScalarFunc{
+		Name:       "predict_confidence",
+		Arity:      -1,
+		Parallel:   true,
+		ReturnType: core.FixedReturn(Float64),
+		Eval: func(args []*Vector) (*Vector, error) {
+			clf, X, err := predictInputs("predict_confidence", args)
+			if err != nil {
+				return nil, err
+			}
+			probs, err := clf.PredictProba(X)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]float64, len(probs))
+			for i, p := range probs {
+				best := p[0]
+				for _, v := range p[1:] {
+					if v > best {
+						best = v
+					}
+				}
+				out[i] = best
+			}
+			return vector.FromFloat64s(out), nil
+		},
+	})
+
+	mustRegisterScalar(&ScalarFunc{
+		Name:       "predict_cached",
+		Arity:      -1,
+		Parallel:   true,
+		ReturnType: core.FixedReturn(Int32),
+		Eval: func(args []*Vector) (*Vector, error) {
+			clf, X, err := predictInputsCached("predict_cached", args, cache)
+			if err != nil {
+				return nil, err
+			}
+			labels, err := clf.Predict(X)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]int32, len(labels))
+			for i, l := range labels {
+				out[i] = int32(l)
+			}
+			return vector.FromInt32s(out), nil
+		},
+	})
+
+	// weighted_label(id, w0, w1, seed) draws class 0 with probability
+	// w0/(w0+w1) using a per-row hash of (id, seed): the paper's
+	// weighted-random "true" label generation, made deterministic and
+	// partition-safe.
+	mustRegisterScalar(&ScalarFunc{
+		Name:       "weighted_label",
+		Arity:      4,
+		Parallel:   true,
+		ReturnType: core.FixedReturn(Int32),
+		Eval: func(args []*Vector) (*Vector, error) {
+			ids, err := args[0].AsFloat64s()
+			if err != nil {
+				return nil, fmt.Errorf("weighted_label: %w", err)
+			}
+			w0, err := args[1].AsFloat64s()
+			if err != nil {
+				return nil, fmt.Errorf("weighted_label: %w", err)
+			}
+			w1, err := args[2].AsFloat64s()
+			if err != nil {
+				return nil, fmt.Errorf("weighted_label: %w", err)
+			}
+			seeds, err := args[3].AsFloat64s()
+			if err != nil {
+				return nil, fmt.Errorf("weighted_label: %w", err)
+			}
+			out := make([]int32, len(ids))
+			for i := range out {
+				u := hashUnit(uint64(ids[i]), uint64(seeds[i]))
+				total := w0[i] + w1[i]
+				p0 := 0.5
+				if total > 0 {
+					p0 = w0[i] / total
+				}
+				if u < p0 {
+					out[i] = 0
+				} else {
+					out[i] = 1
+				}
+			}
+			return vector.FromInt32s(out), nil
+		},
+	})
+}
+
+// hashUnit maps (id, seed) to a uniform float in [0, 1) via
+// splitmix64.
+func hashUnit(id, seed uint64) float64 {
+	x := id*0x9E3779B97F4A7C15 + seed + 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// trainingData extracts column-major features and labels from a table
+// UDF's first (relation) argument: all columns but the last are
+// features, the last is the class label. maxParams bounds the trailing
+// scalar parameters accepted.
+func trainingData(fn string, args []TableArg, maxParams int) ([][]float64, []int, error) {
+	if len(args) < 1 || !args[0].IsTable() {
+		return nil, nil, fmt.Errorf("%s: first argument must be a relation (subquery)", fn)
+	}
+	if len(args) > 1+maxParams {
+		return nil, nil, fmt.Errorf("%s: at most %d scalar parameters, got %d", fn, maxParams, len(args)-1)
+	}
+	rel := args[0].Table
+	if rel.NumCols() < 2 {
+		return nil, nil, fmt.Errorf("%s: relation needs at least one feature column and a label column", fn)
+	}
+	nf := rel.NumCols() - 1
+	X := make([][]float64, nf)
+	for i := 0; i < nf; i++ {
+		col, err := rel.Cols[i].AsFloat64s()
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: feature column %q: %w", fn, rel.Names[i], err)
+		}
+		X[i] = col
+	}
+	labelCol, err := rel.Cols[nf].AsInt32s()
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: label column %q: %w", fn, rel.Names[nf], err)
+	}
+	y := make([]int, len(labelCol))
+	for i, l := range labelCol {
+		y[i] = int(l)
+	}
+	return X, y, nil
+}
+
+// scalarInt reads the idx-th argument as an integer, with a default
+// when absent or NULL.
+func scalarInt(args []TableArg, idx int, def int64) int64 {
+	if idx >= len(args) || args[idx].IsTable() || args[idx].Scalar.IsNull() {
+		return def
+	}
+	return args[idx].Scalar.Int64()
+}
+
+// modelCache memoizes deserialized models by blob content hash (plus
+// blob length as a collision guard), bounded to a fixed entry count
+// with random-ish eviction (clear-on-full keeps it simple and safe).
+type modelCache struct {
+	mu      sync.Mutex
+	entries map[modelKey]ml.Classifier
+}
+
+type modelKey struct {
+	hash uint64
+	size int
+}
+
+const modelCacheMaxEntries = 64
+
+func newModelCache() *modelCache {
+	return &modelCache{entries: make(map[modelKey]ml.Classifier)}
+}
+
+func (c *modelCache) get(blob []byte) (ml.Classifier, error) {
+	key := modelKey{hash: fnv64a(blob), size: len(blob)}
+	c.mu.Lock()
+	if clf, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		return clf, nil
+	}
+	c.mu.Unlock()
+	clf, err := ml.Unmarshal(blob)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if len(c.entries) >= modelCacheMaxEntries {
+		c.entries = make(map[modelKey]ml.Classifier)
+	}
+	c.entries[key] = clf
+	c.mu.Unlock()
+	return clf, nil
+}
+
+func fnv64a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// predictInputsCached is predictInputs with the §5.1 snapshot cache.
+func predictInputsCached(fn string, args []*Vector, cache *modelCache) (ml.Classifier, [][]float64, error) {
+	if len(args) < 2 {
+		return nil, nil, fmt.Errorf("%s: requires (model, feature...) arguments", fn)
+	}
+	if args[0].Type() != Blob {
+		return nil, nil, fmt.Errorf("%s: first argument must be a model BLOB, got %s", fn, args[0].Type())
+	}
+	if args[0].Len() == 0 {
+		return nil, nil, fmt.Errorf("%s: empty input", fn)
+	}
+	if args[0].IsNull(0) {
+		return nil, nil, fmt.Errorf("%s: model is NULL", fn)
+	}
+	clf, err := cache.get(args[0].Blobs()[0])
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", fn, err)
+	}
+	X := make([][]float64, len(args)-1)
+	for i, a := range args[1:] {
+		col, err := a.AsFloat64s()
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: feature %d: %w", fn, i, err)
+		}
+		X[i] = col
+	}
+	return clf, X, nil
+}
+
+// predictInputs deserializes the model from the first argument's blob
+// (constant across rows) and converts the remaining arguments to
+// column-major features — the body of the paper's Listing 2.
+func predictInputs(fn string, args []*Vector) (ml.Classifier, [][]float64, error) {
+	if len(args) < 2 {
+		return nil, nil, fmt.Errorf("%s: requires (model, feature...) arguments", fn)
+	}
+	if args[0].Type() != Blob {
+		return nil, nil, fmt.Errorf("%s: first argument must be a model BLOB, got %s", fn, args[0].Type())
+	}
+	if args[0].Len() == 0 {
+		return nil, nil, fmt.Errorf("%s: empty input", fn)
+	}
+	if args[0].IsNull(0) {
+		return nil, nil, fmt.Errorf("%s: model is NULL", fn)
+	}
+	clf, err := ml.Unmarshal(args[0].Blobs()[0])
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", fn, err)
+	}
+	X := make([][]float64, len(args)-1)
+	for i, a := range args[1:] {
+		col, err := a.AsFloat64s()
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: feature %d: %w", fn, i, err)
+		}
+		X[i] = col
+	}
+	return clf, X, nil
+}

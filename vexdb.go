@@ -1,0 +1,179 @@
+// Package vexdb is the public API of the vexdb analytical column
+// store: an embedded, vectorized SQL engine with deeply integrated
+// machine-learning pipelines, reproducing "Deep Integration of Machine
+// Learning Into Column Stores" (Raasveldt et al., EDBT 2018).
+//
+// Data lives in columnar tables queried with SQL. Vectorized
+// user-defined functions receive whole column vectors, so
+// machine-learning models are trained inside the database
+// (SELECT * FROM train_rf((SELECT ...), 16)), stored as BLOBs in
+// ordinary tables, and applied with prediction UDFs
+// (SELECT predict(model, f0, f1, ...) FROM ...), without the data ever
+// leaving the process.
+package vexdb
+
+import (
+	"vexdb/internal/catalog"
+	"vexdb/internal/core"
+	"vexdb/internal/engine"
+	"vexdb/internal/vector"
+)
+
+// Type identifies a SQL column type.
+type Type = vector.Type
+
+// Column types.
+const (
+	Bool    = vector.Bool
+	Int32   = vector.Int32
+	Int64   = vector.Int64
+	Float64 = vector.Float64
+	String  = vector.String
+	Blob    = vector.Blob
+)
+
+// Value is a single dynamically typed SQL value.
+type Value = vector.Value
+
+// Vector is a typed column of values.
+type Vector = vector.Vector
+
+// Table is a materialized, named relation (query results, UDF inputs
+// and outputs).
+type Table = vector.Table
+
+// Result is the outcome of executing a statement.
+type Result = engine.Result
+
+// ScalarFunc is a vectorized scalar UDF (whole column vectors in, one
+// column vector out).
+type ScalarFunc = core.ScalarFunc
+
+// TableFunc is a table-valued UDF callable in FROM clauses.
+type TableFunc = core.TableFunc
+
+// TableArg is one argument passed to a table UDF.
+type TableArg = core.TableArg
+
+// ColumnDecl declares one output column of a table UDF.
+type ColumnDecl = core.ColumnDecl
+
+// FixedReturn builds a ReturnType function for a fixed output type.
+func FixedReturn(t Type) func([]Type) (Type, error) { return core.FixedReturn(t) }
+
+// NewTable builds a materialized relation from named columns (used to
+// construct table UDF results).
+func NewTable(names []string, cols []*Vector) (*Table, error) {
+	return vector.NewTable(names, cols)
+}
+
+// NewVectorBool wraps a bool slice as a BOOLEAN column (no copy).
+func NewVectorBool(v []bool) *Vector { return vector.FromBools(v) }
+
+// NewVectorInt32 wraps an int32 slice as an INTEGER column (no copy).
+func NewVectorInt32(v []int32) *Vector { return vector.FromInt32s(v) }
+
+// NewVectorInt64 wraps an int64 slice as a BIGINT column (no copy).
+func NewVectorInt64(v []int64) *Vector { return vector.FromInt64s(v) }
+
+// NewVectorFloat64 wraps a float64 slice as a DOUBLE column (no copy).
+func NewVectorFloat64(v []float64) *Vector { return vector.FromFloat64s(v) }
+
+// NewVectorString wraps a string slice as a VARCHAR column (no copy).
+func NewVectorString(v []string) *Vector { return vector.FromStrings(v) }
+
+// NewVectorBlob wraps a byte-slice slice as a BLOB column (no copy).
+func NewVectorBlob(v [][]byte) *Vector { return vector.FromBlobs(v) }
+
+// DB is a database instance. Use Open to create one.
+type DB struct {
+	eng *engine.DB
+	// modelCache memoizes deserialized models for the *_cached
+	// prediction UDFs (paper §5.1).
+	modelCache *modelCache
+}
+
+// Open creates an empty in-memory database with the built-in function
+// library and the ML UDF suite (train_*, predict, predict_confidence,
+// weighted_label) registered.
+func Open() *DB {
+	db := &DB{eng: engine.New()}
+	registerMLFunctions(db)
+	return db
+}
+
+// OpenDir opens a database from a directory of table files written by
+// SaveDir.
+func OpenDir(dir string) (*DB, error) {
+	db := Open()
+	if err := db.eng.LoadDir(dir); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Exec parses and executes one SQL statement.
+func (db *DB) Exec(query string) (*Result, error) { return db.eng.Exec(query) }
+
+// ExecScript executes a semicolon-separated SQL script and returns the
+// last statement's result.
+func (db *DB) ExecScript(script string) (*Result, error) { return db.eng.ExecScript(script) }
+
+// Query executes a SELECT and returns its materialized result table.
+func (db *DB) Query(query string) (*Table, error) {
+	res, err := db.eng.Exec(query)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
+}
+
+// RegisterScalar installs a vectorized scalar UDF.
+func (db *DB) RegisterScalar(f *ScalarFunc) error { return db.eng.Registry().RegisterScalar(f) }
+
+// RegisterTable installs a table-valued UDF.
+func (db *DB) RegisterTable(f *TableFunc) error { return db.eng.Registry().RegisterTable(f) }
+
+// SetParallelism bounds parallel UDF execution (0 restores NumCPU).
+func (db *DB) SetParallelism(n int) { db.eng.Parallelism = n }
+
+// SaveDir persists every table to dir.
+func (db *DB) SaveDir(dir string) error { return db.eng.SaveDir(dir) }
+
+// TableNames lists the tables in the database, sorted.
+func (db *DB) TableNames() []string { return db.eng.Catalog().TableNames() }
+
+// HasTable reports whether the named table exists.
+func (db *DB) HasTable(name string) bool { return db.eng.Catalog().HasTable(name) }
+
+// NumRows returns the row count of the named table, or -1 when the
+// table does not exist.
+func (db *DB) NumRows(name string) int {
+	tab, err := db.eng.Catalog().Table(name)
+	if err != nil {
+		return -1
+	}
+	return tab.Data.NumRows()
+}
+
+// CreateTableFrom creates a table named name from a materialized
+// relation, bulk-appending its columns (the fast path for loading
+// generated or imported data, bypassing SQL INSERT parsing).
+func (db *DB) CreateTableFrom(name string, tab *Table) error {
+	schema := make(catalog.Schema, tab.NumCols())
+	for i, n := range tab.Names {
+		schema[i] = catalog.Column{Name: n, Type: tab.Cols[i].Type()}
+	}
+	ct, err := db.eng.Catalog().CreateTable(name, schema)
+	if err != nil {
+		return err
+	}
+	if tab.NumRows() == 0 {
+		return nil
+	}
+	return ct.Data.AppendChunk(tab.Chunk())
+}
+
+// Engine exposes the underlying engine instance for in-module tooling
+// (the network server wraps it); external users should not need it.
+func (db *DB) Engine() *engine.DB { return db.eng }
