@@ -171,6 +171,7 @@ func BenchmarkE5Protocols(b *testing.B) {
 func BenchmarkMicroHashJoin(b *testing.B) {
 	env := getEnv(b)
 	db := env.DB
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tab, err := db.Query(`
@@ -188,6 +189,7 @@ func BenchmarkMicroHashJoin(b *testing.B) {
 func BenchmarkMicroAggregate(b *testing.B) {
 	env := getEnv(b)
 	db := env.DB
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := db.Query(
@@ -200,12 +202,63 @@ func BenchmarkMicroAggregate(b *testing.B) {
 func BenchmarkMicroScanFilter(b *testing.B) {
 	env := getEnv(b)
 	db := env.DB
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := db.Query("SELECT voter_id FROM voters WHERE f0 > 0.5"); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ------------------------------------------- morsel-parallel scaling
+//
+// The parallel variants pin the engine's worker count and rerun the
+// micro ablations, so the bench trajectory shows both the scaling
+// curve (compare workers=1 against workers=N on a multi-core machine)
+// and the allocation wins of the fixed-width key paths.
+
+// benchParallelWorkers are the worker counts each parallel micro
+// benchmark sweeps. workers=1 is the serial baseline.
+var benchParallelWorkers = []int{1, 2, 4, 8}
+
+func benchQueryParallel(b *testing.B, query string, check func(tab interface{ NumRows() int }) bool) {
+	env := getEnv(b)
+	db := env.DB
+	defer db.SetParallelism(env.Cfg.Parallelism)
+	for _, workers := range benchParallelWorkers {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			db.SetParallelism(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tab, err := db.Query(query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if check != nil && !check(tab) {
+					b.Fatal("wrong result")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMicroAggregateParallel(b *testing.B) {
+	benchQueryParallel(b,
+		"SELECT precinct_id, count(*) AS n, avg(f0) AS m FROM voters GROUP BY precinct_id",
+		func(tab interface{ NumRows() int }) bool { return tab.NumRows() == benchConfig().Precincts })
+}
+
+func BenchmarkMicroHashJoinParallel(b *testing.B) {
+	benchQueryParallel(b, `
+		SELECT count(*) AS n FROM voters v
+		JOIN precincts p ON v.precinct_id = p.precinct_id`,
+		func(tab interface{ NumRows() int }) bool { return tab.NumRows() == 1 })
+}
+
+func BenchmarkMicroScanFilterParallel(b *testing.B) {
+	benchQueryParallel(b, "SELECT voter_id FROM voters WHERE f0 > 0.5", nil)
 }
 
 func BenchmarkMicroModelMarshal(b *testing.B) {

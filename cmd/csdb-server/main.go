@@ -23,6 +23,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:5433", "listen address")
 	dbDir := flag.String("db", "", "database directory to serve")
 	initFile := flag.String("init", "", "SQL script executed before serving")
+	workers := flag.Int("workers", 0, "query execution parallelism (0 = all CPUs)")
 	flag.Parse()
 
 	var db *vexdb.DB
@@ -35,6 +36,7 @@ func main() {
 	} else {
 		db = vexdb.Open()
 	}
+	db.SetParallelism(*workers)
 	if *initFile != "" {
 		script, err := os.ReadFile(*initFile)
 		if err != nil {

@@ -27,6 +27,7 @@ func main() {
 	command := flag.String("c", "", "execute a single statement and exit")
 	file := flag.String("f", "", "execute a SQL script file and exit")
 	quiet := flag.Bool("q", false, "suppress timing output")
+	workers := flag.Int("workers", 0, "query execution parallelism (0 = all CPUs)")
 	flag.Parse()
 
 	var db *vexdb.DB
@@ -42,6 +43,7 @@ func main() {
 	if db == nil {
 		db = vexdb.Open()
 	}
+	db.SetParallelism(*workers)
 
 	exec := func(stmt string) bool {
 		stmt = strings.TrimSpace(stmt)

@@ -27,7 +27,7 @@ func main() {
 	cols := flag.Int("cols", cfg.Columns, "total voter columns (paper: 96)")
 	trees := flag.Int("trees", cfg.Estimators, "random forest size")
 	seed := flag.Int64("seed", cfg.Seed, "deterministic seed")
-	exp := flag.String("exp", "figure1", "experiment: figure1|serialize|parallel|ensemble|protocols|all")
+	exp := flag.String("exp", "figure1", "experiment: figure1|serialize|parallel|morsel|ensemble|protocols|all")
 	dir := flag.String("dir", "", "work directory (default: temp)")
 	flag.Parse()
 
@@ -68,6 +68,7 @@ func main() {
 	run("figure1", func() error { return runFigure1(env) })
 	run("serialize", func() error { return runSerialize(env) })
 	run("parallel", func() error { return runParallel(env) })
+	run("morsel", func() error { return runMorsel(env) })
 	run("ensemble", func() error { return runEnsemble(env) })
 	run("protocols", func() error { return runProtocols(env) })
 }
@@ -120,6 +121,24 @@ func runParallel(env *workload.Env) error {
 		workers = append(workers, w)
 	}
 	rows, err := workload.E3ParallelUDF(env, workers)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%8d %14v %9.2fx\n", r.Workers, r.Elapsed.Round(time.Millisecond), r.Speedup)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runMorsel(env *workload.Env) error {
+	fmt.Println("E6 — morsel-driven relational executor scaling (join + group-by, no UDFs)")
+	fmt.Printf("%8s %14s %10s\n", "workers", "elapsed", "speedup")
+	var workers []int
+	for w := 1; w <= runtime.NumCPU(); w *= 2 {
+		workers = append(workers, w)
+	}
+	rows, err := workload.E6MorselScaling(env, workers)
 	if err != nil {
 		return err
 	}

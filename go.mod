@@ -1,0 +1,3 @@
+module vexdb
+
+go 1.24

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"vexdb/internal/vector"
 )
 
 // Differential tests: random datasets, SQL results compared against
@@ -236,6 +238,153 @@ func TestDifferentialDistinct(t *testing.T) {
 		return res.Table.NumRows() == len(want)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Parallel differential tests: every covered query shape must produce
+// results identical to serial execution at any worker count. The
+// morsel exchange preserves row order, so the comparison is exact and
+// positional; if a future exchange relaxes ordering, these tests must
+// switch to comparing sorted row renderings instead.
+
+// parallelWorkerCounts are the parallelism levels differential tests
+// compare against serial execution.
+var parallelWorkerCounts = []int{1, 2, 8}
+
+// loadWide populates a table large enough to span several storage
+// segments so morsel dispatch actually fans out.
+func loadWide(t *testing.T, db *DB, rows int) {
+	t.Helper()
+	mustExec(t, db, "CREATE TABLE w (k BIGINT, g INTEGER, v DOUBLE, s VARCHAR)")
+	var sb strings.Builder
+	for i := 0; i < rows; i++ {
+		if i%500 == 0 {
+			if sb.Len() > 0 {
+				mustExec(t, db, sb.String())
+				sb.Reset()
+			}
+			sb.WriteString("INSERT INTO w VALUES ")
+		} else {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, "(%d, %d, %g, 's%d')", i%97, i%13, float64(i%31)-15.0, i%7)
+	}
+	if sb.Len() > 0 {
+		mustExec(t, db, sb.String())
+	}
+}
+
+// renderTable flattens a result into printable rows for comparison.
+func renderTable(t *testing.T, tab *vector.Table) []string {
+	t.Helper()
+	rows := make([]string, tab.NumRows())
+	for i := range rows {
+		var sb strings.Builder
+		for c := 0; c < tab.NumCols(); c++ {
+			sb.WriteString(tab.Cols[c].Get(i).String())
+			sb.WriteString("|")
+		}
+		rows[i] = sb.String()
+	}
+	return rows
+}
+
+func TestDifferentialParallelMatchesSerial(t *testing.T) {
+	queries := []string{
+		// filter-heavy scans
+		"SELECT k, v FROM w WHERE v > 0",
+		"SELECT k, v FROM w WHERE v > 100",   // empty result
+		"SELECT k, v FROM w WHERE v > -100",  // all-true predicate
+		"SELECT k + 1, v * 2 FROM w WHERE k % 3 = 0",
+		// group-by (single int key fast path, multi-key, string key)
+		"SELECT g, count(*) AS n, sum(v) AS s, min(v) AS mn, max(v) AS mx FROM w GROUP BY g",
+		"SELECT k, g, count(*) AS n, avg(v) AS m FROM w GROUP BY k, g",
+		"SELECT s, count(*) AS n FROM w GROUP BY s",
+		"SELECT count(*) AS n, sum(k) AS s FROM w",            // global agg
+		"SELECT g, count(*) AS n FROM w WHERE v > 0 GROUP BY g", // agg over filter
+		// joins (int fast path and parallel probe)
+		"SELECT count(*) AS n FROM w a JOIN w b ON a.k = b.k",
+		"SELECT a.k, b.g FROM w a JOIN w b ON a.k = b.k WHERE a.v > 10",
+		"SELECT a.k, b.v FROM w a LEFT JOIN w b ON a.k = b.k AND b.v > 12",
+		// distinct
+		"SELECT DISTINCT g FROM w",
+		"SELECT DISTINCT k, g FROM w",
+		// sort and limit over parallel children
+		"SELECT k, v FROM w WHERE v > 0 ORDER BY k, v LIMIT 50",
+	}
+	db := New()
+	db.Parallelism = 1
+	loadWide(t, db, 10_000)
+	for _, q := range queries {
+		serial, err := db.Exec(q)
+		if err != nil {
+			t.Fatalf("serial %q: %v", q, err)
+		}
+		want := renderTable(t, serial.Table)
+		for _, workers := range parallelWorkerCounts {
+			db.Parallelism = workers
+			got, err := db.Exec(q)
+			if err != nil {
+				t.Fatalf("workers=%d %q: %v", workers, q, err)
+			}
+			rows := renderTable(t, got.Table)
+			if len(rows) != len(want) {
+				t.Fatalf("workers=%d %q: %d rows, serial %d", workers, q, len(rows), len(want))
+			}
+			for i := range rows {
+				if rows[i] != want[i] {
+					t.Fatalf("workers=%d %q row %d:\n  got  %s\n  want %s", workers, q, i, rows[i], want[i])
+				}
+			}
+		}
+		db.Parallelism = 1
+	}
+}
+
+func TestDifferentialParallelRandomized(t *testing.T) {
+	f := func(rawKeys []uint8, rawVals []int16) bool {
+		tab := mkTable(rawKeys, rawVals)
+		db := New()
+		tab.load(t, db, "t")
+		queries := []string{
+			"SELECT k, count(*) AS n, sum(v) AS s FROM t GROUP BY k",
+			"SELECT count(*) AS n FROM t a JOIN t b ON a.k = b.k",
+			"SELECT DISTINCT k FROM t",
+			"SELECT k, v FROM t WHERE v > 0",
+		}
+		for _, q := range queries {
+			db.Parallelism = 1
+			serial, err := db.Exec(q)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			want := renderTable(t, serial.Table)
+			for _, workers := range parallelWorkerCounts[1:] {
+				db.Parallelism = workers
+				got, err := db.Exec(q)
+				if err != nil {
+					t.Log(err)
+					return false
+				}
+				rows := renderTable(t, got.Table)
+				if len(rows) != len(want) {
+					t.Logf("workers=%d %q: %d rows, serial %d", workers, q, len(rows), len(want))
+					return false
+				}
+				for i := range rows {
+					if rows[i] != want[i] {
+						t.Logf("workers=%d %q row %d: got %s want %s", workers, q, i, rows[i], want[i])
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
 		t.Error(err)
 	}
 }

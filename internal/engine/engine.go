@@ -30,7 +30,8 @@ type DB struct {
 	// table do not interleave chunk appends with reads mid-statement.
 	ddlMu sync.Mutex
 
-	// Parallelism bounds parallel UDF execution (0 = NumCPU).
+	// Parallelism bounds the morsel-driven parallel executor and
+	// partitioned UDF evaluation (0 = NumCPU).
 	Parallelism int
 }
 

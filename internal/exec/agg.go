@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 
 	"vexdb/internal/plan"
 	"vexdb/internal/vector"
@@ -25,9 +26,211 @@ type aggState struct {
 	distinct map[string]struct{}
 }
 
-type groupState struct {
-	keyVals []vector.Value
-	aggs    []aggState
+// aggGroup is the accumulated state of one group. firstSeen orders the
+// output: it is the global position (morsel, row) of the group's first
+// input row, so parallel partitions merge back into the exact order
+// serial execution would produce.
+type aggGroup struct {
+	keyVals   []vector.Value
+	aggs      []aggState
+	firstSeen int64
+}
+
+// aggTable accumulates hash-aggregation state. Groups are stored
+// densely in first-appearance order; the groupIndex maps key rows to
+// slots without per-row key allocation.
+type aggTable struct {
+	spec   *plan.Aggregate
+	gi     *groupIndex
+	groups []aggGroup
+
+	groupVecs []*vector.Vector // reused across chunks
+	argVecs   []*vector.Vector
+	scratch   []byte // distinct-value key buffer
+}
+
+func newAggTable(spec *plan.Aggregate) *aggTable {
+	types := make([]vector.Type, len(spec.GroupBy))
+	for i, g := range spec.GroupBy {
+		types[i] = g.Type()
+	}
+	return &aggTable{
+		spec:      spec,
+		gi:        newGroupIndex(types),
+		groupVecs: make([]*vector.Vector, len(spec.GroupBy)),
+		argVecs:   make([]*vector.Vector, len(spec.Aggs)),
+	}
+}
+
+// consume folds one chunk into the table. morsel is the chunk's global
+// position in the input stream; it seeds firstSeen so output order is
+// deterministic regardless of which worker consumed the chunk.
+func (t *aggTable) consume(ch *vector.Chunk, morsel int) error {
+	n := ch.NumRows()
+	for i, g := range t.spec.GroupBy {
+		v, err := Evaluate(g, ch)
+		if err != nil {
+			return err
+		}
+		t.groupVecs[i] = v
+	}
+	for i, s := range t.spec.Aggs {
+		if s.Arg == nil {
+			t.argVecs[i] = nil
+			continue
+		}
+		v, err := Evaluate(s.Arg, ch)
+		if err != nil {
+			return err
+		}
+		t.argVecs[i] = v
+	}
+	for r := 0; r < n; r++ {
+		id, created := t.gi.groupID(t.groupVecs, r)
+		if created {
+			g := aggGroup{
+				aggs:      make([]aggState, len(t.spec.Aggs)),
+				firstSeen: int64(morsel)<<32 | int64(r),
+			}
+			if len(t.groupVecs) > 0 {
+				g.keyVals = make([]vector.Value, len(t.groupVecs))
+				for i, gv := range t.groupVecs {
+					g.keyVals[i] = gv.Get(r)
+				}
+			}
+			for i, s := range t.spec.Aggs {
+				if s.Distinct {
+					g.aggs[i].distinct = make(map[string]struct{})
+				}
+			}
+			t.groups = append(t.groups, g)
+		}
+		g := &t.groups[id]
+		for i, s := range t.spec.Aggs {
+			if err := updateAgg(&g.aggs[i], s, t.argVecs[i], r, &t.scratch); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ensureGlobalGroup materializes the single output row a global
+// aggregation owes even for empty input.
+func (t *aggTable) ensureGlobalGroup() {
+	if len(t.spec.GroupBy) > 0 || len(t.groups) > 0 {
+		return
+	}
+	g := aggGroup{aggs: make([]aggState, len(t.spec.Aggs))}
+	for i, s := range t.spec.Aggs {
+		if s.Distinct {
+			g.aggs[i].distinct = make(map[string]struct{})
+		}
+	}
+	t.groups = append(t.groups, g)
+}
+
+// mergeKeyMap builds the encoded-key → group-slot map merge uses;
+// build it once and reuse it across successive merge calls (merge
+// keeps it updated for appended groups).
+func (t *aggTable) mergeKeyMap() map[string]int32 {
+	byKey := make(map[string]int32, len(t.groups))
+	var buf []byte
+	for i := range t.groups {
+		buf = buf[:0]
+		for _, kv := range t.groups[i].keyVals {
+			buf = appendValueKey(buf, kv)
+		}
+		byKey[string(buf)] = int32(i)
+	}
+	return byKey
+}
+
+// merge folds o's groups into t, matching groups by their encoded key
+// values. Only aggregate kinds whose state composes (everything except
+// DISTINCT, which the planner keeps serial) may be merged.
+func (t *aggTable) merge(o *aggTable, byKey map[string]int32) error {
+	if len(o.groups) == 0 {
+		return nil
+	}
+	var buf []byte
+	for i := range o.groups {
+		og := &o.groups[i]
+		buf = buf[:0]
+		for _, kv := range og.keyVals {
+			buf = appendValueKey(buf, kv)
+		}
+		id, ok := byKey[string(buf)]
+		if !ok {
+			byKey[string(buf)] = int32(len(t.groups))
+			t.groups = append(t.groups, *og)
+			continue
+		}
+		g := &t.groups[id]
+		if og.firstSeen < g.firstSeen {
+			g.firstSeen = og.firstSeen
+		}
+		for a := range g.aggs {
+			if err := mergeAggState(&g.aggs[a], &og.aggs[a]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// mergeAggState combines two partial states of the same aggregate.
+func mergeAggState(dst, src *aggState) error {
+	dst.count += src.count
+	dst.sumF += src.sumF
+	dst.sumI += src.sumI
+	if src.min.Type() != vector.Invalid {
+		if dst.min.Type() == vector.Invalid {
+			dst.min = src.min
+		} else if c, err := src.min.Compare(dst.min); err != nil {
+			return err
+		} else if c < 0 {
+			dst.min = src.min
+		}
+	}
+	if src.max.Type() != vector.Invalid {
+		if dst.max.Type() == vector.Invalid {
+			dst.max = src.max
+		} else if c, err := src.max.Compare(dst.max); err != nil {
+			return err
+		} else if c > 0 {
+			dst.max = src.max
+		}
+	}
+	return nil
+}
+
+// emit materializes the groups, ordered by first appearance, as one
+// result chunk.
+func (t *aggTable) emit() (*vector.Chunk, error) {
+	order := make([]int, len(t.groups))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return t.groups[order[a]].firstSeen < t.groups[order[b]].firstSeen
+	})
+	schema := t.spec.Schema()
+	cols := make([]*vector.Vector, len(schema))
+	for i, c := range schema {
+		cols[i] = vector.New(c.Type, len(t.groups))
+	}
+	ng := len(t.spec.GroupBy)
+	for _, gi := range order {
+		g := &t.groups[gi]
+		for i, kv := range g.keyVals {
+			appendCast(cols[i], kv, schema[i].Type)
+		}
+		for i, s := range t.spec.Aggs {
+			appendCast(cols[ng+i], finalizeAgg(&g.aggs[i], s), schema[ng+i].Type)
+		}
+	}
+	return vector.NewChunk(cols...), nil
 }
 
 func (a *hashAggOp) Open(ctx *Context) error {
@@ -41,10 +244,8 @@ func (a *hashAggOp) Next() (*vector.Chunk, error) {
 	}
 	a.done = true
 
-	groups := make(map[string]*groupState)
-	var order []string // deterministic output order: first appearance
-
-	var key []byte
+	t := newAggTable(a.spec)
+	morsel := 0
 	for {
 		ch, err := a.child.Next()
 		if err != nil {
@@ -53,83 +254,13 @@ func (a *hashAggOp) Next() (*vector.Chunk, error) {
 		if ch == nil {
 			break
 		}
-		n := ch.NumRows()
-		groupVecs := make([]*vector.Vector, len(a.spec.GroupBy))
-		for i, g := range a.spec.GroupBy {
-			v, err := Evaluate(g, ch)
-			if err != nil {
-				return nil, err
-			}
-			groupVecs[i] = v
+		if err := t.consume(ch, morsel); err != nil {
+			return nil, err
 		}
-		argVecs := make([]*vector.Vector, len(a.spec.Aggs))
-		for i, s := range a.spec.Aggs {
-			if s.Arg == nil {
-				continue
-			}
-			v, err := Evaluate(s.Arg, ch)
-			if err != nil {
-				return nil, err
-			}
-			argVecs[i] = v
-		}
-		for r := 0; r < n; r++ {
-			key = key[:0]
-			for _, gv := range groupVecs {
-				key = appendRowKey(key, gv, r)
-			}
-			ks := string(key)
-			g, ok := groups[ks]
-			if !ok {
-				g = &groupState{aggs: make([]aggState, len(a.spec.Aggs))}
-				g.keyVals = make([]vector.Value, len(groupVecs))
-				for i, gv := range groupVecs {
-					g.keyVals[i] = gv.Get(r)
-				}
-				for i, s := range a.spec.Aggs {
-					if s.Distinct {
-						g.aggs[i].distinct = make(map[string]struct{})
-					}
-				}
-				groups[ks] = g
-				order = append(order, ks)
-			}
-			for i, s := range a.spec.Aggs {
-				if err := updateAgg(&g.aggs[i], s, argVecs[i], r); err != nil {
-					return nil, err
-				}
-			}
-		}
+		morsel++
 	}
-
-	// Global aggregation over empty input still yields one row.
-	if len(a.spec.GroupBy) == 0 && len(groups) == 0 {
-		g := &groupState{aggs: make([]aggState, len(a.spec.Aggs))}
-		for i, s := range a.spec.Aggs {
-			if s.Distinct {
-				g.aggs[i].distinct = make(map[string]struct{})
-			}
-		}
-		groups[""] = g
-		order = append(order, "")
-	}
-
-	schema := a.spec.Schema()
-	cols := make([]*vector.Vector, len(schema))
-	for i, c := range schema {
-		cols[i] = vector.New(c.Type, len(groups))
-	}
-	ng := len(a.spec.GroupBy)
-	for _, ks := range order {
-		g := groups[ks]
-		for i, kv := range g.keyVals {
-			appendCast(cols[i], kv, schema[i].Type)
-		}
-		for i, s := range a.spec.Aggs {
-			appendCast(cols[ng+i], finalizeAgg(&g.aggs[i], s), schema[ng+i].Type)
-		}
-	}
-	return vector.NewChunk(cols...), nil
+	t.ensureGlobalGroup()
+	return t.emit()
 }
 
 func appendCast(col *vector.Vector, v vector.Value, t vector.Type) {
@@ -141,7 +272,7 @@ func appendCast(col *vector.Vector, v vector.Value, t vector.Type) {
 	col.AppendValue(v)
 }
 
-func updateAgg(st *aggState, spec plan.AggSpec, arg *vector.Vector, r int) error {
+func updateAgg(st *aggState, spec plan.AggSpec, arg *vector.Vector, r int, scratch *[]byte) error {
 	if spec.Arg == nil { // count(*)
 		st.count++
 		return nil
@@ -150,11 +281,12 @@ func updateAgg(st *aggState, spec plan.AggSpec, arg *vector.Vector, r int) error
 		return nil // aggregates skip NULLs
 	}
 	if spec.Distinct {
-		key := appendRowKey(nil, arg, r)
-		if _, seen := st.distinct[string(key)]; seen {
+		buf := appendRowKey((*scratch)[:0], arg, r)
+		*scratch = buf
+		if _, seen := st.distinct[string(buf)]; seen {
 			return nil
 		}
-		st.distinct[string(key)] = struct{}{}
+		st.distinct[string(buf)] = struct{}{}
 	}
 	v := arg.Get(r)
 	switch spec.Kind {

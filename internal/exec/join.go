@@ -13,10 +13,20 @@ import (
 // expressions; left chunks probe it. With no key pairs it degrades to
 // a cross product (single-bucket join). Residual ON conjuncts are
 // applied to joined rows.
+//
+// When probePipe is set, the left input is a morsel-parallelizable
+// pipeline: the build table is shared (it is read-only after Open) and
+// workers probe left morsels concurrently, re-emitting join output in
+// morsel order so results match serial execution row for row.
 type hashJoinOp struct {
 	spec  *plan.HashJoin
 	left  Operator
 	right Operator
+
+	// probePipe, when non-nil, replaces left with a parallel probe.
+	probePipe *pipeSpec
+	workers   int
+	drv       *orderedDriver
 
 	build    *vector.Chunk // materialized right input
 	buildIdx map[string][]int
@@ -39,7 +49,7 @@ func (j *hashJoinOp) Open(ctx *Context) error {
 	j.buildIdx64 = nil
 	if build.NumCols() == 0 || build.NumRows() == 0 {
 		j.buildIdx = map[string][]int{}
-		return j.left.Open(ctx)
+		return j.openProbe(ctx)
 	}
 	keyVecs := make([]*vector.Vector, len(j.spec.RightKeys))
 	for i, k := range j.spec.RightKeys {
@@ -61,7 +71,7 @@ func (j *hashJoinOp) Open(ctx *Context) error {
 			k := intKeyAt(kv, r)
 			j.buildIdx64[k] = append(j.buildIdx64[k], int32(r))
 		}
-		return j.left.Open(ctx)
+		return j.openProbe(ctx)
 	}
 	j.buildIdx = make(map[string][]int, build.NumRows())
 	var key []byte
@@ -80,7 +90,26 @@ func (j *hashJoinOp) Open(ctx *Context) error {
 		}
 		j.buildIdx[string(key)] = append(j.buildIdx[string(key)], r)
 	}
-	return j.left.Open(ctx)
+	return j.openProbe(ctx)
+}
+
+// openProbe starts the probe side once the build table is complete:
+// either the serial left child, or the morsel-parallel probe workers
+// (probe only reads the operator's state, so workers share it).
+func (j *hashJoinOp) openProbe(ctx *Context) error {
+	if j.probePipe == nil {
+		return j.left.Open(ctx)
+	}
+	n := j.probePipe.src.open()
+	scratch := make([]pipeScratch, j.workers)
+	j.drv = startOrdered(n, j.workers, func(w, i int) (*vector.Chunk, error) {
+		ch, err := j.probePipe.apply(j.probePipe.src.fetch(i), &scratch[w])
+		if err != nil || ch == nil {
+			return nil, err
+		}
+		return j.probe(ch)
+	})
+	return nil
 }
 
 func isIntKey(v *vector.Vector) bool {
@@ -97,6 +126,9 @@ func intKeyAt(v *vector.Vector, r int) int64 {
 func (j *hashJoinOp) Next() (*vector.Chunk, error) {
 	if j.done {
 		return nil, nil
+	}
+	if j.drv != nil {
+		return j.drv.next()
 	}
 	for {
 		ch, err := j.left.Next()
@@ -268,7 +300,11 @@ func concatChunks(a, b *vector.Chunk) *vector.Chunk {
 }
 
 func (j *hashJoinOp) Close() error {
-	lerr := j.left.Close()
+	j.drv.abort()
+	var lerr error
+	if j.left != nil {
+		lerr = j.left.Close()
+	}
 	rerr := j.right.Close()
 	if lerr != nil {
 		return lerr

@@ -45,6 +45,176 @@ func appendRowKey(key []byte, v *vector.Vector, i int) []byte {
 	return append(key, 0xFE)
 }
 
+// appendValueKey appends the same encoding appendRowKey produces, but
+// reading from a materialized Value instead of a vector row. The two
+// encodings must stay byte-identical: partitioned aggregation matches
+// groups across worker tables by re-encoding their key values.
+func appendValueKey(key []byte, v vector.Value) []byte {
+	if v.IsNull() {
+		return append(key, 0xFF)
+	}
+	switch v.Type() {
+	case vector.Bool:
+		if v.Bool() {
+			return append(key, 1, 1)
+		}
+		return append(key, 1, 0)
+	case vector.Int32:
+		key = append(key, 2)
+		return binary.LittleEndian.AppendUint32(key, uint32(int32(v.Int64())))
+	case vector.Int64:
+		key = append(key, 3)
+		return binary.LittleEndian.AppendUint64(key, uint64(v.Int64()))
+	case vector.Float64:
+		key = append(key, 4)
+		return binary.LittleEndian.AppendUint64(key, math.Float64bits(v.Float64()))
+	case vector.String:
+		s := v.Str()
+		key = append(key, 5)
+		key = binary.LittleEndian.AppendUint32(key, uint32(len(s)))
+		return append(key, s...)
+	case vector.Blob:
+		b := v.Bytes()
+		key = append(key, 6)
+		key = binary.LittleEndian.AppendUint32(key, uint32(len(b)))
+		return append(key, b...)
+	}
+	return append(key, 0xFE)
+}
+
+// groupIndex maps group-key rows to dense group ids. Single fixed-width
+// keys (bool/int32/int64) and single string keys bypass the byte-slice
+// encoding entirely; the generic path reuses one key buffer and relies
+// on Go's map[string]([]byte) lookup optimization, so the only
+// per-group-lookup allocation left is the one insert per distinct key.
+type groupIndex struct {
+	kind    keyKind
+	fastInt map[uint64]int32
+	fastStr map[string]int32
+	slow    map[string]int32
+	nullID  int32 // dense id of the single-key NULL group, -1 if unseen
+	buf     []byte
+	n       int32
+}
+
+type keyKind uint8
+
+const (
+	keyKindNone  keyKind = iota // no key columns: one global group
+	keyKindInt                  // single bool/int32/int64 key
+	keyKindStr                  // single string key
+	keyKindBytes                // generic byte encoding
+)
+
+// newGroupIndex picks the lookup strategy from the declared key types.
+func newGroupIndex(types []vector.Type) *groupIndex {
+	gi := &groupIndex{nullID: -1}
+	switch {
+	case len(types) == 0:
+		gi.kind = keyKindNone
+	case len(types) == 1 && isFixedKeyType(types[0]):
+		gi.kind = keyKindInt
+		gi.fastInt = make(map[uint64]int32)
+	case len(types) == 1 && types[0] == vector.String:
+		gi.kind = keyKindStr
+		gi.fastStr = make(map[string]int32)
+	default:
+		gi.kind = keyKindBytes
+		gi.slow = make(map[string]int32)
+	}
+	return gi
+}
+
+func isFixedKeyType(t vector.Type) bool {
+	return t == vector.Bool || t == vector.Int32 || t == vector.Int64
+}
+
+// fixedKeyAt folds a fixed-width key value into a uint64. Integer
+// widths are sign-extended so the same number keys identically whether
+// the runtime vector is Int32 or Int64.
+func fixedKeyAt(v *vector.Vector, r int) (uint64, bool) {
+	switch v.Type() {
+	case vector.Bool:
+		if v.Bools()[r] {
+			return 1, true
+		}
+		return 0, true
+	case vector.Int32:
+		return uint64(int64(v.Int32s()[r])), true
+	case vector.Int64:
+		return uint64(v.Int64s()[r]), true
+	}
+	return 0, false
+}
+
+// groupID returns the dense group id for row r of the key vectors and
+// whether this call created the group. Ids are assigned in first-
+// appearance order.
+func (gi *groupIndex) groupID(keys []*vector.Vector, r int) (int32, bool) {
+	switch gi.kind {
+	case keyKindNone:
+		if gi.n == 0 {
+			gi.n = 1
+			return 0, true
+		}
+		return 0, false
+	case keyKindInt:
+		v := keys[0]
+		if v.IsNull(r) {
+			return gi.nullGroup()
+		}
+		if k, ok := fixedKeyAt(v, r); ok {
+			if id, ok := gi.fastInt[k]; ok {
+				return id, false
+			}
+			id := gi.n
+			gi.n++
+			gi.fastInt[k] = id
+			return id, true
+		}
+		// Runtime type diverged from the declared key type: fall back
+		// to the generic encoding (separate keyspace by construction).
+	case keyKindStr:
+		v := keys[0]
+		if v.IsNull(r) {
+			return gi.nullGroup()
+		}
+		if v.Type() == vector.String {
+			s := v.Strings()[r]
+			if id, ok := gi.fastStr[s]; ok {
+				return id, false
+			}
+			id := gi.n
+			gi.n++
+			gi.fastStr[s] = id
+			return id, true
+		}
+	}
+	if gi.slow == nil {
+		gi.slow = make(map[string]int32)
+	}
+	gi.buf = gi.buf[:0]
+	for _, kv := range keys {
+		gi.buf = appendRowKey(gi.buf, kv, r)
+	}
+	if id, ok := gi.slow[string(gi.buf)]; ok {
+		return id, false
+	}
+	id := gi.n
+	gi.n++
+	gi.slow[string(gi.buf)] = id
+	return id, true
+}
+
+func (gi *groupIndex) nullGroup() (int32, bool) {
+	if gi.nullID >= 0 {
+		return gi.nullID, false
+	}
+	gi.nullID = gi.n
+	gi.n++
+	return gi.nullID, true
+}
+
 // EvalPartitionedCall evaluates a bound UDF call over already
 // evaluated argument vectors, partitioned across workers when the
 // function allows it.

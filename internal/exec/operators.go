@@ -33,8 +33,23 @@ func (c *Context) Workers() int {
 	return c.Parallelism
 }
 
-// Build converts a bound plan into an operator tree.
-func Build(node plan.Node) (Operator, error) {
+// Build converts a bound plan into a serial operator tree. Run builds
+// with the context's worker count instead, enabling the morsel-driven
+// parallel operators; Build stays serial for callers without a context.
+func Build(node plan.Node) (Operator, error) { return buildWith(node, 1) }
+
+// buildWith converts a bound plan into an operator tree, substituting
+// morsel-parallel operators for eligible subtrees when workers > 1.
+func buildWith(node plan.Node, workers int) (Operator, error) {
+	if workers > 1 {
+		op, ok, err := buildParallel(node, workers)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return op, nil
+		}
+	}
 	switch n := node.(type) {
 	case *plan.Scan:
 		return &scanOp{table: n.Table, projection: n.Projection}, nil
@@ -43,17 +58,17 @@ func Build(node plan.Node) (Operator, error) {
 	case *plan.TableFuncScan:
 		return newTableFuncOp(n)
 	case *plan.Filter:
-		child, err := Build(n.Child)
+		child, err := buildWith(n.Child, workers)
 		if err != nil {
 			return nil, err
 		}
 		return &filterOp{pred: n.Pred, child: child}, nil
 	case *plan.Project:
-		child, err := Build(n.Child)
+		child, err := buildWith(n.Child, workers)
 		if err != nil {
 			return nil, err
 		}
-		if projectHasUDF(n.Exprs) {
+		if exprsHaveUDF(n.Exprs) {
 			// UDF calls in the select list receive whole columns, as
 			// MonetDB/Python vectorized UDFs do: materialize the child
 			// and evaluate once over the full input.
@@ -61,45 +76,45 @@ func Build(node plan.Node) (Operator, error) {
 		}
 		return &projectOp{exprs: n.Exprs, child: child}, nil
 	case *plan.HashJoin:
-		left, err := Build(n.Left)
+		left, err := buildWith(n.Left, workers)
 		if err != nil {
 			return nil, err
 		}
-		right, err := Build(n.Right)
+		right, err := buildWith(n.Right, workers)
 		if err != nil {
 			return nil, err
 		}
 		return &hashJoinOp{spec: n, left: left, right: right}, nil
 	case *plan.Aggregate:
-		child, err := Build(n.Child)
+		child, err := buildWith(n.Child, workers)
 		if err != nil {
 			return nil, err
 		}
 		return &hashAggOp{spec: n, child: child}, nil
 	case *plan.Sort:
-		child, err := Build(n.Child)
+		child, err := buildWith(n.Child, workers)
 		if err != nil {
 			return nil, err
 		}
 		return &sortOp{keys: n.Keys, child: child}, nil
 	case *plan.Limit:
-		child, err := Build(n.Child)
+		child, err := buildWith(n.Child, workers)
 		if err != nil {
 			return nil, err
 		}
 		return &limitOp{count: n.Count, offset: n.Offset, child: child}, nil
 	case *plan.Distinct:
-		child, err := Build(n.Child)
+		child, err := buildWith(n.Child, workers)
 		if err != nil {
 			return nil, err
 		}
 		return &distinctOp{child: child}, nil
 	case *plan.Union:
-		left, err := Build(n.Left)
+		left, err := buildWith(n.Left, workers)
 		if err != nil {
 			return nil, err
 		}
-		right, err := Build(n.Right)
+		right, err := buildWith(n.Right, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -115,11 +130,15 @@ func Build(node plan.Node) (Operator, error) {
 // Run executes a plan to completion, returning the materialized result
 // table with the plan's column names.
 func Run(node plan.Node, ctx *Context) (*vector.Table, error) {
-	op, err := Build(node)
+	op, err := buildWith(node, ctx.Workers())
 	if err != nil {
 		return nil, err
 	}
 	if err := op.Open(ctx); err != nil {
+		// A failed Open can leave earlier-opened subtrees running
+		// (parallel operators start workers in Open); Close cascades
+		// the shutdown.
+		op.Close()
 		return nil, err
 	}
 	defer op.Close()
@@ -215,6 +234,7 @@ func (m *materialOp) Close() error { return nil }
 type filterOp struct {
 	pred  plan.Expr
 	child Operator
+	sel   []int // selection buffer reused across chunks
 }
 
 func (f *filterOp) Open(ctx *Context) error { return f.child.Open(ctx) }
@@ -225,31 +245,61 @@ func (f *filterOp) Next() (*vector.Chunk, error) {
 		if err != nil || ch == nil {
 			return ch, err
 		}
-		pred, err := Evaluate(f.pred, ch)
+		out, err := filterChunk(f.pred, ch, &f.sel)
 		if err != nil {
 			return nil, err
 		}
-		if pred.Type() != vector.Bool {
-			return nil, fmt.Errorf("exec: WHERE predicate must be boolean, got %s", pred.Type())
+		if out != nil {
+			return out, nil
 		}
-		sel := make([]int, 0, ch.NumRows())
-		bools := pred.Bools()
-		for i := 0; i < ch.NumRows(); i++ {
-			if !pred.IsNull(i) && bools[i] {
-				sel = append(sel, i)
-			}
-		}
-		if len(sel) == 0 {
-			continue
-		}
-		if len(sel) == ch.NumRows() {
-			return ch, nil
-		}
-		return ch.Gather(sel), nil
 	}
 }
 
 func (f *filterOp) Close() error { return f.child.Close() }
+
+// filterChunk returns the rows of ch matching pred, nil when none do.
+// *selBuf is reused across calls; an all-true NULL-free predicate
+// skips the selection vector (and the Gather copy) entirely.
+func filterChunk(pred plan.Expr, ch *vector.Chunk, selBuf *[]int) (*vector.Chunk, error) {
+	pv, err := Evaluate(pred, ch)
+	if err != nil {
+		return nil, err
+	}
+	if pv.Type() != vector.Bool {
+		return nil, fmt.Errorf("exec: WHERE predicate must be boolean, got %s", pv.Type())
+	}
+	n := ch.NumRows()
+	if n == 0 {
+		return nil, nil
+	}
+	bools := pv.Bools()
+	if pv.Nulls() == nil {
+		allTrue := true
+		for i := 0; i < n; i++ {
+			if !bools[i] {
+				allTrue = false
+				break
+			}
+		}
+		if allTrue {
+			return ch, nil
+		}
+	}
+	sel := (*selBuf)[:0]
+	for i := 0; i < n; i++ {
+		if !pv.IsNull(i) && bools[i] {
+			sel = append(sel, i)
+		}
+	}
+	*selBuf = sel
+	if len(sel) == 0 {
+		return nil, nil
+	}
+	if len(sel) == n {
+		return ch, nil
+	}
+	return ch.Gather(sel), nil
+}
 
 // ----------------------------------------------------------------- project
 
@@ -278,7 +328,8 @@ func (p *projectOp) Next() (*vector.Chunk, error) {
 
 func (p *projectOp) Close() error { return p.child.Close() }
 
-func projectHasUDF(exprs []plan.Expr) bool {
+// exprsHaveUDF reports whether any expression contains a UDF call.
+func exprsHaveUDF(exprs []plan.Expr) bool {
 	var has func(e plan.Expr) bool
 	has = func(e plan.Expr) bool {
 		switch x := e.(type) {
@@ -535,11 +586,12 @@ func (s *sortOp) Close() error { return s.child.Close() }
 
 type distinctOp struct {
 	child Operator
-	seen  map[string]struct{}
+	gi    *groupIndex
+	sel   []int // selection buffer reused across chunks
 }
 
 func (d *distinctOp) Open(ctx *Context) error {
-	d.seen = make(map[string]struct{})
+	d.gi = nil
 	return d.child.Open(ctx)
 }
 
@@ -549,20 +601,21 @@ func (d *distinctOp) Next() (*vector.Chunk, error) {
 		if err != nil || ch == nil {
 			return ch, err
 		}
-		sel := make([]int, 0, ch.NumRows())
-		var key []byte
-		for i := 0; i < ch.NumRows(); i++ {
-			key = key[:0]
-			for c := 0; c < ch.NumCols(); c++ {
-				key = appendRowKey(key, ch.Col(c), i)
+		if d.gi == nil {
+			types := make([]vector.Type, ch.NumCols())
+			for i := range types {
+				types[i] = ch.Col(i).Type()
 			}
-			k := string(key)
-			if _, ok := d.seen[k]; ok {
-				continue
-			}
-			d.seen[k] = struct{}{}
-			sel = append(sel, i)
+			d.gi = newGroupIndex(types)
 		}
+		sel := d.sel[:0]
+		cols := ch.Cols()
+		for i := 0; i < ch.NumRows(); i++ {
+			if _, created := d.gi.groupID(cols, i); created {
+				sel = append(sel, i)
+			}
+		}
+		d.sel = sel
 		if len(sel) == 0 {
 			continue
 		}

@@ -1,0 +1,424 @@
+// Morsel-driven parallel execution. A query pipeline whose leaf is a
+// base-table scan or materialized relation is split into morsels (one
+// storage segment or chunk-sized slice each); a shared atomic cursor
+// hands morsels to Context.Workers() goroutines, which run the
+// chunk-local filter→project stages, and either re-emit the surviving
+// chunks in morsel order (exchange), feed thread-local aggregation
+// tables that are merged when the input drains (partitioned hash
+// aggregation), or probe a shared hash-join build table. All parallel
+// operators preserve the exact row order serial execution produces, so
+// ORDER BY-less results stay deterministic.
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"vexdb/internal/catalog"
+	"vexdb/internal/plan"
+	"vexdb/internal/vector"
+)
+
+// ------------------------------------------------------- morsel sources
+
+// morselSource yields the input of a parallel pipeline as independently
+// fetchable morsels. open snapshots the input and returns the morsel
+// count; fetch must be safe for concurrent use.
+type morselSource interface {
+	open() int
+	fetch(i int) *vector.Chunk
+}
+
+// scanSource reads one storage segment per morsel (zero-copy for
+// sealed segments).
+type scanSource struct {
+	table      *catalog.Table
+	projection []int
+	n          int
+}
+
+func (s *scanSource) open() int {
+	s.n = s.table.Data.NumSegments()
+	return s.n
+}
+
+func (s *scanSource) fetch(i int) *vector.Chunk {
+	return s.table.Data.Segment(i, s.projection)
+}
+
+// materialSource slices a materialized table into chunk-sized morsels.
+type materialSource struct {
+	data *vector.Table
+	n    int
+}
+
+func (m *materialSource) open() int {
+	m.n = (m.data.NumRows() + vector.DefaultChunkSize - 1) / vector.DefaultChunkSize
+	return m.n
+}
+
+func (m *materialSource) fetch(i int) *vector.Chunk {
+	from := i * vector.DefaultChunkSize
+	to := from + vector.DefaultChunkSize
+	if n := m.data.NumRows(); to > n {
+		to = n
+	}
+	return m.data.Chunk().Slice(from, to)
+}
+
+// ------------------------------------------------------- pipeline spec
+
+// pipeStage is one chunk-local transformation: a filter when pred is
+// set, otherwise a projection.
+type pipeStage struct {
+	pred  plan.Expr
+	exprs []plan.Expr
+}
+
+// pipeSpec is a morsel-parallelizable scan→filter→project chain.
+type pipeSpec struct {
+	src    morselSource
+	stages []pipeStage
+}
+
+// pipeScratch holds one worker's reusable buffers.
+type pipeScratch struct {
+	sel []int
+}
+
+// extractPipe returns the pipeline form of node when every operator in
+// the chain is chunk-local and UDF-free, nil otherwise. UDFs are
+// excluded because registered functions may keep unsynchronized state
+// (the engine parallelizes those explicitly via EvalPartitionedCall).
+func extractPipe(node plan.Node) *pipeSpec {
+	switch n := node.(type) {
+	case *plan.Scan:
+		return &pipeSpec{src: &scanSource{table: n.Table, projection: n.Projection}}
+	case *plan.Material:
+		return &pipeSpec{src: &materialSource{data: n.Data}}
+	case *plan.Filter:
+		if exprsHaveUDF([]plan.Expr{n.Pred}) {
+			return nil
+		}
+		p := extractPipe(n.Child)
+		if p == nil {
+			return nil
+		}
+		p.stages = append(p.stages, pipeStage{pred: n.Pred})
+		return p
+	case *plan.Project:
+		if exprsHaveUDF(n.Exprs) {
+			return nil
+		}
+		p := extractPipe(n.Child)
+		if p == nil {
+			return nil
+		}
+		p.stages = append(p.stages, pipeStage{exprs: n.Exprs})
+		return p
+	}
+	return nil
+}
+
+// apply runs the pipeline stages over one morsel. It returns nil when
+// the filter eliminates every row.
+func (p *pipeSpec) apply(ch *vector.Chunk, sc *pipeScratch) (*vector.Chunk, error) {
+	for _, st := range p.stages {
+		if st.pred != nil {
+			out, err := filterChunk(st.pred, ch, &sc.sel)
+			if err != nil {
+				return nil, err
+			}
+			if out == nil {
+				return nil, nil
+			}
+			ch = out
+			continue
+		}
+		cols := make([]*vector.Vector, len(st.exprs))
+		for i, e := range st.exprs {
+			v, err := Evaluate(e, ch)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = v
+		}
+		ch = vector.NewChunk(cols...)
+	}
+	return ch, nil
+}
+
+// ------------------------------------------------------- ordered driver
+
+type slotResult struct {
+	ch  *vector.Chunk
+	err error
+}
+
+// orderedDriver fans morsels 0..n-1 out to workers and re-emits the
+// per-morsel results in morsel order, so the parallel operator's
+// output is indistinguishable from serial execution. A token window
+// bounds how far workers run ahead of the consumer, keeping buffered
+// memory bounded and letting LIMIT-style consumers stop the scan
+// early instead of racing through the whole input.
+type orderedDriver struct {
+	slots     []chan slotResult
+	tokens    chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	cursor    int
+	stop      atomic.Bool
+	wg        sync.WaitGroup
+}
+
+// startOrdered launches workers applying fn to each morsel. fn gets
+// the worker id so it can use per-worker scratch state. Result slots
+// are 1-buffered and written at most once, so delivery never blocks;
+// a worker that claims a morsel before observing stop always runs it
+// to completion, so the slot next() is waiting on is always being
+// computed by some worker (no consumer deadlock). Slots past an
+// error or abort may stay unwritten — next() never reads them because
+// it hard-stops at the first error.
+func startOrdered(n, workers int, fn func(worker, morsel int) (*vector.Chunk, error)) *orderedDriver {
+	d := &orderedDriver{
+		slots: make([]chan slotResult, n),
+		done:  make(chan struct{}),
+	}
+	for i := range d.slots {
+		d.slots[i] = make(chan slotResult, 1)
+	}
+	if workers > n {
+		workers = n
+	}
+	// The run-ahead window: workers hold a token per in-flight morsel,
+	// and next() returns one per consumed slot. 2x workers keeps every
+	// worker busy while bounding run-ahead.
+	runAhead := 2 * workers
+	if runAhead > n {
+		runAhead = n
+	}
+	d.tokens = make(chan struct{}, n) // consumed-slot returns never block
+	for i := 0; i < runAhead; i++ {
+		d.tokens <- struct{}{}
+	}
+	var next atomic.Int64
+	d.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer d.wg.Done()
+			for {
+				select {
+				case <-d.tokens:
+				case <-d.done:
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n || d.stop.Load() {
+					return
+				}
+				ch, err := fn(w, i)
+				d.slots[i] <- slotResult{ch: ch, err: err}
+			}
+		}(w)
+	}
+	return d
+}
+
+// next returns the next non-empty chunk in morsel order, nil at end.
+// After an error the driver is exhausted: further calls return nil.
+func (d *orderedDriver) next() (*vector.Chunk, error) {
+	for d.cursor < len(d.slots) {
+		r := <-d.slots[d.cursor]
+		d.cursor++
+		d.tokens <- struct{}{}
+		if r.err != nil {
+			d.stop.Store(true)
+			d.cursor = len(d.slots)
+			return nil, r.err
+		}
+		if r.ch != nil && r.ch.NumRows() > 0 {
+			return r.ch, nil
+		}
+	}
+	return nil, nil
+}
+
+// abort stops morsel dispatch, wakes token-blocked workers, and waits
+// for in-flight workers to finish.
+func (d *orderedDriver) abort() {
+	if d == nil {
+		return
+	}
+	d.stop.Store(true)
+	d.closeOnce.Do(func() { close(d.done) })
+	d.wg.Wait()
+}
+
+// ------------------------------------------------------- exchange op
+
+// parallelPipeOp is the exchange operator: it executes a scan→filter→
+// project chain morsel-parallel and emits chunks in scan order.
+type parallelPipeOp struct {
+	pipe    *pipeSpec
+	workers int
+	drv     *orderedDriver
+}
+
+func (p *parallelPipeOp) Open(*Context) error {
+	n := p.pipe.src.open()
+	scratch := make([]pipeScratch, p.workers)
+	p.drv = startOrdered(n, p.workers, func(w, i int) (*vector.Chunk, error) {
+		return p.pipe.apply(p.pipe.src.fetch(i), &scratch[w])
+	})
+	return nil
+}
+
+func (p *parallelPipeOp) Next() (*vector.Chunk, error) { return p.drv.next() }
+
+func (p *parallelPipeOp) Close() error {
+	p.drv.abort()
+	return nil
+}
+
+// ------------------------------------------------------- partitioned agg
+
+// parallelAggOp is partitioned hash aggregation: every worker consumes
+// morsels into a thread-local aggTable; the tables are merged and
+// re-ordered by first appearance when the input drains.
+type parallelAggOp struct {
+	spec    *plan.Aggregate
+	pipe    *pipeSpec
+	workers int
+	done    bool
+}
+
+func (a *parallelAggOp) Open(*Context) error {
+	a.done = false
+	return nil
+}
+
+func (a *parallelAggOp) Next() (*vector.Chunk, error) {
+	if a.done {
+		return nil, nil
+	}
+	a.done = true
+
+	n := a.pipe.src.open()
+	workers := a.workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	tables := make([]*aggTable, workers)
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			t := newAggTable(a.spec)
+			tables[w] = t
+			var sc pipeScratch
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stop.Load() {
+					return
+				}
+				ch, err := a.pipe.apply(a.pipe.src.fetch(i), &sc)
+				if err != nil {
+					errs[w] = err
+					stop.Store(true)
+					return
+				}
+				if ch == nil || ch.NumRows() == 0 {
+					continue
+				}
+				if err := t.consume(ch, i); err != nil {
+					errs[w] = err
+					stop.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	base := tables[0]
+	if len(tables) > 1 {
+		byKey := base.mergeKeyMap()
+		for _, t := range tables[1:] {
+			if err := base.merge(t, byKey); err != nil {
+				return nil, err
+			}
+		}
+	}
+	base.ensureGlobalGroup()
+	return base.emit()
+}
+
+func (a *parallelAggOp) Close() error { return nil }
+
+// ------------------------------------------------------- build dispatch
+
+// buildParallel returns a morsel-parallel operator for the plan shapes
+// the exchange layer covers; ok is false when the node must be built
+// serially.
+func buildParallel(node plan.Node, workers int) (op Operator, ok bool, err error) {
+	switch n := node.(type) {
+	case *plan.Filter, *plan.Project:
+		if pipe := extractPipe(node); pipe != nil {
+			return &parallelPipeOp{pipe: pipe, workers: workers}, true, nil
+		}
+	case *plan.Aggregate:
+		if !aggParallelizable(n) {
+			return nil, false, nil
+		}
+		if pipe := extractPipe(n.Child); pipe != nil {
+			return &parallelAggOp{spec: n, pipe: pipe, workers: workers}, true, nil
+		}
+	case *plan.HashJoin:
+		if exprsHaveUDF(n.LeftKeys) || (n.Extra != nil && exprsHaveUDF([]plan.Expr{n.Extra})) {
+			return nil, false, nil
+		}
+		pipe := extractPipe(n.Left)
+		if pipe == nil {
+			return nil, false, nil
+		}
+		right, err := buildWith(n.Right, workers)
+		if err != nil {
+			return nil, false, err
+		}
+		return &hashJoinOp{spec: n, right: right, probePipe: pipe, workers: workers}, true, nil
+	}
+	return nil, false, nil
+}
+
+// aggParallelizable reports whether an aggregation's state composes
+// across partitions. DISTINCT aggregates do not (partial sums over
+// per-worker distinct sets cannot be merged), and UDFs in group or
+// argument expressions may not be called concurrently.
+func aggParallelizable(n *plan.Aggregate) bool {
+	for _, s := range n.Aggs {
+		if s.Distinct {
+			return false
+		}
+		if s.Arg != nil && exprsHaveUDF([]plan.Expr{s.Arg}) {
+			return false
+		}
+	}
+	return !exprsHaveUDF(n.GroupBy)
+}
+
+// assertOperator guards the parallel operators against interface drift.
+var (
+	_ Operator = (*parallelPipeOp)(nil)
+	_ Operator = (*parallelAggOp)(nil)
+)

@@ -1,0 +1,370 @@
+package exec
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vexdb/internal/catalog"
+	"vexdb/internal/plan"
+	"vexdb/internal/sql"
+	"vexdb/internal/vector"
+)
+
+// buildMultiSegTable creates a table spanning several storage segments
+// so morsel dispatch has real fan-out.
+func buildMultiSegTable(t *testing.T, rows int) *catalog.Table {
+	t.Helper()
+	cat := catalog.New()
+	tab, err := cat.CreateTable("t", catalog.Schema{
+		{Name: "id", Type: vector.Int64},
+		{Name: "g", Type: vector.Int32},
+		{Name: "v", Type: vector.Float64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int64, rows)
+	gs := make([]int32, rows)
+	vs := make([]float64, rows)
+	for i := range ids {
+		ids[i] = int64(i)
+		gs[i] = int32(i % 7)
+		vs[i] = float64(i%101) - 50
+	}
+	if err := tab.Data.AppendChunk(vector.NewChunk(
+		vector.FromInt64s(ids), vector.FromInt32s(gs), vector.FromFloat64s(vs))); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func gtPred(col int, typ vector.Type, threshold int64) plan.Expr {
+	return &plan.BinOp{Op: sql.OpGt, Left: colRef(col, typ),
+		Right: &plan.Const{Val: vector.NewInt64(threshold), Typ: vector.Int64}, Typ: vector.Bool}
+}
+
+// TestBuildSelectsParallelOperators asserts eligible plan shapes get
+// the morsel-parallel operators rather than silently staying serial.
+func TestBuildSelectsParallelOperators(t *testing.T) {
+	tab := buildMultiSegTable(t, 100)
+	filter := &plan.Filter{Pred: gtPred(0, vector.Int64, 10), Child: &plan.Scan{Table: tab}}
+
+	op, err := buildWith(filter, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := op.(*parallelPipeOp); !ok {
+		t.Fatalf("filter over scan built %T, want *parallelPipeOp", op)
+	}
+
+	agg := &plan.Aggregate{
+		GroupBy:    []plan.Expr{colRef(1, vector.Int32)},
+		GroupNames: []string{"g"},
+		Aggs:       []plan.AggSpec{{Kind: plan.AggCount, Name: "n", Typ: vector.Int64}},
+		Child:      filter,
+	}
+	op, err = buildWith(agg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := op.(*parallelAggOp); !ok {
+		t.Fatalf("aggregate built %T, want *parallelAggOp", op)
+	}
+
+	// DISTINCT aggregates must stay serial: partial distinct sets
+	// cannot be merged.
+	distinctAgg := &plan.Aggregate{
+		Aggs:  []plan.AggSpec{{Kind: plan.AggCount, Arg: colRef(1, vector.Int32), Distinct: true, Name: "n", Typ: vector.Int64}},
+		Child: &plan.Scan{Table: tab},
+	}
+	op, err = buildWith(distinctAgg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := op.(*hashAggOp); !ok {
+		t.Fatalf("distinct aggregate built %T, want serial *hashAggOp", op)
+	}
+
+	join := &plan.HashJoin{
+		Kind:      sql.InnerJoin,
+		Left:      &plan.Scan{Table: tab},
+		Right:     &plan.Scan{Table: tab},
+		LeftKeys:  []plan.Expr{colRef(1, vector.Int32)},
+		RightKeys: []plan.Expr{colRef(1, vector.Int32)},
+	}
+	op, err = buildWith(join, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jop, ok := op.(*hashJoinOp)
+	if !ok || jop.probePipe == nil {
+		t.Fatalf("join built %T (probePipe set: %v), want parallel-probe *hashJoinOp", op, ok && jop.probePipe != nil)
+	}
+}
+
+// TestParallelPipePreservesOrder runs the same filtered scan serially
+// and at several worker counts; output must be byte-identical.
+func TestParallelPipePreservesOrder(t *testing.T) {
+	tab := buildMultiSegTable(t, 3*vector.DefaultChunkSize+17)
+	node := plan.Node(&plan.Filter{Pred: gtPred(2, vector.Float64, 0), Child: &plan.Scan{Table: tab}})
+
+	serial, err := Run(node, &Context{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := Run(node, &Context{Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.NumRows() != serial.NumRows() {
+			t.Fatalf("workers=%d: %d rows, serial %d", workers, par.NumRows(), serial.NumRows())
+		}
+		for i := 0; i < serial.NumRows(); i++ {
+			if par.Cols[0].Int64s()[i] != serial.Cols[0].Int64s()[i] {
+				t.Fatalf("workers=%d: row %d id %d, serial %d",
+					workers, i, par.Cols[0].Int64s()[i], serial.Cols[0].Int64s()[i])
+			}
+		}
+	}
+}
+
+// TestParallelAggMatchesSerial checks partitioned aggregation merges
+// back to the serial result, including first-appearance output order.
+func TestParallelAggMatchesSerial(t *testing.T) {
+	tab := buildMultiSegTable(t, 4*vector.DefaultChunkSize)
+	node := plan.Node(&plan.Aggregate{
+		GroupBy:    []plan.Expr{colRef(1, vector.Int32)},
+		GroupNames: []string{"g"},
+		Aggs: []plan.AggSpec{
+			{Kind: plan.AggCount, Name: "n", Typ: vector.Int64},
+			{Kind: plan.AggSum, Arg: colRef(2, vector.Float64), Name: "s", Typ: vector.Float64},
+			{Kind: plan.AggMin, Arg: colRef(0, vector.Int64), Name: "mn", Typ: vector.Int64},
+			{Kind: plan.AggMax, Arg: colRef(0, vector.Int64), Name: "mx", Typ: vector.Int64},
+		},
+		Child: &plan.Scan{Table: tab},
+	})
+	serial, err := Run(node, &Context{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := Run(node, &Context{Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.NumRows() != serial.NumRows() {
+			t.Fatalf("workers=%d: %d groups, serial %d", workers, par.NumRows(), serial.NumRows())
+		}
+		for i := 0; i < serial.NumRows(); i++ {
+			for c := 0; c < serial.NumCols(); c++ {
+				if par.Cols[c].Get(i).String() != serial.Cols[c].Get(i).String() {
+					t.Fatalf("workers=%d row %d col %d: %v, serial %v",
+						workers, i, c, par.Cols[c].Get(i), serial.Cols[c].Get(i))
+				}
+			}
+		}
+	}
+}
+
+// TestParallelGlobalAggEmptyInput: a global aggregate over an empty
+// relation must still produce its single row under parallel execution.
+func TestParallelGlobalAggEmptyInput(t *testing.T) {
+	tab := buildMultiSegTable(t, 100)
+	node := plan.Node(&plan.Aggregate{
+		Aggs: []plan.AggSpec{
+			{Kind: plan.AggCount, Name: "n", Typ: vector.Int64},
+			{Kind: plan.AggSum, Arg: colRef(0, vector.Int64), Name: "s", Typ: vector.Int64},
+		},
+		Child: &plan.Filter{Pred: gtPred(0, vector.Int64, 1_000_000), Child: &plan.Scan{Table: tab}},
+	})
+	out, err := Run(node, &Context{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 1 {
+		t.Fatalf("rows = %d, want 1", out.NumRows())
+	}
+	if out.Cols[0].Get(0).Int64() != 0 || !out.Cols[1].IsNull(0) {
+		t.Fatalf("empty global agg = (%v, %v), want (0, NULL)", out.Cols[0].Get(0), out.Cols[1].Get(0))
+	}
+}
+
+// errExpr is a plan expression whose evaluation always fails, for
+// exercising worker error propagation.
+type errExpr struct{}
+
+func (errExpr) Type() vector.Type { return vector.Bool }
+
+func TestParallelErrorPropagation(t *testing.T) {
+	tab := buildMultiSegTable(t, 4*vector.DefaultChunkSize)
+	node := plan.Node(&plan.Filter{Pred: errExpr{}, Child: &plan.Scan{Table: tab}})
+	if _, err := Run(node, &Context{Parallelism: 4}); err == nil {
+		t.Fatal("worker error must propagate to the caller")
+	}
+}
+
+// TestOpenErrorReleasesWorkers: a query whose Open fails after a
+// parallel subtree already started workers (join build-side error)
+// must not leak the worker goroutines.
+func TestOpenErrorReleasesWorkers(t *testing.T) {
+	tab := buildMultiSegTable(t, 4*vector.DefaultChunkSize)
+	join := &plan.HashJoin{
+		Kind:      sql.InnerJoin,
+		Left:      &plan.Scan{Table: tab},
+		Right:     &plan.Filter{Pred: errExpr{}, Child: &plan.Scan{Table: tab}},
+		LeftKeys:  []plan.Expr{colRef(0, vector.Int64)},
+		RightKeys: []plan.Expr{colRef(0, vector.Int64)},
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		if _, err := Run(join, &Context{Parallelism: 4}); err == nil {
+			t.Fatal("build-side error must fail the query")
+		}
+	}
+	// Close is synchronous, but exiting goroutines may still be
+	// counted for an instant; retry briefly.
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after 20 failed queries",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestOrderedDriverOrdering(t *testing.T) {
+	const n = 64
+	drv := startOrdered(n, 8, func(_, i int) (*vector.Chunk, error) {
+		if i%3 == 0 {
+			return nil, nil // simulate fully filtered morsels
+		}
+		return vector.NewChunk(vector.FromInt64s([]int64{int64(i)})), nil
+	})
+	defer drv.abort()
+	want := int64(-1)
+	for {
+		ch, err := drv.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch == nil {
+			break
+		}
+		got := ch.Col(0).Int64s()[0]
+		if got <= want {
+			t.Fatalf("out of order: %d after %d", got, want)
+		}
+		want = got
+	}
+	// Morsel 63 is filtered (63%3 == 0); the last emitted must be 62.
+	if want != 62 {
+		t.Fatalf("last morsel %d, want 62", want)
+	}
+}
+
+// TestOrderedDriverBoundedRunAhead: workers must not race through the
+// whole input when the consumer stops early (LIMIT above a parallel
+// pipeline). The token window bounds claims to runAhead + consumed.
+func TestOrderedDriverBoundedRunAhead(t *testing.T) {
+	const n, workers = 64, 2
+	var calls atomic.Int64
+	drv := startOrdered(n, workers, func(_, i int) (*vector.Chunk, error) {
+		calls.Add(1)
+		return vector.NewChunk(vector.FromInt64s([]int64{int64(i)})), nil
+	})
+	if ch, err := drv.next(); err != nil || ch == nil {
+		t.Fatalf("first morsel: %v %v", ch, err)
+	}
+	drv.abort()
+	// One consumed slot returns one token: at most 2*workers + 1
+	// morsels may ever have been claimed.
+	if got := calls.Load(); got > 2*workers+1 {
+		t.Fatalf("%d morsels computed after consuming 1; run-ahead unbounded", got)
+	}
+}
+
+func TestGroupIndexFastPaths(t *testing.T) {
+	// Single int64 key: dense ids in first-appearance order, NULL gets
+	// its own group.
+	col := vector.New(vector.Int64, 5)
+	col.AppendValue(vector.NewInt64(7))
+	col.AppendValue(vector.NewInt64(3))
+	col.AppendValue(vector.Null())
+	col.AppendValue(vector.NewInt64(7))
+	col.AppendValue(vector.Null())
+	gi := newGroupIndex([]vector.Type{vector.Int64})
+	keys := []*vector.Vector{col}
+	wantIDs := []int32{0, 1, 2, 0, 2}
+	wantNew := []bool{true, true, true, false, false}
+	for r := 0; r < col.Len(); r++ {
+		id, created := gi.groupID(keys, r)
+		if id != wantIDs[r] || created != wantNew[r] {
+			t.Fatalf("row %d: (%d,%v), want (%d,%v)", r, id, created, wantIDs[r], wantNew[r])
+		}
+	}
+	if gi.kind != keyKindInt {
+		t.Fatalf("kind = %v, want keyKindInt", gi.kind)
+	}
+
+	// Single string key.
+	sc := vector.FromStrings([]string{"a", "b", "a"})
+	gs := newGroupIndex([]vector.Type{vector.String})
+	if gs.kind != keyKindStr {
+		t.Fatalf("kind = %v, want keyKindStr", gs.kind)
+	}
+	ids := make([]int32, 3)
+	for r := 0; r < 3; r++ {
+		ids[r], _ = gs.groupID([]*vector.Vector{sc}, r)
+	}
+	if ids[0] != 0 || ids[1] != 1 || ids[2] != 0 {
+		t.Fatalf("string ids = %v", ids)
+	}
+
+	// Multi-column keys use the generic path.
+	gm := newGroupIndex([]vector.Type{vector.Int64, vector.String})
+	if gm.kind != keyKindBytes {
+		t.Fatalf("kind = %v, want keyKindBytes", gm.kind)
+	}
+}
+
+func TestAppendValueKeyMatchesRowKey(t *testing.T) {
+	cols := []*vector.Vector{
+		vector.FromInt64s([]int64{-5}),
+		vector.FromInt32s([]int32{42}),
+		vector.FromFloat64s([]float64{3.25}),
+		vector.FromBools([]bool{true}),
+		vector.FromStrings([]string{"xyz"}),
+	}
+	for _, c := range cols {
+		rowKey := appendRowKey(nil, c, 0)
+		valKey := appendValueKey(nil, c.Get(0))
+		if string(rowKey) != string(valKey) {
+			t.Fatalf("%s: value key %x != row key %x", c.Type(), valKey, rowKey)
+		}
+	}
+	nv := vector.New(vector.Int64, 1)
+	nv.AppendValue(vector.Null())
+	if string(appendRowKey(nil, nv, 0)) != string(appendValueKey(nil, vector.Null())) {
+		t.Fatal("NULL encodings differ")
+	}
+}
+
+func TestConstantBulkFill(t *testing.T) {
+	v := vector.Constant(vector.NewInt64(9), 1000, vector.Int64)
+	if v.Len() != 1000 || v.Int64s()[999] != 9 || v.HasNulls() {
+		t.Fatalf("constant vector wrong: len=%d", v.Len())
+	}
+	nv := vector.Constant(vector.Null(), 10, vector.Float64)
+	if nv.Len() != 10 || !nv.IsNull(0) || !nv.IsNull(9) || nv.Type() != vector.Float64 {
+		t.Fatal("NULL constant vector wrong")
+	}
+	if len(nv.Float64s()) != 10 {
+		t.Fatalf("NULL constant payload length %d, want 10", len(nv.Float64s()))
+	}
+}

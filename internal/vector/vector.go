@@ -74,7 +74,8 @@ func FromBlobs(data [][]byte) *Vector {
 }
 
 // Constant returns a vector of n copies of val. A NULL val yields an
-// all-NULL Float64-typed vector unless typeHint is valid.
+// all-NULL Float64-typed vector unless typeHint is valid. The payload
+// is bulk-filled rather than appended value by value.
 func Constant(val Value, n int, typeHint Type) *Vector {
 	t := val.Type()
 	if t == Invalid {
@@ -82,10 +83,67 @@ func Constant(val Value, n int, typeHint Type) *Vector {
 		if t == Invalid {
 			t = Float64
 		}
+		v := newZeroed(t, n)
+		v.nulls = make([]bool, n)
+		for i := range v.nulls {
+			v.nulls[i] = true
+		}
+		return v
 	}
-	v := New(t, n)
-	for i := 0; i < n; i++ {
-		v.AppendValue(val)
+	v := newZeroed(t, n)
+	switch t {
+	case Bool:
+		x := val.Bool()
+		for i := range v.bools {
+			v.bools[i] = x
+		}
+	case Int32:
+		x := int32(val.Int64())
+		for i := range v.i32 {
+			v.i32[i] = x
+		}
+	case Int64:
+		x := val.Int64()
+		for i := range v.i64 {
+			v.i64[i] = x
+		}
+	case Float64:
+		x := val.Float64()
+		for i := range v.f64 {
+			v.f64[i] = x
+		}
+	case String:
+		x := val.Str()
+		for i := range v.strs {
+			v.strs[i] = x
+		}
+	case Blob:
+		x := val.Bytes()
+		for i := range v.blobs {
+			v.blobs[i] = x
+		}
+	}
+	return v
+}
+
+// newZeroed returns a vector of n zero values of type t.
+func newZeroed(t Type, n int) *Vector {
+	v := &Vector{typ: t, length: n}
+	switch t {
+	case Bool:
+		v.bools = make([]bool, n)
+	case Int32:
+		v.i32 = make([]int32, n)
+	case Int64:
+		v.i64 = make([]int64, n)
+	case Float64:
+		v.f64 = make([]float64, n)
+	case String:
+		v.strs = make([]string, n)
+	case Blob:
+		v.blobs = make([][]byte, n)
+	default:
+		panic(fmt.Sprintf("vector.newZeroed: invalid type %v", t))
 	}
 	return v
 }

@@ -144,6 +144,40 @@ func E3ParallelUDF(env *Env, workerCounts []int) ([]ParallelResult, error) {
 	return out, nil
 }
 
+// E6MorselScaling runs a pure relational query — a filtered scan
+// feeding a join and a group-by, no UDFs — under growing parallelism,
+// measuring the morsel-driven executor's scaling in isolation from
+// model inference.
+func E6MorselScaling(env *Env, workerCounts []int) ([]ParallelResult, error) {
+	cfg := env.Cfg
+	db := env.DB
+	query := `SELECT p.precinct_id, count(*) AS n, avg(v.f0) AS m
+		FROM voters v JOIN precincts p ON v.precinct_id = p.precinct_id
+		WHERE v.f1 > 0.25 GROUP BY p.precinct_id`
+
+	out := make([]ParallelResult, 0, len(workerCounts))
+	var base time.Duration
+	for _, w := range workerCounts {
+		db.SetParallelism(w)
+		t0 := time.Now()
+		if _, err := db.Query(query); err != nil {
+			db.SetParallelism(cfg.Parallelism)
+			return nil, fmt.Errorf("E6 workers=%d: %w", w, err)
+		}
+		elapsed := time.Since(t0)
+		if len(out) == 0 {
+			base = elapsed
+		}
+		out = append(out, ParallelResult{
+			Workers: w,
+			Elapsed: elapsed,
+			Speedup: float64(base) / float64(elapsed),
+		})
+	}
+	db.SetParallelism(cfg.Parallelism)
+	return out, nil
+}
+
 // EnsembleResult is experiment E4: accuracy of individual stored
 // models versus meta-analysis-driven selection and ensembles
 // (paper §3.3).

@@ -41,7 +41,8 @@ type Config struct {
 	// TestModulus splits train/test: rows with id % TestModulus == 0
 	// are the test set (4 => 25% test).
 	TestModulus int
-	// Parallelism bounds engine-side parallel UDF execution.
+	// Parallelism bounds engine-side parallelism: the morsel-driven
+	// relational executor and partitioned UDF evaluation. 0 = NumCPU.
 	Parallelism int
 }
 

@@ -187,6 +187,20 @@ func TestE3Parallel(t *testing.T) {
 	}
 }
 
+func TestE6MorselScaling(t *testing.T) {
+	env := testEnv(t)
+	rows, err := E6MorselScaling(env, []int{1, 2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0].Workers != 1 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Speedup != 1 {
+		t.Fatal("baseline speedup must be 1")
+	}
+}
+
 func TestE4Ensemble(t *testing.T) {
 	env := testEnv(t)
 	res, err := E4Ensemble(env)

@@ -134,7 +134,16 @@ func (db *DB) RegisterScalar(f *ScalarFunc) error { return db.eng.Registry().Reg
 // RegisterTable installs a table-valued UDF.
 func (db *DB) RegisterTable(f *TableFunc) error { return db.eng.Registry().RegisterTable(f) }
 
-// SetParallelism bounds parallel UDF execution (0 restores NumCPU).
+// SetParallelism bounds the worker goroutines used by the morsel-driven
+// parallel executor (scans, filters, hash aggregation, hash-join
+// probing) and by partitioned UDF evaluation. 0 restores NumCPU.
+// Parallel execution preserves serial row order and row content, with
+// a floating-point caveat: SUM/AVG over DOUBLE accumulate partial sums
+// per worker, so results can differ from serial in the last ulps
+// (floating-point addition is not associative) and between runs; and
+// MIN/MAX over DOUBLE may pick either representative among values that
+// compare equal but are distinguishable (NaN against numbers, -0.0 vs
+// 0.0). Integer, string, COUNT and boolean results are exact.
 func (db *DB) SetParallelism(n int) { db.eng.Parallelism = n }
 
 // SaveDir persists every table to dir.
