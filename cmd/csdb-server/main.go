@@ -1,7 +1,9 @@
 // Command csdb-server exposes a vexdb database over TCP using the
 // wire protocols (columnar, binary rows, text rows), so external
 // clients can play the socket-transfer baselines of Figure 1 against
-// it.
+// it. Results are streamed chunk by chunk straight from the executor
+// (wire protocol v2): the server never materializes a result, and
+// client disconnects or shutdown cancel in-flight queries.
 //
 // Usage:
 //

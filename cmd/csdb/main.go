@@ -51,15 +51,19 @@ func main() {
 			return true
 		}
 		start := time.Now()
-		res, err := db.Exec(stmt)
+		rows, err := db.QueryStream(stmt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			return false
 		}
-		if res.Table != nil {
-			printTable(res)
-		} else if res.RowsAffected > 0 {
-			fmt.Printf("%d rows affected\n", res.RowsAffected)
+		defer rows.Close()
+		if rows.HasRows() {
+			if err := printRows(rows); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return false
+			}
+		} else if rows.RowsAffected() > 0 {
+			fmt.Printf("%d rows affected\n", rows.RowsAffected())
 		}
 		if !*quiet {
 			fmt.Printf("(%v)\n", time.Since(start).Round(time.Microsecond))
@@ -149,46 +153,54 @@ func splitStatements(script string) []string {
 
 const maxPrintRows = 50
 
-func printTable(res *vexdb.Result) {
-	tab := res.Table
-	widths := make([]int, len(tab.Names))
-	for i, n := range tab.Names {
+// printRows consumes the stream incrementally: the first maxPrintRows
+// rows are buffered for column-aligned display, the rest are only
+// counted — total shell memory stays O(maxPrintRows + one chunk)
+// however large the result is.
+func printRows(rows *vexdb.Rows) error {
+	names := rows.Columns()
+	widths := make([]int, len(names))
+	for i, n := range names {
 		widths[i] = len(n)
 	}
-	n := tab.NumRows()
-	shown := n
-	if shown > maxPrintRows {
-		shown = maxPrintRows
-	}
-	cells := make([][]string, shown)
-	for r := 0; r < shown; r++ {
-		cells[r] = make([]string, len(tab.Cols))
-		for c, col := range tab.Cols {
-			s := col.Get(r).String()
-			cells[r][c] = s
-			if len(s) > widths[c] {
-				widths[c] = len(s)
+	var cells [][]string
+	n := 0
+	for rows.Next() {
+		if n < maxPrintRows {
+			row := make([]string, len(names))
+			for c := range names {
+				s := rows.Value(c).String()
+				row[c] = s
+				if len(s) > widths[c] {
+					widths[c] = len(s)
+				}
 			}
+			cells = append(cells, row)
 		}
+		n++
 	}
-	for i, name := range tab.Names {
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	for i, name := range names {
 		fmt.Printf("%-*s ", widths[i], name)
 	}
 	fmt.Println()
-	for i := range tab.Names {
+	for i := range names {
 		fmt.Print(strings.Repeat("-", widths[i]), " ")
 	}
 	fmt.Println()
-	for r := 0; r < shown; r++ {
-		for c := range tab.Cols {
-			fmt.Printf("%-*s ", widths[c], cells[r][c])
+	for _, row := range cells {
+		for c := range names {
+			fmt.Printf("%-*s ", widths[c], row[c])
 		}
 		fmt.Println()
 	}
-	if n > shown {
-		fmt.Printf("... (%d more rows)\n", n-shown)
+	if n > len(cells) {
+		fmt.Printf("... (%d more rows)\n", n-len(cells))
 	}
 	fmt.Printf("%d row(s)\n", n)
+	return nil
 }
 
 func fatal(err error) {

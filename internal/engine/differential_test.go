@@ -295,14 +295,14 @@ func TestDifferentialParallelMatchesSerial(t *testing.T) {
 	queries := []string{
 		// filter-heavy scans
 		"SELECT k, v FROM w WHERE v > 0",
-		"SELECT k, v FROM w WHERE v > 100",   // empty result
-		"SELECT k, v FROM w WHERE v > -100",  // all-true predicate
+		"SELECT k, v FROM w WHERE v > 100",  // empty result
+		"SELECT k, v FROM w WHERE v > -100", // all-true predicate
 		"SELECT k + 1, v * 2 FROM w WHERE k % 3 = 0",
 		// group-by (single int key fast path, multi-key, string key)
 		"SELECT g, count(*) AS n, sum(v) AS s, min(v) AS mn, max(v) AS mx FROM w GROUP BY g",
 		"SELECT k, g, count(*) AS n, avg(v) AS m FROM w GROUP BY k, g",
 		"SELECT s, count(*) AS n FROM w GROUP BY s",
-		"SELECT count(*) AS n, sum(k) AS s FROM w",            // global agg
+		"SELECT count(*) AS n, sum(k) AS s FROM w",              // global agg
 		"SELECT g, count(*) AS n FROM w WHERE v > 0 GROUP BY g", // agg over filter
 		// joins (int fast path and parallel probe)
 		"SELECT count(*) AS n FROM w a JOIN w b ON a.k = b.k",

@@ -107,15 +107,15 @@ func (db *DB) ExecStmt(stmt sql.Statement) (*Result, error) {
 }
 
 // RunSelect binds and executes a SELECT, returning the materialized
-// result.
+// result. It is a thin wrapper over the streaming path (StreamSelect)
+// for callers that want the whole relation at once.
 func (db *DB) RunSelect(s *sql.Select) (*vector.Table, error) {
-	binder := plan.NewBinder(db.cat, db.reg)
-	node, err := binder.BindSelect(s)
+	stream, err := db.StreamSelect(s)
 	if err != nil {
 		return nil, err
 	}
-	node = plan.Prune(node)
-	return exec.Run(node, &exec.Context{Parallelism: db.Parallelism})
+	defer stream.Close()
+	return stream.Materialize()
 }
 
 func (db *DB) execCreate(s *sql.CreateTable) (*Result, error) {

@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"vexdb/internal/catalog"
+	"vexdb/internal/exec"
+	"vexdb/internal/plan"
+	"vexdb/internal/sql"
+	"vexdb/internal/vector"
+)
+
+// ResultSet is a streaming query result: chunks are pulled from the
+// executor on demand instead of materialized up front, so consumers
+// (the wire server, the public Rows iterator) hold O(chunk) memory
+// regardless of result size, and closing early stops scan workers.
+//
+// For statements without result rows (DDL/DML) the set is empty and
+// RowsAffected reports the write count. Next/Close belong to the
+// consuming goroutine; Cancel may be called from any goroutine.
+type ResultSet struct {
+	schema       catalog.Schema
+	stream       *exec.ChunkStream // nil for row-less statements
+	rowsAffected int64
+}
+
+// Query parses and executes one SQL statement, streaming result rows.
+// The caller must Close the ResultSet.
+func (db *DB) Query(query string) (*ResultSet, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return db.QueryStmt(stmt)
+}
+
+// QueryStmt executes a parsed statement, streaming result rows.
+// Non-SELECT statements run through the materializing Exec path (their
+// results are row counts, not relations).
+func (db *DB) QueryStmt(stmt sql.Statement) (*ResultSet, error) {
+	if s, ok := stmt.(*sql.Select); ok {
+		stream, err := db.StreamSelect(s)
+		if err != nil {
+			return nil, err
+		}
+		return &ResultSet{schema: stream.Schema(), stream: stream}, nil
+	}
+	res, err := db.ExecStmt(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return &ResultSet{rowsAffected: res.RowsAffected}, nil
+}
+
+// StreamSelect binds a SELECT and opens it as a chunk-pull stream.
+func (db *DB) StreamSelect(s *sql.Select) (*exec.ChunkStream, error) {
+	binder := plan.NewBinder(db.cat, db.reg)
+	node, err := binder.BindSelect(s)
+	if err != nil {
+		return nil, err
+	}
+	node = plan.Prune(node)
+	return exec.Stream(node, &exec.Context{Parallelism: db.Parallelism})
+}
+
+// Schema returns the result's column names and types (empty for
+// statements without result rows).
+func (r *ResultSet) Schema() catalog.Schema { return r.schema }
+
+// HasRows reports whether the statement produces result rows (even if
+// zero of them).
+func (r *ResultSet) HasRows() bool { return r.stream != nil }
+
+// RowsAffected reports the write count of a row-less statement.
+func (r *ResultSet) RowsAffected() int64 { return r.rowsAffected }
+
+// Next returns the next result chunk, (nil, nil) at end of stream.
+func (r *ResultSet) Next() (*vector.Chunk, error) {
+	if r.stream == nil {
+		return nil, nil
+	}
+	return r.stream.Next()
+}
+
+// Cancel requests termination from any goroutine: a blocked Next
+// returns exec.ErrCancelled and morsel workers stop between morsels.
+func (r *ResultSet) Cancel() {
+	if r.stream != nil {
+		r.stream.Cancel()
+	}
+}
+
+// Close stops and joins any parallel workers. Must be called once the
+// consumer is done, including after errors; safe to call repeatedly.
+func (r *ResultSet) Close() error {
+	if r.stream == nil {
+		return nil
+	}
+	return r.stream.Close()
+}
+
+// Materialize drains the remaining stream into a table and closes the
+// set. Row-less statements yield nil.
+func (r *ResultSet) Materialize() (*vector.Table, error) {
+	if r.stream == nil {
+		return nil, nil
+	}
+	defer r.stream.Close()
+	return r.stream.Materialize()
+}

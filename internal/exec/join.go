@@ -102,7 +102,7 @@ func (j *hashJoinOp) openProbe(ctx *Context) error {
 	}
 	n := j.probePipe.src.open()
 	scratch := make([]pipeScratch, j.workers)
-	j.drv = startOrdered(n, j.workers, func(w, i int) (*vector.Chunk, error) {
+	j.drv = startOrdered(n, j.workers, ctx.done(), func(w, i int) (*vector.Chunk, error) {
 		ch, err := j.probePipe.apply(j.probePipe.src.fetch(i), &scratch[w])
 		if err != nil || ch == nil {
 			return nil, err

@@ -23,6 +23,11 @@ type Context struct {
 	// Parallelism bounds the goroutines used by parallel operators and
 	// partitioned UDF evaluation. Zero means runtime.NumCPU().
 	Parallelism int
+
+	// Done, when non-nil, cancels the query when closed: parallel
+	// operators stop claiming morsels and ChunkStream.Next returns
+	// ErrCancelled. Stream installs its own channel here when unset.
+	Done <-chan struct{}
 }
 
 // Workers returns the effective parallelism.
@@ -31,6 +36,28 @@ func (c *Context) Workers() int {
 		return runtime.NumCPU()
 	}
 	return c.Parallelism
+}
+
+// done returns the cancellation channel (nil when unset or the
+// context itself is nil — a nil channel never fires in a select).
+func (c *Context) done() <-chan struct{} {
+	if c == nil {
+		return nil
+	}
+	return c.Done
+}
+
+// interrupted reports whether the context's Done channel has closed.
+func (c *Context) interrupted() bool {
+	if c == nil || c.Done == nil {
+		return false
+	}
+	select {
+	case <-c.Done:
+		return true
+	default:
+		return false
+	}
 }
 
 // Build converts a bound plan into a serial operator tree. Run builds
@@ -128,59 +155,46 @@ func buildWith(node plan.Node, workers int) (Operator, error) {
 }
 
 // Run executes a plan to completion, returning the materialized result
-// table with the plan's column names.
+// table with the plan's column names. It is the materializing wrapper
+// over Stream, kept for callers that want the whole result at once.
 func Run(node plan.Node, ctx *Context) (*vector.Table, error) {
-	op, err := buildWith(node, ctx.Workers())
+	s, err := Stream(node, ctx)
 	if err != nil {
 		return nil, err
 	}
-	if err := op.Open(ctx); err != nil {
-		// A failed Open can leave earlier-opened subtrees running
-		// (parallel operators start workers in Open); Close cascades
-		// the shutdown.
-		op.Close()
-		return nil, err
-	}
-	defer op.Close()
-	schema := node.Schema()
-	cols := make([]*vector.Vector, len(schema))
-	for i, c := range schema {
+	defer s.Close()
+	return s.Materialize()
+}
+
+// Materialize drains the stream into a table with the schema's column
+// names. The stream is exhausted afterwards; the caller still owns
+// Close.
+func (s *ChunkStream) Materialize() (*vector.Table, error) {
+	cols := make([]*vector.Vector, len(s.schema))
+	for i, c := range s.schema {
 		cols[i] = vector.New(c.Type, 0)
 	}
-	out, err := vector.NewTable(schema.Names(), cols)
+	out, err := vector.NewTable(s.schema.Names(), cols)
 	if err != nil {
 		return nil, err
 	}
 	for {
-		ch, err := op.Next()
+		ch, err := s.Next()
 		if err != nil {
 			return nil, err
 		}
 		if ch == nil {
 			return out, nil
 		}
-		if err := appendChunkCasting(out, ch, schema); err != nil {
+		if err := out.AppendChunk(ch); err != nil {
 			return nil, err
 		}
 	}
 }
 
-// appendChunkCasting appends ch to out, casting columns whose runtime
-// type differs from the declared schema (e.g. untyped NULL columns).
-func appendChunkCasting(out *vector.Table, ch *vector.Chunk, schema catalog.Schema) error {
-	cols := make([]*vector.Vector, ch.NumCols())
-	for i := 0; i < ch.NumCols(); i++ {
-		c := ch.Col(i)
-		if c.Type() != schema[i].Type {
-			cc, err := c.Cast(schema[i].Type)
-			if err != nil {
-				return fmt.Errorf("exec: result column %q: %w", schema[i].Name, err)
-			}
-			c = cc
-		}
-		cols[i] = c
-	}
-	return out.AppendChunk(vector.NewChunk(cols...))
+// errColumnCast wraps a result-column cast failure.
+func errColumnCast(name string, err error) error {
+	return fmt.Errorf("exec: result column %q: %w", name, err)
 }
 
 // ----------------------------------------------------------------- scan

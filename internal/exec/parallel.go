@@ -165,6 +165,7 @@ type orderedDriver struct {
 	slots     []chan slotResult
 	tokens    chan struct{}
 	done      chan struct{}
+	ext       <-chan struct{} // external cancellation (Context.Done)
 	closeOnce sync.Once
 	cursor    int
 	stop      atomic.Bool
@@ -179,10 +180,16 @@ type orderedDriver struct {
 // computed by some worker (no consumer deadlock). Slots past an
 // error or abort may stay unwritten — next() never reads them because
 // it hard-stops at the first error.
-func startOrdered(n, workers int, fn func(worker, morsel int) (*vector.Chunk, error)) *orderedDriver {
+//
+// ext is an optional external cancellation channel (Context.Done):
+// when it closes, workers stop claiming morsels and a blocked next()
+// returns ErrCancelled, so a consumer abandoned mid-stream (client
+// disconnect, server shutdown) does not strand the driver.
+func startOrdered(n, workers int, ext <-chan struct{}, fn func(worker, morsel int) (*vector.Chunk, error)) *orderedDriver {
 	d := &orderedDriver{
 		slots: make([]chan slotResult, n),
 		done:  make(chan struct{}),
+		ext:   ext,
 	}
 	for i := range d.slots {
 		d.slots[i] = make(chan slotResult, 1)
@@ -211,9 +218,11 @@ func startOrdered(n, workers int, fn func(worker, morsel int) (*vector.Chunk, er
 				case <-d.tokens:
 				case <-d.done:
 					return
+				case <-d.ext: // nil when no external cancel; never fires
+					return
 				}
 				i := int(next.Add(1)) - 1
-				if i >= n || d.stop.Load() {
+				if i >= n || d.stop.Load() || d.interrupted() {
 					return
 				}
 				ch, err := fn(w, i)
@@ -226,9 +235,19 @@ func startOrdered(n, workers int, fn func(worker, morsel int) (*vector.Chunk, er
 
 // next returns the next non-empty chunk in morsel order, nil at end.
 // After an error the driver is exhausted: further calls return nil.
+// External cancellation unblocks a waiting next with ErrCancelled —
+// the slot it was waiting on may belong to a worker that exited
+// without claiming it, so waiting on would deadlock.
 func (d *orderedDriver) next() (*vector.Chunk, error) {
 	for d.cursor < len(d.slots) {
-		r := <-d.slots[d.cursor]
+		var r slotResult
+		select {
+		case r = <-d.slots[d.cursor]:
+		case <-d.ext:
+			d.stop.Store(true)
+			d.cursor = len(d.slots)
+			return nil, ErrCancelled
+		}
 		d.cursor++
 		d.tokens <- struct{}{}
 		if r.err != nil {
@@ -241,6 +260,19 @@ func (d *orderedDriver) next() (*vector.Chunk, error) {
 		}
 	}
 	return nil, nil
+}
+
+// interrupted reports whether the external cancellation channel has
+// closed (tokens and ext race in the worker select, so a ready token
+// can win after cancellation; this check keeps cancelled workers from
+// claiming further morsels).
+func (d *orderedDriver) interrupted() bool {
+	select {
+	case <-d.ext:
+		return true
+	default:
+		return false
+	}
 }
 
 // abort stops morsel dispatch, wakes token-blocked workers, and waits
@@ -264,10 +296,10 @@ type parallelPipeOp struct {
 	drv     *orderedDriver
 }
 
-func (p *parallelPipeOp) Open(*Context) error {
+func (p *parallelPipeOp) Open(ctx *Context) error {
 	n := p.pipe.src.open()
 	scratch := make([]pipeScratch, p.workers)
-	p.drv = startOrdered(n, p.workers, func(w, i int) (*vector.Chunk, error) {
+	p.drv = startOrdered(n, p.workers, ctx.done(), func(w, i int) (*vector.Chunk, error) {
 		return p.pipe.apply(p.pipe.src.fetch(i), &scratch[w])
 	})
 	return nil
@@ -289,10 +321,12 @@ type parallelAggOp struct {
 	spec    *plan.Aggregate
 	pipe    *pipeSpec
 	workers int
+	ctx     *Context
 	done    bool
 }
 
-func (a *parallelAggOp) Open(*Context) error {
+func (a *parallelAggOp) Open(ctx *Context) error {
+	a.ctx = ctx
 	a.done = false
 	return nil
 }
@@ -325,7 +359,7 @@ func (a *parallelAggOp) Next() (*vector.Chunk, error) {
 			var sc pipeScratch
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || stop.Load() {
+				if i >= n || stop.Load() || a.ctx.interrupted() {
 					return
 				}
 				ch, err := a.pipe.apply(a.pipe.src.fetch(i), &sc)
@@ -350,6 +384,11 @@ func (a *parallelAggOp) Next() (*vector.Chunk, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if a.ctx.interrupted() {
+		// Workers stopped mid-input; partial aggregates are wrong, so
+		// surface the cancellation instead of merging them.
+		return nil, ErrCancelled
 	}
 	base := tables[0]
 	if len(tables) > 1 {

@@ -240,7 +240,7 @@ func TestOpenErrorReleasesWorkers(t *testing.T) {
 
 func TestOrderedDriverOrdering(t *testing.T) {
 	const n = 64
-	drv := startOrdered(n, 8, func(_, i int) (*vector.Chunk, error) {
+	drv := startOrdered(n, 8, nil, func(_, i int) (*vector.Chunk, error) {
 		if i%3 == 0 {
 			return nil, nil // simulate fully filtered morsels
 		}
@@ -274,7 +274,7 @@ func TestOrderedDriverOrdering(t *testing.T) {
 func TestOrderedDriverBoundedRunAhead(t *testing.T) {
 	const n, workers = 64, 2
 	var calls atomic.Int64
-	drv := startOrdered(n, workers, func(_, i int) (*vector.Chunk, error) {
+	drv := startOrdered(n, workers, nil, func(_, i int) (*vector.Chunk, error) {
 		calls.Add(1)
 		return vector.NewChunk(vector.FromInt64s([]int64{int64(i)})), nil
 	})

@@ -1,0 +1,177 @@
+package exec
+
+import (
+	"errors"
+	"sync"
+
+	"vexdb/internal/catalog"
+	"vexdb/internal/plan"
+	"vexdb/internal/vector"
+)
+
+// ErrCancelled is returned by ChunkStream.Next after the stream has
+// been cancelled (Close/Cancel, or the context's Done channel).
+var ErrCancelled = errors.New("exec: query cancelled")
+
+// ChunkStream is the streaming form of Run: the root operator's output
+// is pulled one chunk at a time instead of materialized into a table.
+// Chunks come out in the exact order serial execution would produce.
+//
+// Next and Close must be called from the consuming goroutine. Cancel
+// may be called from any goroutine (e.g. a server shutting down a
+// connection): it closes the stream's cancellation channel, which the
+// morsel-parallel operators observe between morsels and Next observes
+// between chunks, so a blocked Next returns ErrCancelled promptly and
+// scan workers stop instead of racing through the whole input.
+type ChunkStream struct {
+	op     Operator
+	schema catalog.Schema
+
+	cancel     chan struct{}   // closed by Cancel/Close
+	ext        <-chan struct{} // the caller's Context.Done, if any
+	eff        <-chan struct{} // cancel merged with ext, watched by the operators
+	cancelOnce sync.Once
+	closeOnce  sync.Once
+	closeErr   error
+	done       bool
+}
+
+// Stream builds and opens a plan as a chunk-pull stream. The caller
+// must Close the stream (even after an error from Next) to stop any
+// parallel workers the plan started.
+func Stream(node plan.Node, ctx *Context) (*ChunkStream, error) {
+	if ctx == nil {
+		ctx = &Context{}
+	}
+	// The operators watch one effective Done channel that fires on the
+	// stream's own Cancel/Close OR the caller's Context.Done, so
+	// Cancel keeps its contract even when the caller supplied a
+	// channel. The merge goroutine exits once either fires (Close
+	// always fires cancel). The caller's context is copied, not
+	// mutated.
+	cancel := make(chan struct{})
+	ext := ctx.Done
+	eff := (<-chan struct{})(cancel)
+	if ext != nil {
+		merged := make(chan struct{})
+		go func() {
+			select {
+			case <-ext:
+			case <-cancel:
+			}
+			close(merged)
+		}()
+		eff = merged
+	}
+	c2 := *ctx
+	c2.Done = eff
+	ctx = &c2
+	op, err := buildWith(node, ctx.Workers())
+	if err != nil {
+		return nil, err
+	}
+	if err := op.Open(ctx); err != nil {
+		// A failed Open can leave earlier-opened subtrees running
+		// (parallel operators start workers in Open); Close cascades
+		// the shutdown.
+		op.Close()
+		return nil, err
+	}
+	return &ChunkStream{op: op, schema: node.Schema(), cancel: cancel, ext: ext, eff: eff}, nil
+}
+
+// Schema returns the stream's column names and types.
+func (s *ChunkStream) Schema() catalog.Schema { return s.schema }
+
+// Next returns the next result chunk with columns cast to the declared
+// schema, or (nil, nil) when the stream is exhausted. After an error
+// the stream is done; further calls return (nil, nil).
+func (s *ChunkStream) Next() (*vector.Chunk, error) {
+	if s.done {
+		return nil, nil
+	}
+	if s.interrupted() {
+		s.done = true
+		return nil, ErrCancelled
+	}
+	ch, err := s.op.Next()
+	if err != nil {
+		s.done = true
+		return nil, err
+	}
+	if ch == nil {
+		s.done = true
+		return nil, nil
+	}
+	out, err := castChunk(ch, s.schema)
+	if err != nil {
+		s.done = true
+		return nil, err
+	}
+	return out, nil
+}
+
+// interrupted polls both cancellation sources directly rather than
+// the merged channel: the merge goroutine may not have been scheduled
+// yet (single-CPU runtimes), and Next must observe a preceding Cancel
+// deterministically.
+func (s *ChunkStream) interrupted() bool {
+	select {
+	case <-s.cancel:
+		return true
+	default:
+	}
+	if s.ext != nil {
+		select {
+		case <-s.ext:
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// Cancel requests termination without closing the operators. It is
+// safe to call from any goroutine and more than once; the consuming
+// goroutine still owns the Close call.
+func (s *ChunkStream) Cancel() {
+	s.cancelOnce.Do(func() { close(s.cancel) })
+}
+
+// Close cancels the stream and shuts the operator tree down, stopping
+// and joining any parallel workers. Safe to call more than once.
+func (s *ChunkStream) Close() error {
+	s.Cancel()
+	s.closeOnce.Do(func() {
+		s.done = true
+		s.closeErr = s.op.Close()
+	})
+	return s.closeErr
+}
+
+// castChunk casts columns whose runtime type differs from the declared
+// schema (e.g. untyped NULL columns).
+func castChunk(ch *vector.Chunk, schema catalog.Schema) (*vector.Chunk, error) {
+	for i := 0; i < ch.NumCols(); i++ {
+		if ch.Col(i).Type() != schema[i].Type {
+			return castChunkSlow(ch, schema)
+		}
+	}
+	return ch, nil
+}
+
+func castChunkSlow(ch *vector.Chunk, schema catalog.Schema) (*vector.Chunk, error) {
+	cols := make([]*vector.Vector, ch.NumCols())
+	for i := 0; i < ch.NumCols(); i++ {
+		c := ch.Col(i)
+		if c.Type() != schema[i].Type {
+			cc, err := c.Cast(schema[i].Type)
+			if err != nil {
+				return nil, errColumnCast(schema[i].Name, err)
+			}
+			c = cc
+		}
+		cols[i] = c
+	}
+	return vector.NewChunk(cols...), nil
+}

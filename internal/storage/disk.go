@@ -171,6 +171,18 @@ func LoadTableFile(path string) ([]string, *ColumnStore, error) {
 	return ReadTable(f)
 }
 
+// EncodeColumn serializes one column to the storage payload format
+// (fixed-width values with an optional null trailer, or
+// length-prefixed variable-width entries). The wire protocol's
+// columnar chunk frames reuse it, so the on-disk and on-wire column
+// layouts stay identical.
+func EncodeColumn(col *vector.Vector) ([]byte, error) { return encodeColumn(col) }
+
+// DecodeColumn reverses EncodeColumn for a column of n rows.
+func DecodeColumn(t vector.Type, n int, payload []byte) (*vector.Vector, error) {
+	return decodeColumn(t, n, payload)
+}
+
 func encodeColumn(col *vector.Vector) ([]byte, error) {
 	n := col.Len()
 	switch col.Type() {

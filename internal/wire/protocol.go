@@ -12,12 +12,17 @@
 //     redesigned client protocol can achieve, cf. Raasveldt &
 //     Mühleisen, VLDB 2017).
 //
+// Since protocol version 2 results are delivered as a stream of
+// length-prefixed chunk frames pulled straight from the executor, so
+// the server never materializes a result and time-to-first-row is
+// independent of result size. See README.md for the frame format.
+//
 // RowIterate provides the SQLite analog: an in-process row-at-a-time
 // cursor with per-value boxing but no socket.
 package wire
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -25,11 +30,19 @@ import (
 	"strconv"
 	"strings"
 
+	"vexdb/internal/catalog"
 	"vexdb/internal/storage"
 	"vexdb/internal/vector"
 )
 
-// Protocol selects the result encoding.
+// Version is the wire protocol revision. Version 2 replaced the
+// monolithic status-byte + full-payload response of version 1 with
+// chunk-framed streaming delivery; the request encoding is unchanged.
+// Both ends of a deployment must run the same major revision — there
+// is no negotiation (client and server ship in one module).
+const Version = 2
+
+// Protocol selects the result encoding inside chunk frames.
 type Protocol uint8
 
 // Supported protocols.
@@ -54,10 +67,33 @@ func (p Protocol) String() string {
 	return fmt.Sprintf("protocol(%d)", uint8(p))
 }
 
-// Request framing: u32 length, protocol byte, SQL bytes.
-// Response framing: status byte (0 ok / 1 error). Errors carry
-// u32 length + message. OK responses carry the protocol-specific
-// payload.
+// Request framing (unchanged from v1): u32 SQL length, protocol byte,
+// SQL bytes.
+//
+// Response framing (v2): a sequence of frames, each
+//
+//	kind byte | u32 payload length | payload
+//
+// One response is either
+//
+//	frameError                                 (statement failed)
+//	frameAffected                              (no result rows)
+//	frameSchema frameChunk* (frameEnd | frameError)
+//
+// A frameError after chunks reports a mid-stream execution failure;
+// the connection stays usable for further requests either way.
+const (
+	frameSchema   byte = 'S' // u32 ncols, then per column: u16 name len, name, type byte
+	frameChunk    byte = 'C' // u32 nrows, then the protocol-specific chunk body
+	frameEnd      byte = 'E' // u64 total rows delivered
+	frameError    byte = 'X' // error message bytes
+	frameAffected byte = 'A' // u64 rows affected
+)
+
+// maxFrameSize caps frame payloads accepted from the peer. Chunks are
+// bounded by vector.DefaultChunkSize rows, so anything near this limit
+// is a corrupt or hostile stream.
+const maxFrameSize = 1 << 28
 
 func writeRequest(w io.Writer, proto Protocol, sql string) error {
 	var hdr [5]byte
@@ -86,156 +122,191 @@ func readRequest(r io.Reader) (Protocol, string, error) {
 	return Protocol(hdr[4]), string(sql), nil
 }
 
-func writeError(w io.Writer, err error) error {
-	msg := err.Error()
-	if _, werr := w.Write([]byte{1}); werr != nil {
-		return werr
+// ----------------------------------------------------------- frames
+
+func writeFrame(w io.Writer, kind byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
 	}
-	var l [4]byte
-	binary.LittleEndian.PutUint32(l[:], uint32(len(msg)))
-	if _, werr := w.Write(l[:]); werr != nil {
-		return werr
-	}
-	_, werr := io.WriteString(w, msg)
-	return werr
+	_, err := w.Write(payload)
+	return err
 }
 
-func readStatus(r io.Reader) error {
-	var status [1]byte
-	if _, err := io.ReadFull(r, status[:]); err != nil {
-		return err
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
 	}
-	if status[0] == 0 {
-		return nil
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFrameSize {
+		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
 	}
-	var l [4]byte
-	if _, err := io.ReadFull(r, l[:]); err != nil {
-		return err
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
 	}
-	msg := make([]byte, binary.LittleEndian.Uint32(l[:]))
-	if _, err := io.ReadFull(r, msg); err != nil {
-		return err
-	}
-	return fmt.Errorf("wire: server error: %s", msg)
+	return hdr[0], payload, nil
 }
 
-// ----------------------------------------------------------- header
+func writeErrorFrame(w io.Writer, err error) error {
+	return writeFrame(w, frameError, []byte(err.Error()))
+}
 
-func writeHeader(w io.Writer, tab *vector.Table) error {
+func writeAffectedFrame(w io.Writer, n int64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(n))
+	return writeFrame(w, frameAffected, b[:])
+}
+
+func writeEndFrame(w io.Writer, rows int64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(rows))
+	return writeFrame(w, frameEnd, b[:])
+}
+
+// ----------------------------------------------------------- schema
+
+func encodeSchema(buf *bytes.Buffer, schema catalog.Schema) {
 	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], uint32(tab.NumCols()))
-	if _, err := w.Write(b[:]); err != nil {
-		return err
-	}
-	for i, name := range tab.Names {
+	binary.LittleEndian.PutUint32(b[:], uint32(len(schema)))
+	buf.Write(b[:])
+	for _, col := range schema {
 		var nl [2]byte
-		binary.LittleEndian.PutUint16(nl[:], uint16(len(name)))
-		if _, err := w.Write(nl[:]); err != nil {
-			return err
-		}
-		if _, err := io.WriteString(w, name); err != nil {
-			return err
-		}
-		if _, err := w.Write([]byte{byte(tab.Cols[i].Type())}); err != nil {
-			return err
-		}
+		binary.LittleEndian.PutUint16(nl[:], uint16(len(col.Name)))
+		buf.Write(nl[:])
+		buf.WriteString(col.Name)
+		buf.WriteByte(byte(col.Type))
 	}
-	return nil
 }
 
-func readHeader(r io.Reader) (names []string, types []vector.Type, err error) {
-	var b [4]byte
-	if _, err := io.ReadFull(r, b[:]); err != nil {
-		return nil, nil, err
+func decodeSchema(payload []byte) (names []string, types []vector.Type, err error) {
+	if len(payload) < 4 {
+		return nil, nil, fmt.Errorf("wire: truncated schema frame")
 	}
-	n := binary.LittleEndian.Uint32(b[:])
+	n := binary.LittleEndian.Uint32(payload)
 	if n > 1<<16 {
 		return nil, nil, fmt.Errorf("wire: implausible column count %d", n)
 	}
+	off := 4
 	names = make([]string, n)
 	types = make([]vector.Type, n)
 	for i := range names {
-		var nl [2]byte
-		if _, err := io.ReadFull(r, nl[:]); err != nil {
-			return nil, nil, err
+		if off+2 > len(payload) {
+			return nil, nil, fmt.Errorf("wire: truncated schema frame")
 		}
-		nb := make([]byte, binary.LittleEndian.Uint16(nl[:]))
-		if _, err := io.ReadFull(r, nb); err != nil {
-			return nil, nil, err
+		nl := int(binary.LittleEndian.Uint16(payload[off:]))
+		off += 2
+		if off+nl+1 > len(payload) {
+			return nil, nil, fmt.Errorf("wire: truncated schema frame")
 		}
-		names[i] = string(nb)
-		var t [1]byte
-		if _, err := io.ReadFull(r, t[:]); err != nil {
-			return nil, nil, err
-		}
-		types[i] = vector.Type(t[0])
+		names[i] = string(payload[off : off+nl])
+		off += nl
+		types[i] = vector.Type(payload[off])
+		off++
 	}
 	return names, types, nil
 }
 
+// ----------------------------------------------------------- chunks
+
+// encodeChunk serializes one chunk body (after the u32 row count) in
+// the requested result encoding.
+func encodeChunk(proto Protocol, buf *bytes.Buffer, ch *vector.Chunk) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(ch.NumRows()))
+	buf.Write(b[:])
+	switch proto {
+	case TextRows:
+		return encodeTextChunk(buf, ch)
+	case BinaryRows:
+		return encodeBinaryChunk(buf, ch)
+	case Columnar:
+		return encodeColumnarChunk(buf, ch)
+	}
+	return fmt.Errorf("wire: unknown protocol %d", proto)
+}
+
+// decodeChunk parses a chunk frame payload into column vectors of the
+// given types.
+func decodeChunk(proto Protocol, payload []byte, types []vector.Type) (*vector.Chunk, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("wire: truncated chunk frame")
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	body := payload[4:]
+	// The row count is untrusted input: columns preallocate n slots, so
+	// bound it by the body size before any allocation. Every encoding
+	// spends at least one byte per row (text: the newline; binary: a
+	// null flag per column; columnar: ≥1 byte per row per column), so
+	// a count exceeding the body length is corrupt.
+	if len(types) == 0 {
+		if n != 0 {
+			return nil, fmt.Errorf("wire: %d rows in zero-column chunk", n)
+		}
+	} else if n > len(body) {
+		return nil, fmt.Errorf("wire: chunk declares %d rows in %d payload bytes", n, len(body))
+	}
+	switch proto {
+	case TextRows:
+		return decodeTextChunk(body, n, types)
+	case BinaryRows:
+		return decodeBinaryChunk(body, n, types)
+	case Columnar:
+		return decodeColumnarChunk(body, n, types)
+	}
+	return nil, fmt.Errorf("wire: unknown protocol %d", proto)
+}
+
 // ----------------------------------------------------------- text rows
 
-const textEndMarker = "\\."
-
-// writeTextRows streams the result row-at-a-time as tab-separated
+// encodeTextChunk writes the chunk row-at-a-time as tab-separated
 // text with escaping — every value passes through a text conversion,
 // reproducing the cost profile of the PostgreSQL wire protocol.
-func writeTextRows(w *bufio.Writer, tab *vector.Table) error {
-	if err := writeHeader(w, tab); err != nil {
-		return err
-	}
-	n := tab.NumRows()
+func encodeTextChunk(buf *bytes.Buffer, ch *vector.Chunk) error {
+	n := ch.NumRows()
 	for r := 0; r < n; r++ {
-		for c, col := range tab.Cols {
+		for c, col := range ch.Cols() {
 			if c > 0 {
-				if err := w.WriteByte('\t'); err != nil {
-					return err
-				}
+				buf.WriteByte('\t')
 			}
-			if err := writeTextField(w, col, r); err != nil {
+			if err := writeTextField(buf, col, r); err != nil {
 				return err
 			}
 		}
-		if err := w.WriteByte('\n'); err != nil {
-			return err
-		}
-	}
-	if _, err := w.WriteString(textEndMarker + "\n"); err != nil {
-		return err
+		buf.WriteByte('\n')
 	}
 	return nil
 }
 
-func writeTextField(w *bufio.Writer, col *vector.Vector, r int) error {
+func writeTextField(buf *bytes.Buffer, col *vector.Vector, r int) error {
 	if col.IsNull(r) {
-		_, err := w.WriteString("\\N")
-		return err
+		buf.WriteString("\\N")
+		return nil
 	}
 	switch col.Type() {
 	case vector.Int32:
-		_, err := w.WriteString(strconv.FormatInt(int64(col.Int32s()[r]), 10))
-		return err
+		buf.WriteString(strconv.FormatInt(int64(col.Int32s()[r]), 10))
 	case vector.Int64:
-		_, err := w.WriteString(strconv.FormatInt(col.Int64s()[r], 10))
-		return err
+		buf.WriteString(strconv.FormatInt(col.Int64s()[r], 10))
 	case vector.Float64:
-		_, err := w.WriteString(strconv.FormatFloat(col.Float64s()[r], 'g', -1, 64))
-		return err
+		buf.WriteString(strconv.FormatFloat(col.Float64s()[r], 'g', -1, 64))
 	case vector.Bool:
 		if col.Bools()[r] {
-			_, err := w.WriteString("t")
-			return err
+			buf.WriteString("t")
+		} else {
+			buf.WriteString("f")
 		}
-		_, err := w.WriteString("f")
-		return err
 	case vector.String:
-		_, err := w.WriteString(escapeText(col.Strings()[r]))
-		return err
+		buf.WriteString(escapeText(col.Strings()[r]))
 	case vector.Blob:
-		_, err := w.WriteString(hexEncode(col.Blobs()[r]))
-		return err
+		buf.WriteString(hexEncode(col.Blobs()[r]))
+	default:
+		return fmt.Errorf("wire: unsupported type %v", col.Type())
 	}
-	return fmt.Errorf("wire: unsupported type %v", col.Type())
+	return nil
 }
 
 func escapeText(s string) string {
@@ -312,26 +383,18 @@ func hexDecode(s string) ([]byte, error) {
 	return out, nil
 }
 
-// readTextRows parses the text-row stream back into columns: the
+// decodeTextChunk parses the text-row body back into columns: the
 // client-side conversion cost of the pg-like path.
-func readTextRows(r *bufio.Reader) (*vector.Table, error) {
-	names, types, err := readHeader(r)
-	if err != nil {
-		return nil, err
-	}
-	cols := make([]*vector.Vector, len(types))
-	for i, t := range types {
-		cols[i] = vector.New(t, 1024)
-	}
-	for {
-		line, err := r.ReadString('\n')
-		if err != nil {
-			return nil, fmt.Errorf("wire: read row: %w", err)
+func decodeTextChunk(body []byte, n int, types []vector.Type) (*vector.Chunk, error) {
+	cols := newColumns(types, n)
+	rows := 0
+	for len(body) > 0 {
+		nl := bytes.IndexByte(body, '\n')
+		if nl < 0 {
+			return nil, fmt.Errorf("wire: unterminated text row")
 		}
-		line = strings.TrimSuffix(line, "\n")
-		if line == textEndMarker {
-			break
-		}
+		line := string(body[:nl])
+		body = body[nl+1:]
 		fields := strings.Split(line, "\t")
 		if len(fields) != len(cols) {
 			return nil, fmt.Errorf("wire: row has %d fields, expected %d", len(fields), len(cols))
@@ -341,8 +404,12 @@ func readTextRows(r *bufio.Reader) (*vector.Table, error) {
 				return nil, err
 			}
 		}
+		rows++
 	}
-	return vector.NewTable(names, cols)
+	if rows != n {
+		return nil, fmt.Errorf("wire: chunk declared %d rows, carried %d", n, rows)
+	}
+	return vector.NewChunk(cols...), nil
 }
 
 func appendTextField(col *vector.Vector, t vector.Type, f string) error {
@@ -387,99 +454,63 @@ func appendTextField(col *vector.Vector, t vector.Type, f string) error {
 
 // ----------------------------------------------------------- binary rows
 
-// writeBinaryRows streams the result row-at-a-time with binary field
-// encoding (mysql-like): marker byte 1 per row, 0 terminates. Fields:
-// null flag byte, then the value (fixed width, or u32 length + bytes).
-func writeBinaryRows(w *bufio.Writer, tab *vector.Table) error {
-	if err := writeHeader(w, tab); err != nil {
-		return err
-	}
-	n := tab.NumRows()
-	var buf [9]byte
+// encodeBinaryChunk writes the chunk row-at-a-time with binary field
+// encoding (mysql-like). Fields: null flag byte, then the value
+// (fixed width, or u32 length + bytes). Row markers are unnecessary —
+// the frame carries the row count.
+func encodeBinaryChunk(buf *bytes.Buffer, ch *vector.Chunk) error {
+	n := ch.NumRows()
+	var b [9]byte
 	for r := 0; r < n; r++ {
-		if err := w.WriteByte(1); err != nil {
-			return err
-		}
-		for _, col := range tab.Cols {
+		for _, col := range ch.Cols() {
 			if col.IsNull(r) {
-				if err := w.WriteByte(1); err != nil {
-					return err
-				}
+				buf.WriteByte(1)
 				continue
 			}
-			buf[0] = 0
+			b[0] = 0
 			switch col.Type() {
 			case vector.Int32:
-				binary.LittleEndian.PutUint32(buf[1:5], uint32(col.Int32s()[r]))
-				if _, err := w.Write(buf[:5]); err != nil {
-					return err
-				}
+				binary.LittleEndian.PutUint32(b[1:5], uint32(col.Int32s()[r]))
+				buf.Write(b[:5])
 			case vector.Int64:
-				binary.LittleEndian.PutUint64(buf[1:9], uint64(col.Int64s()[r]))
-				if _, err := w.Write(buf[:9]); err != nil {
-					return err
-				}
+				binary.LittleEndian.PutUint64(b[1:9], uint64(col.Int64s()[r]))
+				buf.Write(b[:9])
 			case vector.Float64:
-				binary.LittleEndian.PutUint64(buf[1:9], math.Float64bits(col.Float64s()[r]))
-				if _, err := w.Write(buf[:9]); err != nil {
-					return err
-				}
+				binary.LittleEndian.PutUint64(b[1:9], math.Float64bits(col.Float64s()[r]))
+				buf.Write(b[:9])
 			case vector.Bool:
-				buf[1] = 0
+				b[1] = 0
 				if col.Bools()[r] {
-					buf[1] = 1
+					b[1] = 1
 				}
-				if _, err := w.Write(buf[:2]); err != nil {
-					return err
-				}
+				buf.Write(b[:2])
 			case vector.String:
 				s := col.Strings()[r]
-				binary.LittleEndian.PutUint32(buf[1:5], uint32(len(s)))
-				if _, err := w.Write(buf[:5]); err != nil {
-					return err
-				}
-				if _, err := w.WriteString(s); err != nil {
-					return err
-				}
+				binary.LittleEndian.PutUint32(b[1:5], uint32(len(s)))
+				buf.Write(b[:5])
+				buf.WriteString(s)
 			case vector.Blob:
-				b := col.Blobs()[r]
-				binary.LittleEndian.PutUint32(buf[1:5], uint32(len(b)))
-				if _, err := w.Write(buf[:5]); err != nil {
-					return err
-				}
-				if _, err := w.Write(b); err != nil {
-					return err
-				}
+				blob := col.Blobs()[r]
+				binary.LittleEndian.PutUint32(b[1:5], uint32(len(blob)))
+				buf.Write(b[:5])
+				buf.Write(blob)
 			default:
 				return fmt.Errorf("wire: unsupported type %v", col.Type())
 			}
 		}
 	}
-	return w.WriteByte(0)
+	return nil
 }
 
-func readBinaryRows(r *bufio.Reader) (*vector.Table, error) {
-	names, types, err := readHeader(r)
-	if err != nil {
-		return nil, err
-	}
-	cols := make([]*vector.Vector, len(types))
-	for i, t := range types {
-		cols[i] = vector.New(t, 1024)
-	}
+func decodeBinaryChunk(body []byte, n int, types []vector.Type) (*vector.Chunk, error) {
+	cols := newColumns(types, n)
+	r := bytes.NewReader(body)
 	var buf [8]byte
-	for {
-		marker, err := r.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("wire: read row marker: %w", err)
-		}
-		if marker == 0 {
-			break
-		}
+	for row := 0; row < n; row++ {
 		for i, t := range types {
 			nullFlag, err := r.ReadByte()
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("wire: truncated binary chunk: %w", err)
 			}
 			if nullFlag == 1 {
 				cols[i].AppendValue(vector.Null())
@@ -530,37 +561,59 @@ func readBinaryRows(r *bufio.Reader) (*vector.Table, error) {
 			}
 		}
 	}
-	return vector.NewTable(names, cols)
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes in binary chunk", r.Len())
+	}
+	return vector.NewChunk(cols...), nil
 }
 
 // ----------------------------------------------------------- columnar
 
-func writeColumnar(w *bufio.Writer, tab *vector.Table) error {
-	store := storage.NewColumnStore(columnTypes(tab))
-	if tab.NumRows() > 0 {
-		if err := store.AppendChunk(tab.Chunk()); err != nil {
-			return err
+// encodeColumnarChunk writes each column as a length-prefixed storage
+// payload (the engine's native layout — no per-value conversion).
+func encodeColumnarChunk(buf *bytes.Buffer, ch *vector.Chunk) error {
+	var l [4]byte
+	for _, col := range ch.Cols() {
+		payload, err := storage.EncodeColumn(col)
+		if err != nil {
+			return fmt.Errorf("wire: %w", err)
 		}
+		binary.LittleEndian.PutUint32(l[:], uint32(len(payload)))
+		buf.Write(l[:])
+		buf.Write(payload)
 	}
-	return storage.WriteTable(w, tab.Names, store)
+	return nil
 }
 
-func readColumnar(r *bufio.Reader) (*vector.Table, error) {
-	names, store, err := storage.ReadTable(r)
-	if err != nil {
-		return nil, err
+func decodeColumnarChunk(body []byte, n int, types []vector.Type) (*vector.Chunk, error) {
+	cols := make([]*vector.Vector, len(types))
+	off := 0
+	for i, t := range types {
+		if off+4 > len(body) {
+			return nil, fmt.Errorf("wire: truncated columnar chunk")
+		}
+		l := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		if off+l > len(body) {
+			return nil, fmt.Errorf("wire: truncated columnar chunk")
+		}
+		col, err := storage.DecodeColumn(t, n, body[off:off+l])
+		if err != nil {
+			return nil, fmt.Errorf("wire: %w", err)
+		}
+		off += l
+		cols[i] = col
 	}
-	cols := make([]*vector.Vector, store.NumColumns())
-	for i := range cols {
-		cols[i] = store.Column(i)
+	if off != len(body) {
+		return nil, fmt.Errorf("wire: %d trailing bytes in columnar chunk", len(body)-off)
 	}
-	return vector.NewTable(names, cols)
+	return vector.NewChunk(cols...), nil
 }
 
-func columnTypes(tab *vector.Table) []vector.Type {
-	out := make([]vector.Type, tab.NumCols())
-	for i, c := range tab.Cols {
-		out[i] = c.Type()
+func newColumns(types []vector.Type, n int) []*vector.Vector {
+	cols := make([]*vector.Vector, len(types))
+	for i, t := range types {
+		cols[i] = vector.New(t, n)
 	}
-	return out
+	return cols
 }

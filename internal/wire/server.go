@@ -2,6 +2,8 @@ package wire
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -12,20 +14,29 @@ import (
 )
 
 // Server exposes an engine over TCP. Each connection handles a
-// sequence of requests; one goroutine per connection.
+// sequence of requests; one goroutine per connection. Results are
+// streamed chunk by chunk straight from the executor, so serving a
+// huge result holds O(chunk size × workers) memory, and a client that
+// disconnects mid-result (or a server Close) cancels the query instead
+// of letting scan workers run to completion.
 type Server struct {
 	db *engine.DB
 	ln net.Listener
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	conns   map[net.Conn]struct{}
+	streams map[*engine.ResultSet]struct{}
+	wg      sync.WaitGroup
 }
 
 // NewServer wraps a database for network serving.
 func NewServer(db *engine.DB) *Server {
-	return &Server{db: db, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		db:      db,
+		conns:   make(map[net.Conn]struct{}),
+		streams: make(map[*engine.ResultSet]struct{}),
+	}
 }
 
 // Start listens on addr (use "127.0.0.1:0" for an ephemeral port) and
@@ -70,42 +81,15 @@ func (s *Server) acceptLoop() {
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 1<<16)
-	bw := bufio.NewWriterSize(conn, 1<<20)
+	bw := bufio.NewWriterSize(conn, 1<<18)
+	var scratch bytes.Buffer
 	for {
 		proto, query, err := readRequest(br)
 		if err != nil {
 			return // client hung up or sent garbage
 		}
-		res, err := s.db.Exec(query)
-		if err != nil {
-			if werr := writeError(bw, err); werr != nil {
-				return
-			}
-			if bw.Flush() != nil {
-				return
-			}
-			continue
-		}
-		tab := res.Table
-		if tab == nil {
-			// Statements without results return an empty relation.
-			tab = &vector.Table{}
-		}
-		if _, err := bw.Write([]byte{0}); err != nil {
-			return
-		}
-		switch proto {
-		case TextRows:
-			err = writeTextRows(bw, tab)
-		case BinaryRows:
-			err = writeBinaryRows(bw, tab)
-		case Columnar:
-			err = writeColumnar(bw, tab)
-		default:
-			err = fmt.Errorf("wire: unknown protocol %d", proto)
-		}
-		if err != nil {
-			return
+		if err := s.serveQuery(bw, &scratch, proto, query); err != nil {
+			return // connection-level write failure
 		}
 		if bw.Flush() != nil {
 			return
@@ -113,7 +97,85 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// Close stops accepting and closes live connections.
+// serveQuery executes one request and streams its response frames.
+// Statement failures become error frames and return nil (the
+// connection stays usable); a non-nil return means the connection
+// itself is broken.
+func (s *Server) serveQuery(bw *bufio.Writer, scratch *bytes.Buffer, proto Protocol, query string) error {
+	switch proto {
+	case TextRows, BinaryRows, Columnar:
+	default:
+		return writeErrorFrame(bw, fmt.Errorf("wire: unknown protocol %d", proto))
+	}
+	rs, err := s.db.Query(query)
+	if err != nil {
+		return writeErrorFrame(bw, err)
+	}
+	// Register for cancellation on Server.Close, and always stop the
+	// executor's workers before returning — including on write errors,
+	// which is how a mid-result client disconnect cancels the query.
+	s.trackStream(rs)
+	defer s.untrackStream(rs)
+	defer rs.Close()
+
+	if !rs.HasRows() {
+		return writeAffectedFrame(bw, rs.RowsAffected())
+	}
+
+	scratch.Reset()
+	encodeSchema(scratch, rs.Schema())
+	if err := writeFrame(bw, frameSchema, scratch.Bytes()); err != nil {
+		return err
+	}
+	var rows int64
+	for {
+		ch, err := rs.Next()
+		if err != nil {
+			// Mid-stream failure: report in-band and keep the
+			// connection; the client sees the chunks that preceded it.
+			return writeErrorFrame(bw, err)
+		}
+		if ch == nil {
+			return writeEndFrame(bw, rows)
+		}
+		scratch.Reset()
+		if err := encodeChunk(proto, scratch, ch); err != nil {
+			return writeErrorFrame(bw, err)
+		}
+		rows += int64(ch.NumRows())
+		if err := writeFrame(bw, frameChunk, scratch.Bytes()); err != nil {
+			return err
+		}
+		// Flush per chunk so time-to-first-row does not wait on the
+		// rest of the result.
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+func (s *Server) trackStream(rs *engine.ResultSet) {
+	s.mu.Lock()
+	if s.closed {
+		// Server.Close already swept the registry; cancel here so a
+		// query that started during shutdown cannot stall wg.Wait for
+		// its full runtime.
+		s.mu.Unlock()
+		rs.Cancel()
+		return
+	}
+	s.streams[rs] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Server) untrackStream(rs *engine.ResultSet) {
+	s.mu.Lock()
+	delete(s.streams, rs)
+	s.mu.Unlock()
+}
+
+// Close stops accepting, cancels in-flight queries, and closes live
+// connections, then waits for the per-connection goroutines to drain.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -121,6 +183,9 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	for rs := range s.streams {
+		rs.Cancel()
+	}
 	for c := range s.conns {
 		c.Close()
 	}
@@ -137,6 +202,13 @@ type Client struct {
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
+	// stream is the in-flight result, which owns the connection until
+	// drained or closed.
+	stream *ResultStream
+	// fatal latches a framing-level failure (read error, undecodable
+	// frame): the stream position is lost, so further requests would
+	// misparse leftover frames and are refused.
+	fatal error
 }
 
 // Dial connects to a server.
@@ -147,7 +219,7 @@ func Dial(addr string) (*Client, error) {
 	}
 	return &Client{
 		conn: conn,
-		br:   bufio.NewReaderSize(conn, 1<<20),
+		br:   bufio.NewReaderSize(conn, 1<<18),
 		bw:   bufio.NewWriterSize(conn, 1<<16),
 	}, nil
 }
@@ -155,58 +227,232 @@ func Dial(addr string) (*Client, error) {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// Query executes sql on the server and materializes the result using
-// the requested protocol.
-func (c *Client) Query(proto Protocol, sql string) (*vector.Table, error) {
+// ResultStream iterates a streamed query result chunk by chunk. The
+// stream owns the connection until it ends (Next returning nil), the
+// server reports an error, or Close drains it.
+type ResultStream struct {
+	c     *Client
+	proto Protocol
+	names []string
+	types []vector.Type
+
+	hasRows  bool
+	affected int64
+	rows     int64
+	done     bool
+	err      error
+}
+
+// Stream sends a query and returns the streaming result. Statement
+// errors raised before the first row surface here; mid-stream errors
+// surface from Next.
+func (c *Client) Stream(proto Protocol, sql string) (*ResultStream, error) {
+	if c.fatal != nil {
+		return nil, fmt.Errorf("wire: connection desynchronized: %w", c.fatal)
+	}
+	if c.stream != nil && !c.stream.done {
+		return nil, errors.New("wire: previous result stream still open")
+	}
 	if err := writeRequest(c.bw, proto, sql); err != nil {
 		return nil, err
 	}
 	if err := c.bw.Flush(); err != nil {
 		return nil, err
 	}
-	if err := readStatus(c.br); err != nil {
-		return nil, err
-	}
-	switch proto {
-	case TextRows:
-		return readTextRows(c.br)
-	case BinaryRows:
-		return readBinaryRows(c.br)
-	case Columnar:
-		return readColumnar(c.br)
-	}
-	return nil, fmt.Errorf("wire: unknown protocol %d", proto)
-}
-
-// Exec executes a statement discarding any result rows.
-func (c *Client) Exec(sql string) error {
-	_, err := c.Query(Columnar, sql)
-	return err
-}
-
-// RowIterate is the SQLite analog: execute a query in-process and
-// materialize the result through a row-at-a-time cursor with
-// per-value boxing (no socket, but all the per-row API overhead).
-func RowIterate(db *engine.DB, sql string) (*vector.Table, error) {
-	res, err := db.Exec(sql)
+	kind, payload, err := readFrame(c.br)
 	if err != nil {
 		return nil, err
 	}
-	if res.Table == nil {
-		return nil, errors.New("wire: statement returned no rows")
+	st := &ResultStream{c: c, proto: proto}
+	switch kind {
+	case frameError:
+		return nil, fmt.Errorf("wire: server error: %s", payload)
+	case frameAffected:
+		if len(payload) != 8 {
+			return nil, fmt.Errorf("wire: bad affected frame")
+		}
+		st.affected = int64(binary.LittleEndian.Uint64(payload))
+		st.done = true
+	case frameSchema:
+		names, types, err := decodeSchema(payload)
+		if err != nil {
+			return nil, err
+		}
+		st.names, st.types, st.hasRows = names, types, true
+	default:
+		return nil, fmt.Errorf("wire: unexpected frame %q", kind)
 	}
-	src := res.Table
-	cols := make([]*vector.Vector, src.NumCols())
-	for i, c := range src.Cols {
-		cols[i] = vector.New(c.Type(), src.NumRows())
+	c.stream = st
+	return st, nil
+}
+
+// Columns returns the result's column names (nil for row-less
+// statements).
+func (s *ResultStream) Columns() []string { return s.names }
+
+// Types returns the result's column types.
+func (s *ResultStream) Types() []vector.Type { return s.types }
+
+// HasRows reports whether the statement produced a relation.
+func (s *ResultStream) HasRows() bool { return s.hasRows }
+
+// RowsAffected reports the write count of a row-less statement.
+func (s *ResultStream) RowsAffected() int64 { return s.affected }
+
+// Next returns the next decoded chunk, or (nil, nil) at end of
+// stream. A server-side mid-stream failure is returned as an error;
+// the connection stays usable for further requests afterwards.
+func (s *ResultStream) Next() (*vector.Chunk, error) {
+	if s.done {
+		return nil, s.err
 	}
-	n := src.NumRows()
-	for r := 0; r < n; r++ {
-		// One boxed Value per field per row, as a row-cursor API
-		// (sqlite3_column_*) would force.
-		for i, c := range src.Cols {
-			cols[i].AppendValue(c.Get(r))
+	kind, payload, err := readFrame(s.c.br)
+	if err != nil {
+		return nil, s.fail(err)
+	}
+	switch kind {
+	case frameChunk:
+		ch, err := decodeChunk(s.proto, payload, s.types)
+		if err != nil {
+			// Undecodable frame: the stream position is lost, so the
+			// connection cannot be reused (Stream refuses from now on).
+			return nil, s.fail(err)
+		}
+		s.rows += int64(ch.NumRows())
+		return ch, nil
+	case frameEnd:
+		if len(payload) != 8 {
+			return nil, s.fail(fmt.Errorf("wire: bad end frame"))
+		}
+		if total := int64(binary.LittleEndian.Uint64(payload)); total != s.rows {
+			return nil, s.fail(fmt.Errorf("wire: stream carried %d rows, server sent %d", s.rows, total))
+		}
+		s.done = true
+		return nil, nil
+	case frameError:
+		// Clean in-band termination: the connection stays usable.
+		s.done = true
+		s.err = fmt.Errorf("wire: server error: %s", payload)
+		return nil, s.err
+	default:
+		return nil, s.fail(fmt.Errorf("wire: unexpected frame %q", kind))
+	}
+}
+
+// fail terminates the stream on a framing-level error and latches the
+// connection as desynchronized.
+func (s *ResultStream) fail(err error) error {
+	s.done = true
+	s.err = err
+	s.c.fatal = err
+	return err
+}
+
+// Close drains any remaining frames so the connection can serve the
+// next request. The abandoned chunks are discarded undecoded, but a
+// mid-stream server error is still recorded (surfaced by Exec); to
+// abort a very large result entirely, close the Client instead (the
+// server cancels the query when its writes fail).
+func (s *ResultStream) Close() error {
+	for !s.done {
+		kind, payload, err := readFrame(s.c.br)
+		if err != nil {
+			s.fail(err)
+			break
+		}
+		switch kind {
+		case frameEnd:
+			s.done = true
+		case frameError:
+			s.done = true
+			s.err = fmt.Errorf("wire: server error: %s", payload)
 		}
 	}
-	return vector.NewTable(src.Names, cols)
+	return nil
+}
+
+// Query executes sql and materializes the full result client-side: the
+// thin wrapper over Stream for callers that want the whole table.
+func (c *Client) Query(proto Protocol, sql string) (*vector.Table, error) {
+	st, err := c.Stream(proto, sql)
+	if err != nil {
+		return nil, err
+	}
+	if !st.HasRows() {
+		// Preserve the v1 contract: every statement yields a relation,
+		// possibly empty.
+		return &vector.Table{}, nil
+	}
+	cols := newColumns(st.types, 0)
+	out, err := vector.NewTable(st.names, cols)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		ch, err := st.Next()
+		if err != nil {
+			return nil, err
+		}
+		if ch == nil {
+			return out, nil
+		}
+		if err := out.AppendChunk(ch); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Exec executes a statement, discarding any result rows, and reports
+// the rows written by INSERT/DELETE/UPDATE.
+func (c *Client) Exec(sql string) (int64, error) {
+	st, err := c.Stream(Columnar, sql)
+	if err != nil {
+		return 0, err
+	}
+	if err := st.Close(); err != nil {
+		return 0, err
+	}
+	if st.err != nil {
+		return 0, st.err
+	}
+	return st.affected, nil
+}
+
+// RowIterate is the SQLite analog: execute a query in-process and pull
+// the result through a row-at-a-time cursor with per-value boxing (no
+// socket, but all the per-row API overhead). It rides the same
+// streaming ResultSet as the wire path — the result is never
+// materialized twice.
+func RowIterate(db *engine.DB, sql string) (*vector.Table, error) {
+	rs, err := db.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	defer rs.Close()
+	if !rs.HasRows() {
+		return nil, errors.New("wire: statement returned no rows")
+	}
+	schema := rs.Schema()
+	cols := make([]*vector.Vector, len(schema))
+	for i, c := range schema {
+		cols[i] = vector.New(c.Type, 0)
+	}
+	for {
+		ch, err := rs.Next()
+		if err != nil {
+			return nil, err
+		}
+		if ch == nil {
+			break
+		}
+		n := ch.NumRows()
+		for r := 0; r < n; r++ {
+			// One boxed Value per field per row, as a row-cursor API
+			// (sqlite3_column_*) would force.
+			for i, c := range ch.Cols() {
+				cols[i].AppendValue(c.Get(r))
+			}
+		}
+	}
+	return vector.NewTable(schema.Names(), cols)
 }

@@ -1,11 +1,19 @@
 package wire
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"fmt"
+	"net"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
+	"vexdb/internal/catalog"
 	"vexdb/internal/engine"
+	"vexdb/internal/vector"
 )
 
 func startServer(t *testing.T) (*engine.DB, string) {
@@ -37,6 +45,47 @@ func startServer(t *testing.T) (*engine.DB, string) {
 	}
 	t.Cleanup(srv.Close)
 	return db, addr
+}
+
+// bigServer serves a table large enough to span many chunks (and many
+// storage segments), loaded through the catalog to keep test setup
+// fast.
+func bigServer(t *testing.T, rows, workers int) (*engine.DB, *Server, string) {
+	t.Helper()
+	db := engine.New()
+	db.Parallelism = workers
+	schema := catalog.Schema{
+		{Name: "id", Type: vector.Int64},
+		{Name: "pad", Type: vector.String},
+	}
+	ct, err := db.Catalog().CreateTable("big", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := strings.Repeat("x", 64)
+	for lo := 0; lo < rows; lo += vector.DefaultChunkSize {
+		hi := lo + vector.DefaultChunkSize
+		if hi > rows {
+			hi = rows
+		}
+		ids := make([]int64, hi-lo)
+		pads := make([]string, hi-lo)
+		for i := range ids {
+			ids[i] = int64(lo + i)
+			pads[i] = pad
+		}
+		ch := vector.NewChunk(vector.FromInt64s(ids), vector.FromStrings(pads))
+		if err := ct.Data.AppendChunk(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewServer(db)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return db, srv, addr
 }
 
 func TestAllProtocolsRoundTrip(t *testing.T) {
@@ -135,11 +184,15 @@ func TestClientExecAndMultipleRequests(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Exec("CREATE TABLE made_remotely (a BIGINT)"); err != nil {
+	if _, err := c.Exec("CREATE TABLE made_remotely (a BIGINT)"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Exec("INSERT INTO made_remotely VALUES (1), (2)"); err != nil {
+	n, err := c.Exec("INSERT INTO made_remotely VALUES (1), (2)")
+	if err != nil {
 		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("RowsAffected = %d, want 2", n)
 	}
 	tab, err := c.Query(BinaryRows, "SELECT sum(a) AS s FROM made_remotely")
 	if err != nil {
@@ -194,6 +247,9 @@ func TestRowIterate(t *testing.T) {
 	if _, err := RowIterate(db, "SELECT * FROM nope"); err == nil {
 		t.Fatal("error not propagated")
 	}
+	if _, err := RowIterate(db, "CREATE TABLE ri (a BIGINT)"); err == nil {
+		t.Fatal("row-less statement should error")
+	}
 }
 
 func TestHexCodec(t *testing.T) {
@@ -229,5 +285,348 @@ func TestEmptyResult(t *testing.T) {
 		if tab.NumRows() != 0 {
 			t.Fatalf("%s: %d rows", proto, tab.NumRows())
 		}
+	}
+}
+
+// ------------------------------------------------ streaming coverage
+
+// Streamed wire results must be row-identical to the engine's
+// materialized Exec output across all protocols and worker counts.
+func TestStreamedMatchesExecAllProtocols(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		db, _, addr := bigServer(t, 10_000, workers)
+		queries := []string{
+			"SELECT id, pad FROM big",
+			"SELECT id * 2 AS d FROM big WHERE id % 7 = 0",
+			"SELECT count(*) AS n, sum(id) AS s FROM big",
+			"SELECT id FROM big LIMIT 11",
+		}
+		for _, q := range queries {
+			want, err := db.Exec(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, proto := range []Protocol{TextRows, BinaryRows, Columnar} {
+				c, err := Dial(addr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st, err := c.Stream(proto, q)
+				if err != nil {
+					t.Fatalf("w=%d %s %s: %v", workers, proto, q, err)
+				}
+				var rows int
+				for {
+					ch, err := st.Next()
+					if err != nil {
+						t.Fatalf("w=%d %s %s: %v", workers, proto, q, err)
+					}
+					if ch == nil {
+						break
+					}
+					for i := 0; i < ch.NumRows(); i++ {
+						for cidx := 0; cidx < ch.NumCols(); cidx++ {
+							got := ch.Col(cidx).Get(i).String()
+							exp := want.Table.Cols[cidx].Get(rows + i).String()
+							if got != exp {
+								t.Fatalf("w=%d %s %s: row %d col %d: %q != %q",
+									workers, proto, q, rows+i, cidx, got, exp)
+							}
+						}
+					}
+					rows += ch.NumRows()
+				}
+				if rows != want.Table.NumRows() {
+					t.Fatalf("w=%d %s %s: %d rows, want %d", workers, proto, q, rows, want.Table.NumRows())
+				}
+				c.Close()
+			}
+		}
+	}
+}
+
+// A mid-stream execution failure must surface after the leading
+// chunks, as an in-band error frame that leaves the connection usable.
+func TestMidStreamErrorOverWire(t *testing.T) {
+	db := engine.New()
+	db.Parallelism = 2
+	if _, err := db.Exec("CREATE TABLE s (v VARCHAR)"); err != nil {
+		t.Fatal(err)
+	}
+	const rows = 20_000
+	for lo := 0; lo < rows; lo += 1000 {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO s VALUES ")
+		for i := lo; i < lo+1000; i++ {
+			if i > lo {
+				sb.WriteByte(',')
+			}
+			if i == rows-500 {
+				sb.WriteString("('boom')")
+				continue
+			}
+			fmt.Fprintf(&sb, "('%d')", i)
+		}
+		if _, err := db.Exec(sb.String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewServer(db)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, proto := range []Protocol{TextRows, BinaryRows, Columnar} {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := c.Stream(proto, "SELECT CAST(v AS BIGINT) AS n FROM s")
+		if err != nil {
+			t.Fatalf("%s: open: %v", proto, err)
+		}
+		var chunks int
+		var streamErr error
+		for {
+			ch, err := st.Next()
+			if err != nil {
+				streamErr = err
+				break
+			}
+			if ch == nil {
+				break
+			}
+			chunks++
+		}
+		if streamErr == nil || !strings.Contains(streamErr.Error(), "boom") {
+			t.Fatalf("%s: err = %v", proto, streamErr)
+		}
+		if chunks == 0 {
+			t.Fatalf("%s: no chunks before the mid-stream error", proto)
+		}
+		// The error frame terminates the response; the connection must
+		// survive for the next request.
+		tab, err := c.Query(proto, "SELECT count(*) AS n FROM s")
+		if err != nil {
+			t.Fatalf("%s: post-error query: %v", proto, err)
+		}
+		if tab.Column("n").Get(0).Int64() != rows {
+			t.Fatalf("%s: post-error count", proto)
+		}
+		// Exec drains without decoding, but must still surface a
+		// mid-stream failure instead of reporting success.
+		if _, err := c.Exec("SELECT CAST(v AS BIGINT) AS n FROM s"); err == nil ||
+			!strings.Contains(err.Error(), "boom") {
+			t.Fatalf("%s: Exec swallowed mid-stream error: %v", proto, err)
+		}
+		c.Close()
+	}
+}
+
+// LIMIT k over a large table must terminate the response after k rows
+// without the server scanning the whole relation.
+func TestLimitEarlyExitOverWire(t *testing.T) {
+	_, _, addr := bigServer(t, 300_000, 4)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	st, err := c.Stream(Columnar, "SELECT id, pad FROM big LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows int
+	for {
+		ch, err := st.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch == nil {
+			break
+		}
+		rows += ch.NumRows()
+	}
+	if rows != 5 {
+		t.Fatalf("LIMIT 5 delivered %d rows", rows)
+	}
+	// Generous sanity bound: streaming 5 rows must not cost a full
+	// 300k-row scan + transfer.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("LIMIT query took %v", elapsed)
+	}
+}
+
+// A client that disconnects mid-result must cancel the query: the
+// server's next write fails, the ResultSet closes, and executor
+// workers exit instead of scanning to completion.
+func TestClientDisconnectStopsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	_, srv, addr := bigServer(t, 400_000, 8)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stream(Columnar, "SELECT id, pad FROM big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch, err := st.Next(); err != nil || ch == nil {
+		t.Fatalf("first chunk: %v %v", ch, err)
+	}
+	// Abrupt disconnect with most of the ~28MB result unread.
+	c.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		srv.mu.Lock()
+		inflight := len(srv.streams)
+		srv.mu.Unlock()
+		if inflight == 0 && runtime.NumGoroutine() <= before+4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("disconnect leak: %d streams in flight, %d goroutines (baseline %d)",
+				inflight, runtime.NumGoroutine(), before)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Server.Close during an in-flight result must cancel the query and
+// return promptly rather than waiting for the scan to finish.
+func TestServerCloseCancelsInFlight(t *testing.T) {
+	_, srv, addr := bigServer(t, 400_000, 8)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.Stream(BinaryRows, "SELECT id, pad FROM big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch, err := st.Next(); err != nil || ch == nil {
+		t.Fatalf("first chunk: %v %v", ch, err)
+	}
+	done := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Server.Close blocked on in-flight query")
+	}
+	// The interrupted client eventually observes a broken stream.
+	for {
+		ch, err := st.Next()
+		if err != nil {
+			break
+		}
+		if ch == nil {
+			// The remaining buffered frames may include the end frame
+			// if the query finished racing the shutdown; acceptable.
+			break
+		}
+	}
+}
+
+// ResultStream.Close must drain an abandoned result so the connection
+// can serve the next request.
+func TestStreamCloseDrains(t *testing.T) {
+	_, _, addr := bigServer(t, 50_000, 2)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.Stream(TextRows, "SELECT id, pad FROM big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch, err := st.Next(); err != nil || ch == nil {
+		t.Fatalf("first chunk: %v %v", ch, err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := c.Query(Columnar, "SELECT count(*) AS n FROM big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Column("n").Get(0).Int64() != 50_000 {
+		t.Fatal("post-drain query")
+	}
+}
+
+// Chunk frames carry an untrusted row count; a hostile value must be
+// rejected before column preallocation, not OOM the client.
+func TestDecodeChunkRowCountGuard(t *testing.T) {
+	payload := make([]byte, 8)
+	binary.LittleEndian.PutUint32(payload, 0xFFFFFFFF)
+	for _, proto := range []Protocol{TextRows, BinaryRows, Columnar} {
+		if _, err := decodeChunk(proto, payload, []vector.Type{vector.Int64}); err == nil {
+			t.Fatalf("%s: hostile row count accepted", proto)
+		}
+	}
+	// Zero-column chunks must declare zero rows.
+	if _, err := decodeChunk(Columnar, payload, nil); err == nil {
+		t.Fatal("rows in zero-column chunk accepted")
+	}
+}
+
+// An undecodable frame desynchronizes the stream; the client must
+// refuse further requests on that connection instead of misparsing
+// leftover frames.
+func TestDesyncLatchRefusesReuse(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		if _, _, err := readRequest(br); err != nil {
+			return
+		}
+		bw := bufio.NewWriter(conn)
+		var buf bytes.Buffer
+		encodeSchema(&buf, catalog.Schema{{Name: "x", Type: vector.Int64}})
+		writeFrame(bw, frameSchema, buf.Bytes())
+		// Bogus chunk: declares 3 rows with an empty body.
+		chunk := make([]byte, 4)
+		binary.LittleEndian.PutUint32(chunk, 3)
+		writeFrame(bw, frameChunk, chunk)
+		bw.Flush()
+		// Hold the connection open so the client failure is
+		// decode-level, not a read error.
+		var one [1]byte
+		conn.Read(one[:])
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.Stream(Columnar, "SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Next(); err == nil {
+		t.Fatal("bogus chunk accepted")
+	}
+	if _, err := c.Stream(Columnar, "SELECT 1"); err == nil ||
+		!strings.Contains(err.Error(), "desynchronized") {
+		t.Fatalf("desync not latched: %v", err)
 	}
 }

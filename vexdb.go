@@ -128,6 +128,106 @@ func (db *DB) Query(query string) (*Table, error) {
 	return res.Table, nil
 }
 
+// QueryStream executes a statement and streams its result: chunks are
+// pulled from the executor on demand, so iterating a huge result holds
+// O(chunk) memory and closing early stops the scan workers. The caller
+// must Close the returned Rows.
+func (db *DB) QueryStream(query string) (*Rows, error) {
+	rs, err := db.eng.Query(query)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{rs: rs}, nil
+}
+
+// Rows is a streaming result iterator in the style of database/sql:
+// row-at-a-time via Next/Value, or chunk-at-a-time via NextTable for
+// bulk consumers. Not safe for concurrent use.
+type Rows struct {
+	rs  *engine.ResultSet
+	ch  *vector.Chunk
+	pos int
+	err error
+}
+
+// Columns returns the result's column names (empty for row-less
+// statements).
+func (r *Rows) Columns() []string { return r.rs.Schema().Names() }
+
+// Types returns the result's column types.
+func (r *Rows) Types() []Type { return r.rs.Schema().Types() }
+
+// HasRows reports whether the statement produces result rows (even if
+// zero of them).
+func (r *Rows) HasRows() bool { return r.rs.HasRows() }
+
+// RowsAffected reports the write count of a row-less statement.
+func (r *Rows) RowsAffected() int64 { return r.rs.RowsAffected() }
+
+// Next advances to the next row, fetching the next chunk from the
+// executor when the current one is exhausted. It returns false at end
+// of result or on error; check Err afterwards.
+func (r *Rows) Next() bool {
+	if r.err != nil {
+		return false
+	}
+	for r.ch == nil || r.pos+1 >= r.ch.NumRows() {
+		ch, err := r.rs.Next()
+		if err != nil {
+			r.err = err
+			return false
+		}
+		if ch == nil {
+			return false
+		}
+		if ch.NumRows() == 0 {
+			continue
+		}
+		r.ch, r.pos = ch, -1
+	}
+	r.pos++
+	return true
+}
+
+// Value returns column i of the current row (valid after Next returned
+// true).
+func (r *Rows) Value(i int) Value { return r.ch.Col(i).Get(r.pos) }
+
+// Row returns the current row as boxed values.
+func (r *Rows) Row() []Value { return r.ch.Row(r.pos) }
+
+// NextTable returns the next unconsumed slice of the result as a named
+// table: the rest of the current chunk if Next left one partially
+// read, otherwise the next chunk. It returns nil at end of result.
+func (r *Rows) NextTable() (*Table, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	ch := r.ch
+	if ch != nil && r.pos+1 < ch.NumRows() {
+		ch = ch.Slice(r.pos+1, ch.NumRows())
+	} else {
+		var err error
+		ch, err = r.rs.Next()
+		if err != nil {
+			r.err = err
+			return nil, err
+		}
+	}
+	r.ch, r.pos = nil, 0
+	if ch == nil {
+		return nil, nil
+	}
+	return vector.NewTable(r.rs.Schema().Names(), ch.Cols())
+}
+
+// Err returns the first error encountered while iterating.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the stream, stopping any parallel workers early.
+// Always call it, including after Next returned false.
+func (r *Rows) Close() error { return r.rs.Close() }
+
 // RegisterScalar installs a vectorized scalar UDF.
 func (db *DB) RegisterScalar(f *ScalarFunc) error { return db.eng.Registry().RegisterScalar(f) }
 

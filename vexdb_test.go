@@ -297,3 +297,84 @@ func TestPredictErrors(t *testing.T) {
 		t.Error("training without a relation should fail")
 	}
 }
+
+func TestQueryStreamRows(t *testing.T) {
+	db := Open()
+	buildLabeled(t, db, "pts", 5000)
+	db.SetParallelism(4)
+
+	// Row-at-a-time iteration matches the materialized result.
+	want, err := db.Query("SELECT id, f0 FROM pts WHERE label = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.QueryStream("SELECT id, f0 FROM pts WHERE label = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if got := rows.Columns(); len(got) != 2 || got[0] != "id" || got[1] != "f0" {
+		t.Fatalf("columns = %v", got)
+	}
+	n := 0
+	for rows.Next() {
+		if rows.Value(0).Int64() != want.Cols[0].Get(n).Int64() {
+			t.Fatalf("row %d id mismatch", n)
+		}
+		n++
+	}
+	if rows.Err() != nil {
+		t.Fatal(rows.Err())
+	}
+	if n != want.NumRows() {
+		t.Fatalf("streamed %d rows, want %d", n, want.NumRows())
+	}
+
+	// Chunk-at-a-time after a partial row read returns the remainder.
+	rows2, err := db.QueryStream("SELECT id FROM pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows2.Close()
+	for i := 0; i < 3; i++ {
+		if !rows2.Next() {
+			t.Fatal("short result")
+		}
+	}
+	total := 3
+	for {
+		tab, err := rows2.NextTable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab == nil {
+			break
+		}
+		total += tab.NumRows()
+	}
+	if total != 5000 {
+		t.Fatalf("row+chunk iteration covered %d rows, want 5000", total)
+	}
+
+	// Row-less statements report RowsAffected.
+	aff, err := db.QueryStream("INSERT INTO pts VALUES (9999, 0, 0, 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aff.Close()
+	if aff.HasRows() || aff.RowsAffected() != 1 {
+		t.Fatalf("HasRows=%v affected=%d", aff.HasRows(), aff.RowsAffected())
+	}
+
+	// Early close stops the stream without error.
+	early, err := db.QueryStream("SELECT id FROM pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !early.Next() {
+		t.Fatal("no first row")
+	}
+	if err := early.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
