@@ -317,7 +317,10 @@ func (db *DB) partitionRows(tab *catalog.Table, pred sql.Expr) (*vector.Table, i
 	if err != nil {
 		return nil, 0, err
 	}
-	full := materializeTable(tab)
+	full, err := materializeTable(tab)
+	if err != nil {
+		return nil, 0, err
+	}
 	ch := full.Chunk()
 	if ch.NumRows() == 0 {
 		return full, 0, nil
@@ -358,7 +361,10 @@ func (db *DB) execUpdate(s *sql.Update) (*Result, error) {
 	binder := plan.NewBinder(db.cat, db.reg)
 	sc := newTableScope(tab)
 
-	full := materializeTable(tab)
+	full, err := materializeTable(tab)
+	if err != nil {
+		return nil, err
+	}
 	ch := full.Chunk()
 	n := ch.NumRows()
 	if n == 0 {
@@ -433,17 +439,21 @@ func (db *DB) execUpdate(s *sql.Update) (*Result, error) {
 	return &Result{RowsAffected: affected}, nil
 }
 
-func materializeTable(tab *catalog.Table) *vector.Table {
+func materializeTable(tab *catalog.Table) (*vector.Table, error) {
 	cols := make([]*vector.Vector, len(tab.Schema))
 	for i := range tab.Schema {
-		cols[i] = tab.Data.Column(i)
+		c, err := tab.Data.Column(i)
+		if err != nil {
+			return nil, fmt.Errorf("engine: table %s: %w", tab.Name, err)
+		}
+		cols[i] = c
 	}
 	out, err := vector.NewTable(tab.Schema.Names(), cols)
 	if err != nil {
 		// Columns come straight from storage; lengths always match.
 		panic(err)
 	}
-	return out
+	return out, nil
 }
 
 func newTableScope(tab *catalog.Table) *plan.TableScope {

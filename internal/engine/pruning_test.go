@@ -1,0 +1,215 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"vexdb/internal/storage"
+	"vexdb/internal/vector"
+)
+
+// loadClustered bulk-loads a table of rows sorted/clustered on id so
+// zone maps are selective: id ascending, grp clustered, val with
+// sprinkled NULLs, cat low-cardinality strings.
+func loadClustered(t *testing.T, db *DB, rows int, compress bool) {
+	t.Helper()
+	mustExec(t, db, "CREATE TABLE e (id BIGINT, grp INTEGER, val DOUBLE, cat VARCHAR)")
+	tab, err := db.cat.Table("e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Data.SetCompression(compress)
+	ids := make([]int64, rows)
+	grps := make([]int32, rows)
+	vals := vector.New(vector.Float64, rows)
+	cats := make([]string, rows)
+	for i := 0; i < rows; i++ {
+		ids[i] = int64(i)
+		grps[i] = int32(i / 1000)
+		if i%37 == 0 {
+			vals.AppendValue(vector.Null())
+		} else {
+			vals.AppendValue(vector.NewFloat64(float64(i%100) / 100))
+		}
+		cats[i] = fmt.Sprintf("cat-%d", i%7)
+	}
+	ch := vector.NewChunk(
+		vector.FromInt64s(ids), vector.FromInt32s(grps), vals, vector.FromStrings(cats))
+	if err := tab.Data.AppendChunk(ch); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pruningQueries exercises every pushed operator, flipped operands,
+// conjunctions, an unpushable <> and predicates over nullable and
+// string columns.
+var pruningQueries = []string{
+	"SELECT id, val FROM e WHERE id >= 7000",
+	"SELECT id FROM e WHERE id < 1000",
+	"SELECT count(*) AS n FROM e WHERE id = 4242",
+	"SELECT id, cat FROM e WHERE id >= 2000 AND id <= 2100",
+	"SELECT count(*) AS n FROM e WHERE cat = 'cat-3'",
+	"SELECT sum(val) AS s, count(*) AS n FROM e WHERE id > 6000",
+	"SELECT id FROM e WHERE val > 0.5 AND id < 500",
+	"SELECT count(*) AS n FROM e WHERE id <> 3",
+	"SELECT id FROM e WHERE 7777 < id",
+	"SELECT grp, count(*) AS n FROM e WHERE id >= 5000 GROUP BY grp",
+	"SELECT id FROM e WHERE id > 100000", // prunes everything
+}
+
+// Acceptance: compressed + pruned scans return row-identical results
+// to the uncompressed, unpruned path across worker counts, for both
+// materialized and streamed delivery.
+func TestPrunedCompressedMatchesUncompressed(t *testing.T) {
+	const rows = storage.SegmentRows*4 + 123
+	comp := New()
+	loadClustered(t, comp, rows, true)
+	raw := New()
+	loadClustered(t, raw, rows, false)
+
+	for _, q := range pruningQueries {
+		raw.Parallelism = 1
+		want := renderTable(t, mustQuery(t, raw, q))
+		for _, workers := range parallelWorkerCounts {
+			comp.Parallelism = workers
+
+			// Materialized delivery.
+			got := renderTable(t, mustQuery(t, comp, q))
+			compareRows(t, q, workers, "materialized", got, want)
+
+			// Streamed delivery.
+			rs, err := comp.Query(q)
+			if err != nil {
+				t.Fatalf("stream %q: %v", q, err)
+			}
+			streamed, err := rs.Materialize()
+			if err != nil {
+				t.Fatalf("stream %q: %v", q, err)
+			}
+			compareRows(t, q, workers, "streamed", renderTable(t, streamed), want)
+		}
+	}
+}
+
+func compareRows(t *testing.T, q string, workers int, mode string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s workers=%d %q: %d rows, want %d", mode, workers, q, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s workers=%d %q row %d:\n  got  %s\n  want %s", mode, workers, q, i, got[i], want[i])
+		}
+	}
+}
+
+// Selective scans must actually skip segments on the compressed
+// store, and never on the uncompressed one; the skip counters must
+// surface through the ResultSet.
+func TestPruningScanStats(t *testing.T) {
+	const rows = storage.SegmentRows * 4 // 4 sealed segments
+	for _, workers := range parallelWorkerCounts {
+		comp := New()
+		comp.Parallelism = workers
+		loadClustered(t, comp, rows, true)
+
+		rs, err := comp.Query("SELECT count(*) AS n FROM e WHERE id >= 7000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := rs.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// ids 7000..8191 live in the last segment only.
+		if n := tab.Cols[0].Get(0).Int64(); n != int64(rows-7000) {
+			t.Fatalf("workers=%d count = %d", workers, n)
+		}
+		st := rs.ScanStats()
+		if st.Skipped() != 3 || st.Scanned() != 1 {
+			t.Fatalf("workers=%d scanned=%d skipped=%d, want 1/3", workers, st.Scanned(), st.Skipped())
+		}
+
+		// Cumulative counters reach the table stats.
+		tabStats, err := func() (storage.TableStats, error) {
+			tb, err := comp.cat.Table("e")
+			if err != nil {
+				return storage.TableStats{}, err
+			}
+			return tb.Data.Stats(), nil
+		}()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tabStats.SegmentsSkipped < 3 {
+			t.Fatalf("workers=%d cumulative skipped = %d", workers, tabStats.SegmentsSkipped)
+		}
+
+		// The uncompressed reference never prunes.
+		raw := New()
+		raw.Parallelism = workers
+		loadClustered(t, raw, rows, false)
+		rrs, err := raw.Query("SELECT count(*) AS n FROM e WHERE id >= 7000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rrs.Materialize(); err != nil {
+			t.Fatal(err)
+		}
+		if rrs.ScanStats().Skipped() != 0 {
+			t.Fatalf("workers=%d uncompressed store pruned %d segments", workers, rrs.ScanStats().Skipped())
+		}
+	}
+}
+
+// Pruning must not fire for predicates zone maps cannot decide, and
+// must keep the mutable tail segment.
+func TestPruningKeepsTailAndUndecidable(t *testing.T) {
+	comp := New()
+	loadClustered(t, comp, storage.SegmentRows+10, true) // 1 sealed + tail
+	// The tail holds ids SegmentRows..SegmentRows+9.
+	rs, err := comp.Query(fmt.Sprintf("SELECT count(*) AS n FROM e WHERE id >= %d", storage.SegmentRows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := rs.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tab.Cols[0].Get(0).Int64(); n != 10 {
+		t.Fatalf("tail rows lost: count = %d", n)
+	}
+	if rs.ScanStats().Skipped() != 1 {
+		t.Fatalf("skipped = %d, want the sealed segment only", rs.ScanStats().Skipped())
+	}
+}
+
+// Persisted compressed tables reload with zone maps intact: pruning
+// keeps working after a save/load cycle without eager rehydration.
+func TestPruningSurvivesPersistence(t *testing.T) {
+	dir := t.TempDir()
+	db := New()
+	loadClustered(t, db, storage.SegmentRows*3, true)
+	if err := db.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := New()
+	if err := db2.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := db2.Query("SELECT count(*) AS n FROM e WHERE id < 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := rs.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tab.Cols[0].Get(0).Int64(); n != 100 {
+		t.Fatalf("count = %d", n)
+	}
+	if rs.ScanStats().Skipped() != 2 {
+		t.Fatalf("skipped = %d after reload, want 2", rs.ScanStats().Skipped())
+	}
+}

@@ -65,6 +65,17 @@ func (db *DB) StreamSelect(s *sql.Select) (*exec.ChunkStream, error) {
 // statements without result rows).
 func (r *ResultSet) Schema() catalog.Schema { return r.schema }
 
+// ScanStats returns the query's segment-level scan counters (segments
+// decoded vs. skipped by zone-map pruning), or nil for row-less
+// statements. The counters are live until the set is drained or
+// closed.
+func (r *ResultSet) ScanStats() *exec.ScanStats {
+	if r.stream == nil {
+		return nil
+	}
+	return r.stream.Stats()
+}
+
 // HasRows reports whether the statement produces result rows (even if
 // zero of them).
 func (r *ResultSet) HasRows() bool { return r.stream != nil }

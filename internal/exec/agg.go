@@ -14,6 +14,7 @@ import (
 type hashAggOp struct {
 	spec  *plan.Aggregate
 	child Operator
+	ctx   *Context
 	done  bool
 }
 
@@ -235,6 +236,7 @@ func (t *aggTable) emit() (*vector.Chunk, error) {
 
 func (a *hashAggOp) Open(ctx *Context) error {
 	a.done = false
+	a.ctx = ctx
 	return a.child.Open(ctx)
 }
 
@@ -247,6 +249,9 @@ func (a *hashAggOp) Next() (*vector.Chunk, error) {
 	t := newAggTable(a.spec)
 	morsel := 0
 	for {
+		if a.ctx.interrupted() {
+			return nil, ErrCancelled
+		}
 		ch, err := a.child.Next()
 		if err != nil {
 			return nil, err

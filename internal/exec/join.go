@@ -27,6 +27,7 @@ type hashJoinOp struct {
 	probePipe *pipeSpec
 	workers   int
 	drv       *orderedDriver
+	ctx       *Context
 
 	build    *vector.Chunk // materialized right input
 	buildIdx map[string][]int
@@ -37,10 +38,11 @@ type hashJoinOp struct {
 
 func (j *hashJoinOp) Open(ctx *Context) error {
 	j.done = false
+	j.ctx = ctx
 	if err := j.right.Open(ctx); err != nil {
 		return err
 	}
-	build, err := drain(j.right)
+	build, err := drain(j.right, ctx)
 	if err != nil {
 		return err
 	}
@@ -100,10 +102,13 @@ func (j *hashJoinOp) openProbe(ctx *Context) error {
 	if j.probePipe == nil {
 		return j.left.Open(ctx)
 	}
-	n := j.probePipe.src.open()
+	n := j.probePipe.src.open(ctx)
 	scratch := make([]pipeScratch, j.workers)
 	j.drv = startOrdered(n, j.workers, ctx.done(), func(w, i int) (*vector.Chunk, error) {
-		ch, err := j.probePipe.apply(j.probePipe.src.fetch(i), &scratch[w])
+		ch, err := j.probePipe.src.fetch(i)
+		if err == nil {
+			ch, err = j.probePipe.apply(ch, &scratch[w])
+		}
 		if err != nil || ch == nil {
 			return nil, err
 		}
@@ -131,6 +136,11 @@ func (j *hashJoinOp) Next() (*vector.Chunk, error) {
 		return j.drv.next()
 	}
 	for {
+		// A probe chunk whose every row misses produces no output;
+		// observe cancellation between input chunks.
+		if j.ctx.interrupted() {
+			return nil, ErrCancelled
+		}
 		ch, err := j.left.Next()
 		if err != nil {
 			return nil, err
@@ -301,6 +311,9 @@ func concatChunks(a, b *vector.Chunk) *vector.Chunk {
 
 func (j *hashJoinOp) Close() error {
 	j.drv.abort()
+	if j.probePipe != nil {
+		j.probePipe.src.finish()
+	}
 	var lerr error
 	if j.left != nil {
 		lerr = j.left.Close()

@@ -5,7 +5,6 @@ import (
 	"runtime"
 	"sort"
 
-	"vexdb/internal/catalog"
 	"vexdb/internal/plan"
 	"vexdb/internal/vector"
 )
@@ -25,9 +24,15 @@ type Context struct {
 	Parallelism int
 
 	// Done, when non-nil, cancels the query when closed: parallel
-	// operators stop claiming morsels and ChunkStream.Next returns
+	// operators stop claiming morsels, serial drain loops return
+	// ErrCancelled between chunks, and ChunkStream.Next returns
 	// ErrCancelled. Stream installs its own channel here when unset.
 	Done <-chan struct{}
+
+	// Stats, when non-nil, accumulates this query's segment-level
+	// scan counters (scanned vs. skipped by zone-map pruning).
+	// Stream installs one when unset.
+	Stats *ScanStats
 }
 
 // Workers returns the effective parallelism.
@@ -79,7 +84,7 @@ func buildWith(node plan.Node, workers int) (Operator, error) {
 	}
 	switch n := node.(type) {
 	case *plan.Scan:
-		return &scanOp{table: n.Table, projection: n.Projection}, nil
+		return &scanOp{table: n.Table, projection: n.Projection, preds: n.Preds}, nil
 	case *plan.Material:
 		return &materialOp{data: n.Data}, nil
 	case *plan.TableFuncScan:
@@ -197,27 +202,6 @@ func errColumnCast(name string, err error) error {
 	return fmt.Errorf("exec: result column %q: %w", name, err)
 }
 
-// ----------------------------------------------------------------- scan
-
-type scanOp struct {
-	table      *catalog.Table
-	projection []int
-	seg        int
-}
-
-func (s *scanOp) Open(*Context) error { s.seg = 0; return nil }
-
-func (s *scanOp) Next() (*vector.Chunk, error) {
-	if s.seg >= s.table.Data.NumSegments() {
-		return nil, nil
-	}
-	ch := s.table.Data.Segment(s.seg, s.projection)
-	s.seg++
-	return ch, nil
-}
-
-func (s *scanOp) Close() error { return nil }
-
 // ----------------------------------------------------------------- material
 
 type materialOp struct {
@@ -248,13 +232,22 @@ func (m *materialOp) Close() error { return nil }
 type filterOp struct {
 	pred  plan.Expr
 	child Operator
+	ctx   *Context
 	sel   []int // selection buffer reused across chunks
 }
 
-func (f *filterOp) Open(ctx *Context) error { return f.child.Open(ctx) }
+func (f *filterOp) Open(ctx *Context) error {
+	f.ctx = ctx
+	return f.child.Open(ctx)
+}
 
 func (f *filterOp) Next() (*vector.Chunk, error) {
 	for {
+		// A highly selective filter can spin through many input chunks
+		// before emitting one; observe cancellation between chunks.
+		if f.ctx.interrupted() {
+			return nil, ErrCancelled
+		}
 		ch, err := f.child.Next()
 		if err != nil || ch == nil {
 			return ch, err
@@ -386,10 +379,16 @@ func exprsHaveUDF(exprs []plan.Expr) bool {
 	return false
 }
 
-// drain materializes an operator's full output as one chunk.
-func drain(op Operator) (*vector.Chunk, error) {
+// drain materializes an operator's full output as one chunk,
+// observing the context's cancellation between chunks so a long
+// blocking drain (sort, join build, UDF projection) stops promptly
+// instead of at its next operator boundary.
+func drain(op Operator, ctx *Context) (*vector.Chunk, error) {
 	var acc []*vector.Vector
 	for {
+		if ctx.interrupted() {
+			return nil, ErrCancelled
+		}
 		ch, err := op.Next()
 		if err != nil {
 			return nil, err
@@ -435,7 +434,7 @@ func (p *udfProjectOp) Next() (*vector.Chunk, error) {
 		return nil, nil
 	}
 	p.done = true
-	in, err := drain(p.child)
+	in, err := drain(p.child, p.ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -522,12 +521,14 @@ func (l *limitOp) Close() error { return l.child.Close() }
 type sortOp struct {
 	keys  []plan.SortKey
 	child Operator
+	ctx   *Context
 	out   *vector.Chunk
 	done  bool
 }
 
 func (s *sortOp) Open(ctx *Context) error {
 	s.out, s.done = nil, false
+	s.ctx = ctx
 	return s.child.Open(ctx)
 }
 
@@ -536,7 +537,7 @@ func (s *sortOp) Next() (*vector.Chunk, error) {
 		return nil, nil
 	}
 	s.done = true
-	in, err := drain(s.child)
+	in, err := drain(s.child, s.ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -600,17 +601,22 @@ func (s *sortOp) Close() error { return s.child.Close() }
 
 type distinctOp struct {
 	child Operator
+	ctx   *Context
 	gi    *groupIndex
 	sel   []int // selection buffer reused across chunks
 }
 
 func (d *distinctOp) Open(ctx *Context) error {
 	d.gi = nil
+	d.ctx = ctx
 	return d.child.Open(ctx)
 }
 
 func (d *distinctOp) Next() (*vector.Chunk, error) {
 	for {
+		if d.ctx.interrupted() {
+			return nil, ErrCancelled
+		}
 		ch, err := d.child.Next()
 		if err != nil || ch == nil {
 			return ch, err

@@ -23,27 +23,56 @@ import (
 
 // morselSource yields the input of a parallel pipeline as independently
 // fetchable morsels. open snapshots the input and returns the morsel
-// count; fetch must be safe for concurrent use.
+// count; fetch must be safe for concurrent use and may return
+// (nil, nil) for a morsel eliminated before decode (zone-map
+// pruning). finish flushes per-scan accounting once the morsels are
+// drained or abandoned.
 type morselSource interface {
-	open() int
-	fetch(i int) *vector.Chunk
+	open(ctx *Context) int
+	fetch(i int) (*vector.Chunk, error)
+	finish()
 }
 
 // scanSource reads one storage segment per morsel (zero-copy for
-// sealed segments).
+// sealed raw columns; compressed columns decode in the worker, which
+// overlaps decode with compute across the pool). Segments whose zone
+// maps refute the pushed-down predicates are skipped before decode.
 type scanSource struct {
 	table      *catalog.Table
 	projection []int
+	preds      []plan.ScanPredicate
+	stats      *ScanStats
 	n          int
+
+	scanned, skipped atomic.Int64
+	finishOnce       sync.Once
 }
 
-func (s *scanSource) open() int {
+func (s *scanSource) open(ctx *Context) int {
 	s.n = s.table.Data.NumSegments()
+	s.stats = ctx.stats()
 	return s.n
 }
 
-func (s *scanSource) fetch(i int) *vector.Chunk {
-	return s.table.Data.Segment(i, s.projection)
+func (s *scanSource) fetch(i int) (*vector.Chunk, error) {
+	if len(s.preds) > 0 && segmentPrunable(s.table.Data.Zones(i), s.preds) {
+		s.skipped.Add(1)
+		s.stats.addSkipped(1)
+		return nil, nil
+	}
+	ch, err := s.table.Data.Segment(i, s.projection)
+	if err != nil {
+		return nil, err
+	}
+	s.scanned.Add(1)
+	s.stats.addScanned(1)
+	return ch, nil
+}
+
+func (s *scanSource) finish() {
+	s.finishOnce.Do(func() {
+		s.table.Data.NoteScan(s.scanned.Load(), s.skipped.Load())
+	})
 }
 
 // materialSource slices a materialized table into chunk-sized morsels.
@@ -52,19 +81,21 @@ type materialSource struct {
 	n    int
 }
 
-func (m *materialSource) open() int {
+func (m *materialSource) open(*Context) int {
 	m.n = (m.data.NumRows() + vector.DefaultChunkSize - 1) / vector.DefaultChunkSize
 	return m.n
 }
 
-func (m *materialSource) fetch(i int) *vector.Chunk {
+func (m *materialSource) fetch(i int) (*vector.Chunk, error) {
 	from := i * vector.DefaultChunkSize
 	to := from + vector.DefaultChunkSize
 	if n := m.data.NumRows(); to > n {
 		to = n
 	}
-	return m.data.Chunk().Slice(from, to)
+	return m.data.Chunk().Slice(from, to), nil
 }
+
+func (m *materialSource) finish() {}
 
 // ------------------------------------------------------- pipeline spec
 
@@ -93,7 +124,7 @@ type pipeScratch struct {
 func extractPipe(node plan.Node) *pipeSpec {
 	switch n := node.(type) {
 	case *plan.Scan:
-		return &pipeSpec{src: &scanSource{table: n.Table, projection: n.Projection}}
+		return &pipeSpec{src: &scanSource{table: n.Table, projection: n.Projection, preds: n.Preds}}
 	case *plan.Material:
 		return &pipeSpec{src: &materialSource{data: n.Data}}
 	case *plan.Filter:
@@ -121,8 +152,12 @@ func extractPipe(node plan.Node) *pipeSpec {
 }
 
 // apply runs the pipeline stages over one morsel. It returns nil when
-// the filter eliminates every row.
+// the morsel was pruned before decode or the filter eliminates every
+// row.
 func (p *pipeSpec) apply(ch *vector.Chunk, sc *pipeScratch) (*vector.Chunk, error) {
+	if ch == nil {
+		return nil, nil
+	}
 	for _, st := range p.stages {
 		if st.pred != nil {
 			out, err := filterChunk(st.pred, ch, &sc.sel)
@@ -297,10 +332,14 @@ type parallelPipeOp struct {
 }
 
 func (p *parallelPipeOp) Open(ctx *Context) error {
-	n := p.pipe.src.open()
+	n := p.pipe.src.open(ctx)
 	scratch := make([]pipeScratch, p.workers)
 	p.drv = startOrdered(n, p.workers, ctx.done(), func(w, i int) (*vector.Chunk, error) {
-		return p.pipe.apply(p.pipe.src.fetch(i), &scratch[w])
+		ch, err := p.pipe.src.fetch(i)
+		if err != nil {
+			return nil, err
+		}
+		return p.pipe.apply(ch, &scratch[w])
 	})
 	return nil
 }
@@ -309,6 +348,7 @@ func (p *parallelPipeOp) Next() (*vector.Chunk, error) { return p.drv.next() }
 
 func (p *parallelPipeOp) Close() error {
 	p.drv.abort()
+	p.pipe.src.finish()
 	return nil
 }
 
@@ -337,7 +377,7 @@ func (a *parallelAggOp) Next() (*vector.Chunk, error) {
 	}
 	a.done = true
 
-	n := a.pipe.src.open()
+	n := a.pipe.src.open(a.ctx)
 	workers := a.workers
 	if workers > n {
 		workers = n
@@ -362,7 +402,10 @@ func (a *parallelAggOp) Next() (*vector.Chunk, error) {
 				if i >= n || stop.Load() || a.ctx.interrupted() {
 					return
 				}
-				ch, err := a.pipe.apply(a.pipe.src.fetch(i), &sc)
+				ch, err := a.pipe.src.fetch(i)
+				if err == nil {
+					ch, err = a.pipe.apply(ch, &sc)
+				}
 				if err != nil {
 					errs[w] = err
 					stop.Store(true)
@@ -380,6 +423,7 @@ func (a *parallelAggOp) Next() (*vector.Chunk, error) {
 		}(w)
 	}
 	wg.Wait()
+	a.pipe.src.finish()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

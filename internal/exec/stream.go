@@ -26,6 +26,7 @@ var ErrCancelled = errors.New("exec: query cancelled")
 type ChunkStream struct {
 	op     Operator
 	schema catalog.Schema
+	stats  *ScanStats
 
 	cancel     chan struct{}   // closed by Cancel/Close
 	ext        <-chan struct{} // the caller's Context.Done, if any
@@ -65,6 +66,9 @@ func Stream(node plan.Node, ctx *Context) (*ChunkStream, error) {
 	}
 	c2 := *ctx
 	c2.Done = eff
+	if c2.Stats == nil {
+		c2.Stats = &ScanStats{}
+	}
 	ctx = &c2
 	op, err := buildWith(node, ctx.Workers())
 	if err != nil {
@@ -77,11 +81,16 @@ func Stream(node plan.Node, ctx *Context) (*ChunkStream, error) {
 		op.Close()
 		return nil, err
 	}
-	return &ChunkStream{op: op, schema: node.Schema(), cancel: cancel, ext: ext, eff: eff}, nil
+	return &ChunkStream{op: op, schema: node.Schema(), stats: ctx.Stats, cancel: cancel, ext: ext, eff: eff}, nil
 }
 
 // Schema returns the stream's column names and types.
 func (s *ChunkStream) Schema() catalog.Schema { return s.schema }
+
+// Stats returns the query's scan counters (segments scanned vs.
+// skipped by zone-map pruning). The counters are live: they keep
+// growing until the stream is drained or closed.
+func (s *ChunkStream) Stats() *ScanStats { return s.stats }
 
 // Next returns the next result chunk with columns cast to the declared
 // schema, or (nil, nil) when the stream is exhausted. After an error

@@ -80,9 +80,9 @@ type countingSource struct {
 	delay   time.Duration
 }
 
-func (c *countingSource) open() int { return (c.rows + c.perMors - 1) / c.perMors }
+func (c *countingSource) open(*Context) int { return (c.rows + c.perMors - 1) / c.perMors }
 
-func (c *countingSource) fetch(i int) *vector.Chunk {
+func (c *countingSource) fetch(i int) (*vector.Chunk, error) {
 	c.fetches.Add(1)
 	if c.delay > 0 {
 		time.Sleep(c.delay)
@@ -96,8 +96,10 @@ func (c *countingSource) fetch(i int) *vector.Chunk {
 	for j := range vals {
 		vals[j] = int64(from + j)
 	}
-	return vector.NewChunk(vector.FromInt64s(vals))
+	return vector.NewChunk(vector.FromInt64s(vals)), nil
 }
+
+func (c *countingSource) finish() {}
 
 // Abandoning a stream early (client disconnect) must stop workers with
 // bounded extra fetches: at most consumed + run-ahead window + one
@@ -154,7 +156,7 @@ func TestChunkStreamCancelUnblocksNext(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if got, total := src.fetches.Load(), int64(src.open()); got >= total {
+	if got, total := src.fetches.Load(), int64(src.open(nil)); got >= total {
 		t.Fatalf("all %d morsels fetched despite cancel", total)
 	}
 }

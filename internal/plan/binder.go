@@ -75,6 +75,11 @@ func (b *Binder) BindSelect(sel *sql.Select) (Node, error) {
 		if err != nil {
 			return nil, fmt.Errorf("in WHERE: %w", err)
 		}
+		// Single-table scans get the scan-eligible conjuncts pushed
+		// down for zone-map pruning; the filter itself is untouched.
+		if scan, ok := node.(*Scan); ok {
+			scan.Preds = extractScanPreds(pred, nil)
+		}
 		node = &Filter{Pred: pred, Child: node}
 	}
 
@@ -518,4 +523,70 @@ func literalType(v vector.Value) vector.Type {
 		return vector.Invalid
 	}
 	return v.Type()
+}
+
+// extractScanPreds collects WHERE conjuncts of the form
+// `col <cmp> const` (or the flipped `const <cmp> col`) that a scan
+// can evaluate against segment zone maps. Disjunctions, NULL
+// constants, incomparable type pairs and <> are all left to the
+// row-level filter: <> is excluded because a Float64 NaN row
+// satisfies it while being invisible to min/max statistics.
+func extractScanPreds(e Expr, out []ScanPredicate) []ScanPredicate {
+	b, ok := e.(*BinOp)
+	if !ok {
+		return out
+	}
+	if b.Op == sql.OpAnd {
+		return extractScanPreds(b.Right, extractScanPreds(b.Left, out))
+	}
+	switch b.Op {
+	case sql.OpEq, sql.OpLt, sql.OpLe, sql.OpGt, sql.OpGe:
+	default:
+		return out
+	}
+	if col, ok := b.Left.(*ColRef); ok {
+		if c, ok := b.Right.(*Const); ok {
+			if p, ok := makeScanPred(col, b.Op, c); ok {
+				return append(out, p)
+			}
+		}
+		return out
+	}
+	if c, ok := b.Left.(*Const); ok {
+		if col, ok := b.Right.(*ColRef); ok {
+			if p, ok := makeScanPred(col, flipCompare(b.Op), c); ok {
+				return append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// flipCompare mirrors a comparison for swapped operands
+// (const <op> col  ==  col <flipped op> const).
+func flipCompare(op sql.BinaryOp) sql.BinaryOp {
+	switch op {
+	case sql.OpLt:
+		return sql.OpGt
+	case sql.OpLe:
+		return sql.OpGe
+	case sql.OpGt:
+		return sql.OpLt
+	case sql.OpGe:
+		return sql.OpLe
+	}
+	return op
+}
+
+func makeScanPred(col *ColRef, op sql.BinaryOp, c *Const) (ScanPredicate, bool) {
+	v := c.Val
+	if v.IsNull() {
+		return ScanPredicate{}, false
+	}
+	ct, vt := col.Typ, v.Type()
+	comparable := (ct.IsNumeric() && vt.IsNumeric()) || (ct == vt && ct != vector.Blob)
+	if !comparable {
+		return ScanPredicate{}, false
+	}
+	return ScanPredicate{Col: col.Idx, Op: op, Val: v}, true
 }

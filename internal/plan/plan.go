@@ -13,12 +13,27 @@ type Node interface {
 	Schema() catalog.Schema
 }
 
+// ScanPredicate is one scan-eligible WHERE conjunct of the form
+// `column <op> constant`, pushed down to the scan for zone-map
+// pruning. Col is the table-schema position (not the projected
+// position), so it stays valid across column pruning. The predicate
+// is advisory: the full WHERE filter still runs over every surviving
+// chunk, so pruning may only skip segments whose zone maps prove no
+// row can match — it never substitutes for row-level evaluation.
+type ScanPredicate struct {
+	Col int
+	Op  sql.BinaryOp // OpEq, OpLt, OpLe, OpGt or OpGe
+	Val vector.Value // non-NULL constant
+}
+
 // Scan reads a base table. Projection (set by Prune) restricts the
 // produced columns to the listed table-schema positions; nil produces
-// every column.
+// every column. Preds (set by the binder) are pushed-down predicates
+// the scan may use to skip whole segments.
 type Scan struct {
 	Table      *catalog.Table
 	Projection []int
+	Preds      []ScanPredicate
 }
 
 // Schema implements Node.

@@ -1,0 +1,139 @@
+package plan
+
+import (
+	"testing"
+
+	"vexdb/internal/sql"
+	"vexdb/internal/vector"
+)
+
+// findScan walks a bound plan down to its base-table scan.
+func findScan(t *testing.T, n Node) *Scan {
+	t.Helper()
+	for {
+		switch x := n.(type) {
+		case *Scan:
+			return x
+		case *Filter:
+			n = x.Child
+		case *Project:
+			n = x.Child
+		case *Aggregate:
+			n = x.Child
+		case *Sort:
+			n = x.Child
+		case *Limit:
+			n = x.Child
+		case *Distinct:
+			n = x.Child
+		default:
+			t.Fatalf("no scan under %T", n)
+		}
+	}
+}
+
+func TestScanPredicatePushdown(t *testing.T) {
+	cat := testCatalog(t)
+	cases := []struct {
+		query string
+		want  []ScanPredicate
+	}{
+		{
+			"SELECT a FROM wide WHERE a > 5",
+			[]ScanPredicate{{Col: 0, Op: sql.OpGt, Val: vector.NewInt64(5)}},
+		},
+		{
+			// Flipped operand: 10 >= d means d <= 10.
+			"SELECT a FROM wide WHERE 10 >= d",
+			[]ScanPredicate{{Col: 3, Op: sql.OpLe, Val: vector.NewInt64(10)}},
+		},
+		{
+			// Conjunction splits; non-eligible disjunct side drops all.
+			"SELECT a FROM wide WHERE a >= 1 AND c = 'x' AND b < 2.5",
+			[]ScanPredicate{
+				{Col: 0, Op: sql.OpGe, Val: vector.NewInt64(1)},
+				{Col: 2, Op: sql.OpEq, Val: vector.NewString("x")},
+				{Col: 1, Op: sql.OpLt, Val: vector.NewFloat64(2.5)},
+			},
+		},
+		{"SELECT a FROM wide WHERE a > 5 OR d > 5", nil}, // disjunction
+		{"SELECT a FROM wide WHERE a <> 5", nil},         // <> excluded (NaN)
+		{"SELECT a FROM wide WHERE a + 1 > 5", nil},      // not col-vs-const
+		{"SELECT a FROM wide WHERE a > d", nil},          // col-vs-col
+		{"SELECT a FROM wide WHERE a = NULL", nil},       // NULL constant
+		{"SELECT a FROM wide WHERE c > 'm' AND a < 9", []ScanPredicate{ // string compare pushes
+			{Col: 2, Op: sql.OpGt, Val: vector.NewString("m")},
+			{Col: 0, Op: sql.OpLt, Val: vector.NewInt64(9)},
+		}},
+	}
+	for _, c := range cases {
+		scan := findScan(t, bind(t, cat, c.query))
+		if len(scan.Preds) != len(c.want) {
+			t.Errorf("%q: %d preds, want %d (%+v)", c.query, len(scan.Preds), len(c.want), scan.Preds)
+			continue
+		}
+		for i, p := range scan.Preds {
+			w := c.want[i]
+			if p.Col != w.Col || p.Op != w.Op || !p.Val.Equal(w.Val) {
+				t.Errorf("%q pred %d: got %+v want %+v", c.query, i, p, w)
+			}
+		}
+	}
+}
+
+// Pushed predicates must survive column pruning, including when the
+// predicate column itself is pruned from the projection.
+func TestScanPredicatesSurvivePrune(t *testing.T) {
+	cat := testCatalog(t)
+	node := bind(t, cat, "SELECT b FROM wide WHERE a > 5")
+	pruned := Prune(node)
+	scan := findScan(t, pruned)
+	if scan.Projection == nil {
+		t.Fatal("prune did not project")
+	}
+	if len(scan.Preds) != 1 || scan.Preds[0].Col != 0 {
+		t.Fatalf("preds lost in prune: %+v", scan.Preds)
+	}
+	// Col is a table position: column a (0) is not in the projection
+	// (only a and b are scanned: a for the filter, b for the output).
+	found := false
+	for _, p := range scan.Projection {
+		if p == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("filter column not scanned")
+	}
+}
+
+// Joins must not receive pushdowns (the filter runs over the combined
+// schema, whose positions are not table positions).
+func TestNoPushdownThroughJoin(t *testing.T) {
+	cat := testCatalog(t)
+	node := bind(t, cat, "SELECT wide.a FROM wide JOIN dim ON wide.a = dim.k WHERE wide.a > 5")
+	var scans []*Scan
+	var walk func(Node)
+	walk = func(n Node) {
+		switch x := n.(type) {
+		case *Scan:
+			scans = append(scans, x)
+		case *Filter:
+			walk(x.Child)
+		case *Project:
+			walk(x.Child)
+		case *HashJoin:
+			walk(x.Left)
+			walk(x.Right)
+		}
+	}
+	walk(node)
+	if len(scans) != 2 {
+		t.Fatalf("found %d scans", len(scans))
+	}
+	for _, s := range scans {
+		if len(s.Preds) != 0 {
+			t.Fatalf("join-side scan got pushdown: %+v", s.Preds)
+		}
+	}
+}

@@ -12,36 +12,93 @@ import (
 	"vexdb/internal/vector"
 )
 
-// On-disk table format (all integers little-endian):
+// On-disk table format, version 2 (all integers little-endian):
 //
-//	magic   [8]byte  "VXTB0001"
+//	magic   [8]byte  "VXTB0002"
 //	ncols   uint32
 //	nrows   uint64
 //	per column: nameLen uint16, name bytes, type uint8
-//	per column block:
-//	  payloadLen uint64, payload bytes, crc32(payload) uint32
+//	nsegs   uint32
+//	per segment:
+//	  rows uint32 (1..SegmentRows)
+//	  per column block:
+//	    enc uint8 (raw / rle / for / dict)
+//	    zoneFlags uint8 (bit0: min/max present)
+//	    nullCount uint32
+//	    [min value, max value]  (type uint8 + typed payload)
+//	    payloadLen uint64, payload bytes, crc32(payload) uint32
 //
-// Fixed-width payloads are the raw values; Bool additionally packs the
-// null mask after the data. Variable-width payloads are
-// length-prefixed entries (uint32 length, 0xFFFFFFFF marks NULL).
-var tableMagic = [8]byte{'V', 'X', 'T', 'B', '0', '0', '0', '1'}
+// Segments are stored in their sealed (possibly compressed) form and
+// stay encoded after loading: LoadTableFile attaches the payload
+// bytes and zone maps directly, and columns decode lazily when first
+// scanned. Version 1 files ("VXTB0001", one raw payload per column,
+// no segments or zone maps) are still read; writes always produce
+// version 2. Any other version is rejected.
+var (
+	tableMagicV1 = [8]byte{'V', 'X', 'T', 'B', '0', '0', '0', '1'}
+	tableMagicV2 = [8]byte{'V', 'X', 'T', 'B', '0', '0', '0', '2'}
+)
 
 const nullMarker = uint32(0xFFFFFFFF)
 
-// WriteTable writes names, types and full column data to w.
+// sealedView returns every non-empty segment in sealed form for
+// persistence: sealed segments as-is, the mutable tail sealed into a
+// temporary view with its payload fixed while the lock is held (the
+// store itself is not modified).
+func (s *ColumnStore) sealedView() (segRows []int, segCols [][]*SealedColumn, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, seg := range s.segs {
+		if seg.sealed != nil {
+			segRows = append(segRows, seg.rows)
+			segCols = append(segCols, seg.sealed)
+			continue
+		}
+		if seg.rows == 0 {
+			continue
+		}
+		tmp := make([]*SealedColumn, len(seg.cols))
+		for i, c := range seg.cols {
+			sc := sealColumn(c, s.compress)
+			if sc.payload == nil {
+				// Detach from the live tail vector: appends after this
+				// snapshot must not affect the written payload.
+				sc.payload, err = encodeColumn(c)
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			tmp[i] = sc
+		}
+		segRows = append(segRows, seg.rows)
+		segCols = append(segCols, tmp)
+	}
+	return segRows, segCols, nil
+}
+
+// WriteTable writes names, types, zone maps and the sealed (possibly
+// compressed) column payloads of every segment to w.
 func WriteTable(w io.Writer, names []string, store *ColumnStore) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.Write(tableMagic[:]); err != nil {
+	if _, err := bw.Write(tableMagicV2[:]); err != nil {
 		return err
 	}
 	types := store.Types()
 	if len(names) != len(types) {
 		return fmt.Errorf("storage: %d names for %d columns", len(names), len(types))
 	}
+	segRows, segCols, err := store.sealedView()
+	if err != nil {
+		return err
+	}
+	var nrows uint64
+	for _, r := range segRows {
+		nrows += uint64(r)
+	}
 	if err := binary.Write(bw, binary.LittleEndian, uint32(len(types))); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint64(store.NumRows())); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, nrows); err != nil {
 		return err
 	}
 	for i, name := range names {
@@ -55,63 +112,286 @@ func WriteTable(w io.Writer, names []string, store *ColumnStore) error {
 			return err
 		}
 	}
-	for c := range types {
-		col := store.Column(c)
-		payload, err := encodeColumn(col)
-		if err != nil {
-			return fmt.Errorf("storage: column %q: %w", names[c], err)
-		}
-		if err := binary.Write(bw, binary.LittleEndian, uint64(len(payload))); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(segRows))); err != nil {
+		return err
+	}
+	for si, cols := range segCols {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(segRows[si])); err != nil {
 			return err
 		}
-		if _, err := bw.Write(payload); err != nil {
-			return err
-		}
-		if err := binary.Write(bw, binary.LittleEndian, crc32.ChecksumIEEE(payload)); err != nil {
-			return err
+		for c, sc := range cols {
+			if err := bw.WriteByte(byte(sc.Enc)); err != nil {
+				return err
+			}
+			var flags byte
+			if sc.Zone.HasMinMax() {
+				flags |= 1
+			}
+			if err := bw.WriteByte(flags); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, uint32(sc.Zone.NullCount)); err != nil {
+				return err
+			}
+			if flags&1 != 0 {
+				if err := writeZoneValue(bw, sc.Zone.Min); err != nil {
+					return err
+				}
+				if err := writeZoneValue(bw, sc.Zone.Max); err != nil {
+					return err
+				}
+			}
+			payload, err := sc.diskPayload()
+			if err != nil {
+				return fmt.Errorf("storage: column %q: %w", names[c], err)
+			}
+			if err := binary.Write(bw, binary.LittleEndian, uint64(len(payload))); err != nil {
+				return err
+			}
+			if _, err := bw.Write(payload); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, crc32.ChecksumIEEE(payload)); err != nil {
+				return err
+			}
 		}
 	}
 	return bw.Flush()
 }
 
-// ReadTable reads a table written by WriteTable.
+// writeZoneValue serializes a zone-map boundary as a type byte plus a
+// typed payload.
+func writeZoneValue(bw *bufio.Writer, v vector.Value) error {
+	if err := bw.WriteByte(byte(v.Type())); err != nil {
+		return err
+	}
+	switch v.Type() {
+	case vector.Bool:
+		b := byte(0)
+		if v.Bool() {
+			b = 1
+		}
+		return bw.WriteByte(b)
+	case vector.Int32:
+		return binary.Write(bw, binary.LittleEndian, uint32(v.Int64()))
+	case vector.Int64:
+		return binary.Write(bw, binary.LittleEndian, uint64(v.Int64()))
+	case vector.Float64:
+		return binary.Write(bw, binary.LittleEndian, math.Float64bits(v.Float64()))
+	case vector.String:
+		s := v.Str()
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	return fmt.Errorf("storage: zone value of type %s not serializable", v.Type())
+}
+
+func readZoneValue(br *bufio.Reader) (vector.Value, error) {
+	tb, err := br.ReadByte()
+	if err != nil {
+		return vector.Null(), err
+	}
+	switch vector.Type(tb) {
+	case vector.Bool:
+		b, err := br.ReadByte()
+		if err != nil {
+			return vector.Null(), err
+		}
+		return vector.NewBool(b != 0), nil
+	case vector.Int32:
+		var x uint32
+		if err := binary.Read(br, binary.LittleEndian, &x); err != nil {
+			return vector.Null(), err
+		}
+		return vector.NewInt32(int32(x)), nil
+	case vector.Int64:
+		var x uint64
+		if err := binary.Read(br, binary.LittleEndian, &x); err != nil {
+			return vector.Null(), err
+		}
+		return vector.NewInt64(int64(x)), nil
+	case vector.Float64:
+		var x uint64
+		if err := binary.Read(br, binary.LittleEndian, &x); err != nil {
+			return vector.Null(), err
+		}
+		return vector.NewFloat64(math.Float64frombits(x)), nil
+	case vector.String:
+		var l uint32
+		if err := binary.Read(br, binary.LittleEndian, &l); err != nil {
+			return vector.Null(), err
+		}
+		if l > 1<<20 {
+			return vector.Null(), fmt.Errorf("storage: zone string %d bytes implausible", l)
+		}
+		b := make([]byte, l)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return vector.Null(), err
+		}
+		return vector.NewString(string(b)), nil
+	}
+	return vector.Null(), fmt.Errorf("storage: zone value type %d invalid", tb)
+}
+
+// ReadTable reads a table written by WriteTable (version 2) or by the
+// version 1 writer. Unknown versions are rejected.
 func ReadTable(r io.Reader) (names []string, store *ColumnStore, err error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, nil, fmt.Errorf("storage: read magic: %w", err)
 	}
-	if magic != tableMagic {
-		return nil, nil, fmt.Errorf("storage: bad magic %q", magic[:])
+	switch magic {
+	case tableMagicV2:
+		return readTableV2(br)
+	case tableMagicV1:
+		return readTableV1(br)
 	}
+	return nil, nil, fmt.Errorf("storage: bad magic %q (unsupported table file version)", magic[:])
+}
+
+// readHeader reads the shared column-meta header of both versions.
+func readHeader(br *bufio.Reader) (names []string, types []vector.Type, nrows uint64, err error) {
 	var ncols uint32
 	if err := binary.Read(br, binary.LittleEndian, &ncols); err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
-	var nrows uint64
 	if err := binary.Read(br, binary.LittleEndian, &nrows); err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
-	types := make([]vector.Type, ncols)
+	types = make([]vector.Type, ncols)
 	names = make([]string, ncols)
 	for i := range names {
 		var nameLen uint16
 		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		nb := make([]byte, nameLen)
 		if _, err := io.ReadFull(br, nb); err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		names[i] = string(nb)
 		tb, err := br.ReadByte()
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		types[i] = vector.Type(tb)
 	}
+	return names, types, nrows, nil
+}
+
+func readTableV2(br *bufio.Reader) (names []string, store *ColumnStore, err error) {
+	names, types, nrows, err := readHeader(br)
+	if err != nil {
+		return nil, nil, err
+	}
 	store = NewColumnStore(types)
-	cols := make([]*vector.Vector, ncols)
+	var nsegs uint32
+	if err := binary.Read(br, binary.LittleEndian, &nsegs); err != nil {
+		return nil, nil, err
+	}
+	var total uint64
+	for si := uint32(0); si < nsegs; si++ {
+		var rows uint32
+		if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+			return nil, nil, err
+		}
+		if rows == 0 || rows > SegmentRows {
+			return nil, nil, fmt.Errorf("storage: segment %d has %d rows (max %d)", si, rows, SegmentRows)
+		}
+		cols := make([]*SealedColumn, len(types))
+		for c := range types {
+			eb, err := br.ReadByte()
+			if err != nil {
+				return nil, nil, err
+			}
+			enc := Encoding(eb)
+			if !validEncoding(enc) {
+				return nil, nil, fmt.Errorf("storage: column %q: unknown encoding %d", names[c], eb)
+			}
+			if err := encodingValidForType(enc, types[c]); err != nil {
+				return nil, nil, fmt.Errorf("storage: column %q: %w", names[c], err)
+			}
+			flags, err := br.ReadByte()
+			if err != nil {
+				return nil, nil, err
+			}
+			var nullCount uint32
+			if err := binary.Read(br, binary.LittleEndian, &nullCount); err != nil {
+				return nil, nil, err
+			}
+			zone := ZoneMap{NullCount: int(nullCount), Rows: int(rows)}
+			if flags&1 != 0 {
+				if zone.Min, err = readZoneValue(br); err != nil {
+					return nil, nil, err
+				}
+				if zone.Max, err = readZoneValue(br); err != nil {
+					return nil, nil, err
+				}
+				// The writer always emits bounds of the column's own
+				// type; a mismatch is corruption and must fail here —
+				// at scan time a wrongly-typed bound could silently
+				// over-prune instead of erroring.
+				if zone.Min.Type() != types[c] || zone.Max.Type() != types[c] {
+					return nil, nil, fmt.Errorf("storage: column %q: zone bounds typed %s/%s for %s column",
+						names[c], zone.Min.Type(), zone.Max.Type(), types[c])
+				}
+			}
+			var plen uint64
+			if err := binary.Read(br, binary.LittleEndian, &plen); err != nil {
+				return nil, nil, err
+			}
+			payload := make([]byte, plen)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				return nil, nil, err
+			}
+			var sum uint32
+			if err := binary.Read(br, binary.LittleEndian, &sum); err != nil {
+				return nil, nil, err
+			}
+			if crc32.ChecksumIEEE(payload) != sum {
+				return nil, nil, fmt.Errorf("storage: column %q: checksum mismatch", names[c])
+			}
+			cols[c] = loadedColumn(enc, types[c], int(rows), zone, payload)
+		}
+		store.attachSealedSegment(int(rows), cols)
+		total += uint64(rows)
+	}
+	if total != nrows {
+		return nil, nil, fmt.Errorf("storage: segments hold %d rows, header says %d", total, nrows)
+	}
+	return names, store, nil
+}
+
+// encodingValidForType rejects encoding/type pairs the encoder never
+// produces, so corrupt files fail at load instead of scan time.
+func encodingValidForType(enc Encoding, t vector.Type) error {
+	switch enc {
+	case EncRLE, EncFOR:
+		if t != vector.Int32 && t != vector.Int64 {
+			return fmt.Errorf("encoding %s invalid for %s", enc, t)
+		}
+	case EncDict:
+		if t != vector.String {
+			return fmt.Errorf("encoding %s invalid for %s", enc, t)
+		}
+	}
+	return nil
+}
+
+// readTableV1 reads the legacy single-payload-per-column format. The
+// columns are materialized eagerly and re-segmented (and re-sealed
+// under the current compression setting) through AppendChunk.
+func readTableV1(br *bufio.Reader) (names []string, store *ColumnStore, err error) {
+	names, types, nrows, err := readHeader(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	store = NewColumnStore(types)
+	cols := make([]*vector.Vector, len(types))
 	for c := range types {
 		var plen uint64
 		if err := binary.Read(br, binary.LittleEndian, &plen); err != nil {
@@ -134,7 +414,7 @@ func ReadTable(r io.Reader) (names []string, store *ColumnStore, err error) {
 		}
 		cols[c] = col
 	}
-	if ncols > 0 {
+	if len(types) > 0 {
 		if err := store.AppendChunk(vector.NewChunk(cols...)); err != nil {
 			return nil, nil, err
 		}
@@ -161,7 +441,8 @@ func SaveTableFile(path string, names []string, store *ColumnStore) error {
 	return os.Rename(tmp, path)
 }
 
-// LoadTableFile reads a table file written by SaveTableFile.
+// LoadTableFile reads a table file written by SaveTableFile. Sealed
+// segment payloads stay encoded until first scanned.
 func LoadTableFile(path string) ([]string, *ColumnStore, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -171,11 +452,11 @@ func LoadTableFile(path string) ([]string, *ColumnStore, error) {
 	return ReadTable(f)
 }
 
-// EncodeColumn serializes one column to the storage payload format
-// (fixed-width values with an optional null trailer, or
+// EncodeColumn serializes one column to the raw storage payload
+// format (fixed-width values with an optional null trailer, or
 // length-prefixed variable-width entries). The wire protocol's
-// columnar chunk frames reuse it, so the on-disk and on-wire column
-// layouts stay identical.
+// columnar chunk frames reuse it, so the on-disk raw and on-wire
+// column layouts stay identical.
 func EncodeColumn(col *vector.Vector) ([]byte, error) { return encodeColumn(col) }
 
 // DecodeColumn reverses EncodeColumn for a column of n rows.
@@ -201,9 +482,8 @@ func encodeColumn(col *vector.Vector) ([]byte, error) {
 		return out, nil
 	case vector.Int32:
 		out := make([]byte, 0, 4*n+n)
-		for i, x := range col.Int32s() {
+		for _, x := range col.Int32s() {
 			out = binary.LittleEndian.AppendUint32(out, uint32(x))
-			_ = i
 		}
 		return appendNullTrailer(out, col), nil
 	case vector.Int64:
@@ -261,19 +541,27 @@ func appendNullTrailer(out []byte, col *vector.Vector) []byte {
 	return out
 }
 
+// decodeColumn strictly validates its payload: wrong sizes, truncated
+// or trailing bytes, and malformed null trailers are rejected with an
+// error rather than decoded best-effort.
 func decodeColumn(t vector.Type, n int, payload []byte) (*vector.Vector, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("negative row count %d", n)
+	}
 	switch t {
 	case vector.Bool:
 		if len(payload) != n {
 			return nil, fmt.Errorf("bool payload %d bytes for %d rows", len(payload), n)
 		}
 		v := vector.New(vector.Bool, n)
-		for _, b := range payload {
+		for i, b := range payload {
 			switch b {
+			case 0, 1:
+				v.AppendValue(vector.NewBool(b == 1))
 			case 2:
 				v.AppendValue(vector.Null())
 			default:
-				v.AppendValue(vector.NewBool(b == 1))
+				return nil, fmt.Errorf("bool payload byte %d at row %d (want 0, 1 or 2)", b, i)
 			}
 		}
 		return v, nil
@@ -286,7 +574,7 @@ func decodeColumn(t vector.Type, n int, payload []byte) (*vector.Vector, error) 
 		for i := range out {
 			out[i] = int32(binary.LittleEndian.Uint32(data[4*i:]))
 		}
-		return applyNulls(vector.FromInt32s(out), nulls), nil
+		return applyNulls(vector.FromInt32s(out), nulls)
 	case vector.Int64:
 		data, nulls, err := splitFixed(payload, n, 8)
 		if err != nil {
@@ -296,7 +584,7 @@ func decodeColumn(t vector.Type, n int, payload []byte) (*vector.Vector, error) 
 		for i := range out {
 			out[i] = int64(binary.LittleEndian.Uint64(data[8*i:]))
 		}
-		return applyNulls(vector.FromInt64s(out), nulls), nil
+		return applyNulls(vector.FromInt64s(out), nulls)
 	case vector.Float64:
 		data, nulls, err := splitFixed(payload, n, 8)
 		if err != nil {
@@ -306,7 +594,7 @@ func decodeColumn(t vector.Type, n int, payload []byte) (*vector.Vector, error) 
 		for i := range out {
 			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
 		}
-		return applyNulls(vector.FromFloat64s(out), nulls), nil
+		return applyNulls(vector.FromFloat64s(out), nulls)
 	case vector.String:
 		v := vector.New(vector.String, n)
 		off := 0
@@ -320,11 +608,14 @@ func decodeColumn(t vector.Type, n int, payload []byte) (*vector.Vector, error) 
 				v.AppendValue(vector.Null())
 				continue
 			}
-			if off+int(l) > len(payload) {
+			if uint64(off)+uint64(l) > uint64(len(payload)) {
 				return nil, fmt.Errorf("truncated string column at row %d", i)
 			}
 			v.AppendValue(vector.NewString(string(payload[off : off+int(l)])))
 			off += int(l)
+		}
+		if off != len(payload) {
+			return nil, fmt.Errorf("string column has %d trailing bytes", len(payload)-off)
 		}
 		return v, nil
 	case vector.Blob:
@@ -340,17 +631,24 @@ func decodeColumn(t vector.Type, n int, payload []byte) (*vector.Vector, error) 
 				v.AppendValue(vector.Null())
 				continue
 			}
-			if off+int(l) > len(payload) {
+			if uint64(off)+uint64(l) > uint64(len(payload)) {
 				return nil, fmt.Errorf("truncated blob column at row %d", i)
 			}
 			v.AppendValue(vector.NewBlob(append([]byte(nil), payload[off:off+int(l)]...)))
 			off += int(l)
+		}
+		if off != len(payload) {
+			return nil, fmt.Errorf("blob column has %d trailing bytes", len(payload)-off)
 		}
 		return v, nil
 	}
 	return nil, fmt.Errorf("unsupported column type %v", t)
 }
 
+// splitFixed splits a fixed-width payload into data and an optional
+// null trailer. A payload that is neither exactly the data nor the
+// data plus a full one-byte-per-row trailer is truncated or padded
+// and rejected.
 func splitFixed(payload []byte, n, width int) (data, nulls []byte, err error) {
 	switch len(payload) {
 	case n * width:
@@ -358,15 +656,21 @@ func splitFixed(payload []byte, n, width int) (data, nulls []byte, err error) {
 	case n*width + n:
 		return payload[:n*width], payload[n*width:], nil
 	default:
-		return nil, nil, fmt.Errorf("payload %d bytes for %d rows of width %d", len(payload), n, width)
+		return nil, nil, fmt.Errorf("payload %d bytes for %d rows of width %d (truncated null trailer?)", len(payload), n, width)
 	}
 }
 
-func applyNulls(v *vector.Vector, nulls []byte) *vector.Vector {
+// applyNulls marks rows NULL from a trailer of 0/1 bytes, rejecting
+// any other byte value as corruption.
+func applyNulls(v *vector.Vector, nulls []byte) (*vector.Vector, error) {
 	for i, b := range nulls {
-		if b == 1 {
+		switch b {
+		case 0:
+		case 1:
 			v.SetNull(i)
+		default:
+			return nil, fmt.Errorf("null trailer byte %d at row %d (want 0 or 1)", b, i)
 		}
 	}
-	return v
+	return v, nil
 }

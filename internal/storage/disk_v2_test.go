@@ -1,0 +1,324 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"strings"
+	"testing"
+
+	"vexdb/internal/vector"
+)
+
+var allTypes = []vector.Type{
+	vector.Bool, vector.Int32, vector.Int64, vector.Float64, vector.String, vector.Blob,
+}
+
+func nonNullValueFor(t vector.Type) vector.Value {
+	switch t {
+	case vector.Bool:
+		return vector.NewBool(true)
+	case vector.Int32:
+		return vector.NewInt32(-42)
+	case vector.Int64:
+		return vector.NewInt64(1 << 40)
+	case vector.Float64:
+		return vector.NewFloat64(-2.5)
+	case vector.String:
+		return vector.NewString("solo")
+	case vector.Blob:
+		return vector.NewBlob([]byte{1, 2, 3})
+	}
+	panic("unreachable")
+}
+
+// roundTrip writes the store and reads it back.
+func roundTrip(t *testing.T, s *ColumnStore, names []string) *ColumnStore {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, names, s); err != nil {
+		t.Fatal(err)
+	}
+	gotNames, got, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotNames) != len(names) {
+		t.Fatalf("names = %v", gotNames)
+	}
+	return got
+}
+
+// Satellite: all-null, empty and single-row columns must round-trip
+// for every column type.
+func TestDiskRoundTripEdgeCasesAllTypes(t *testing.T) {
+	for _, typ := range allTypes {
+		t.Run(typ.String(), func(t *testing.T) {
+			// Empty column.
+			s := NewColumnStore([]vector.Type{typ})
+			got := roundTrip(t, s, []string{"c"})
+			if got.NumRows() != 0 {
+				t.Fatalf("empty: rows = %d", got.NumRows())
+			}
+			if got.Types()[0] != typ {
+				t.Fatalf("empty: type = %v", got.Types()[0])
+			}
+
+			// Single-row column.
+			s = NewColumnStore([]vector.Type{typ})
+			v := vector.New(typ, 1)
+			v.AppendValue(nonNullValueFor(typ))
+			if err := s.AppendChunk(vector.NewChunk(v)); err != nil {
+				t.Fatal(err)
+			}
+			got = roundTrip(t, s, []string{"c"})
+			if got.NumRows() != 1 {
+				t.Fatalf("single: rows = %d", got.NumRows())
+			}
+			gv := mustColumn(t, got, 0)
+			if typ == vector.Blob {
+				if !bytes.Equal(gv.Get(0).Bytes(), nonNullValueFor(typ).Bytes()) {
+					t.Fatalf("single: %v", gv.Get(0))
+				}
+			} else if !gv.Get(0).Equal(nonNullValueFor(typ)) {
+				t.Fatalf("single: got %v want %v", gv.Get(0), nonNullValueFor(typ))
+			}
+
+			// All-null column spanning a sealed segment and a tail.
+			s = NewColumnStore([]vector.Type{typ})
+			n := SegmentRows + 3
+			v = vector.New(typ, n)
+			for i := 0; i < n; i++ {
+				v.AppendValue(vector.Null())
+			}
+			if err := s.AppendChunk(vector.NewChunk(v)); err != nil {
+				t.Fatal(err)
+			}
+			got = roundTrip(t, s, []string{"c"})
+			if got.NumRows() != n {
+				t.Fatalf("all-null: rows = %d", got.NumRows())
+			}
+			gv = mustColumn(t, got, 0)
+			for i := 0; i < n; i++ {
+				if !gv.IsNull(i) {
+					t.Fatalf("all-null: row %d not null", i)
+				}
+			}
+		})
+	}
+}
+
+func TestDiskV2MultiSegmentRoundTrip(t *testing.T) {
+	n := SegmentRows*2 + 100
+	s := testStore(t, n)
+	got := roundTrip(t, s, []string{"a", "b", "c"})
+	if got.NumRows() != n || got.NumSegments() != 3 {
+		t.Fatalf("rows=%d segs=%d", got.NumRows(), got.NumSegments())
+	}
+	// Loaded segments stay sealed (including the former tail) and
+	// encoded until scanned.
+	for i := 0; i < got.NumSegments(); i++ {
+		if !got.SegmentIsSealed(i) {
+			t.Fatalf("loaded segment %d not sealed", i)
+		}
+	}
+	want := mustColumn(t, s, 0)
+	have := mustColumn(t, got, 0)
+	for i := 0; i < n; i++ {
+		if want.Int64s()[i] != have.Int64s()[i] {
+			t.Fatalf("row %d: %d != %d", i, want.Int64s()[i], have.Int64s()[i])
+		}
+	}
+	// Zone maps survive the round trip (column 0 holds 0..n-1, so the
+	// first segment spans exactly [0, SegmentRows)).
+	z := got.Zones(0)
+	if z == nil || !z[0].HasMinMax() || z[0].Min.Int64() != 0 || z[0].Max.Int64() != SegmentRows-1 {
+		t.Fatalf("zone = %+v", z)
+	}
+}
+
+func TestDiskV2AppendAfterLoad(t *testing.T) {
+	s := testStore(t, SegmentRows+10)
+	got := roundTrip(t, s, []string{"a", "b", "c"})
+	if err := got.AppendRow([]vector.Value{
+		vector.NewInt64(999), vector.NewFloat64(1), vector.NewString("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != SegmentRows+11 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	col := mustColumn(t, got, 0)
+	if col.Int64s()[SegmentRows+10] != 999 {
+		t.Fatal("appended row lost")
+	}
+}
+
+// Satellite: the format bump accepts version-1 files and rejects
+// unknown versions.
+func TestDiskV1FileAccepted(t *testing.T) {
+	// Hand-build a v1 file: magic, ncols, nrows, column meta, then one
+	// raw payload + crc per column.
+	cols := []*vector.Vector{
+		vector.FromInt64s([]int64{1, 2, 3}),
+		vector.FromStrings([]string{"a", "b", "c"}),
+	}
+	names := []string{"id", "s"}
+	types := []vector.Type{vector.Int64, vector.String}
+	var buf bytes.Buffer
+	buf.Write([]byte("VXTB0001"))
+	binary.Write(&buf, binary.LittleEndian, uint32(2))
+	binary.Write(&buf, binary.LittleEndian, uint64(3))
+	for i, name := range names {
+		binary.Write(&buf, binary.LittleEndian, uint16(len(name)))
+		buf.WriteString(name)
+		buf.WriteByte(byte(types[i]))
+	}
+	for _, c := range cols {
+		payload, err := EncodeColumn(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.Write(&buf, binary.LittleEndian, uint64(len(payload)))
+		buf.Write(payload)
+		binary.Write(&buf, binary.LittleEndian, crc32.ChecksumIEEE(payload))
+	}
+
+	gotNames, got, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatalf("v1 file rejected: %v", err)
+	}
+	if gotNames[1] != "s" || got.NumRows() != 3 {
+		t.Fatalf("names=%v rows=%d", gotNames, got.NumRows())
+	}
+	if mustColumn(t, got, 0).Int64s()[2] != 3 || mustColumn(t, got, 1).Strings()[0] != "a" {
+		t.Fatal("v1 contents wrong")
+	}
+}
+
+func TestDiskUnknownVersionRejected(t *testing.T) {
+	for _, magic := range []string{"VXTB0003", "VXTB9999", "XXXXXXXX"} {
+		payload := magic + strings.Repeat("\x00", 64)
+		_, _, err := ReadTable(bytes.NewReader([]byte(payload)))
+		if err == nil || !strings.Contains(err.Error(), "unsupported") {
+			t.Fatalf("magic %q: err = %v, want unsupported-version error", magic, err)
+		}
+	}
+}
+
+// Satellite: decodeColumn must reject malformed null trailers and
+// trailing garbage instead of best-effort decoding.
+func TestDecodeColumnRejectsMalformedPayloads(t *testing.T) {
+	int64Payload := func(vals []int64, trailer []byte) []byte {
+		var p []byte
+		for _, v := range vals {
+			p = binary.LittleEndian.AppendUint64(p, uint64(v))
+		}
+		return append(p, trailer...)
+	}
+	cases := []struct {
+		name    string
+		typ     vector.Type
+		n       int
+		payload []byte
+		wantSub string
+	}{
+		{"truncated-trailer", vector.Int64, 3, int64Payload([]int64{1, 2, 3}, []byte{0, 1}), "null trailer"},
+		{"bad-trailer-byte", vector.Int64, 2, int64Payload([]int64{1, 2}, []byte{0, 7}), "null trailer byte"},
+		{"bool-bad-byte", vector.Bool, 2, []byte{1, 3}, "bool payload byte"},
+		{"string-trailing-garbage", vector.String, 1, append(binary.LittleEndian.AppendUint32(nil, 1), 'x', 0xEE), "trailing"},
+		{"string-truncated", vector.String, 1, binary.LittleEndian.AppendUint32(nil, 10), "truncated"},
+		{"blob-trailing-garbage", vector.Blob, 1, append(binary.LittleEndian.AppendUint32(nil, 0), 0xEE), "trailing"},
+		{"short-fixed", vector.Int32, 3, make([]byte, 7), "truncated null trailer"},
+	}
+	for _, c := range cases {
+		_, err := DecodeColumn(c.typ, c.n, c.payload)
+		if err == nil {
+			t.Errorf("%s: decoded without error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: err %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+	// The valid shapes still decode.
+	if _, err := DecodeColumn(vector.Int64, 2, int64Payload([]int64{1, 2}, nil)); err != nil {
+		t.Errorf("plain payload rejected: %v", err)
+	}
+	if v, err := DecodeColumn(vector.Int64, 2, int64Payload([]int64{1, 2}, []byte{0, 1})); err != nil || !v.IsNull(1) {
+		t.Errorf("valid trailer rejected: %v", err)
+	}
+}
+
+// Acceptance: RLE/dict-friendly data persists measurably smaller than
+// the same data written uncompressed.
+func TestCompressedFileSmallerThanRaw(t *testing.T) {
+	build := func(compress bool) *ColumnStore {
+		s := NewColumnStore([]vector.Type{vector.Int64, vector.String})
+		s.SetCompression(compress)
+		n := SegmentRows * 4
+		ids := make([]int64, n)
+		cats := make([]string, n)
+		for i := 0; i < n; i++ {
+			ids[i] = int64(i / 1000) // long runs
+			cats[i] = fmt.Sprintf("category-%d", i%8)
+		}
+		if err := s.AppendChunk(vector.NewChunk(vector.FromInt64s(ids), vector.FromStrings(cats))); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	var raw, comp bytes.Buffer
+	if err := WriteTable(&raw, []string{"id", "cat"}, build(false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTable(&comp, []string{"id", "cat"}, build(true)); err != nil {
+		t.Fatal(err)
+	}
+	if comp.Len() >= raw.Len()/2 {
+		t.Fatalf("compressed file %d bytes, raw %d: want < half", comp.Len(), raw.Len())
+	}
+	// And the compressed file still round-trips faithfully.
+	_, got, err := ReadTable(&comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != SegmentRows*4 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	if c := mustColumn(t, got, 1); c.Strings()[9] != "category-1" {
+		t.Fatalf("round trip content: %q", c.Strings()[9])
+	}
+}
+
+// A v2 file whose zone bounds are typed unlike their column must be
+// rejected at load: a mistyped bound would otherwise silently
+// over-prune at scan time.
+func TestDiskV2RejectsMistypedZoneBounds(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte("VXTB0002"))
+	binary.Write(&buf, binary.LittleEndian, uint32(1)) // ncols
+	binary.Write(&buf, binary.LittleEndian, uint64(1)) // nrows
+	binary.Write(&buf, binary.LittleEndian, uint16(1))
+	buf.WriteString("a")
+	buf.WriteByte(byte(vector.Int64))
+	binary.Write(&buf, binary.LittleEndian, uint32(1)) // nsegs
+	binary.Write(&buf, binary.LittleEndian, uint32(1)) // rows
+	buf.WriteByte(byte(EncRaw))
+	buf.WriteByte(1)                                   // flags: has min/max
+	binary.Write(&buf, binary.LittleEndian, uint32(0)) // null count
+	for i := 0; i < 2; i++ {                           // min and max typed String
+		buf.WriteByte(byte(vector.String))
+		binary.Write(&buf, binary.LittleEndian, uint32(1))
+		buf.WriteString("x")
+	}
+	payload := binary.LittleEndian.AppendUint64(nil, 7)
+	binary.Write(&buf, binary.LittleEndian, uint64(len(payload)))
+	buf.Write(payload)
+	binary.Write(&buf, binary.LittleEndian, crc32.ChecksumIEEE(payload))
+
+	_, _, err := ReadTable(&buf)
+	if err == nil || !strings.Contains(err.Error(), "zone bounds") {
+		t.Fatalf("err = %v, want zone-bounds type error", err)
+	}
+}

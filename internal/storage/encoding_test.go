@@ -1,0 +1,297 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+
+	"vexdb/internal/vector"
+)
+
+// fullSegmentInts builds a store with one sealed Int64 segment from
+// gen(i) plus a short mutable tail row.
+func sealedIntStore(t *testing.T, gen func(i int) int64) *ColumnStore {
+	t.Helper()
+	s := NewColumnStore([]vector.Type{vector.Int64})
+	vals := make([]int64, SegmentRows)
+	for i := range vals {
+		vals[i] = gen(i)
+	}
+	if err := s.AppendChunk(vector.NewChunk(vector.FromInt64s(vals))); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func sealedColumnOf(t *testing.T, s *ColumnStore, seg, col int) *SealedColumn {
+	t.Helper()
+	if !s.SegmentIsSealed(seg) {
+		t.Fatalf("segment %d not sealed", seg)
+	}
+	sealed, _ := s.snapshotSegment(seg)
+	return sealed[col]
+}
+
+func TestSealPicksRLEForRuns(t *testing.T) {
+	s := sealedIntStore(t, func(i int) int64 { return int64(i / 512) }) // 4 runs
+	sc := sealedColumnOf(t, s, 0, 0)
+	if sc.Enc != EncRLE {
+		t.Fatalf("enc = %s, want rle", sc.Enc)
+	}
+	if sc.CompressedBytes() >= sc.LogicalBytes() {
+		t.Fatalf("rle not smaller: %d vs %d", sc.CompressedBytes(), sc.LogicalBytes())
+	}
+	assertDecodes(t, sc, func(i int) vector.Value { return vector.NewInt64(int64(i / 512)) })
+}
+
+func TestSealPicksFORForNarrowRange(t *testing.T) {
+	s := sealedIntStore(t, func(i int) int64 { return 1_000_000 + int64(i%200) })
+	sc := sealedColumnOf(t, s, 0, 0)
+	if sc.Enc != EncFOR {
+		t.Fatalf("enc = %s, want for", sc.Enc)
+	}
+	assertDecodes(t, sc, func(i int) vector.Value { return vector.NewInt64(1_000_000 + int64(i%200)) })
+}
+
+func TestSealKeepsRawForWideRandomInts(t *testing.T) {
+	s := sealedIntStore(t, func(i int) int64 { return int64(uint64(i) * 0x9E3779B97F4A7C15) })
+	sc := sealedColumnOf(t, s, 0, 0)
+	if sc.Enc != EncRaw {
+		t.Fatalf("enc = %s, want raw", sc.Enc)
+	}
+}
+
+func TestSealPicksDictForLowCardinalityStrings(t *testing.T) {
+	s := NewColumnStore([]vector.Type{vector.String})
+	vals := make([]string, SegmentRows)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("city-%02d", i%16)
+	}
+	if err := s.AppendChunk(vector.NewChunk(vector.FromStrings(vals))); err != nil {
+		t.Fatal(err)
+	}
+	sc := sealedColumnOf(t, s, 0, 0)
+	if sc.Enc != EncDict {
+		t.Fatalf("enc = %s, want dict", sc.Enc)
+	}
+	if sc.CompressedBytes() >= sc.LogicalBytes() {
+		t.Fatalf("dict not smaller: %d vs %d", sc.CompressedBytes(), sc.LogicalBytes())
+	}
+	assertDecodes(t, sc, func(i int) vector.Value {
+		return vector.NewString(fmt.Sprintf("city-%02d", i%16))
+	})
+}
+
+func TestSealNullsStayRaw(t *testing.T) {
+	s := NewColumnStore([]vector.Type{vector.Int64})
+	v := vector.New(vector.Int64, SegmentRows)
+	for i := 0; i < SegmentRows; i++ {
+		if i%100 == 0 {
+			v.AppendValue(vector.Null())
+			continue
+		}
+		v.AppendValue(vector.NewInt64(7)) // would be RLE without nulls
+	}
+	if err := s.AppendChunk(vector.NewChunk(v)); err != nil {
+		t.Fatal(err)
+	}
+	sc := sealedColumnOf(t, s, 0, 0)
+	if sc.Enc != EncRaw {
+		t.Fatalf("enc = %s, want raw for nullable column", sc.Enc)
+	}
+	z := sc.Zone
+	if z.NullCount != SegmentRows/100+1 {
+		t.Fatalf("null count = %d", z.NullCount)
+	}
+	if !z.HasMinMax() || z.Min.Int64() != 7 || z.Max.Int64() != 7 {
+		t.Fatalf("zone = %+v", z)
+	}
+}
+
+// assertDecodes checks Decode both into a fresh vector and into a
+// recycled buffer of the right type.
+func assertDecodes(t *testing.T, sc *SealedColumn, want func(i int) vector.Value) {
+	t.Helper()
+	fresh, err := sc.Decode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused := vector.New(sc.Typ, 1)
+	reused.AppendValue(want(0)) // dirty it
+	got, err := sc.Decode(reused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != sc.Rows || got.Len() != sc.Rows {
+		t.Fatalf("lens %d/%d, want %d", fresh.Len(), got.Len(), sc.Rows)
+	}
+	for i := 0; i < sc.Rows; i++ {
+		w := want(i)
+		if !fresh.Get(i).Equal(w) || !got.Get(i).Equal(w) {
+			t.Fatalf("row %d: fresh %v reused %v want %v", i, fresh.Get(i), got.Get(i), w)
+		}
+	}
+}
+
+func TestZoneMapMinMax(t *testing.T) {
+	v := vector.FromInt64s([]int64{5, -3, 12, 7})
+	z := computeZone(v)
+	if z.Min.Int64() != -3 || z.Max.Int64() != 12 || z.NullCount != 0 || z.Rows != 4 {
+		t.Fatalf("zone = %+v", z)
+	}
+}
+
+func TestZoneMapAllNull(t *testing.T) {
+	v := vector.New(vector.Float64, 3)
+	for i := 0; i < 3; i++ {
+		v.AppendValue(vector.Null())
+	}
+	z := computeZone(v)
+	if z.HasMinMax() || z.NullCount != 3 {
+		t.Fatalf("zone = %+v", z)
+	}
+}
+
+func TestZoneMapExcludesNaN(t *testing.T) {
+	v := vector.FromFloat64s([]float64{1, math.NaN(), 3})
+	z := computeZone(v)
+	if !z.HasMinMax() || z.Min.Float64() != 1 || z.Max.Float64() != 3 {
+		t.Fatalf("zone = %+v", z)
+	}
+	all := computeZone(vector.FromFloat64s([]float64{math.NaN()}))
+	if all.HasMinMax() {
+		t.Fatalf("all-NaN column must carry no bounds: %+v", all)
+	}
+}
+
+func TestZoneMapDropsLongStrings(t *testing.T) {
+	long := string(make([]byte, zoneMaxString+1))
+	z := computeZone(vector.FromStrings([]string{"a", long}))
+	if z.HasMinMax() {
+		t.Fatalf("long-string zone must be dropped: %+v", z)
+	}
+}
+
+func TestSetCompressionDisablesSealing(t *testing.T) {
+	s := NewColumnStore([]vector.Type{vector.Int64})
+	s.SetCompression(false)
+	vals := make([]int64, SegmentRows)
+	if err := s.AppendChunk(vector.NewChunk(vector.FromInt64s(vals))); err != nil {
+		t.Fatal(err)
+	}
+	sc := sealedColumnOf(t, s, 0, 0)
+	if sc.Enc != EncRaw {
+		t.Fatalf("enc = %s", sc.Enc)
+	}
+	if z := s.Zones(0); z != nil && z[0].Rows != 0 {
+		t.Fatalf("uncompressed store must carry no zone stats: %+v", z[0])
+	}
+}
+
+func TestStatsCompressionRatio(t *testing.T) {
+	s := sealedIntStore(t, func(i int) int64 { return int64(i / 256) }) // 8 runs
+
+	st := s.Stats()
+	if st.SealedSegments != 1 || st.Segments != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.CompressedBytes >= st.LogicalBytes {
+		t.Fatalf("no compression win: %d vs %d", st.CompressedBytes, st.LogicalBytes)
+	}
+	if st.EncodedColumns["rle"] != 1 {
+		t.Fatalf("encodings = %v", st.EncodedColumns)
+	}
+}
+
+func TestDecodeRejectsCorruptPayloads(t *testing.T) {
+	cases := []struct {
+		name string
+		sc   *SealedColumn
+	}{
+		{"rle-short", loadedColumn(EncRLE, vector.Int64, 10, ZoneMap{}, []byte{1, 2})},
+		{"rle-run-overflow", loadedColumn(EncRLE, vector.Int64, 2, ZoneMap{}, func() []byte {
+			p := binary.LittleEndian.AppendUint32(nil, 1)
+			p = binary.LittleEndian.AppendUint64(p, 9)
+			return binary.LittleEndian.AppendUint32(p, 5) // run of 5 into 2 rows
+		}())},
+		{"for-bad-width", loadedColumn(EncFOR, vector.Int64, 1, ZoneMap{}, append(make([]byte, 8), 3, 0))},
+		{"dict-code-range", loadedColumn(EncDict, vector.String, 1, ZoneMap{}, func() []byte {
+			p := binary.LittleEndian.AppendUint32(nil, 1) // 1 entry
+			p = binary.LittleEndian.AppendUint32(p, 1)    // len 1
+			p = append(p, 'x', 1, 9)                      // width 1, code 9
+			return p
+		}())},
+	}
+	for _, c := range cases {
+		if _, err := c.sc.Decode(nil); err == nil {
+			t.Errorf("%s: corrupt payload decoded without error", c.name)
+		}
+	}
+}
+
+func TestFORHandlesExtremeRange(t *testing.T) {
+	// min = MinInt64, max = MaxInt64: the unsigned range wraps; the
+	// encoder must fall back to raw (width 8 is not smaller).
+	s := NewColumnStore([]vector.Type{vector.Int64})
+	vals := make([]int64, SegmentRows)
+	for i := range vals {
+		if i%2 == 0 {
+			vals[i] = math.MinInt64 + int64(i)
+		} else {
+			vals[i] = math.MaxInt64 - int64(i)
+		}
+	}
+	if err := s.AppendChunk(vector.NewChunk(vector.FromInt64s(vals))); err != nil {
+		t.Fatal(err)
+	}
+	sc := sealedColumnOf(t, s, 0, 0)
+	v, err := sc.Decode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if v.Int64s()[i] != vals[i] {
+			t.Fatalf("row %d: %d != %d", i, v.Int64s()[i], vals[i])
+		}
+	}
+}
+
+func TestInt32FORRoundTrip(t *testing.T) {
+	s := NewColumnStore([]vector.Type{vector.Int32})
+	vals := make([]int32, SegmentRows)
+	for i := range vals {
+		vals[i] = -50 + int32(i%100)
+	}
+	if err := s.AppendChunk(vector.NewChunk(vector.FromInt32s(vals))); err != nil {
+		t.Fatal(err)
+	}
+	sc := sealedColumnOf(t, s, 0, 0)
+	if sc.Enc != EncFOR {
+		t.Fatalf("enc = %s, want for", sc.Enc)
+	}
+	v, err := sc.Decode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if v.Int32s()[i] != vals[i] {
+			t.Fatalf("row %d: %d != %d", i, v.Int32s()[i], vals[i])
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, []string{"x"}, s); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gv := mustColumn(t, got, 0)
+	for i := range vals {
+		if gv.Int32s()[i] != vals[i] {
+			t.Fatalf("disk row %d: %d != %d", i, gv.Int32s()[i], vals[i])
+		}
+	}
+}

@@ -37,7 +37,7 @@ func TestAppendAcrossSegments(t *testing.T) {
 		t.Fatalf("segments = %d, want 3", s.NumSegments())
 	}
 	// Last row survives segmentation.
-	col := s.Column(0)
+	col := mustColumn(t, s, 0)
 	if col.Len() != n || col.Int64s()[n-1] != int64(n-1) {
 		t.Fatalf("column materialization wrong")
 	}
@@ -45,14 +45,14 @@ func TestAppendAcrossSegments(t *testing.T) {
 
 func TestSegmentProjection(t *testing.T) {
 	s := testStore(t, 10)
-	ch := s.Segment(0, []int{2, 0})
+	ch := mustSegment(t, s, 0, []int{2, 0})
 	if ch.NumCols() != 2 {
 		t.Fatalf("cols = %d", ch.NumCols())
 	}
 	if ch.Col(0).Type() != vector.String || ch.Col(1).Type() != vector.Int64 {
 		t.Fatal("projection order wrong")
 	}
-	full := s.Segment(0, nil)
+	full := mustSegment(t, s, 0, nil)
 	if full.NumCols() != 3 || full.NumRows() != 10 {
 		t.Fatal("full segment wrong")
 	}
@@ -66,7 +66,7 @@ func TestAppendRowWithCast(t *testing.T) {
 	if err := s.AppendRow([]vector.Value{vector.Null(), vector.NewFloat64(1.5)}); err != nil {
 		t.Fatal(err)
 	}
-	c0 := s.Column(0)
+	c0 := mustColumn(t, s, 0)
 	if c0.Get(0).Int64() != 7 || !c0.IsNull(1) {
 		t.Fatal("row contents wrong")
 	}
@@ -133,8 +133,8 @@ func TestDiskRoundTrip(t *testing.T) {
 		t.Fatalf("rows = %d", got.NumRows())
 	}
 	for c := 0; c < 6; c++ {
-		want := s.Column(c)
-		have := got.Column(c)
+		want := mustColumn(t, s, c)
+		have := mustColumn(t, got, c)
 		for r := 0; r < 3; r++ {
 			if want.IsNull(r) != have.IsNull(r) {
 				t.Fatalf("col %d row %d null mismatch", c, r)
@@ -213,8 +213,16 @@ func TestQuickDiskRoundTrip(t *testing.T) {
 		if got.NumRows() != n {
 			return false
 		}
-		ga := got.Column(0).Int64s()
-		gb := got.Column(1).Float64s()
+		ca, err := got.Column(0)
+		if err != nil {
+			return false
+		}
+		cb, err := got.Column(1)
+		if err != nil {
+			return false
+		}
+		ga := ca.Int64s()
+		gb := cb.Float64s()
 		for i := 0; i < n; i++ {
 			if ga[i] != a[i] {
 				return false
@@ -242,11 +250,29 @@ func TestConcurrentAppendScan(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		_ = s.NumRows()
 		if s.NumSegments() > 0 {
-			_ = s.Segment(0, nil)
+			_, _ = s.Segment(0, nil)
 		}
 	}
 	<-done
 	if s.NumRows() != 100 {
 		t.Fatalf("rows = %d", s.NumRows())
 	}
+}
+
+func mustColumn(t *testing.T, s *ColumnStore, c int) *vector.Vector {
+	t.Helper()
+	v, err := s.Column(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func mustSegment(t *testing.T, s *ColumnStore, i int, projection []int) *vector.Chunk {
+	t.Helper()
+	ch, err := s.Segment(i, projection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
 }

@@ -1,39 +1,65 @@
-// Package storage implements the in-memory segmented column store
-// backing engine tables, plus a checksummed on-disk columnar format
-// for persistence. Data is stored append-only in column segments whose
-// row count matches the execution chunk size, so scans hand segments
-// to the executor without copying.
+// Package storage implements the segmented column store backing
+// engine tables, plus a checksummed on-disk columnar format for
+// persistence. Data is stored append-only in column segments whose
+// row count matches the execution chunk size. The active tail segment
+// is mutable and uncompressed; a segment that fills is sealed:
+// each column is frozen into a per-column encoding (RLE,
+// frame-of-reference, dictionary, or raw) and annotated with a zone
+// map (min/max, null count) that scans use to skip whole segments.
 package storage
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"vexdb/internal/vector"
 )
 
 // SegmentRows is the row capacity of one column segment. It equals the
-// execution chunk size so sealed segments can be scanned zero-copy.
+// execution chunk size so sealed segments decode into exactly one
+// scan chunk.
 const SegmentRows = vector.DefaultChunkSize
 
 // ColumnStore holds the data of one table as a list of segments. Each
 // segment stores up to SegmentRows rows of every column. Appends and
 // scans are safe for concurrent use.
 type ColumnStore struct {
-	mu    sync.RWMutex
-	types []vector.Type
-	segs  []*segment
-	rows  int
+	mu       sync.RWMutex
+	types    []vector.Type
+	segs     []*segment
+	rows     int
+	compress bool
+
+	// Cumulative scan counters (updated by the executor's scans).
+	segsScanned atomic.Int64
+	segsSkipped atomic.Int64
 }
 
+// segment is either mutable (cols holds the growing tail vectors) or
+// sealed (sealed holds the frozen, possibly compressed columns and
+// cols is nil). Sealed segments are immutable.
 type segment struct {
-	cols []*vector.Vector
-	rows int
+	cols   []*vector.Vector
+	rows   int
+	sealed []*SealedColumn
 }
 
-// NewColumnStore creates an empty store for columns of the given types.
+// NewColumnStore creates an empty store for columns of the given types
+// with compression enabled.
 func NewColumnStore(types []vector.Type) *ColumnStore {
-	return &ColumnStore{types: append([]vector.Type(nil), types...)}
+	return &ColumnStore{types: append([]vector.Type(nil), types...), compress: true}
+}
+
+// SetCompression toggles compression and zone-map computation for
+// segments sealed after the call (existing segments are not
+// rewritten). With compression off, sealed segments keep their raw
+// vectors and carry no zone maps, so scans can never prune them —
+// this is the reference path differential tests compare against.
+func (s *ColumnStore) SetCompression(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.compress = on
 }
 
 // Types returns the column types.
@@ -57,8 +83,20 @@ func newSegment(types []vector.Type) *segment {
 	return &segment{cols: cols}
 }
 
+// seal freezes the segment: every column is encoded (or kept raw) and
+// annotated with a zone map, and the mutable vectors are released.
+func (g *segment) seal(compress bool) {
+	sealed := make([]*SealedColumn, len(g.cols))
+	for i, c := range g.cols {
+		sealed[i] = sealColumn(c, compress)
+	}
+	g.sealed = sealed
+	g.cols = nil
+}
+
 // AppendChunk appends the rows of ch. Column arity and types must
 // match the store schema; numeric columns are cast when they differ.
+// Segments that fill up are sealed in place.
 func (s *ColumnStore) AppendChunk(ch *vector.Chunk) error {
 	if ch.NumCols() != len(s.types) {
 		return fmt.Errorf("storage: append %d columns to %d-column table", ch.NumCols(), len(s.types))
@@ -93,15 +131,29 @@ func (s *ColumnStore) AppendChunk(ch *vector.Chunk) error {
 		seg.rows += take
 		offset += take
 		s.rows += take
+		if seg.rows == SegmentRows {
+			seg.seal(s.compress)
+		}
 	}
 	return nil
 }
 
 func (s *ColumnStore) lastOpenSegment() *segment {
-	if len(s.segs) == 0 || s.segs[len(s.segs)-1].rows == SegmentRows {
+	if len(s.segs) == 0 {
+		s.segs = append(s.segs, newSegment(s.types))
+	} else if last := s.segs[len(s.segs)-1]; last.sealed != nil || last.rows == SegmentRows {
 		s.segs = append(s.segs, newSegment(s.types))
 	}
 	return s.segs[len(s.segs)-1]
+}
+
+// attachSealedSegment appends an already sealed segment (used when
+// loading a table file; payloads stay encoded until scanned).
+func (s *ColumnStore) attachSealedSegment(rows int, cols []*SealedColumn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.segs = append(s.segs, &segment{rows: rows, sealed: cols})
+	s.rows += rows
 }
 
 // AppendRow appends a single row of values.
@@ -132,34 +184,183 @@ func (s *ColumnStore) NumSegments() int {
 	return len(s.segs)
 }
 
-// Segment returns segment i's columns restricted to the projected
-// column indexes (nil projects all), as a chunk. Sealed segments are
-// returned zero-copy.
-func (s *ColumnStore) Segment(i int, projection []int) *vector.Chunk {
+// snapshotSegment returns segment i's state under the read lock:
+// either its immutable sealed columns, or (for the mutable tail) a
+// copy of the live vector headers. Sealed columns can be decoded
+// outside the lock; tail vectors alias live storage, matching the
+// pre-sealing zero-copy behavior.
+func (s *ColumnStore) snapshotSegment(i int) (sealed []*SealedColumn, cols []*vector.Vector) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	seg := s.segs[i]
+	if seg.sealed != nil {
+		return seg.sealed, nil
+	}
+	return nil, append([]*vector.Vector(nil), seg.cols...)
+}
+
+// Segment returns segment i's columns restricted to the projected
+// column indexes (nil projects all), as a chunk. Sealed raw columns
+// are returned zero-copy; compressed columns are decoded.
+func (s *ColumnStore) Segment(i int, projection []int) (*vector.Chunk, error) {
+	return s.SegmentInto(i, projection, nil)
+}
+
+// SegmentInto is Segment with optional reusable decode buffers: when
+// bufs is non-nil it must have one (possibly nil) vector per
+// projected column; compressed columns decode into the corresponding
+// buffer instead of allocating. The returned chunk may alias both the
+// buffers and store-owned raw vectors, and is valid until the buffers
+// are reused.
+func (s *ColumnStore) SegmentInto(i int, projection []int, bufs []*vector.Vector) (*vector.Chunk, error) {
+	sealed, live := s.snapshotSegment(i)
+	if sealed != nil {
+		if projection == nil {
+			cols := make([]*vector.Vector, len(sealed))
+			for j, sc := range sealed {
+				v, err := decodeRecycling(sc, bufs, j)
+				if err != nil {
+					return nil, fmt.Errorf("storage: segment %d column %d: %w", i, j, err)
+				}
+				cols[j] = v
+			}
+			return vector.NewChunk(cols...), nil
+		}
+		cols := make([]*vector.Vector, len(projection))
+		for j, p := range projection {
+			v, err := decodeRecycling(sealed[p], bufs, j)
+			if err != nil {
+				return nil, fmt.Errorf("storage: segment %d column %d: %w", i, p, err)
+			}
+			cols[j] = v
+		}
+		return vector.NewChunk(cols...), nil
+	}
+
 	if projection == nil {
-		cols := make([]*vector.Vector, len(seg.cols))
-		copy(cols, seg.cols)
-		return vector.NewChunk(cols...)
+		return vector.NewChunk(live...), nil
 	}
 	cols := make([]*vector.Vector, len(projection))
 	for j, p := range projection {
-		cols[j] = seg.cols[p]
+		cols[j] = live[p]
 	}
-	return vector.NewChunk(cols...)
+	return vector.NewChunk(cols...), nil
+}
+
+// decodeRecycling decodes one sealed column through the caller's
+// buffer slot j. Decoded (non-raw) vectors are written back into the
+// slot so the next decode reuses their backing arrays; raw columns
+// bypass the slot entirely — their cached vector is store-owned and
+// must never be handed out as a scratch buffer.
+func decodeRecycling(sc *SealedColumn, bufs []*vector.Vector, j int) (*vector.Vector, error) {
+	var buf *vector.Vector
+	if j < len(bufs) {
+		buf = bufs[j]
+	}
+	v, err := sc.Decode(buf)
+	if err != nil {
+		return nil, err
+	}
+	if sc.Enc != EncRaw && j < len(bufs) {
+		bufs[j] = v
+	}
+	return v, nil
+}
+
+// Zones returns the zone maps of segment i's columns (indexed by
+// table column position), or nil for the mutable tail — unsealed
+// segments carry no statistics and are never pruned.
+func (s *ColumnStore) Zones(i int) []ZoneMap {
+	sealed, _ := s.snapshotSegment(i)
+	if sealed == nil {
+		return nil
+	}
+	out := make([]ZoneMap, len(sealed))
+	for j, sc := range sealed {
+		out[j] = sc.Zone
+	}
+	return out
+}
+
+// SegmentIsSealed reports whether segment i has been sealed.
+func (s *ColumnStore) SegmentIsSealed(i int) bool {
+	sealed, _ := s.snapshotSegment(i)
+	return sealed != nil
+}
+
+// NoteScan adds to the store's cumulative scanned/skipped segment
+// counters (called by the executor when a scan finishes).
+func (s *ColumnStore) NoteScan(scanned, skipped int64) {
+	s.segsScanned.Add(scanned)
+	s.segsSkipped.Add(skipped)
+}
+
+// TableStats summarizes the physical layout of one table.
+type TableStats struct {
+	Rows           int
+	Segments       int
+	SealedSegments int
+	// LogicalBytes estimates the uncompressed payload size;
+	// CompressedBytes is the actual footprint of sealed payloads
+	// (equal to logical for raw columns).
+	LogicalBytes    int64
+	CompressedBytes int64
+	// EncodedColumns counts sealed columns per encoding name
+	// ("raw", "rle", "for", "dict").
+	EncodedColumns map[string]int
+	// SegmentsScanned and SegmentsSkipped are cumulative counts of
+	// segments decoded for scans vs. skipped by zone-map pruning.
+	SegmentsScanned int64
+	SegmentsSkipped int64
+}
+
+// Stats computes the store's physical statistics.
+func (s *ColumnStore) Stats() TableStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := TableStats{
+		Rows:            s.rows,
+		Segments:        len(s.segs),
+		EncodedColumns:  map[string]int{},
+		SegmentsScanned: s.segsScanned.Load(),
+		SegmentsSkipped: s.segsSkipped.Load(),
+	}
+	for _, seg := range s.segs {
+		if seg.sealed == nil {
+			for _, c := range seg.cols {
+				n := int64(rawSizeOf(c))
+				st.LogicalBytes += n
+				st.CompressedBytes += n
+			}
+			continue
+		}
+		st.SealedSegments++
+		for _, sc := range seg.sealed {
+			st.LogicalBytes += int64(sc.LogicalBytes())
+			st.CompressedBytes += int64(sc.CompressedBytes())
+			st.EncodedColumns[sc.Enc.String()]++
+		}
+	}
+	return st
 }
 
 // Column materializes the full column c as one contiguous vector.
-func (s *ColumnStore) Column(c int) *vector.Vector {
+func (s *ColumnStore) Column(c int) (*vector.Vector, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := vector.New(s.types[c], s.rows)
-	for _, seg := range s.segs {
+	for i, seg := range s.segs {
+		if seg.sealed != nil {
+			v, err := seg.sealed[c].Decode(nil)
+			if err != nil {
+				return nil, fmt.Errorf("storage: segment %d column %d: %w", i, c, err)
+			}
+			out.AppendVector(v)
+			continue
+		}
 		out.AppendVector(seg.cols[c])
 	}
-	return out
+	return out, nil
 }
 
 // Truncate removes all rows, keeping the schema.

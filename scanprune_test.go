@@ -1,0 +1,152 @@
+package vexdb
+
+import (
+	"testing"
+)
+
+// loadSortedEvents bulk-loads n rows clustered on id (sorted), the
+// shape zone-map pruning is designed for.
+func loadSortedEvents(tb testing.TB, db *DB, n int) {
+	tb.Helper()
+	ids := make([]int64, n)
+	grps := make([]int64, n)
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		grps[i] = int64(i / 10_000)
+		vals[i] = float64(i%1000) / 10
+	}
+	tab, err := NewTable([]string{"id", "grp", "val"}, []*Vector{
+		NewVectorInt64(ids), NewVectorInt64(grps), NewVectorFloat64(vals)})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := db.CreateTableFrom("events", tab); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// CI smoke: a selective filter over 200k rows of sorted data must
+// skip at least 80% of the segments and still return the right rows.
+func TestScanPruningSmoke(t *testing.T) {
+	const rows = 200_000
+	db := Open()
+	loadSortedEvents(t, db, rows)
+
+	st, err := db.TableStats("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SealedSegments == 0 {
+		t.Fatal("no sealed segments")
+	}
+	if st.CompressedBytes >= st.LogicalBytes {
+		t.Fatalf("no compression: %d vs %d bytes", st.CompressedBytes, st.LogicalBytes)
+	}
+
+	r, err := db.QueryStream("SELECT count(*) AS n, min(id) AS mn FROM events WHERE id >= 195000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !r.Next() {
+		t.Fatalf("no result row: %v", r.Err())
+	}
+	if n := r.Value(0).Int64(); n != 5000 {
+		t.Fatalf("count = %d, want 5000", n)
+	}
+	if mn := r.Value(1).Int64(); mn != 195000 {
+		t.Fatalf("min = %d", mn)
+	}
+	scanned, skipped := r.ScanStats()
+	if skipped == 0 {
+		t.Fatal("selective scan skipped 0 segments")
+	}
+	total := scanned + skipped
+	if float64(skipped) < 0.8*float64(total) {
+		t.Fatalf("skipped %d of %d segments, want >= 80%%", skipped, total)
+	}
+}
+
+// benchSelective runs one selective aggregate over sorted data; with
+// zone maps it touches ~3% of the segments.
+func benchSelective(b *testing.B, rows int) {
+	db := Open()
+	loadSortedEvents(b, db, rows)
+	q := "SELECT count(*) AS n, sum(val) AS s FROM events WHERE id >= 195000"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Column("n").Get(0).Int64() != int64(rows-195_000) {
+			b.Fatal("wrong count")
+		}
+	}
+	b.StopTimer()
+	st, err := db.TableStats("events")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(st.SegmentsSkipped)/float64(b.N), "segs-skipped/op")
+}
+
+func BenchmarkSelectiveScanPruned(b *testing.B) { benchSelective(b, 200_000) }
+
+// BenchmarkFullScanCompressed measures the non-selective decode path
+// (every segment decoded each run), the worst case for compressed
+// segments.
+func BenchmarkFullScanCompressed(b *testing.B) {
+	db := Open()
+	loadSortedEvents(b, db, 200_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Query("SELECT count(*) AS n, sum(val) AS s FROM events")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Column("n").Get(0).Int64() != 200_000 {
+			b.Fatal("wrong count")
+		}
+	}
+}
+
+// Tables returned by NextTable must own their columns: the serial
+// prefetching scan recycles decode buffers, so retaining earlier
+// tables across iterations must not see them overwritten.
+func TestNextTableRetainsDataAcrossIteration(t *testing.T) {
+	db := Open()
+	db.SetParallelism(1) // serial scan path (the one that recycles)
+	loadSortedEvents(t, db, 20_000)
+	r, err := db.QueryStream("SELECT id FROM events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var tables []*Table
+	for {
+		tab, err := r.NextTable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab == nil {
+			break
+		}
+		tables = append(tables, tab)
+	}
+	var next int64
+	for ti, tab := range tables {
+		for _, x := range tab.Cols[0].Int64s() {
+			if x != next {
+				t.Fatalf("table %d: row value %d, want %d (buffer overwritten?)", ti, x, next)
+			}
+			next++
+		}
+	}
+	if next != 20_000 {
+		t.Fatalf("iterated %d rows", next)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"vexdb/internal/catalog"
 	"vexdb/internal/core"
 	"vexdb/internal/engine"
+	"vexdb/internal/storage"
 	"vexdb/internal/vector"
 )
 
@@ -199,6 +200,10 @@ func (r *Rows) Row() []Value { return r.ch.Row(r.pos) }
 // NextTable returns the next unconsumed slice of the result as a named
 // table: the rest of the current chunk if Next left one partially
 // read, otherwise the next chunk. It returns nil at end of result.
+// The table owns its columns: executor chunks can alias the scan's
+// recycled decode buffers (valid only until the next fetch), so the
+// columns are copied out before being handed to the caller, who may
+// retain them indefinitely.
 func (r *Rows) NextTable() (*Table, error) {
 	if r.err != nil {
 		return nil, r.err
@@ -218,7 +223,21 @@ func (r *Rows) NextTable() (*Table, error) {
 	if ch == nil {
 		return nil, nil
 	}
-	return vector.NewTable(r.rs.Schema().Names(), ch.Cols())
+	cols := make([]*vector.Vector, ch.NumCols())
+	for i := range cols {
+		cols[i] = ch.Col(i).Clone()
+	}
+	return vector.NewTable(r.rs.Schema().Names(), cols)
+}
+
+// ScanStats reports how many storage segments the query scanned and
+// how many it skipped outright via zone-map pruning of pushed-down
+// WHERE predicates. The counters are live while the result streams;
+// read them after draining (or closing) for final values. Both are
+// zero for row-less statements.
+func (r *Rows) ScanStats() (scanned, skipped int64) {
+	st := r.rs.ScanStats()
+	return st.Scanned(), st.Skipped()
 }
 
 // Err returns the first error encountered while iterating.
@@ -254,6 +273,27 @@ func (db *DB) TableNames() []string { return db.eng.Catalog().TableNames() }
 
 // HasTable reports whether the named table exists.
 func (db *DB) HasTable(name string) bool { return db.eng.Catalog().HasTable(name) }
+
+// TableStats describes the physical layout of one table: segment
+// counts, logical vs. compressed bytes, per-encoding column counts,
+// and cumulative segments scanned vs. skipped by zone-map pruning.
+type TableStats = storage.TableStats
+
+// TableStats returns the physical statistics of the named table,
+// making compression ratios and scan pruning observable:
+//
+//	st, _ := db.TableStats("events")
+//	fmt.Printf("%d/%d segments sealed, %.1fx compression, %d segments pruned\n",
+//		st.SealedSegments, st.Segments,
+//		float64(st.LogicalBytes)/float64(st.CompressedBytes),
+//		st.SegmentsSkipped)
+func (db *DB) TableStats(name string) (TableStats, error) {
+	tab, err := db.eng.Catalog().Table(name)
+	if err != nil {
+		return TableStats{}, err
+	}
+	return tab.Data.Stats(), nil
+}
 
 // NumRows returns the row count of the named table, or -1 when the
 // table does not exist.
