@@ -18,6 +18,12 @@ type hashAggOp struct {
 	done  bool
 }
 
+// aggState is one aggregate's partial state. For DISTINCT aggregates
+// the accumulators stay zero during consumption: distinct holds the
+// encoded argument values (appendRowKey form), per-worker sets union
+// losslessly at the merge, and finalizeAgg folds the merged set into
+// the accumulators in sorted key order — deterministic regardless of
+// worker count or morsel claim order.
 type aggState struct {
 	count    int64
 	sumF     float64
@@ -148,8 +154,9 @@ func (t *aggTable) mergeKeyMap() map[string]int32 {
 }
 
 // merge folds o's groups into t, matching groups by their encoded key
-// values. Only aggregate kinds whose state composes (everything except
-// DISTINCT, which the planner keeps serial) may be merged.
+// values. Every aggregate kind composes: counts and sums add, min/max
+// compare, and DISTINCT states union their per-worker key sets (the
+// accumulators stay untouched until finalizeAgg folds the merged set).
 func (t *aggTable) merge(o *aggTable, byKey map[string]int32) error {
 	if len(o.groups) == 0 {
 		return nil
@@ -185,6 +192,14 @@ func mergeAggState(dst, src *aggState) error {
 	dst.count += src.count
 	dst.sumF += src.sumF
 	dst.sumI += src.sumI
+	if src.distinct != nil {
+		if dst.distinct == nil {
+			dst.distinct = make(map[string]struct{}, len(src.distinct))
+		}
+		for k := range src.distinct {
+			dst.distinct[k] = struct{}{}
+		}
+	}
 	if src.min.Type() != vector.Invalid {
 		if dst.min.Type() == vector.Invalid {
 			dst.min = src.min
@@ -228,7 +243,11 @@ func (t *aggTable) emit() (*vector.Chunk, error) {
 			appendCast(cols[i], kv, schema[i].Type)
 		}
 		for i, s := range t.spec.Aggs {
-			appendCast(cols[ng+i], finalizeAgg(&g.aggs[i], s), schema[ng+i].Type)
+			v, err := finalizeAgg(&g.aggs[i], s)
+			if err != nil {
+				return nil, err
+			}
+			appendCast(cols[ng+i], v, schema[ng+i].Type)
 		}
 	}
 	return vector.NewChunk(cols...), nil
@@ -286,27 +305,43 @@ func updateAgg(st *aggState, spec plan.AggSpec, arg *vector.Vector, r int, scrat
 		return nil // aggregates skip NULLs
 	}
 	if spec.Distinct {
+		// Record the encoded value only; accumulation happens in
+		// finalizeAgg over the merged set. Type errors still surface
+		// here, where the argument vector is at hand.
+		if spec.Kind == plan.AggSum || spec.Kind == plan.AggAvg {
+			switch arg.Type() {
+			case vector.Float64, vector.Int32, vector.Int64:
+			default:
+				return fmt.Errorf("exec: cannot sum %s", arg.Type())
+			}
+		}
 		buf := appendRowKey((*scratch)[:0], arg, r)
 		*scratch = buf
-		if _, seen := st.distinct[string(buf)]; seen {
-			return nil
+		if _, seen := st.distinct[string(buf)]; !seen {
+			st.distinct[string(buf)] = struct{}{}
 		}
-		st.distinct[string(buf)] = struct{}{}
+		return nil
 	}
-	v := arg.Get(r)
+	return accumulateAgg(st, spec, arg.Get(r))
+}
+
+// accumulateAgg folds one non-NULL value into an aggregate state. It
+// is shared by the per-row update path and the distinct-set fold in
+// finalizeAgg.
+func accumulateAgg(st *aggState, spec plan.AggSpec, v vector.Value) error {
 	switch spec.Kind {
 	case plan.AggCount:
 		st.count++
 	case plan.AggSum, plan.AggAvg:
 		st.count++
-		switch arg.Type() {
+		switch v.Type() {
 		case vector.Float64:
 			st.sumF += v.Float64()
 		case vector.Int32, vector.Int64:
 			st.sumI += v.Int64()
 			st.sumF += v.Float64()
 		default:
-			return fmt.Errorf("exec: cannot sum %s", arg.Type())
+			return fmt.Errorf("exec: cannot sum %s", v.Type())
 		}
 	case plan.AggMin:
 		if st.min.Type() == vector.Invalid { // unset or NULL: first value wins
@@ -336,35 +371,75 @@ func updateAgg(st *aggState, spec plan.AggSpec, arg *vector.Vector, r int, scrat
 	return nil
 }
 
-func finalizeAgg(st *aggState, spec plan.AggSpec) vector.Value {
+// foldDistinct accumulates a distinct aggregate's deferred value set
+// into fresh accumulators. Keys are visited in sorted encoded-byte
+// order, so float sums come out byte-identical no matter how many
+// workers built the set or in which order values arrived. Errors
+// propagate: MIN/MAX over an unorderable argument type (Blob) must
+// fail here exactly as the non-DISTINCT path fails in accumulation.
+func foldDistinct(st *aggState, spec plan.AggSpec) (*aggState, error) {
+	keys := make([]string, 0, len(st.distinct))
+	for k := range st.distinct {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := &aggState{}
+	for _, k := range keys {
+		v, _, err := decodeValueKey([]byte(k))
+		if err != nil {
+			return nil, err
+		}
+		if v.IsNull() {
+			continue // unreachable: sets hold only non-NULL encodings
+		}
+		if err := accumulateAgg(out, spec, v); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func finalizeAgg(st *aggState, spec plan.AggSpec) (vector.Value, error) {
+	if spec.Distinct && spec.Arg != nil {
+		// COUNT(DISTINCT) is the set's cardinality; skip the
+		// sort-and-decode fold the order-sensitive kinds need.
+		if spec.Kind == plan.AggCount {
+			return vector.NewInt64(int64(len(st.distinct))), nil
+		}
+		folded, err := foldDistinct(st, spec)
+		if err != nil {
+			return vector.Null(), err
+		}
+		st = folded
+	}
 	switch spec.Kind {
 	case plan.AggCount:
-		return vector.NewInt64(st.count)
+		return vector.NewInt64(st.count), nil
 	case plan.AggSum:
 		if st.count == 0 {
-			return vector.Null()
+			return vector.Null(), nil
 		}
 		if spec.Typ == vector.Float64 {
-			return vector.NewFloat64(st.sumF)
+			return vector.NewFloat64(st.sumF), nil
 		}
-		return vector.NewInt64(st.sumI)
+		return vector.NewInt64(st.sumI), nil
 	case plan.AggAvg:
 		if st.count == 0 {
-			return vector.Null()
+			return vector.Null(), nil
 		}
-		return vector.NewFloat64(st.sumF / float64(st.count))
+		return vector.NewFloat64(st.sumF / float64(st.count)), nil
 	case plan.AggMin:
 		if st.min.Type() == vector.Invalid {
-			return vector.Null()
+			return vector.Null(), nil
 		}
-		return st.min
+		return st.min, nil
 	case plan.AggMax:
 		if st.max.Type() == vector.Invalid {
-			return vector.Null()
+			return vector.Null(), nil
 		}
-		return st.max
+		return st.max, nil
 	}
-	return vector.Null()
+	return vector.Null(), nil
 }
 
 func (a *hashAggOp) Close() error { return a.child.Close() }

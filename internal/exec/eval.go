@@ -6,6 +6,7 @@ package exec
 
 import (
 	"fmt"
+	"math"
 
 	"vexdb/internal/plan"
 	"vexdb/internal/sql"
@@ -272,7 +273,7 @@ func evalCompare(op sql.BinaryOp, l, r *vector.Vector) (*vector.Vector, error) {
 			a, _ := l.AsFloat64s()
 			b, _ := r.AsFloat64s()
 			for i := range out {
-				out[i] = cmpToBool(op, compareFloat(a[i], b[i]))
+				out[i] = floatCmpToBool(op, a[i], b[i])
 			}
 		} else {
 			a, _ := asInt64s(l)
@@ -317,6 +318,22 @@ func evalCompare(op sql.BinaryOp, l, r *vector.Vector) (*vector.Vector, error) {
 	res := vector.FromBools(out)
 	combineNulls(res, l, r)
 	return res, nil
+}
+
+// floatCmpToBool applies IEEE comparison semantics: NaN is unordered,
+// so every predicate over it is FALSE except <>, which is TRUE. This
+// is what zone-map pruning assumes (NaN is excluded from segment
+// bounds because it can never satisfy =, <, <=, >, >=; the binder
+// never pushes <> down) — row-level evaluation must agree or pruned
+// and unpruned scans would return different rows. ORDER BY
+// deliberately differs: sorting needs a total order, so there NaN is
+// greatest (vector.Value.Compare), the same split Go and Rust make
+// between comparison operators and sort ordering.
+func floatCmpToBool(op sql.BinaryOp, a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return op == sql.OpNe
+	}
+	return cmpToBool(op, compareFloat(a, b))
 }
 
 func compareFloat(a, b float64) int {

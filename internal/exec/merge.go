@@ -1,0 +1,508 @@
+// Morsel-parallel sort: run generation + loser-tree merge. Workers
+// claim morsels from a shared cursor, run the chunk-local pipeline
+// stages, and accumulate surviving rows into one buffer per worker;
+// when the input drains each worker sorts its buffer into a run using
+// the total-order key comparator with the row's global input position
+// as the final tiebreak. A loser tree then k-way-merges the runs, so
+// consumers see fully sorted chunks incrementally — no re-sort, no
+// full output materialization, and a LIMIT bound pushed into the
+// merge stops it after the rows any consumer can observe.
+//
+// The global-position tiebreak makes the parallel output byte-equal to
+// the serial sortOp (a stable sort over input in morsel order), no
+// matter which worker claimed which morsel.
+package exec
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"vexdb/internal/plan"
+	"vexdb/internal/vector"
+)
+
+// sortRunCap bounds how many sorted runs generation may produce.
+// Context.Parallelism is an upper bound on concurrency, but producing
+// more runs than physical cores adds no sort parallelism — it only
+// widens the merge, which is pure overhead on the consumer. Tests
+// override the cap to exercise wide merges on small machines.
+var sortRunCap = runtime.NumCPU()
+
+// compareKeyRows compares row ra of avecs against row rb of bvecs
+// under the sort keys, returning the output-order comparison (<0 when
+// a precedes b). NULLs sort last ascending, first descending; with the
+// Float64 total order in vector.Value.Compare this is transitive even
+// over NaN-bearing keys. Serial sortOp and the parallel merge share it
+// so both paths order rows identically.
+func compareKeyRows(keys []plan.SortKey, avecs []*vector.Vector, ra int, bvecs []*vector.Vector, rb int) (int, error) {
+	for ki, k := range keys {
+		av, bv := avecs[ki], bvecs[ki]
+		an, bn := av.IsNull(ra), bv.IsNull(rb)
+		if an || bn {
+			if an == bn {
+				continue
+			}
+			c := -1 // non-NULL first: NULLs last ascending
+			if an {
+				c = 1
+			}
+			if k.Desc {
+				c = -c
+			}
+			return c, nil
+		}
+		c, err := compareKeyVals(av, ra, bv, rb)
+		if err != nil {
+			return 0, err
+		}
+		if c == 0 {
+			continue
+		}
+		if k.Desc {
+			c = -c
+		}
+		return c, nil
+	}
+	return 0, nil
+}
+
+// compareKeyVals compares two non-NULL key cells, with typed fast
+// paths for the common column types — this sits under every sort
+// comparison and every merge step, where boxing each cell into a
+// vector.Value costs more than the comparison itself. The Float64
+// path mirrors Value.Compare's total order (NaN greatest, NaN == NaN).
+func compareKeyVals(av *vector.Vector, ra int, bv *vector.Vector, rb int) (int, error) {
+	if t := av.Type(); t == bv.Type() {
+		switch t {
+		case vector.Int64:
+			return cmpOrdered(av.Int64s()[ra], bv.Int64s()[rb]), nil
+		case vector.Float64:
+			a, b := av.Float64s()[ra], bv.Float64s()[rb]
+			an, bn := math.IsNaN(a), math.IsNaN(b)
+			switch {
+			case an && bn:
+				return 0, nil
+			case an:
+				return 1, nil
+			case bn:
+				return -1, nil
+			}
+			return cmpOrdered(a, b), nil
+		case vector.Int32:
+			return cmpOrdered(av.Int32s()[ra], bv.Int32s()[rb]), nil
+		case vector.String:
+			return cmpOrdered(av.Strings()[ra], bv.Strings()[rb]), nil
+		}
+	}
+	return av.Get(ra).Compare(bv.Get(rb))
+}
+
+func cmpOrdered[T int32 | int64 | float64 | string](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// sortedRun is one worker's fully sorted slice of the input: the data
+// rows, the evaluated key columns in the same order, and each row's
+// global input position (morsel<<32 | row) used as the merge tiebreak.
+type sortedRun struct {
+	data *vector.Chunk
+	keys []*vector.Vector
+	pos  []int64
+}
+
+// sortRun evaluates the sort keys over the accumulated columns and
+// sorts rows by (keys, global position).
+func sortRun(keys []plan.SortKey, cols []*vector.Vector, pos []int64) (*sortedRun, error) {
+	data := vector.NewChunk(cols...)
+	keyVecs := make([]*vector.Vector, len(keys))
+	for i, k := range keys {
+		v, err := Evaluate(k.Expr, data)
+		if err != nil {
+			return nil, err
+		}
+		keyVecs[i] = v
+	}
+	idx := make([]int, data.NumRows())
+	for i := range idx {
+		idx[i] = i
+	}
+	var sortErr error
+	// Rows accumulate in increasing global-position order (the shared
+	// cursor hands morsels out ascending), so a stable sort leaves
+	// key-equal rows in position order — the same tiebreak the merge
+	// applies across runs — without paying for an explicit comparison.
+	sort.SliceStable(idx, func(a, b int) bool {
+		c, err := compareKeyRows(keys, keyVecs, idx[a], keyVecs, idx[b])
+		if err != nil {
+			sortErr = err
+			return false
+		}
+		return c < 0
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	sortedPos := make([]int64, len(idx))
+	for i, r := range idx {
+		sortedPos[i] = pos[r]
+	}
+	sortedData := data.Gather(idx)
+	sortedKeys := make([]*vector.Vector, len(keyVecs))
+	for i, kv := range keyVecs {
+		// ColRef keys evaluate to the data column itself; reuse its
+		// gathered form instead of gathering the same vector twice.
+		if j := chunkColIndex(data, kv); j >= 0 {
+			sortedKeys[i] = sortedData.Col(j)
+			continue
+		}
+		sortedKeys[i] = kv.Gather(idx)
+	}
+	return &sortedRun{data: sortedData, keys: sortedKeys, pos: sortedPos}, nil
+}
+
+// chunkColIndex returns the position of v among ch's columns (pointer
+// identity), or -1.
+func chunkColIndex(ch *vector.Chunk, v *vector.Vector) int {
+	for i, c := range ch.Cols() {
+		if c == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// ------------------------------------------------------- loser tree
+
+// loserTree merges k sorted runs. Leaves are run fronts; each internal
+// node remembers the loser of its subtree's match, so replacing the
+// winner replays exactly one root path (log k comparisons per row)
+// instead of a full tournament. Leaf s maps to tree slot s+k with
+// parent(x) = x/2; internal nodes occupy 1..k-1.
+type loserTree struct {
+	keys []plan.SortKey
+	runs []*sortedRun
+	pos  []int // per-run cursor
+	node []int // node[t] = run index of the loser at internal node t
+	win  int   // current overall winner, -1 when empty
+	err  error // first key-comparison error; merge output is invalid after
+}
+
+func newLoserTree(keys []plan.SortKey, runs []*sortedRun) *loserTree {
+	lt := &loserTree{
+		keys: keys,
+		runs: runs,
+		pos:  make([]int, len(runs)),
+		node: make([]int, len(runs)),
+		win:  -1,
+	}
+	switch len(runs) {
+	case 0:
+	case 1:
+		lt.win = 0
+	default:
+		lt.win = lt.build(1)
+	}
+	return lt
+}
+
+// build plays the initial tournament for the subtree rooted at
+// internal node t, recording losers and returning the winner.
+func (lt *loserTree) build(t int) int {
+	k := len(lt.runs)
+	if t >= k {
+		return t - k // leaf
+	}
+	a := lt.build(2 * t)
+	b := lt.build(2*t + 1)
+	if lt.beats(b, a) {
+		a, b = b, a
+	}
+	lt.node[t] = b
+	return a
+}
+
+// replay re-runs the matches on leaf s's root path after its run
+// advanced.
+func (lt *loserTree) replay(s int) {
+	k := len(lt.runs)
+	if k < 2 {
+		return
+	}
+	for t := (s + k) / 2; t >= 1; t /= 2 {
+		if lt.beats(lt.node[t], s) {
+			s, lt.node[t] = lt.node[t], s
+		}
+	}
+	lt.win = s
+}
+
+// beats reports whether run a's front row precedes run b's. Exhausted
+// runs lose to everything, so the winner is exhausted only when every
+// run is.
+func (lt *loserTree) beats(a, b int) bool {
+	if lt.err != nil {
+		return false
+	}
+	ra, rb := lt.runs[a], lt.runs[b]
+	ea, eb := lt.pos[a] >= ra.data.NumRows(), lt.pos[b] >= rb.data.NumRows()
+	if ea || eb {
+		return eb && !ea
+	}
+	c, err := compareKeyRows(lt.keys, ra.keys, lt.pos[a], rb.keys, lt.pos[b])
+	if err != nil {
+		lt.err = err
+		return false
+	}
+	if c != 0 {
+		return c < 0
+	}
+	// Global input positions are unique, so the tiebreak is total and
+	// the merge order deterministic.
+	return ra.pos[lt.pos[a]] < rb.pos[lt.pos[b]]
+}
+
+// next pops the smallest remaining row, identified as (run, row), and
+// advances the tree. ok is false once all runs are exhausted.
+func (lt *loserTree) next() (run, row int, ok bool) {
+	w := lt.win
+	if w < 0 || lt.pos[w] >= lt.runs[w].data.NumRows() {
+		return 0, 0, false
+	}
+	row = lt.pos[w]
+	lt.pos[w]++
+	lt.replay(w)
+	return w, row, true
+}
+
+// ------------------------------------------------------- parallel sort
+
+// parallelSortOp is the morsel-parallel ORDER BY operator: run
+// generation fans out over the worker pool, then Next streams merged
+// chunks off the loser tree, observing cancellation between merge
+// batches and stopping early once the plan's LIMIT bound is met.
+type parallelSortOp struct {
+	spec    *plan.Sort
+	pipe    *pipeSpec
+	workers int
+
+	ctx       *Context
+	started   bool
+	lt        *loserTree
+	types     []vector.Type
+	remaining int64 // rows the merge may still emit; <0 unbounded
+}
+
+func (s *parallelSortOp) Open(ctx *Context) error {
+	s.ctx = ctx
+	s.started = false
+	s.lt = nil
+	return nil
+}
+
+func (s *parallelSortOp) Next() (*vector.Chunk, error) {
+	if !s.started {
+		s.started = true
+		s.remaining = -1
+		if s.spec.Limit > 0 {
+			s.remaining = s.spec.Limit
+		}
+		runs, err := s.buildRuns()
+		if err != nil {
+			return nil, err
+		}
+		if len(runs) == 0 {
+			return nil, nil
+		}
+		s.types = make([]vector.Type, runs[0].data.NumCols())
+		for i := range s.types {
+			s.types[i] = runs[0].data.Col(i).Type()
+		}
+		s.lt = newLoserTree(s.spec.Keys, runs)
+	}
+	if s.lt == nil || s.remaining == 0 {
+		return nil, nil
+	}
+	// One merge batch per Next call: a long merge observes
+	// cancellation between batches.
+	if s.ctx.interrupted() {
+		return nil, ErrCancelled
+	}
+	batch := vector.DefaultChunkSize
+	if s.remaining >= 0 && int64(batch) > s.remaining {
+		batch = int(s.remaining)
+	}
+	if len(s.lt.runs) == 1 {
+		// Single run (one worker produced rows): already fully sorted,
+		// emit slices without per-row copies.
+		run := s.lt.runs[0]
+		from := s.lt.pos[0]
+		if from >= run.data.NumRows() {
+			return nil, nil
+		}
+		to := from + batch
+		if n := run.data.NumRows(); to > n {
+			to = n
+		}
+		s.lt.pos[0] = to
+		if s.remaining > 0 {
+			s.remaining -= int64(to - from)
+		}
+		return run.data.Slice(from, to), nil
+	}
+	cols := make([]*vector.Vector, len(s.types))
+	for i, t := range s.types {
+		cols[i] = vector.New(t, batch)
+	}
+	// Pop winners in contiguous spans: rows consumed from one run are
+	// consecutive, so while the winner stays put (duplicate-heavy keys,
+	// pre-sorted stretches) whole slices copy in bulk.
+	emitted := 0
+	for emitted < batch {
+		w := s.lt.win
+		if w < 0 {
+			break
+		}
+		run := s.lt.runs[w]
+		start := s.lt.pos[w]
+		if start >= run.data.NumRows() {
+			break
+		}
+		for emitted < batch && s.lt.win == w {
+			if _, _, ok := s.lt.next(); !ok {
+				break
+			}
+			emitted++
+		}
+		end := s.lt.pos[w]
+		if end == start+1 {
+			for c := range cols {
+				cols[c].AppendRowFrom(run.data.Col(c), start)
+			}
+			continue
+		}
+		for c := range cols {
+			cols[c].AppendVector(run.data.Col(c).Slice(start, end))
+		}
+	}
+	if err := s.lt.err; err != nil {
+		return nil, err
+	}
+	if emitted == 0 {
+		s.lt = nil
+		return nil, nil
+	}
+	if s.remaining > 0 {
+		s.remaining -= int64(emitted)
+	}
+	return vector.NewChunk(cols...), nil
+}
+
+// buildRuns drains the input morsel-parallel into at most one sorted
+// run per worker. Workers observe cancellation between morsels; a
+// cancelled drain surfaces ErrCancelled rather than merging a partial
+// input.
+func (s *parallelSortOp) buildRuns() ([]*sortedRun, error) {
+	n := s.pipe.src.open(s.ctx)
+	workers := s.workers
+	if cap := sortRunCap; cap >= 1 && workers > cap {
+		workers = cap
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		return nil, nil
+	}
+	runs := make([]*sortedRun, workers)
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			var acc []*vector.Vector
+			var pos []int64
+			var sc pipeScratch
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stop.Load() || s.ctx.interrupted() {
+					break
+				}
+				ch, err := s.pipe.src.fetch(i)
+				if err == nil {
+					ch, err = s.pipe.apply(ch, &sc)
+				}
+				if err != nil {
+					errs[w] = err
+					stop.Store(true)
+					return
+				}
+				if ch == nil || ch.NumRows() == 0 {
+					continue
+				}
+				if acc == nil {
+					acc = make([]*vector.Vector, ch.NumCols())
+					for c := range acc {
+						acc[c] = vector.New(ch.Col(c).Type(), ch.NumRows())
+					}
+				}
+				for c := range acc {
+					acc[c].AppendVector(ch.Col(c))
+				}
+				for r := 0; r < ch.NumRows(); r++ {
+					pos = append(pos, int64(i)<<32|int64(r))
+				}
+			}
+			if acc == nil {
+				return
+			}
+			run, err := sortRun(s.spec.Keys, acc, pos)
+			if err != nil {
+				errs[w] = err
+				stop.Store(true)
+				return
+			}
+			runs[w] = run
+		}(w)
+	}
+	wg.Wait()
+	s.pipe.src.finish()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if s.ctx.interrupted() {
+		// Workers stopped mid-input; a merge over partial runs would
+		// silently drop rows.
+		return nil, ErrCancelled
+	}
+	out := runs[:0]
+	for _, r := range runs {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func (s *parallelSortOp) Close() error {
+	// Run generation joins its workers before buildRuns returns, so
+	// nothing is in flight here; finish is idempotent and flushes scan
+	// accounting when the stream is abandoned before the first Next.
+	s.pipe.src.finish()
+	return nil
+}
+
+var _ Operator = (*parallelSortOp)(nil)

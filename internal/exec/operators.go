@@ -559,35 +559,15 @@ func (s *sortOp) Next() (*vector.Chunk, error) {
 	}
 	var sortErr error
 	sort.SliceStable(idx, func(a, b int) bool {
-		ra, rb := idx[a], idx[b]
-		for ki, k := range s.keys {
-			kv := keyVecs[ki]
-			an, bn := kv.IsNull(ra), kv.IsNull(rb)
-			if an || bn {
-				if an == bn {
-					continue
-				}
-				// NULLs sort last ascending, first descending.
-				less := bn
-				if k.Desc {
-					less = an
-				}
-				return less
-			}
-			c, err := kv.Get(ra).Compare(kv.Get(rb))
-			if err != nil {
-				sortErr = err
-				return false
-			}
-			if c == 0 {
-				continue
-			}
-			if k.Desc {
-				return c > 0
-			}
-			return c < 0
+		// compareKeyRows is shared with the parallel merge, so the two
+		// paths order rows identically (NULLs last ascending, first
+		// descending; total order over NaN).
+		c, err := compareKeyRows(s.keys, keyVecs, idx[a], keyVecs, idx[b])
+		if err != nil {
+			sortErr = err
+			return false
 		}
-		return false
+		return c < 0
 	})
 	if sortErr != nil {
 		return nil, sortErr

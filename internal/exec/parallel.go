@@ -5,9 +5,12 @@
 // chunk-local filter→project stages, and either re-emit the surviving
 // chunks in morsel order (exchange), feed thread-local aggregation
 // tables that are merged when the input drains (partitioned hash
-// aggregation), or probe a shared hash-join build table. All parallel
-// operators preserve the exact row order serial execution produces, so
-// ORDER BY-less results stay deterministic.
+// aggregation — including DISTINCT aggregates and SELECT DISTINCT via
+// per-worker key sets), sort per-worker runs merged by a loser tree
+// (parallel sort, merge.go), or probe a shared hash-join build table.
+// All parallel operators preserve the exact row order serial execution
+// produces, so both ORDER BY and ORDER BY-less results stay
+// deterministic.
 package exec
 
 import (
@@ -467,6 +470,25 @@ func buildParallel(node plan.Node, workers int) (op Operator, ok bool, err error
 		if pipe := extractPipe(n.Child); pipe != nil {
 			return &parallelAggOp{spec: n, pipe: pipe, workers: workers}, true, nil
 		}
+	case *plan.Sort:
+		// UDFs in key expressions keep the sort serial: parallel run
+		// generation would evaluate them concurrently per worker.
+		if exprsHaveUDF(sortKeyExprs(n.Keys)) {
+			return nil, false, nil
+		}
+		if pipe := extractPipe(n.Child); pipe != nil {
+			return &parallelSortOp{spec: n, pipe: pipe, workers: workers}, true, nil
+		}
+	case *plan.Distinct:
+		// DISTINCT over the full row is grouping by every column with
+		// no aggregates; the partitioned aggregation path dedups
+		// per-worker and restores serial first-appearance order at the
+		// merge.
+		if pipe := extractPipe(n.Child); pipe != nil {
+			exprs, names := n.GroupExprs()
+			spec := &plan.Aggregate{GroupBy: exprs, GroupNames: names}
+			return &parallelAggOp{spec: spec, pipe: pipe, workers: workers}, true, nil
+		}
 	case *plan.HashJoin:
 		if exprsHaveUDF(n.LeftKeys) || (n.Extra != nil && exprsHaveUDF([]plan.Expr{n.Extra})) {
 			return nil, false, nil
@@ -485,19 +507,26 @@ func buildParallel(node plan.Node, workers int) (op Operator, ok bool, err error
 }
 
 // aggParallelizable reports whether an aggregation's state composes
-// across partitions. DISTINCT aggregates do not (partial sums over
-// per-worker distinct sets cannot be merged), and UDFs in group or
-// argument expressions may not be called concurrently.
+// across partitions. Every aggregate kind now does — DISTINCT
+// aggregates defer accumulation to finalization, so per-worker
+// distinct key-sets union losslessly at the merge — but UDFs in group
+// or argument expressions may not be called concurrently.
 func aggParallelizable(n *plan.Aggregate) bool {
 	for _, s := range n.Aggs {
-		if s.Distinct {
-			return false
-		}
 		if s.Arg != nil && exprsHaveUDF([]plan.Expr{s.Arg}) {
 			return false
 		}
 	}
 	return !exprsHaveUDF(n.GroupBy)
+}
+
+// sortKeyExprs projects the key expressions out of sort keys.
+func sortKeyExprs(keys []plan.SortKey) []plan.Expr {
+	exprs := make([]plan.Expr, len(keys))
+	for i, k := range keys {
+		exprs[i] = k.Expr
+	}
+	return exprs
 }
 
 // assertOperator guards the parallel operators against interface drift.

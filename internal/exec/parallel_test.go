@@ -73,8 +73,8 @@ func TestBuildSelectsParallelOperators(t *testing.T) {
 		t.Fatalf("aggregate built %T, want *parallelAggOp", op)
 	}
 
-	// DISTINCT aggregates must stay serial: partial distinct sets
-	// cannot be merged.
+	// DISTINCT aggregates parallelize too: accumulation is deferred to
+	// finalization, so per-worker distinct key-sets union losslessly.
 	distinctAgg := &plan.Aggregate{
 		Aggs:  []plan.AggSpec{{Kind: plan.AggCount, Arg: colRef(1, vector.Int32), Distinct: true, Name: "n", Typ: vector.Int64}},
 		Child: &plan.Scan{Table: tab},
@@ -83,8 +83,29 @@ func TestBuildSelectsParallelOperators(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := op.(*hashAggOp); !ok {
-		t.Fatalf("distinct aggregate built %T, want serial *hashAggOp", op)
+	if _, ok := op.(*parallelAggOp); !ok {
+		t.Fatalf("distinct aggregate built %T, want *parallelAggOp", op)
+	}
+
+	sortNode := &plan.Sort{
+		Keys:  []plan.SortKey{{Expr: colRef(2, vector.Float64)}},
+		Child: filter,
+	}
+	op, err = buildWith(sortNode, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := op.(*parallelSortOp); !ok {
+		t.Fatalf("sort over pipeline built %T, want *parallelSortOp", op)
+	}
+
+	distinct := &plan.Distinct{Child: filter}
+	op, err = buildWith(distinct, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := op.(*parallelAggOp); !ok {
+		t.Fatalf("DISTINCT built %T, want *parallelAggOp (group-by rewrite)", op)
 	}
 
 	join := &plan.HashJoin{

@@ -172,9 +172,43 @@ func (b *Binder) BindSelect(sel *sql.Select) (Node, error) {
 			}
 			offset = v
 		}
+		// The executor treats a negative OFFSET as "skip nothing";
+		// clamp before deriving the hint so the merge never stops
+		// short of the rows the Limit operator will emit.
+		hintOff := offset
+		if hintOff < 0 {
+			hintOff = 0
+		}
+		if count >= 0 && hintOff+count > 0 {
+			// Push the bound into a directly enclosed Sort (possibly
+			// behind the hidden-column trim projection): any consumer
+			// observes at most offset+count ordered rows, so a
+			// parallel merge may stop early. LIMIT 0 needs no hint —
+			// the Limit node already emits nothing.
+			pushSortLimit(node, hintOff+count)
+		}
 		node = &Limit{Count: count, Offset: offset, Child: node}
 	}
 	return node, nil
+}
+
+// pushSortLimit annotates the Sort directly under node (through 1:1
+// row-preserving projections only) with the row bound an enclosing
+// LIMIT imposes.
+func pushSortLimit(node Node, limit int64) {
+	for {
+		switch n := node.(type) {
+		case *Sort:
+			if n.Limit <= 0 || limit < n.Limit {
+				n.Limit = limit
+			}
+			return
+		case *Project:
+			node = n.Child
+		default:
+			return
+		}
+	}
 }
 
 func (b *Binder) bindFromClause(sel *sql.Select) (Node, *scope, error) {

@@ -176,10 +176,16 @@ type SortKey struct {
 	Desc bool
 }
 
-// Sort orders the child's rows.
+// Sort orders the child's rows. Limit, when > 0, is an advisory hint
+// set by the binder when an enclosing LIMIT bounds how many ordered
+// rows any consumer can observe (offset+count): the executor's
+// parallel merge may stop producing after that many rows. The Limit
+// node above still enforces the bound, so the hint can only skip work,
+// never change results. Limit <= 0 (the zero value) means unbounded.
 type Sort struct {
 	Keys  []SortKey
 	Child Node
+	Limit int64
 }
 
 // Schema implements Node.
@@ -203,6 +209,21 @@ type Distinct struct {
 
 // Schema implements Node.
 func (d *Distinct) Schema() catalog.Schema { return d.Child.Schema() }
+
+// GroupExprs returns the child's output columns as group-by
+// expressions: DISTINCT is equivalent to grouping by every column
+// with no aggregates, which is how the parallel executor runs it
+// (per-worker distinct sets unioned at the first-appearance merge).
+func (d *Distinct) GroupExprs() ([]Expr, []string) {
+	schema := d.Child.Schema()
+	exprs := make([]Expr, len(schema))
+	names := make([]string, len(schema))
+	for i, c := range schema {
+		exprs[i] = &ColRef{Idx: i, Typ: c.Type, Name: c.Name}
+		names[i] = c.Name
+	}
+	return exprs, names
+}
 
 // Union concatenates two inputs with identical arity (types must be
 // pairwise compatible). All=false removes duplicates.

@@ -164,7 +164,7 @@ func pruneNode(node Node, needed []bool) (Node, []int) {
 			markRefs(k.Expr, req)
 		}
 		child, remap := pruneNode(n.Child, req)
-		out := &Sort{Child: child}
+		out := &Sort{Child: child, Limit: n.Limit}
 		for _, k := range n.Keys {
 			out.Keys = append(out.Keys, SortKey{Expr: remapExpr(k.Expr, remap), Desc: k.Desc})
 		}

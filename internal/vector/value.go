@@ -2,6 +2,7 @@ package vector
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 )
 
@@ -200,6 +201,13 @@ func (v Value) Cast(to Type) (Value, error) {
 // Compare orders two non-NULL values of comparable types, returning
 // -1, 0 or +1. Numeric types compare across widths. It returns an
 // error for incomparable type pairs.
+//
+// Floating point comparison is a total order: NaN compares greater
+// than every non-NaN value (so it sorts last ascending, first
+// descending) and equal to itself. IEEE comparison makes NaN
+// incomparable, which is a non-transitive less-function under
+// sort.Slice — ORDER BY over NaN-bearing data would be
+// nondeterministic without this.
 func (v Value) Compare(o Value) (int, error) {
 	if v.null || o.null {
 		return 0, fmt.Errorf("cannot compare NULL values")
@@ -207,7 +215,14 @@ func (v Value) Compare(o Value) (int, error) {
 	if v.typ.IsNumeric() && o.typ.IsNumeric() {
 		if v.typ == Float64 || o.typ == Float64 {
 			a, b := v.Float64(), o.Float64()
+			an, bn := math.IsNaN(a), math.IsNaN(b)
 			switch {
+			case an && bn:
+				return 0, nil
+			case an:
+				return 1, nil
+			case bn:
+				return -1, nil
 			case a < b:
 				return -1, nil
 			case a > b:

@@ -277,6 +277,36 @@ func (v *Vector) appendZero() {
 	v.length++
 }
 
+// AppendRowFrom appends row i of src, which must have the same type,
+// without boxing the value. It is the row-at-a-time hot path of merge
+// operators.
+func (v *Vector) AppendRowFrom(src *Vector, i int) {
+	if src.nulls != nil && src.nulls[i] {
+		v.appendZero()
+		v.ensureNulls()
+		v.nulls[v.length-1] = true
+		return
+	}
+	switch v.typ {
+	case Bool:
+		v.bools = append(v.bools, src.bools[i])
+	case Int32:
+		v.i32 = append(v.i32, src.i32[i])
+	case Int64:
+		v.i64 = append(v.i64, src.i64[i])
+	case Float64:
+		v.f64 = append(v.f64, src.f64[i])
+	case String:
+		v.strs = append(v.strs, src.strs[i])
+	case Blob:
+		v.blobs = append(v.blobs, src.blobs[i])
+	}
+	v.length++
+	if v.nulls != nil {
+		v.nulls = append(v.nulls, false)
+	}
+}
+
 // AppendVector appends all rows of o (which must have the same type).
 func (v *Vector) AppendVector(o *Vector) {
 	if v.typ != o.typ {

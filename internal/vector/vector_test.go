@@ -1,6 +1,7 @@
 package vector
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -154,6 +155,35 @@ func TestValueCompare(t *testing.T) {
 	if _, err := NewString("a").Compare(NewInt64(1)); err == nil {
 		t.Error("comparing string with int should error")
 	}
+}
+
+// TestValueCompareTotalOrderNaN pins the float total order: NaN is
+// greater than every non-NaN value (including +Inf) and equal to
+// itself, so sort comparators built on Compare stay transitive.
+func TestValueCompareTotalOrderNaN(t *testing.T) {
+	nan := NewFloat64(math.NaN())
+	cmp := func(a, b Value, want int) {
+		t.Helper()
+		c, err := a.Compare(b)
+		if err != nil || c != want {
+			t.Errorf("Compare(%v,%v) = %d,%v want %d", a, b, c, err, want)
+		}
+	}
+	cmp(nan, nan, 0)
+	cmp(nan, NewFloat64(math.Inf(1)), 1)
+	cmp(nan, NewFloat64(math.Inf(-1)), 1)
+	cmp(NewFloat64(math.Inf(1)), nan, -1)
+	cmp(NewFloat64(math.Inf(-1)), nan, -1)
+	cmp(nan, NewFloat64(0), 1)
+	cmp(NewFloat64(0), nan, -1)
+	// Mixed int/float: the integer side widens to float64 and is
+	// never NaN, so NaN still sorts after it.
+	cmp(nan, NewInt64(1<<40), 1)
+	cmp(NewInt32(-7), nan, -1)
+	cmp(NewInt64(3), NewFloat64(3.5), -1)
+	// Plain floats keep IEEE ordering.
+	cmp(NewFloat64(1.5), NewFloat64(2.5), -1)
+	cmp(NewFloat64(math.Inf(-1)), NewFloat64(math.Inf(1)), -1)
 }
 
 func TestVectorAppendGet(t *testing.T) {

@@ -1,6 +1,7 @@
 package vexdb
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"sync"
 
@@ -309,12 +310,17 @@ func scalarInt(args []TableArg, idx int, def int64) int64 {
 	return args[idx].Scalar.Int64()
 }
 
-// modelCache memoizes deserialized models by blob content hash (plus
-// blob length as a collision guard), bounded to a fixed entry count
-// with random-ish eviction (clear-on-full keeps it simple and safe).
+// modelCache memoizes deserialized models keyed by a 64-bit FNV hash
+// of the blob. The hash is an index, not an identity: each entry
+// carries the blob's SHA-256 digest and a hit verifies it, so an FNV
+// collision falls through to ml.Unmarshal instead of silently serving
+// the wrong classifier to PREDICT (the digest costs 32 bytes per
+// entry versus retaining multi-megabyte model blobs). The cache is
+// bounded to a fixed entry count with single-entry eviction, so
+// filling it does not drop every hot model at once.
 type modelCache struct {
 	mu      sync.Mutex
-	entries map[modelKey]ml.Classifier
+	entries map[modelKey]*modelEntry
 }
 
 type modelKey struct {
@@ -322,18 +328,26 @@ type modelKey struct {
 	size int
 }
 
+// modelEntry pairs the deserialized classifier with the digest of the
+// exact bytes it was deserialized from.
+type modelEntry struct {
+	digest [sha256.Size]byte
+	clf    ml.Classifier
+}
+
 const modelCacheMaxEntries = 64
 
 func newModelCache() *modelCache {
-	return &modelCache{entries: make(map[modelKey]ml.Classifier)}
+	return &modelCache{entries: make(map[modelKey]*modelEntry)}
 }
 
 func (c *modelCache) get(blob []byte) (ml.Classifier, error) {
 	key := modelKey{hash: fnv64a(blob), size: len(blob)}
+	digest := sha256.Sum256(blob)
 	c.mu.Lock()
-	if clf, ok := c.entries[key]; ok {
+	if e, ok := c.entries[key]; ok && e.digest == digest {
 		c.mu.Unlock()
-		return clf, nil
+		return e.clf, nil
 	}
 	c.mu.Unlock()
 	clf, err := ml.Unmarshal(blob)
@@ -341,10 +355,16 @@ func (c *modelCache) get(blob []byte) (ml.Classifier, error) {
 		return nil, err
 	}
 	c.mu.Lock()
-	if len(c.entries) >= modelCacheMaxEntries {
-		c.entries = make(map[modelKey]ml.Classifier)
+	if _, ok := c.entries[key]; !ok && len(c.entries) >= modelCacheMaxEntries {
+		// Evict one arbitrary entry (Go map iteration order). A
+		// colliding key replaces its entry in place instead —
+		// latest-deserialized wins the slot.
+		for k := range c.entries {
+			delete(c.entries, k)
+			break
+		}
 	}
-	c.entries[key] = clf
+	c.entries[key] = &modelEntry{digest: digest, clf: clf}
 	c.mu.Unlock()
 	return clf, nil
 }

@@ -1,0 +1,144 @@
+package vexdb
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"vexdb/ml"
+)
+
+// trainKNNBlob fits a tiny KNN on a one-point training set derived
+// from seed and returns its serialized form. KNN serialization stores
+// the training data, so distinct seeds yield distinct valid blobs.
+func trainKNNBlob(t testing.TB, seed int) []byte {
+	t.Helper()
+	m := ml.NewKNN(1)
+	if err := m.Fit([][]float64{{float64(seed)}}, []int{seed % 3}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ml.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestModelCacheCollisionVerifiesBlob simulates a 64-bit hash
+// collision: an entry is planted under blob B's key but holding blob
+// A's digest and classifier. get(B) must detect the digest mismatch
+// and deserialize B instead of serving A's classifier.
+func TestModelCacheCollisionVerifiesBlob(t *testing.T) {
+	blobA := trainKNNBlob(t, 1)
+	blobB := trainKNNBlob(t, 2)
+	c := newModelCache()
+	clfA, err := c.get(blobA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant A's entry under B's key, as a colliding hash would.
+	keyB := modelKey{hash: fnv64a(blobB), size: len(blobB)}
+	c.mu.Lock()
+	c.entries[keyB] = &modelEntry{digest: sha256.Sum256(blobA), clf: clfA}
+	c.mu.Unlock()
+
+	clfB, err := c.get(blobB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two training sets predict different classes for their own
+	// training point; a collision serving clfA would misclassify.
+	got, err := clfB.Predict([][]float64{{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2%3 {
+		t.Fatalf("collision served the wrong model: predicted %d, want %d", got[0], 2%3)
+	}
+	// The slot now holds B (latest-deserialized wins); a repeat get(B)
+	// must hit and return the same classifier instance.
+	again, err := c.get(blobB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != clfB {
+		t.Fatal("verified entry was not cached")
+	}
+}
+
+// TestModelCacheSingleEntryEviction: inserting past the capacity must
+// evict exactly one entry, not clear the whole cache.
+func TestModelCacheSingleEntryEviction(t *testing.T) {
+	c := newModelCache()
+	blobs := make([][]byte, modelCacheMaxEntries+1)
+	for i := range blobs {
+		blobs[i] = trainKNNBlob(t, i)
+		if _, err := c.get(blobs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	if n != modelCacheMaxEntries {
+		t.Fatalf("cache holds %d entries after overflow, want %d", n, modelCacheMaxEntries)
+	}
+}
+
+// TestModelCacheHitReturnsSameInstance: the §5.1 snapshot cache must
+// avoid re-deserialization on repeated identical blobs.
+func TestModelCacheHitReturnsSameInstance(t *testing.T) {
+	c := newModelCache()
+	blob := trainKNNBlob(t, 7)
+	a, err := c.get(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh slice with equal bytes must hit the same entry.
+	b, err := c.get(append([]byte(nil), blob...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical blob bytes missed the cache")
+	}
+}
+
+// TestPredictCachedEndToEnd drives predict_cached through SQL so the
+// verified cache sits on the real PREDICT path.
+func TestPredictCachedEndToEnd(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec("CREATE TABLE d (f0 DOUBLE, f1 DOUBLE, label INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		cls := 0
+		if i%2 == 1 {
+			cls = 1
+		}
+		if _, err := db.Exec(fmt.Sprintf(
+			"INSERT INTO d VALUES (%d.0, %d.5, %d)", i%7, (i*3)%5, cls)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.ExecScript(`
+		CREATE TABLE models AS SELECT model FROM train_tree((SELECT f0, f1, label FROM d), 6)`); err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT count(*) AS n FROM d, models WHERE predict_cached(model, f0, f1) >= 0`
+	tab, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Column("n").Get(0).Int64() != 40 {
+		t.Fatalf("predict_cached covered %d rows, want 40", tab.Column("n").Get(0).Int64())
+	}
+	// Second run hits the cache; results must be identical.
+	tab2, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab2.Column("n").Get(0).Int64() != 40 {
+		t.Fatal("cached run diverged")
+	}
+}

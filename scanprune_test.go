@@ -1,6 +1,7 @@
 package vexdb
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -111,6 +112,78 @@ func BenchmarkFullScanCompressed(b *testing.B) {
 		if res.Column("n").Get(0).Int64() != 200_000 {
 			b.Fatal("wrong count")
 		}
+	}
+}
+
+// BenchmarkMicroSortParallel: 200k-row ORDER BY through run generation
+// + loser-tree merge. workers=1 is the serial sortOp baseline; on a
+// multi-core machine workers=8 shows the run-sort fan-out, on a
+// 1-core CI box it must at least hold parity.
+func BenchmarkMicroSortParallel(b *testing.B) {
+	db := Open()
+	loadSortedEvents(b, db, 200_000)
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			db.SetParallelism(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tab, err := db.Query("SELECT id FROM events ORDER BY val, id")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tab.NumRows() != 200_000 {
+					b.Fatal("short sort output")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMicroSortLimitParallel: the LIMIT bound pushed into the
+// merge means only 100 rows are ever popped off the loser tree.
+func BenchmarkMicroSortLimitParallel(b *testing.B) {
+	db := Open()
+	loadSortedEvents(b, db, 200_000)
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			db.SetParallelism(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tab, err := db.Query("SELECT id FROM events ORDER BY val DESC, id LIMIT 100")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tab.NumRows() != 100 {
+					b.Fatal("short sort output")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMicroDistinctAggParallel: DISTINCT aggregation over
+// per-worker key sets unioned at the merge (serial before this
+// existed).
+func BenchmarkMicroDistinctAggParallel(b *testing.B) {
+	db := Open()
+	loadSortedEvents(b, db, 200_000)
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			db.SetParallelism(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tab, err := db.Query("SELECT grp, count(DISTINCT val) AS n FROM events GROUP BY grp")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tab.NumRows() != 20 {
+					b.Fatalf("groups = %d", tab.NumRows())
+				}
+			}
+		})
 	}
 }
 
