@@ -18,6 +18,7 @@ import (
 	"syscall"
 
 	"vexdb"
+	"vexdb/internal/cliutil"
 	"vexdb/internal/wire"
 )
 
@@ -26,19 +27,26 @@ func main() {
 	dbDir := flag.String("db", "", "database directory to serve")
 	initFile := flag.String("init", "", "SQL script executed before serving")
 	workers := flag.Int("workers", 0, "query execution parallelism (0 = all CPUs)")
+	memBudget := flag.String("mem-budget", "0", "per-query memory budget for blocking operators, e.g. 64MB (0 = unlimited; over-budget queries spill to -temp-dir)")
+	tempDir := flag.String("temp-dir", "", "spill directory for out-of-core execution (default: system temp dir)")
 	flag.Parse()
 
+	budget, err := cliutil.ParseByteSize(*memBudget)
+	if err != nil {
+		fatal(fmt.Errorf("-mem-budget: %w", err))
+	}
 	var db *vexdb.DB
 	if *dbDir != "" {
-		opened, err := vexdb.OpenDir(*dbDir)
+		opened, err := vexdb.OpenDirOptions(*dbDir, vexdb.Options{
+			Parallelism: *workers, MemoryBudget: budget, TempDir: *tempDir})
 		if err != nil {
 			fatal(err)
 		}
 		db = opened
 	} else {
-		db = vexdb.Open()
+		db = vexdb.OpenOptions(vexdb.Options{
+			Parallelism: *workers, MemoryBudget: budget, TempDir: *tempDir})
 	}
-	db.SetParallelism(*workers)
 	if *initFile != "" {
 		script, err := os.ReadFile(*initFile)
 		if err != nil {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"vexdb"
+	"vexdb/internal/cliutil"
 )
 
 func main() {
@@ -28,8 +29,14 @@ func main() {
 	file := flag.String("f", "", "execute a SQL script file and exit")
 	quiet := flag.Bool("q", false, "suppress timing output")
 	workers := flag.Int("workers", 0, "query execution parallelism (0 = all CPUs)")
+	memBudget := flag.String("mem-budget", "0", "per-query memory budget for blocking operators, e.g. 64MB (0 = unlimited; over-budget queries spill to -temp-dir)")
+	tempDir := flag.String("temp-dir", "", "spill directory for out-of-core execution (default: system temp dir)")
 	flag.Parse()
 
+	budget, err := cliutil.ParseByteSize(*memBudget)
+	if err != nil {
+		fatal(fmt.Errorf("-mem-budget: %w", err))
+	}
 	var db *vexdb.DB
 	if *dbDir != "" {
 		if _, err := os.Stat(*dbDir); err == nil {
@@ -44,6 +51,8 @@ func main() {
 		db = vexdb.Open()
 	}
 	db.SetParallelism(*workers)
+	db.SetMemoryBudget(budget)
+	db.SetTempDir(*tempDir)
 
 	exec := func(stmt string) bool {
 		stmt = strings.TrimSpace(stmt)

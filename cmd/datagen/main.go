@@ -6,6 +6,15 @@
 // Usage:
 //
 //	datagen -out ./data [-rows N] [-precincts N] [-cols N] [-seed N]
+//	        [-events N] [-event-keys N] [-event-skew Z]
+//
+// With -events N > 0 it additionally writes a high-cardinality /
+// skewed-keys `events` table (events.csv + the native db directory),
+// sized so out-of-core paths are exercisable from the CLI:
+//
+//	datagen -out ./data -events 200000 -event-keys 150000
+//	csdb -db ./data/db -mem-budget 4MB \
+//	     -c "SELECT key, count(*) AS n, sum(val) AS s FROM events GROUP BY key"
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"vexdb/internal/fileformat/csvio"
 	"vexdb/internal/fileformat/h5io"
 	"vexdb/internal/fileformat/npyio"
+	"vexdb/internal/frame"
 	"vexdb/internal/workload"
 )
 
@@ -29,6 +39,9 @@ func main() {
 	precincts := flag.Int("precincts", cfg.Precincts, "precinct count")
 	cols := flag.Int("cols", cfg.Columns, "total voter columns")
 	seed := flag.Int64("seed", cfg.Seed, "deterministic seed")
+	events := flag.Int("events", 0, "also generate an `events` table with this many rows (0 = skip): high-cardinality / skewed keys for exercising spill paths")
+	eventKeys := flag.Int("event-keys", 0, "distinct event keys (default 3/4 of -events)")
+	eventSkew := flag.Float64("event-skew", 0, "event key skew: 0 = uniform, larger = hotter head (power-law)")
 	flag.Parse()
 	cfg.Voters = *rows
 	cfg.Precincts = *precincts
@@ -43,6 +56,15 @@ func main() {
 	votersDF := workload.GenerateVoters(cfg, precinctsDF)
 	fmt.Printf("generated %d voters x %d columns, %d precincts in %v\n",
 		votersDF.NumRows(), len(votersDF.Cols), precinctsDF.NumRows(), time.Since(t0).Round(time.Millisecond))
+	var eventsDF *frame.DataFrame
+	if *events > 0 {
+		keys := *eventKeys
+		if keys <= 0 {
+			keys = *events * 3 / 4
+		}
+		eventsDF = workload.GenerateEvents(*events, keys, *eventSkew, cfg.Seed)
+		fmt.Printf("generated %d events over %d keys (skew %.2f)\n", eventsDF.NumRows(), keys, *eventSkew)
+	}
 
 	step := func(name string, fn func() error) {
 		t := time.Now()
@@ -65,6 +87,9 @@ func main() {
 	step("precincts.h5", func() error {
 		return h5io.WriteFile(filepath.Join(*out, "precincts.h5"), precinctsDF)
 	})
+	if eventsDF != nil {
+		step("events.csv", func() error { return csvio.WriteFile(filepath.Join(*out, "events.csv"), eventsDF) })
+	}
 	step("db/ (vexdb native)", func() error {
 		db := vexdb.Open()
 		if err := db.CreateTableFrom("voters", workload.FrameToTable(votersDF)); err != nil {
@@ -72,6 +97,11 @@ func main() {
 		}
 		if err := db.CreateTableFrom("precincts", workload.FrameToTable(precinctsDF)); err != nil {
 			return err
+		}
+		if eventsDF != nil {
+			if err := db.CreateTableFrom("events", workload.FrameToTable(eventsDF)); err != nil {
+				return err
+			}
 		}
 		return db.SaveDir(filepath.Join(*out, "db"))
 	})

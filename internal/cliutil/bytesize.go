@@ -1,0 +1,33 @@
+// Package cliutil holds small helpers shared by the command-line
+// binaries.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseByteSize parses a byte count with an optional KB/MB/GB suffix
+// or K/M/G shorthand. Multipliers are binary (KB = 1024 bytes,
+// MB = 1024², GB = 1024³). Negative sizes are rejected.
+func ParseByteSize(s string) (int64, error) {
+	orig := s
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	for _, suf := range []struct {
+		s string
+		m int64
+	}{{"GB", 1 << 30}, {"MB", 1 << 20}, {"KB", 1 << 10}, {"G", 1 << 30}, {"M", 1 << 20}, {"K", 1 << 10}, {"B", 1}} {
+		if strings.HasSuffix(s, suf.s) {
+			s = strings.TrimSuffix(s, suf.s)
+			mult = suf.m
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid byte size %q", orig)
+	}
+	return n * mult, nil
+}

@@ -1,0 +1,40 @@
+package cliutil
+
+import "testing"
+
+func TestParseByteSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"0", 0, false},
+		{"123", 123, false},
+		{"64KB", 64 << 10, false},
+		{"4MB", 4 << 20, false},
+		{"2gb", 2 << 30, false},
+		{"8m", 8 << 20, false},
+		{" 16 K ", 16 << 10, false},
+		{"512B", 512, false},
+		{"-1", 0, true},
+		{"bogus", 0, true},
+		{"", 0, true},
+		{"MB", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseByteSize(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("%q: expected error, got %d", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%q = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -33,6 +33,17 @@ type DB struct {
 	// Parallelism bounds the morsel-driven parallel executor and
 	// partitioned UDF evaluation (0 = NumCPU).
 	Parallelism int
+
+	// MemoryBudget bounds the estimated bytes a query's blocking
+	// operators (hash aggregation, join build, sort) may hold in
+	// memory; over-budget state grace-partitions or spills sorted
+	// runs to temp files under TempDir and results are unchanged.
+	// 0 = unlimited (spilling disabled).
+	MemoryBudget int64
+
+	// TempDir hosts per-query spill directories when MemoryBudget
+	// forces out-of-core execution; empty means os.TempDir().
+	TempDir string
 }
 
 // New creates an empty in-memory database with the built-in scalar

@@ -58,7 +58,11 @@ func (db *DB) StreamSelect(s *sql.Select) (*exec.ChunkStream, error) {
 		return nil, err
 	}
 	node = plan.Prune(node)
-	return exec.Stream(node, &exec.Context{Parallelism: db.Parallelism})
+	return exec.Stream(node, &exec.Context{
+		Parallelism:  db.Parallelism,
+		MemoryBudget: db.MemoryBudget,
+		TempDir:      db.TempDir,
+	})
 }
 
 // Schema returns the result's column names and types (empty for
@@ -74,6 +78,18 @@ func (r *ResultSet) ScanStats() *exec.ScanStats {
 		return nil
 	}
 	return r.stream.Stats()
+}
+
+// SpillStats returns the query's out-of-core counters (grace
+// partitions and sorted runs spilled to disk, spill bytes
+// written/read), or nil for row-less statements. All zero when the
+// query ran without a memory budget or fit within it; live until the
+// set is drained or closed.
+func (r *ResultSet) SpillStats() *exec.SpillStats {
+	if r.stream == nil {
+		return nil
+	}
+	return r.stream.SpillStats()
 }
 
 // HasRows reports whether the statement produces result rows (even if

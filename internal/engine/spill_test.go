@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"vexdb/internal/vector"
+)
+
+// loadHighCard loads an unclustered high-cardinality table so
+// aggregation, join build and sort all outgrow a small budget.
+func loadHighCard(t *testing.T, db *DB, rows int) {
+	t.Helper()
+	mustExec(t, db, "CREATE TABLE h (id BIGINT, k BIGINT, v DOUBLE, s VARCHAR)")
+	tab, err := db.cat.Table("h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int64, rows)
+	ks := make([]int64, rows)
+	vs := vector.New(vector.Float64, rows)
+	ss := make([]string, rows)
+	for i := 0; i < rows; i++ {
+		ids[i] = int64(i)
+		ks[i] = int64((uint64(i) * 2654435761) % uint64(rows*3/4))
+		if i%29 == 11 {
+			vs.AppendValue(vector.Null())
+		} else {
+			vs.AppendValue(vector.NewFloat64(float64((i*13)%512) / 8))
+		}
+		ss[i] = fmt.Sprintf("s%d", i%23)
+	}
+	if err := tab.Data.AppendChunk(vector.NewChunk(
+		vector.FromInt64s(ids), vector.FromInt64s(ks), vs, vector.FromStrings(ss))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var spillQueries = []string{
+	"SELECT k, count(*) AS n, sum(v) AS sv, min(s) AS mn, count(DISTINCT s) AS cd FROM h GROUP BY k",
+	"SELECT a.id, b.k FROM h a JOIN h b ON a.k = b.k WHERE a.id < 2000",
+	"SELECT id, v FROM h ORDER BY v, id",
+	"SELECT v, count(*) AS n FROM h GROUP BY v", // NULL + NaN-free float keys
+}
+
+// TestEngineSpillDifferential: SQL-level results under a tiny budget
+// must match the unlimited run at every worker count, for both
+// materialized and streamed delivery; SpillStats must surface through
+// the ResultSet and the temp dir must end empty.
+func TestEngineSpillDifferential(t *testing.T) {
+	const rows = 12_000
+	ref := New()
+	ref.Parallelism = 1
+	loadHighCard(t, ref, rows)
+
+	dir := t.TempDir()
+	db := New()
+	db.MemoryBudget = 64 << 10
+	db.TempDir = dir
+	loadHighCard(t, db, rows)
+
+	for _, q := range spillQueries {
+		want := renderTable(t, mustQuery(t, ref, q))
+		for _, workers := range parallelWorkerCounts {
+			db.Parallelism = workers
+
+			got := renderTable(t, mustQuery(t, db, q))
+			compareRows(t, q, workers, "spill-materialized", got, want)
+
+			rs, err := db.Query(q)
+			if err != nil {
+				t.Fatalf("stream %q: %v", q, err)
+			}
+			st := rs.SpillStats()
+			streamed, err := rs.Materialize()
+			if err != nil {
+				t.Fatalf("stream %q: %v", q, err)
+			}
+			compareRows(t, q, workers, "spill-streamed", renderTable(t, streamed), want)
+			if !st.Spilled() {
+				t.Fatalf("%q workers=%d: expected spilling under 64KB budget", q, workers)
+			}
+			ents, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ents) != 0 {
+				t.Fatalf("%q workers=%d: %d temp entries left", q, workers, len(ents))
+			}
+		}
+	}
+}
+
+// TestEngineSpillCancelCleanup: abandoning a spilling streamed query
+// mid-flight must still remove its temp files on Close.
+func TestEngineSpillCancelCleanup(t *testing.T) {
+	const rows = 12_000
+	dir := t.TempDir()
+	db := New()
+	db.MemoryBudget = 64 << 10
+	db.TempDir = dir
+	db.Parallelism = 2
+	loadHighCard(t, db, rows)
+
+	rs, err := db.Query("SELECT id, v FROM h ORDER BY v, id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Next(); err != nil {
+		t.Fatal(err)
+	}
+	rs.Cancel()
+	rs.Next() // observe cancellation
+	if err := rs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("%d temp entries left after cancel", len(ents))
+	}
+}

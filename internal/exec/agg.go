@@ -10,12 +10,15 @@ import (
 
 // hashAggOp implements hash aggregation with optional grouping. With
 // no GROUP BY it produces exactly one row (even for empty input, per
-// SQL semantics).
+// SQL semantics). Under a memory budget, consumption grace-partitions
+// to disk when the table outgrows the budget (agg_spill.go) and the
+// emitter streams partition results merged by first appearance.
 type hashAggOp struct {
-	spec  *plan.Aggregate
-	child Operator
-	ctx   *Context
-	done  bool
+	spec    *plan.Aggregate
+	child   Operator
+	ctx     *Context
+	started bool
+	emitter *aggEmitter
 }
 
 // aggState is one aggregate's partial state. For DISTINCT aggregates
@@ -45,16 +48,22 @@ type aggGroup struct {
 
 // aggTable accumulates hash-aggregation state. Groups are stored
 // densely in first-appearance order; the groupIndex maps key rows to
-// slots without per-row key allocation.
+// slots without per-row key allocation. bytes estimates the table's
+// retained footprint for the query's memory budget.
 type aggTable struct {
 	spec   *plan.Aggregate
 	gi     *groupIndex
 	groups []aggGroup
+	bytes  int64
 
 	groupVecs []*vector.Vector // reused across chunks
 	argVecs   []*vector.Vector
 	scratch   []byte // distinct-value key buffer
 }
+
+// aggGroupOverhead estimates the fixed per-group bookkeeping cost
+// (slice headers, map slots, firstSeen) on top of key and state sizes.
+const aggGroupOverhead = 96
 
 func newAggTable(spec *plan.Aggregate) *aggTable {
 	types := make([]vector.Type, len(spec.GroupBy))
@@ -69,11 +78,9 @@ func newAggTable(spec *plan.Aggregate) *aggTable {
 	}
 }
 
-// consume folds one chunk into the table. morsel is the chunk's global
-// position in the input stream; it seeds firstSeen so output order is
-// deterministic regardless of which worker consumed the chunk.
-func (t *aggTable) consume(ch *vector.Chunk, morsel int) error {
-	n := ch.NumRows()
+// evalInputs evaluates the group and argument expressions over one
+// chunk into the table's reusable vector slots.
+func (t *aggTable) evalInputs(ch *vector.Chunk) error {
 	for i, g := range t.spec.GroupBy {
 		v, err := Evaluate(g, ch)
 		if err != nil {
@@ -92,29 +99,65 @@ func (t *aggTable) consume(ch *vector.Chunk, morsel int) error {
 		}
 		t.argVecs[i] = v
 	}
-	for r := 0; r < n; r++ {
-		id, created := t.gi.groupID(t.groupVecs, r)
-		if created {
-			g := aggGroup{
-				aggs:      make([]aggState, len(t.spec.Aggs)),
-				firstSeen: int64(morsel)<<32 | int64(r),
-			}
-			if len(t.groupVecs) > 0 {
-				g.keyVals = make([]vector.Value, len(t.groupVecs))
-				for i, gv := range t.groupVecs {
-					g.keyVals[i] = gv.Get(r)
-				}
-			}
-			for i, s := range t.spec.Aggs {
-				if s.Distinct {
-					g.aggs[i].distinct = make(map[string]struct{})
-				}
-			}
-			t.groups = append(t.groups, g)
+	return nil
+}
+
+// consume folds one chunk into the table. morsel is the chunk's global
+// position in the input stream; it seeds firstSeen so output order is
+// deterministic regardless of which worker consumed the chunk.
+func (t *aggTable) consume(ch *vector.Chunk, morsel int) error {
+	if err := t.evalInputs(ch); err != nil {
+		return err
+	}
+	return t.consumeVecs(t.groupVecs, t.argVecs, ch.NumRows(), func(r int) int64 {
+		return int64(morsel)<<32 | int64(r)
+	})
+}
+
+// getOrCreate returns the group of row r of the key vectors, creating
+// it (with firstSeen = pos, per-group byte accounting, DISTINCT set
+// init) on first appearance and folding pos into firstSeen otherwise.
+// Shared by fresh consumption and spilled partial replay so group
+// initialization and budget accounting cannot diverge between paths.
+func (t *aggTable) getOrCreate(groupVecs []*vector.Vector, r int, pos int64) *aggGroup {
+	id, created := t.gi.groupID(groupVecs, r)
+	if created {
+		g := aggGroup{
+			aggs:      make([]aggState, len(t.spec.Aggs)),
+			firstSeen: pos,
 		}
-		g := &t.groups[id]
+		t.bytes += aggGroupOverhead + 56*int64(len(t.spec.Aggs))
+		if len(groupVecs) > 0 {
+			g.keyVals = make([]vector.Value, len(groupVecs))
+			for i, gv := range groupVecs {
+				g.keyVals[i] = gv.Get(r)
+				t.bytes += valueBytes(g.keyVals[i])
+			}
+		}
 		for i, s := range t.spec.Aggs {
-			if err := updateAgg(&g.aggs[i], s, t.argVecs[i], r, &t.scratch); err != nil {
+			if s.Distinct {
+				g.aggs[i].distinct = make(map[string]struct{})
+			}
+		}
+		t.groups = append(t.groups, g)
+	}
+	g := &t.groups[id]
+	if pos < g.firstSeen {
+		g.firstSeen = pos
+	}
+	return g
+}
+
+// consumeVecs folds n rows of evaluated group/argument vectors into
+// the table. posOf returns each row's unique global input position;
+// a group's firstSeen is the minimum over its rows, so the result is
+// independent of consumption order (spilled partitions replay rows in
+// file order, which under parallel spillers is not position order).
+func (t *aggTable) consumeVecs(groupVecs, argVecs []*vector.Vector, n int, posOf func(r int) int64) error {
+	for r := 0; r < n; r++ {
+		g := t.getOrCreate(groupVecs, r, posOf(r))
+		for i, s := range t.spec.Aggs {
+			if err := updateAgg(&g.aggs[i], s, argVecs[i], r, &t.scratch, &t.bytes); err != nil {
 				return err
 			}
 		}
@@ -157,7 +200,11 @@ func (t *aggTable) mergeKeyMap() map[string]int32 {
 // values. Every aggregate kind composes: counts and sums add, min/max
 // compare, and DISTINCT states union their per-worker key sets (the
 // accumulators stay untouched until finalizeAgg folds the merged set).
+// o's tracked bytes transfer to t (the groups move or union into it),
+// so whoever releases t releases everything merged into it.
 func (t *aggTable) merge(o *aggTable, byKey map[string]int32) error {
+	t.bytes += o.bytes
+	o.bytes = 0
 	if len(o.groups) == 0 {
 		return nil
 	}
@@ -224,6 +271,20 @@ func mergeAggState(dst, src *aggState) error {
 // emit materializes the groups, ordered by first appearance, as one
 // result chunk.
 func (t *aggTable) emit() (*vector.Chunk, error) {
+	run, err := t.emitRun()
+	if err != nil {
+		return nil, err
+	}
+	return run.data, nil
+}
+
+// emitRun materializes the groups as a run sorted by first appearance:
+// the finalized output chunk plus each group's firstSeen position, so
+// spilled partitions merge back into exact serial first-appearance
+// order via the shared run merger (zero sort keys: the merge orders
+// purely by position, and firstSeen values are unique — no two groups
+// share a first row).
+func (t *aggTable) emitRun() (*sortedRun, error) {
 	order := make([]int, len(t.groups))
 	for i := range order {
 		order[i] = i
@@ -236,6 +297,7 @@ func (t *aggTable) emit() (*vector.Chunk, error) {
 	for i, c := range schema {
 		cols[i] = vector.New(c.Type, len(t.groups))
 	}
+	pos := make([]int64, 0, len(t.groups))
 	ng := len(t.spec.GroupBy)
 	for _, gi := range order {
 		g := &t.groups[gi]
@@ -249,42 +311,47 @@ func (t *aggTable) emit() (*vector.Chunk, error) {
 			}
 			appendCast(cols[ng+i], v, schema[ng+i].Type)
 		}
+		pos = append(pos, g.firstSeen)
 	}
-	return vector.NewChunk(cols...), nil
+	return &sortedRun{data: vector.NewChunk(cols...), pos: pos}, nil
 }
 
 func (a *hashAggOp) Open(ctx *Context) error {
-	a.done = false
 	a.ctx = ctx
+	a.emitter = nil
+	a.started = false
 	return a.child.Open(ctx)
 }
 
 func (a *hashAggOp) Next() (*vector.Chunk, error) {
-	if a.done {
-		return nil, nil
-	}
-	a.done = true
-
-	t := newAggTable(a.spec)
-	morsel := 0
-	for {
-		if a.ctx.interrupted() {
-			return nil, ErrCancelled
+	if !a.started {
+		a.started = true
+		shared := &aggShared{}
+		cons := newAggConsumer(a.ctx, a.spec, shared)
+		morsel := 0
+		for {
+			if a.ctx.interrupted() {
+				return nil, ErrCancelled
+			}
+			ch, err := a.child.Next()
+			if err != nil {
+				return nil, err
+			}
+			if ch == nil {
+				break
+			}
+			if err := cons.consume(ch, morsel); err != nil {
+				return nil, err
+			}
+			morsel++
 		}
-		ch, err := a.child.Next()
+		em, err := finishAggEmit(a.ctx, a.spec, []*aggConsumer{cons}, shared)
 		if err != nil {
 			return nil, err
 		}
-		if ch == nil {
-			break
-		}
-		if err := t.consume(ch, morsel); err != nil {
-			return nil, err
-		}
-		morsel++
+		a.emitter = em
 	}
-	t.ensureGlobalGroup()
-	return t.emit()
+	return a.emitter.next(a.ctx)
 }
 
 func appendCast(col *vector.Vector, v vector.Value, t vector.Type) {
@@ -296,7 +363,7 @@ func appendCast(col *vector.Vector, v vector.Value, t vector.Type) {
 	col.AppendValue(v)
 }
 
-func updateAgg(st *aggState, spec plan.AggSpec, arg *vector.Vector, r int, scratch *[]byte) error {
+func updateAgg(st *aggState, spec plan.AggSpec, arg *vector.Vector, r int, scratch *[]byte, bytes *int64) error {
 	if spec.Arg == nil { // count(*)
 		st.count++
 		return nil
@@ -319,16 +386,19 @@ func updateAgg(st *aggState, spec plan.AggSpec, arg *vector.Vector, r int, scrat
 		*scratch = buf
 		if _, seen := st.distinct[string(buf)]; !seen {
 			st.distinct[string(buf)] = struct{}{}
+			*bytes += int64(len(buf)) + 48
 		}
 		return nil
 	}
-	return accumulateAgg(st, spec, arg.Get(r))
+	return accumulateAgg(st, spec, arg.Get(r), bytes)
 }
 
 // accumulateAgg folds one non-NULL value into an aggregate state. It
 // is shared by the per-row update path and the distinct-set fold in
-// finalizeAgg.
-func accumulateAgg(st *aggState, spec plan.AggSpec, v vector.Value) error {
+// finalizeAgg. bytes tracks the retained-value footprint of MIN/MAX
+// — over string/blob columns the kept value can dominate the group's
+// size, so the memory budget must see it.
+func accumulateAgg(st *aggState, spec plan.AggSpec, v vector.Value, bytes *int64) error {
 	switch spec.Kind {
 	case plan.AggCount:
 		st.count++
@@ -346,6 +416,7 @@ func accumulateAgg(st *aggState, spec plan.AggSpec, v vector.Value) error {
 	case plan.AggMin:
 		if st.min.Type() == vector.Invalid { // unset or NULL: first value wins
 			st.min = v
+			*bytes += valueBytes(v)
 			return nil
 		}
 		c, err := v.Compare(st.min)
@@ -353,11 +424,13 @@ func accumulateAgg(st *aggState, spec plan.AggSpec, v vector.Value) error {
 			return err
 		}
 		if c < 0 {
+			*bytes += valueBytes(v) - valueBytes(st.min)
 			st.min = v
 		}
 	case plan.AggMax:
 		if st.max.Type() == vector.Invalid {
 			st.max = v
+			*bytes += valueBytes(v)
 			return nil
 		}
 		c, err := v.Compare(st.max)
@@ -365,6 +438,7 @@ func accumulateAgg(st *aggState, spec plan.AggSpec, v vector.Value) error {
 			return err
 		}
 		if c > 0 {
+			*bytes += valueBytes(v) - valueBytes(st.max)
 			st.max = v
 		}
 	}
@@ -384,6 +458,7 @@ func foldDistinct(st *aggState, spec plan.AggSpec) (*aggState, error) {
 	}
 	sort.Strings(keys)
 	out := &aggState{}
+	var scratch int64 // finalize-time state is transient; not budgeted
 	for _, k := range keys {
 		v, _, err := decodeValueKey([]byte(k))
 		if err != nil {
@@ -392,7 +467,7 @@ func foldDistinct(st *aggState, spec plan.AggSpec) (*aggState, error) {
 		if v.IsNull() {
 			continue // unreachable: sets hold only non-NULL encodings
 		}
-		if err := accumulateAgg(out, spec, v); err != nil {
+		if err := accumulateAgg(out, spec, v, &scratch); err != nil {
 			return nil, err
 		}
 	}
@@ -442,4 +517,7 @@ func finalizeAgg(st *aggState, spec plan.AggSpec) (vector.Value, error) {
 	return vector.Null(), nil
 }
 
-func (a *hashAggOp) Close() error { return a.child.Close() }
+func (a *hashAggOp) Close() error {
+	a.emitter.close()
+	return a.child.Close()
+}

@@ -1,0 +1,868 @@
+// Grace-partitioned spill for hash aggregation. When a query runs
+// under a memory budget and its aggregation state outgrows it, the
+// consumer switches to out-of-core mode:
+//
+//  1. The in-memory table's groups are dumped as per-partition
+//     "partial" rows (group key values, firstSeen position, and each
+//     aggregate's serialized partial state), partitioned by a hash of
+//     the encoded group key, and the table is dropped.
+//  2. Every subsequent input row is routed by the same hash to its
+//     partition as a "raw" row (evaluated group and argument columns
+//     plus the row's global input position) without touching a hash
+//     table at all.
+//  3. On emit, partitions are processed one at a time: partials merge
+//     by key, raw rows re-aggregate, and if a partition itself
+//     outgrows the budget it re-partitions recursively on the next
+//     hash nibble. Each partition's finalized groups form a run
+//     sorted by firstSeen; the shared run merger folds the partition
+//     runs back into exact global first-appearance order, because
+//     firstSeen is the minimum input position over all of a group's
+//     rows — an order-independent quantity.
+//
+// All partitions of one spiller share one physical spill file (file
+// creation dominates spill cost on most filesystems); per-partition
+// chunk-ref lists make the partitions independently readable via
+// positioned reads.
+//
+// Rows of one group always hash to one partition chain, so grouping is
+// exact; determinism of row order holds at any budget and worker
+// count. The single caveat is the one parallel execution already
+// carries: SUM/AVG over DOUBLE accumulate in whatever order rows are
+// replayed, so float sums can differ in the last ulps from the
+// in-memory run (integer, string, COUNT, MIN/MAX and all DISTINCT
+// aggregates are exact).
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"vexdb/internal/plan"
+	"vexdb/internal/spill"
+	"vexdb/internal/vector"
+)
+
+// spillFanout is the grace-partition fan-out per recursion level (one
+// hash nibble).
+const spillFanout = 16
+
+// maxSpillLevels caps re-partitioning depth; a partition that still
+// exceeds the budget at the deepest level (pathological key skew, or
+// a single group whose DISTINCT set alone exceeds the budget) is
+// processed in memory — correctness over the budget, degraded
+// gracefully.
+const maxSpillLevels = 8
+
+// hashKeyBytes hashes an encoded group key (FNV-1a 64); partitions at
+// recursion level L use nibble L, so a partition's keys re-split on
+// fresh bits at every level.
+func hashKeyBytes(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+func partitionOf(h uint64, level int) int {
+	return int((h >> (4 * uint(level))) & (spillFanout - 1))
+}
+
+// ------------------------------------------------------- row appender
+
+// rowAppender buffers rows destined for one partition until a chunk's
+// worth accumulated.
+type rowAppender struct {
+	cols []*vector.Vector
+}
+
+func newRowAppender(types []vector.Type) *rowAppender {
+	a := &rowAppender{cols: make([]*vector.Vector, len(types))}
+	for i, t := range types {
+		a.cols[i] = vector.New(t, 0)
+	}
+	return a
+}
+
+func (a *rowAppender) rows() int {
+	if a == nil || len(a.cols) == 0 {
+		return 0
+	}
+	return a.cols[0].Len()
+}
+
+func (a *rowAppender) reset() {
+	for i, c := range a.cols {
+		a.cols[i] = vector.New(c.Type(), 0)
+	}
+}
+
+// ------------------------------------------------------- agg spiller
+
+// aggLayout describes the spilled row formats of one aggregation:
+// raw rows are [group cols..., arg cols (non-nil args only)..., pos];
+// partial rows are [group cols..., firstSeen, one state blob per agg].
+type aggLayout struct {
+	spec       *plan.Aggregate
+	groupTypes []vector.Type
+	argTypes   []vector.Type // one per agg with a non-nil Arg
+	argIdx     []int         // agg i -> index into argTypes, or -1
+}
+
+// newAggLayout derives the spilled layouts from evaluated vectors
+// (runtime types, which can differ from static expression types for
+// untyped NULLs).
+func newAggLayout(spec *plan.Aggregate, groupVecs, argVecs []*vector.Vector) *aggLayout {
+	l := &aggLayout{spec: spec, argIdx: make([]int, len(spec.Aggs))}
+	l.groupTypes = make([]vector.Type, len(groupVecs))
+	for i, v := range groupVecs {
+		l.groupTypes[i] = v.Type()
+	}
+	for i := range spec.Aggs {
+		l.argIdx[i] = -1
+		if argVecs[i] != nil {
+			l.argIdx[i] = len(l.argTypes)
+			l.argTypes = append(l.argTypes, argVecs[i].Type())
+		}
+	}
+	return l
+}
+
+func (l *aggLayout) rawTypes() []vector.Type {
+	out := append([]vector.Type{}, l.groupTypes...)
+	out = append(out, l.argTypes...)
+	return append(out, vector.Int64)
+}
+
+func (l *aggLayout) partialTypes() []vector.Type {
+	out := append([]vector.Type{}, l.groupTypes...)
+	out = append(out, vector.Int64)
+	for range l.spec.Aggs {
+		out = append(out, vector.Blob)
+	}
+	return out
+}
+
+// aggSpiller fans aggregation overflow out to spillFanout partitions
+// at one recursion level. One spiller (and one spill file) is shared
+// by every consumer of an aggregation: parallel workers route into
+// the same partitions under per-partition locks.
+type aggSpiller struct {
+	ctx    *Context
+	layout *aggLayout
+	level  int
+
+	fileMu sync.Mutex
+	file   *spill.File
+
+	parts [spillFanout]aggSpillPart
+}
+
+type aggSpillPart struct {
+	mu          sync.Mutex
+	raw         *rowAppender
+	partial     *rowAppender
+	rawRefs     []spill.ChunkRef
+	partialRefs []spill.ChunkRef
+}
+
+func newAggSpiller(ctx *Context, layout *aggLayout, level int) *aggSpiller {
+	return &aggSpiller{ctx: ctx, layout: layout, level: level}
+}
+
+// writeBuf flushes one partition's buffered rows into the shared file,
+// recording the chunk ref. The partition's lock must be held.
+func (s *aggSpiller) writeBuf(a *rowAppender, refs *[]spill.ChunkRef) error {
+	if a.rows() == 0 {
+		return nil
+	}
+	s.fileMu.Lock()
+	defer s.fileMu.Unlock()
+	if s.file == nil {
+		f, err := s.ctx.spillManager().Create(fmt.Sprintf("agg-l%d", s.level))
+		if err != nil {
+			return err
+		}
+		s.file = f
+	}
+	ref, err := s.file.WriteChunkRef(a.cols)
+	if err != nil {
+		return err
+	}
+	*refs = append(*refs, ref)
+	a.reset()
+	return nil
+}
+
+// partitionRows computes each row's partition and groups row indexes
+// by partition, so appends take one lock per (chunk, partition)
+// instead of one per row.
+func (s *aggSpiller) partitionRows(groupVecs []*vector.Vector, n int) [spillFanout][]int {
+	var sel [spillFanout][]int
+	var keyBuf []byte
+	for r := 0; r < n; r++ {
+		keyBuf = keyBuf[:0]
+		for _, gv := range groupVecs {
+			keyBuf = appendRowKey(keyBuf, gv, r)
+		}
+		p := partitionOf(hashKeyBytes(keyBuf), s.level)
+		sel[p] = append(sel[p], r)
+	}
+	return sel
+}
+
+// routeVecs appends n evaluated rows to their partitions' raw chunk
+// lists. posOf supplies each row's global input position. Safe for
+// concurrent use by multiple workers.
+func (s *aggSpiller) routeVecs(groupVecs, argVecs []*vector.Vector, n int, posOf func(r int) int64) error {
+	sel := s.partitionRows(groupVecs, n)
+	for p := range sel {
+		if len(sel[p]) == 0 {
+			continue
+		}
+		pt := &s.parts[p]
+		pt.mu.Lock()
+		err := func() error {
+			if pt.raw == nil {
+				pt.raw = newRowAppender(s.layout.rawTypes())
+			}
+			a := pt.raw
+			for _, r := range sel[p] {
+				c := 0
+				for _, gv := range groupVecs {
+					a.cols[c].AppendRowFrom(gv, r)
+					c++
+				}
+				for i := range s.layout.spec.Aggs {
+					if s.layout.argIdx[i] < 0 {
+						continue
+					}
+					a.cols[len(groupVecs)+s.layout.argIdx[i]].AppendRowFrom(argVecs[i], r)
+				}
+				a.cols[len(a.cols)-1].AppendValue(vector.NewInt64(posOf(r)))
+			}
+			if a.rows() >= vector.DefaultChunkSize {
+				return s.writeBuf(a, &pt.rawRefs)
+			}
+			return nil
+		}()
+		pt.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dumpTable writes every group of t as a partial row and accounts the
+// table's memory as released (the caller drops the table). Safe for
+// concurrent use.
+func (s *aggSpiller) dumpTable(t *aggTable) error {
+	ng := len(s.layout.groupTypes)
+	var sel [spillFanout][]int
+	var keyBuf []byte
+	for gi := range t.groups {
+		keyBuf = keyBuf[:0]
+		for _, kv := range t.groups[gi].keyVals {
+			keyBuf = appendValueKey(keyBuf, kv)
+		}
+		p := partitionOf(hashKeyBytes(keyBuf), s.level)
+		sel[p] = append(sel[p], gi)
+	}
+	var stateBuf []byte
+	for p := range sel {
+		if len(sel[p]) == 0 {
+			continue
+		}
+		pt := &s.parts[p]
+		pt.mu.Lock()
+		err := func() error {
+			if pt.partial == nil {
+				pt.partial = newRowAppender(s.layout.partialTypes())
+			}
+			a := pt.partial
+			for _, gi := range sel[p] {
+				g := &t.groups[gi]
+				for i, kv := range g.keyVals {
+					appendCast(a.cols[i], kv, s.layout.groupTypes[i])
+				}
+				a.cols[ng].AppendValue(vector.NewInt64(g.firstSeen))
+				for i := range g.aggs {
+					stateBuf = encodeAggState(stateBuf[:0], &g.aggs[i])
+					a.cols[ng+1+i].AppendValue(vector.NewBlob(append([]byte(nil), stateBuf...)))
+				}
+			}
+			if a.rows() >= vector.DefaultChunkSize {
+				return s.writeBuf(a, &pt.partialRefs)
+			}
+			return nil
+		}()
+		pt.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	s.ctx.memShrink(t.bytes)
+	return nil
+}
+
+// reroutePartialChunk forwards spilled partial rows to the next
+// recursion level's partitions.
+func (s *aggSpiller) reroutePartialChunk(cols []*vector.Vector, ng int) error {
+	sel := s.partitionRows(cols[:ng], cols[ng].Len())
+	for p := range sel {
+		if len(sel[p]) == 0 {
+			continue
+		}
+		pt := &s.parts[p]
+		pt.mu.Lock()
+		err := func() error {
+			if pt.partial == nil {
+				pt.partial = newRowAppender(s.layout.partialTypes())
+			}
+			for _, r := range sel[p] {
+				for i, c := range cols {
+					pt.partial.cols[i].AppendRowFrom(c, r)
+				}
+			}
+			if pt.partial.rows() >= vector.DefaultChunkSize {
+				return s.writeBuf(pt.partial, &pt.partialRefs)
+			}
+			return nil
+		}()
+		pt.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finish flushes all buffered rows and counts the spilled partitions.
+func (s *aggSpiller) finish() error {
+	n := int64(0)
+	for p := range s.parts {
+		pt := &s.parts[p]
+		if pt.raw != nil {
+			if err := s.writeBuf(pt.raw, &pt.rawRefs); err != nil {
+				return err
+			}
+		}
+		if pt.partial != nil {
+			if err := s.writeBuf(pt.partial, &pt.partialRefs); err != nil {
+				return err
+			}
+		}
+		if len(pt.rawRefs) > 0 || len(pt.partialRefs) > 0 {
+			n++
+		}
+	}
+	s.ctx.spillStats().addPartitions(n)
+	return nil
+}
+
+// release frees the spiller's file once every partition is processed.
+func (s *aggSpiller) release() {
+	if s.file != nil {
+		s.file.Release()
+		s.file = nil
+	}
+}
+
+// ------------------------------------------------------- state codec
+
+// encodeAggState serializes one aggregate's partial state: counts and
+// sums fixed-width, min/max as optional value keys, the DISTINCT set
+// as length-prefixed entries. appendValueKey round-trips bit-exactly
+// (floats by bit pattern), so partial states survive disk unchanged.
+func encodeAggState(buf []byte, st *aggState) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(st.count))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(st.sumI))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.sumF))
+	buf = appendOptValue(buf, st.min)
+	buf = appendOptValue(buf, st.max)
+	if st.distinct == nil {
+		buf = binary.LittleEndian.AppendUint32(buf, 0xFFFFFFFF)
+		return buf
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.distinct)))
+	for k := range st.distinct {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(k)))
+		buf = append(buf, k...)
+	}
+	return buf
+}
+
+func appendOptValue(buf []byte, v vector.Value) []byte {
+	if v.Type() == vector.Invalid {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	return appendValueKey(buf, v)
+}
+
+func decodeAggState(b []byte) (aggState, error) {
+	var st aggState
+	if len(b) < 24 {
+		return st, fmt.Errorf("exec: truncated agg state")
+	}
+	st.count = int64(binary.LittleEndian.Uint64(b))
+	st.sumI = int64(binary.LittleEndian.Uint64(b[8:]))
+	st.sumF = math.Float64frombits(binary.LittleEndian.Uint64(b[16:]))
+	b = b[24:]
+	var err error
+	if st.min, b, err = decodeOptValue(b); err != nil {
+		return st, err
+	}
+	if st.max, b, err = decodeOptValue(b); err != nil {
+		return st, err
+	}
+	if len(b) < 4 {
+		return st, fmt.Errorf("exec: truncated agg state distinct count")
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if n == 0xFFFFFFFF {
+		if len(b) != 0 {
+			return st, fmt.Errorf("exec: trailing agg state bytes")
+		}
+		return st, nil
+	}
+	st.distinct = make(map[string]struct{}, n)
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 4 {
+			return st, fmt.Errorf("exec: truncated distinct entry")
+		}
+		l := int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		if len(b) < l {
+			return st, fmt.Errorf("exec: truncated distinct entry")
+		}
+		st.distinct[string(b[:l])] = struct{}{}
+		b = b[l:]
+	}
+	if len(b) != 0 {
+		return st, fmt.Errorf("exec: trailing agg state bytes")
+	}
+	return st, nil
+}
+
+func decodeOptValue(b []byte) (vector.Value, []byte, error) {
+	if len(b) < 1 {
+		return vector.Null(), nil, fmt.Errorf("exec: truncated agg state value")
+	}
+	if b[0] == 0 {
+		return vector.Value{}, b[1:], nil
+	}
+	return decodeValueKey(b[1:])
+}
+
+// ------------------------------------------------------- consumer
+
+// aggShared is the spill state shared by every consumer of one
+// aggregation: the first consumer to overflow creates the spiller,
+// and all consumers route into the same partition files afterwards.
+type aggShared struct {
+	mu      sync.Mutex
+	layout  *aggLayout
+	spiller *aggSpiller
+}
+
+// get returns the shared spiller, creating it (with a layout derived
+// from the caller's evaluated vectors) on first use.
+func (sh *aggShared) get(ctx *Context, spec *plan.Aggregate, groupVecs, argVecs []*vector.Vector) *aggSpiller {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.spiller == nil {
+		sh.layout = newAggLayout(spec, groupVecs, argVecs)
+		sh.spiller = newAggSpiller(ctx, sh.layout, 0)
+	}
+	return sh.spiller
+}
+
+// aggConsumer is one consumption thread's aggregation state: an
+// in-memory table that converts to grace-partitioned spill routing
+// when the query's footprint exceeds its budget.
+type aggConsumer struct {
+	ctx     *Context
+	spec    *plan.Aggregate
+	shared  *aggShared
+	table   *aggTable
+	spiller *aggSpiller
+}
+
+func newAggConsumer(ctx *Context, spec *plan.Aggregate, shared *aggShared) *aggConsumer {
+	return &aggConsumer{ctx: ctx, spec: spec, shared: shared, table: newAggTable(spec)}
+}
+
+// consume folds one chunk, switching to spill routing once over
+// budget. morsel is the chunk's global input index.
+func (c *aggConsumer) consume(ch *vector.Chunk, morsel int) error {
+	t := c.table
+	if t == nil {
+		return c.routeChunk(ch, morsel)
+	}
+	prev := t.bytes
+	if err := t.consume(ch, morsel); err != nil {
+		return err
+	}
+	c.ctx.memGrow(t.bytes - prev)
+	if c.ctx.shouldSpill(t.bytes) {
+		c.spiller = c.shared.get(c.ctx, c.spec, t.groupVecs, t.argVecs)
+		if err := c.spiller.dumpTable(t); err != nil {
+			return err
+		}
+		c.table = nil
+	}
+	return nil
+}
+
+// routeChunk evaluates a chunk's group/arg expressions and routes the
+// rows to spill partitions.
+func (c *aggConsumer) routeChunk(ch *vector.Chunk, morsel int) error {
+	groupVecs := make([]*vector.Vector, len(c.spec.GroupBy))
+	for i, g := range c.spec.GroupBy {
+		v, err := Evaluate(g, ch)
+		if err != nil {
+			return err
+		}
+		groupVecs[i] = v
+	}
+	argVecs := make([]*vector.Vector, len(c.spec.Aggs))
+	for i, s := range c.spec.Aggs {
+		if s.Arg == nil {
+			continue
+		}
+		v, err := Evaluate(s.Arg, ch)
+		if err != nil {
+			return err
+		}
+		argVecs[i] = v
+	}
+	return c.spiller.routeVecs(groupVecs, argVecs, ch.NumRows(), func(r int) int64 {
+		return int64(morsel)<<32 | int64(r)
+	})
+}
+
+func (c *aggConsumer) spilled() bool { return c.spiller != nil }
+
+// ------------------------------------------------------- emitter
+
+// aggEmitter streams the aggregation result: a single in-memory chunk
+// on the fast path, or the firstSeen-ordered merge of partition runs
+// after a spill.
+type aggEmitter struct {
+	chunk  *vector.Chunk
+	merger *runMerger
+	done   bool
+}
+
+func (e *aggEmitter) next(ctx *Context) (*vector.Chunk, error) {
+	if e == nil || e.done {
+		return nil, nil
+	}
+	if e.chunk != nil {
+		e.done = true
+		return e.chunk, nil
+	}
+	ch, err := e.merger.next(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if ch == nil {
+		e.done = true
+	}
+	return ch, nil
+}
+
+func (e *aggEmitter) close() {
+	if e != nil {
+		e.merger.close()
+	}
+}
+
+// aggPartSource is one partition's spilled data: chunk refs into a
+// shared spill file.
+type aggPartSource struct {
+	file        *spill.File
+	rawRefs     []spill.ChunkRef
+	partialRefs []spill.ChunkRef
+}
+
+// finishAggEmit turns the consumers' accumulated state into an
+// emitter. With no spill anywhere, in-memory tables merge exactly as
+// before (worker order, first-appearance emit). Once any consumer
+// spilled, the remaining in-memory tables are merged and dumped into
+// the shared spiller too, and every partition is processed to a
+// firstSeen-sorted run; the runs merge back into global
+// first-appearance order.
+// mergeConsumerTables folds the consumers' in-memory tables into one,
+// in consumer (worker-index) order — the order the determinism
+// argument and the float-sum caveat are stated against. Returns nil
+// when no consumer holds a non-empty table.
+func mergeConsumerTables(consumers []*aggConsumer) (*aggTable, error) {
+	var base *aggTable
+	var byKey map[string]int32
+	for _, c := range consumers {
+		if c.table == nil || len(c.table.groups) == 0 {
+			continue
+		}
+		if base == nil {
+			base = c.table
+			continue
+		}
+		if byKey == nil {
+			byKey = base.mergeKeyMap()
+		}
+		if err := base.merge(c.table, byKey); err != nil {
+			return nil, err
+		}
+	}
+	return base, nil
+}
+
+func finishAggEmit(ctx *Context, spec *plan.Aggregate, consumers []*aggConsumer, shared *aggShared) (*aggEmitter, error) {
+	if shared.spiller == nil {
+		base, err := mergeConsumerTables(consumers)
+		if err != nil {
+			return nil, err
+		}
+		if base == nil {
+			base = newAggTable(spec)
+		}
+		base.ensureGlobalGroup()
+		ch, err := base.emit()
+		// The aggregation state (all consumers' bytes, transferred into
+		// base by merge) dies here; only the emitted chunk lives on.
+		ctx.memShrink(base.bytes)
+		if err != nil {
+			return nil, err
+		}
+		return &aggEmitter{chunk: ch}, nil
+	}
+
+	// Dump leftover in-memory tables (merged in consumer order, the
+	// same order the in-memory path merges) into the shared spiller so
+	// partition processing sees every consumer's state uniformly.
+	sp := shared.spiller
+	leftover, err := mergeConsumerTables(consumers)
+	if err != nil {
+		return nil, err
+	}
+	if leftover != nil {
+		if err := sp.dumpTable(leftover); err != nil {
+			return nil, err
+		}
+	}
+	if err := sp.finish(); err != nil {
+		return nil, err
+	}
+
+	// Partition output runs that cannot stay in memory share one
+	// "out" file, created on first need and owned by the merger.
+	var outFile *spill.File
+	getOut := func() (*spill.File, error) {
+		if outFile == nil {
+			f, err := ctx.spillManager().Create("agg-out")
+			if err != nil {
+				return nil, err
+			}
+			outFile = f
+		}
+		return outFile, nil
+	}
+
+	var runs []*mergeRun
+	var held int64
+	for p := 0; p < spillFanout; p++ {
+		pt := &sp.parts[p]
+		if len(pt.rawRefs) == 0 && len(pt.partialRefs) == 0 {
+			continue
+		}
+		src := aggPartSource{file: sp.file, rawRefs: pt.rawRefs, partialRefs: pt.partialRefs}
+		prs, err := processAggPartition(ctx, spec, shared.layout, src, 1, getOut, &held)
+		if err != nil {
+			ctx.memShrink(held)
+			return nil, err
+		}
+		runs = append(runs, prs...)
+	}
+	// Every partition is consumed; the spiller's file can go now. The
+	// out-file lives until the merge drains.
+	sp.release()
+	var files []*spill.File
+	if outFile != nil {
+		files = append(files, outFile)
+	}
+	return &aggEmitter{merger: newRunMerger(ctx, nil, runs, -1, files, held)}, nil
+}
+
+// processAggPartition re-aggregates one partition: partial rows merge
+// by key, raw rows replay, and an over-budget partition re-partitions
+// recursively at the next hash level. It returns the partition's
+// groups as firstSeen-sorted runs (several after recursion), spilling
+// each run that would not fit in memory to the shared out-file.
+func processAggPartition(ctx *Context, spec *plan.Aggregate, layout *aggLayout, src aggPartSource, level int, getOut func() (*spill.File, error), held *int64) ([]*mergeRun, error) {
+	t := newAggTable(spec)
+	var sub *aggSpiller
+	ng := len(layout.groupTypes)
+
+	overflow := func() error {
+		if sub != nil || level >= maxSpillLevels || !ctx.shouldSpill(t.bytes) {
+			return nil
+		}
+		sub = newAggSpiller(ctx, layout, level)
+		if err := sub.dumpTable(t); err != nil {
+			return err
+		}
+		t = nil
+		return nil
+	}
+
+	// Partials first, then raw rows: every group a raw row touches
+	// either already has its pre-spill partial merged in, or never had
+	// one.
+	for _, ref := range src.partialRefs {
+		if ctx.interrupted() {
+			return nil, ErrCancelled
+		}
+		cols, err := src.file.ReadChunkAt(ref)
+		if err != nil {
+			return nil, err
+		}
+		if t != nil {
+			prev := t.bytes
+			if err := t.mergePartialChunk(cols, ng); err != nil {
+				return nil, err
+			}
+			ctx.memGrow(t.bytes - prev)
+			if err := overflow(); err != nil {
+				return nil, err
+			}
+		} else if err := sub.reroutePartialChunk(cols, ng); err != nil {
+			return nil, err
+		}
+	}
+	for _, ref := range src.rawRefs {
+		if ctx.interrupted() {
+			return nil, ErrCancelled
+		}
+		cols, err := src.file.ReadChunkAt(ref)
+		if err != nil {
+			return nil, err
+		}
+		groupVecs := cols[:ng]
+		argVecs := make([]*vector.Vector, len(spec.Aggs))
+		for i := range spec.Aggs {
+			if layout.argIdx[i] >= 0 {
+				argVecs[i] = cols[ng+layout.argIdx[i]]
+			}
+		}
+		pos := cols[len(cols)-1].Int64s()
+		if t != nil {
+			prev := t.bytes
+			if err := t.consumeVecs(groupVecs, argVecs, len(pos), func(r int) int64 { return pos[r] }); err != nil {
+				return nil, err
+			}
+			ctx.memGrow(t.bytes - prev)
+			if err := overflow(); err != nil {
+				return nil, err
+			}
+		} else if err := sub.routeVecs(groupVecs, argVecs, len(pos), func(r int) int64 { return pos[r] }); err != nil {
+			return nil, err
+		}
+	}
+
+	if sub == nil {
+		run, err := t.emitRun()
+		ctx.memShrink(t.bytes)
+		if err != nil {
+			return nil, err
+		}
+		mr, err := maybeSpillAggRun(ctx, run, getOut, held)
+		if err != nil {
+			return nil, err
+		}
+		return []*mergeRun{mr}, nil
+	}
+	if err := sub.finish(); err != nil {
+		return nil, err
+	}
+	var runs []*mergeRun
+	for p := 0; p < spillFanout; p++ {
+		pt := &sub.parts[p]
+		if len(pt.rawRefs) == 0 && len(pt.partialRefs) == 0 {
+			continue
+		}
+		subSrc := aggPartSource{file: sub.file, rawRefs: pt.rawRefs, partialRefs: pt.partialRefs}
+		prs, err := processAggPartition(ctx, spec, layout, subSrc, level+1, getOut, held)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, prs...)
+	}
+	sub.release()
+	return runs, nil
+}
+
+// maybeSpillAggRun keeps a partition's output run in memory when it
+// fits (accounting its bytes into *held, released when the merger
+// closes), writing it to the shared out-file when the query is
+// (still) over budget so merge-time memory stays bounded by
+// O(partitions) windows.
+func maybeSpillAggRun(ctx *Context, run *sortedRun, getOut func() (*spill.File, error), held *int64) (*mergeRun, error) {
+	if run.data.NumRows() == 0 {
+		return newMemRun(run), nil
+	}
+	if ctx.spillEnabled() && ctx.overBudget() {
+		f, err := getOut()
+		if err != nil {
+			return nil, err
+		}
+		mr, err := spillSortedRun(f, run, nil)
+		if err != nil {
+			return nil, err
+		}
+		ctx.spillStats().addRuns(1)
+		return mr, nil
+	}
+	b := runBytes(run)
+	*held += b
+	ctx.memGrow(b)
+	return newMemRun(run), nil
+}
+
+// mergePartialChunk folds a chunk of spilled partial-state rows into
+// the table (group key columns, firstSeen, per-agg state blobs).
+func (t *aggTable) mergePartialChunk(cols []*vector.Vector, ng int) error {
+	groupVecs := cols[:ng]
+	firstSeen := cols[ng].Int64s()
+	n := len(firstSeen)
+	for r := 0; r < n; r++ {
+		g := t.getOrCreate(groupVecs, r, firstSeen[r])
+		for i := range t.spec.Aggs {
+			st, err := decodeAggState(cols[ng+1+i].Blobs()[r])
+			if err != nil {
+				return err
+			}
+			// Conservative footprint for the merged-in state: distinct
+			// entries plus retained MIN/MAX values (mergeAggState may
+			// keep either side; counting the incoming one can only
+			// overcount, which errs toward spilling).
+			for k := range st.distinct {
+				t.bytes += int64(len(k)) + 48
+			}
+			if st.min.Type() != vector.Invalid {
+				t.bytes += valueBytes(st.min)
+			}
+			if st.max.Type() != vector.Invalid {
+				t.bytes += valueBytes(st.max)
+			}
+			if err := mergeAggState(&g.aggs[i], &st); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

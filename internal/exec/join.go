@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"vexdb/internal/catalog"
 	"vexdb/internal/plan"
 	"vexdb/internal/sql"
 	"vexdb/internal/vector"
@@ -34,17 +35,40 @@ type hashJoinOp struct {
 	// buildIdx64 is the fast path for a single integer equi-key.
 	buildIdx64 map[int64][]int32
 	done       bool
+
+	// spill is non-nil once the build side grace-partitioned to disk
+	// under the memory budget (join_spill.go); probing then runs
+	// through the partitioned path and emission through the
+	// order-restoring merger.
+	spill       *joinSpill
+	spillMerger *runMerger
 }
 
 func (j *hashJoinOp) Open(ctx *Context) error {
 	j.done = false
 	j.ctx = ctx
+	j.spill = nil
+	j.spillMerger = nil
 	if err := j.right.Open(ctx); err != nil {
 		return err
 	}
-	build, err := drain(j.right, ctx)
+	build, js, err := j.drainBuild(ctx)
 	if err != nil {
 		return err
+	}
+	if js != nil {
+		j.spill = js
+		if err := js.finishBuild(); err != nil {
+			return err
+		}
+		// Probing runs serially under spill (the order-restoring sort
+		// makes output order independent of probe scheduling); the
+		// pipeline source, when present, is drained morsel by morsel
+		// in spillProbe instead of through the ordered driver.
+		if j.probePipe == nil {
+			return j.left.Open(ctx)
+		}
+		return nil
 	}
 	j.build = build
 	j.buildIdx = nil
@@ -95,6 +119,148 @@ func (j *hashJoinOp) Open(ctx *Context) error {
 	return j.openProbe(ctx)
 }
 
+// drainBuild materializes the right input. Under a memory budget (and
+// for joins that can grace-partition at all) it accounts the build
+// footprint as it grows and switches to partitioned spill the moment
+// the budget is exceeded, returning the spill state instead of a
+// build chunk.
+func (j *hashJoinOp) drainBuild(ctx *Context) (*vector.Chunk, *joinSpill, error) {
+	if !ctx.spillEnabled() || !spillableJoin(j.spec) {
+		ch, err := drain(j.right, ctx)
+		return ch, nil, err
+	}
+	intKey := joinIntKey(j.spec)
+	var acc []*vector.Vector
+	var bytes int64
+	var js *joinSpill
+	for {
+		if ctx.interrupted() {
+			return nil, nil, ErrCancelled
+		}
+		ch, err := j.right.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if ch == nil {
+			break
+		}
+		if ch.NumRows() == 0 {
+			continue
+		}
+		if js != nil {
+			if err := js.addBuildChunk(ch); err != nil {
+				return nil, nil, err
+			}
+			if err := js.spillUntilFits(); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		if acc == nil {
+			acc = make([]*vector.Vector, ch.NumCols())
+			for i := range acc {
+				acc[i] = vector.New(ch.Col(i).Type(), ch.NumRows())
+			}
+		}
+		for i := range acc {
+			acc[i].AppendVector(ch.Col(i))
+		}
+		b := chunkBytes(ch)
+		bytes += b
+		ctx.memGrow(b)
+		if ctx.shouldSpill(bytes) {
+			js, err = newJoinSpill(ctx, j.spec, acc, bytes, intKey)
+			if err != nil {
+				return nil, nil, err
+			}
+			acc = nil
+		}
+	}
+	if js != nil {
+		return nil, js, nil
+	}
+	if acc == nil {
+		return vector.NewChunk(), nil, nil
+	}
+	return vector.NewChunk(acc...), nil, nil
+}
+
+// spillProbe drains the probe input through the partitioned path:
+// resident partitions join immediately, spilled ones defer, and the
+// deferred partitions are then processed one at a time.
+func (j *hashJoinOp) spillProbe() error {
+	js := j.spill
+	if j.probePipe != nil {
+		n := j.probePipe.src.open(j.ctx)
+		var sc pipeScratch
+		for i := 0; i < n; i++ {
+			if j.ctx.interrupted() {
+				return ErrCancelled
+			}
+			ch, err := j.probePipe.src.fetch(i)
+			if err == nil {
+				ch, err = j.probePipe.apply(ch, &sc)
+			}
+			if err != nil {
+				return err
+			}
+			if ch == nil || ch.NumRows() == 0 {
+				continue
+			}
+			if err := js.probeChunk(ch, i); err != nil {
+				return err
+			}
+		}
+		j.probePipe.src.finish()
+	} else {
+		c := 0
+		for {
+			if j.ctx.interrupted() {
+				return ErrCancelled
+			}
+			ch, err := j.left.Next()
+			if err != nil {
+				return err
+			}
+			if ch == nil {
+				break
+			}
+			if ch.NumRows() > 0 {
+				if err := js.probeChunk(ch, c); err != nil {
+					return err
+				}
+			}
+			c++
+		}
+	}
+	return js.processSpilled()
+}
+
+// spillNext streams the spilled join's output: first drain the probe
+// side through the partitions, then emit the order-restored merge,
+// stripping the tag columns.
+func (j *hashJoinOp) spillNext() (*vector.Chunk, error) {
+	if j.spillMerger == nil {
+		if err := j.spillProbe(); err != nil {
+			return nil, err
+		}
+		m, err := j.spill.finishEmit()
+		if err != nil {
+			return nil, err
+		}
+		j.spillMerger = m
+	}
+	ch, err := j.spillMerger.next(j.ctx)
+	if err != nil {
+		return nil, err
+	}
+	if ch == nil {
+		j.done = true
+		return nil, nil
+	}
+	return vector.NewChunk(ch.Cols()[:j.spill.outCols]...), nil
+}
+
 // openProbe starts the probe side once the build table is complete:
 // either the serial left child, or the morsel-parallel probe workers
 // (probe only reads the operator's state, so workers share it).
@@ -131,6 +297,9 @@ func intKeyAt(v *vector.Vector, r int) int64 {
 func (j *hashJoinOp) Next() (*vector.Chunk, error) {
 	if j.done {
 		return nil, nil
+	}
+	if j.spill != nil {
+		return j.spillNext()
 	}
 	if j.drv != nil {
 		return j.drv.next()
@@ -279,8 +448,15 @@ func (j *hashJoinOp) gatherBuild(sel []int) []*vector.Vector {
 // padUnmatched builds output rows for unmatched left rows with NULL
 // right columns.
 func (j *hashJoinOp) padUnmatched(ch *vector.Chunk, rows []int) *vector.Chunk {
+	return padRightNull(j.spec.Right.Schema(), ch, rows)
+}
+
+// padRightNull gathers the selected left rows and pads the right
+// schema's columns with NULLs — the LEFT-join padding shape shared by
+// the in-memory probe and the spilled join (which must stay
+// byte-identical to each other).
+func padRightNull(rightSchema catalog.Schema, ch *vector.Chunk, rows []int) *vector.Chunk {
 	leftCols := ch.Gather(rows).Cols()
-	rightSchema := j.spec.Right.Schema()
 	rightCols := make([]*vector.Vector, len(rightSchema))
 	for i, c := range rightSchema {
 		v := vector.New(c.Type, len(rows))
@@ -314,6 +490,8 @@ func (j *hashJoinOp) Close() error {
 	if j.probePipe != nil {
 		j.probePipe.src.finish()
 	}
+	j.spill.release()
+	j.spillMerger.close()
 	var lerr error
 	if j.left != nil {
 		lerr = j.left.Close()

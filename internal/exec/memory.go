@@ -1,0 +1,216 @@
+// Per-query memory accounting for out-of-core execution. One
+// memTracker is shared by every operator of a query: blocking
+// operators (hash aggregation, join build, sort run generation) grow
+// it as their state accumulates and shrink it when that state is
+// spilled or dropped, so a single MemoryBudget governs the query's
+// total footprint no matter how many pipeline breakers the plan
+// stacks. Accounting is an estimate of payload bytes, not a precise
+// heap measurement — the point is a stable, deterministic trigger for
+// graceful degradation to disk, not an allocator.
+package exec
+
+import (
+	"sync/atomic"
+
+	"vexdb/internal/spill"
+	"vexdb/internal/vector"
+)
+
+// memTracker accumulates the estimated bytes of live blocking-operator
+// state for one query against a fixed budget.
+type memTracker struct {
+	budget int64
+	used   atomic.Int64
+}
+
+func newMemTracker(budget int64) *memTracker {
+	return &memTracker{budget: budget}
+}
+
+func (t *memTracker) grow(n int64)   { t.used.Add(n) }
+func (t *memTracker) shrink(n int64) { t.used.Add(-n) }
+
+// over reports whether the tracked footprint exceeds the budget.
+func (t *memTracker) over() bool {
+	return t.used.Load() > t.budget
+}
+
+// SpillStats accumulates one query's out-of-core counters: how many
+// partitions (grace-partitioned hash state) and sorted runs went to
+// disk, and the spill bytes written and read back. All methods are
+// safe for concurrent use and for a nil receiver, mirroring ScanStats.
+type SpillStats struct {
+	partitions   atomic.Int64
+	runs         atomic.Int64
+	bytesWritten atomic.Int64
+	bytesRead    atomic.Int64
+}
+
+// Partitions returns the number of hash partitions (aggregation
+// groups, join build/probe sides) spilled to disk.
+func (s *SpillStats) Partitions() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.partitions.Load()
+}
+
+// Runs returns the number of sorted runs written to disk by external
+// sorts.
+func (s *SpillStats) Runs() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.runs.Load()
+}
+
+// BytesWritten returns the total bytes written to spill files.
+func (s *SpillStats) BytesWritten() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.bytesWritten.Load()
+}
+
+// BytesRead returns the total bytes read back from spill files.
+func (s *SpillStats) BytesRead() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.bytesRead.Load()
+}
+
+// Spilled reports whether anything went to disk.
+func (s *SpillStats) Spilled() bool {
+	return s.Partitions() > 0 || s.Runs() > 0 || s.BytesWritten() > 0
+}
+
+func (s *SpillStats) addPartitions(n int64) {
+	if s != nil {
+		s.partitions.Add(n)
+	}
+}
+
+func (s *SpillStats) addRuns(n int64) {
+	if s != nil {
+		s.runs.Add(n)
+	}
+}
+
+// SpillWrote implements spill.Recorder.
+func (s *SpillStats) SpillWrote(n int64) {
+	if s != nil {
+		s.bytesWritten.Add(n)
+	}
+}
+
+// SpillRead implements spill.Recorder.
+func (s *SpillStats) SpillRead(n int64) {
+	if s != nil {
+		s.bytesRead.Add(n)
+	}
+}
+
+var _ spill.Recorder = (*SpillStats)(nil)
+
+// spillEnabled reports whether this query runs under a memory budget
+// with a spill manager attached (Stream sets both up when
+// MemoryBudget > 0).
+func (c *Context) spillEnabled() bool {
+	return c != nil && c.mem != nil && c.spillMgr != nil
+}
+
+// overBudget reports whether the query's tracked footprint exceeds its
+// budget; always false without a budget.
+func (c *Context) overBudget() bool {
+	return c != nil && c.mem != nil && c.mem.over()
+}
+
+// shouldSpill reports whether an operator holding `local` estimated
+// bytes should spill: the query must be over its budget AND this
+// operator's state must be a meaningful share of it (a quarter).
+// The local floor keeps a small consumer from thrashing — spilling or
+// re-partitioning state that is already tiny frees almost nothing and
+// can recurse forever — while the operator actually responsible for
+// the pressure spills. Total in-memory state is therefore softly
+// bounded by budget + consumers×budget/4 rather than exactly budget.
+func (c *Context) shouldSpill(local int64) bool {
+	if !c.spillEnabled() || !c.mem.over() {
+		return false
+	}
+	return local*4 >= c.mem.budget
+}
+
+func (c *Context) memGrow(n int64) {
+	if c != nil && c.mem != nil {
+		c.mem.grow(n)
+	}
+}
+
+func (c *Context) memShrink(n int64) {
+	if c != nil && c.mem != nil {
+		c.mem.shrink(n)
+	}
+}
+
+// spillStats returns the context's per-query spill counters (nil-safe).
+func (c *Context) spillStats() *SpillStats {
+	if c == nil {
+		return nil
+	}
+	return c.Spill
+}
+
+// spillManager returns the query's spill file manager, nil when
+// spilling is disabled.
+func (c *Context) spillManager() *spill.Manager {
+	if c == nil {
+		return nil
+	}
+	return c.spillMgr
+}
+
+// vectorBytes estimates the payload bytes of one column vector.
+func vectorBytes(v *vector.Vector) int64 {
+	var n int64
+	switch v.Type() {
+	case vector.Bool:
+		n = int64(v.Len())
+	case vector.Int32:
+		n = 4 * int64(v.Len())
+	case vector.Int64, vector.Float64:
+		n = 8 * int64(v.Len())
+	case vector.String:
+		for _, s := range v.Strings() {
+			n += 16 + int64(len(s))
+		}
+	case vector.Blob:
+		for _, b := range v.Blobs() {
+			n += 24 + int64(len(b))
+		}
+	}
+	if v.Nulls() != nil {
+		n += int64(v.Len())
+	}
+	return n
+}
+
+// chunkBytes estimates the payload bytes of a chunk.
+func chunkBytes(ch *vector.Chunk) int64 {
+	var n int64
+	for _, c := range ch.Cols() {
+		n += vectorBytes(c)
+	}
+	return n
+}
+
+// valueBytes estimates the retained size of one boxed value.
+func valueBytes(v vector.Value) int64 {
+	switch v.Type() {
+	case vector.String:
+		return 16 + int64(len(v.Str()))
+	case vector.Blob:
+		return 24 + int64(len(v.Bytes()))
+	}
+	return 16
+}

@@ -19,19 +19,19 @@ func mkRun(t *testing.T, vals []int64, pos []int64) *sortedRun {
 
 func TestLoserTreeMergeOrder(t *testing.T) {
 	keys := []plan.SortKey{{Expr: colRef(0, vector.Int64)}}
-	runs := []*sortedRun{
-		mkRun(t, []int64{1, 4, 7, 9}, []int64{0, 3, 6, 9}),
-		mkRun(t, []int64{2, 4, 8}, []int64{1, 4, 7}),
-		mkRun(t, []int64{0, 4, 10, 11, 12}, []int64{2, 5, 8, 10, 11}),
+	runs := []*mergeRun{
+		newMemRun(mkRun(t, []int64{1, 4, 7, 9}, []int64{0, 3, 6, 9})),
+		newMemRun(mkRun(t, []int64{2, 4, 8}, []int64{1, 4, 7})),
+		newMemRun(mkRun(t, []int64{0, 4, 10, 11, 12}, []int64{2, 5, 8, 10, 11})),
 	}
 	lt := newLoserTree(keys, runs)
 	var got []int64
 	for {
-		run, row, ok := lt.next()
+		win, row, ok := lt.next()
 		if !ok {
 			break
 		}
-		got = append(got, runs[run].data.Col(0).Int64s()[row])
+		got = append(got, win.data.Col(0).Int64s()[row])
 	}
 	if lt.err != nil {
 		t.Fatal(lt.err)
@@ -51,19 +51,19 @@ func TestLoserTreeMergeOrder(t *testing.T) {
 // input-position order, reproducing serial stable-sort semantics.
 func TestLoserTreeTiebreakByPosition(t *testing.T) {
 	keys := []plan.SortKey{{Expr: colRef(0, vector.Int64)}}
-	runs := []*sortedRun{
-		mkRun(t, []int64{5, 5}, []int64{4, 6}),
-		mkRun(t, []int64{5, 5}, []int64{1, 9}),
-		mkRun(t, []int64{5}, []int64{3}),
+	runs := []*mergeRun{
+		newMemRun(mkRun(t, []int64{5, 5}, []int64{4, 6})),
+		newMemRun(mkRun(t, []int64{5, 5}, []int64{1, 9})),
+		newMemRun(mkRun(t, []int64{5}, []int64{3})),
 	}
 	lt := newLoserTree(keys, runs)
 	var gotPos []int64
 	for {
-		run, row, ok := lt.next()
+		win, row, ok := lt.next()
 		if !ok {
 			break
 		}
-		gotPos = append(gotPos, runs[run].pos[row])
+		gotPos = append(gotPos, win.pos[row])
 	}
 	want := []int64{1, 3, 4, 6, 9}
 	for i := range want {
@@ -78,14 +78,14 @@ func TestLoserTreeSingleAndEmpty(t *testing.T) {
 	if _, _, ok := newLoserTree(keys, nil).next(); ok {
 		t.Fatal("empty tree must be exhausted")
 	}
-	lt := newLoserTree(keys, []*sortedRun{mkRun(t, []int64{3, 8}, []int64{0, 1})})
+	lt := newLoserTree(keys, []*mergeRun{newMemRun(mkRun(t, []int64{3, 8}, []int64{0, 1}))})
 	var got []int64
 	for {
-		run, row, ok := lt.next()
+		win, row, ok := lt.next()
 		if !ok {
 			break
 		}
-		got = append(got, lt.runs[run].data.Col(0).Int64s()[row])
+		got = append(got, win.data.Col(0).Int64s()[row])
 	}
 	if len(got) != 2 || got[0] != 3 || got[1] != 8 {
 		t.Fatalf("single-run merge = %v", got)

@@ -3,9 +3,9 @@ package exec
 import (
 	"fmt"
 	"runtime"
-	"sort"
 
 	"vexdb/internal/plan"
+	"vexdb/internal/spill"
 	"vexdb/internal/vector"
 )
 
@@ -33,6 +33,31 @@ type Context struct {
 	// scan counters (scanned vs. skipped by zone-map pruning).
 	// Stream installs one when unset.
 	Stats *ScanStats
+
+	// MemoryBudget bounds the estimated bytes of blocking-operator
+	// state (hash aggregation tables, join build sides, sort runs)
+	// this query may hold in memory at once. When the budget is
+	// exceeded the operators grace-partition or write sorted runs to
+	// temp files under TempDir and stream them back, so results are
+	// identical to unbounded execution. Zero means unlimited
+	// (spilling disabled).
+	MemoryBudget int64
+
+	// TempDir is where spill files go when MemoryBudget forces
+	// out-of-core execution; empty means os.TempDir(). The query's
+	// spill directory is removed when its stream closes.
+	TempDir string
+
+	// Spill, when non-nil, accumulates this query's out-of-core
+	// counters (partitions and runs spilled, bytes written/read).
+	// Stream installs one when unset.
+	Spill *SpillStats
+
+	// mem and spillMgr are installed by Stream when MemoryBudget > 0;
+	// they are shared by every operator of the query (the Context
+	// itself is copied).
+	mem      *memTracker
+	spillMgr *spill.Manager
 }
 
 // Workers returns the effective parallelism.
@@ -128,7 +153,7 @@ func buildWith(node plan.Node, workers int) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &sortOp{keys: n.Keys, child: child}, nil
+		return &sortOp{spec: n, child: child}, nil
 	case *plan.Limit:
 		child, err := buildWith(n.Child, workers)
 		if err != nil {
@@ -515,67 +540,6 @@ func (l *limitOp) Next() (*vector.Chunk, error) {
 }
 
 func (l *limitOp) Close() error { return l.child.Close() }
-
-// ----------------------------------------------------------------- sort
-
-type sortOp struct {
-	keys  []plan.SortKey
-	child Operator
-	ctx   *Context
-	out   *vector.Chunk
-	done  bool
-}
-
-func (s *sortOp) Open(ctx *Context) error {
-	s.out, s.done = nil, false
-	s.ctx = ctx
-	return s.child.Open(ctx)
-}
-
-func (s *sortOp) Next() (*vector.Chunk, error) {
-	if s.done {
-		return nil, nil
-	}
-	s.done = true
-	in, err := drain(s.child, s.ctx)
-	if err != nil {
-		return nil, err
-	}
-	if in.NumCols() == 0 || in.NumRows() == 0 {
-		return nil, nil
-	}
-	keyVecs := make([]*vector.Vector, len(s.keys))
-	for i, k := range s.keys {
-		v, err := Evaluate(k.Expr, in)
-		if err != nil {
-			return nil, err
-		}
-		keyVecs[i] = v
-	}
-	n := in.NumRows()
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	var sortErr error
-	sort.SliceStable(idx, func(a, b int) bool {
-		// compareKeyRows is shared with the parallel merge, so the two
-		// paths order rows identically (NULLs last ascending, first
-		// descending; total order over NaN).
-		c, err := compareKeyRows(s.keys, keyVecs, idx[a], keyVecs, idx[b])
-		if err != nil {
-			sortErr = err
-			return false
-		}
-		return c < 0
-	})
-	if sortErr != nil {
-		return nil, sortErr
-	}
-	return in.Gather(idx), nil
-}
-
-func (s *sortOp) Close() error { return s.child.Close() }
 
 // ----------------------------------------------------------------- distinct
 

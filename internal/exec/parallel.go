@@ -358,28 +358,40 @@ func (p *parallelPipeOp) Close() error {
 // ------------------------------------------------------- partitioned agg
 
 // parallelAggOp is partitioned hash aggregation: every worker consumes
-// morsels into a thread-local aggTable; the tables are merged and
-// re-ordered by first appearance when the input drains.
+// morsels into a thread-local aggregation consumer (an in-memory table
+// that grace-partitions to disk when the query's memory budget is
+// exceeded); when the input drains the consumers' state merges —
+// in-memory tables directly, spilled state per partition — and the
+// emitter streams groups in first-appearance order.
 type parallelAggOp struct {
 	spec    *plan.Aggregate
 	pipe    *pipeSpec
 	workers int
 	ctx     *Context
-	done    bool
+	started bool
+	emitter *aggEmitter
 }
 
 func (a *parallelAggOp) Open(ctx *Context) error {
 	a.ctx = ctx
-	a.done = false
+	a.started = false
+	a.emitter = nil
 	return nil
 }
 
 func (a *parallelAggOp) Next() (*vector.Chunk, error) {
-	if a.done {
-		return nil, nil
+	if !a.started {
+		a.started = true
+		em, err := a.run()
+		if err != nil {
+			return nil, err
+		}
+		a.emitter = em
 	}
-	a.done = true
+	return a.emitter.next(a.ctx)
+}
 
+func (a *parallelAggOp) run() (*aggEmitter, error) {
 	n := a.pipe.src.open(a.ctx)
 	workers := a.workers
 	if workers > n {
@@ -388,7 +400,8 @@ func (a *parallelAggOp) Next() (*vector.Chunk, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	tables := make([]*aggTable, workers)
+	shared := &aggShared{}
+	consumers := make([]*aggConsumer, workers)
 	errs := make([]error, workers)
 	var next atomic.Int64
 	var stop atomic.Bool
@@ -397,8 +410,8 @@ func (a *parallelAggOp) Next() (*vector.Chunk, error) {
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			t := newAggTable(a.spec)
-			tables[w] = t
+			c := newAggConsumer(a.ctx, a.spec, shared)
+			consumers[w] = c
 			var sc pipeScratch
 			for {
 				i := int(next.Add(1)) - 1
@@ -417,7 +430,7 @@ func (a *parallelAggOp) Next() (*vector.Chunk, error) {
 				if ch == nil || ch.NumRows() == 0 {
 					continue
 				}
-				if err := t.consume(ch, i); err != nil {
+				if err := c.consume(ch, i); err != nil {
 					errs[w] = err
 					stop.Store(true)
 					return
@@ -437,20 +450,13 @@ func (a *parallelAggOp) Next() (*vector.Chunk, error) {
 		// surface the cancellation instead of merging them.
 		return nil, ErrCancelled
 	}
-	base := tables[0]
-	if len(tables) > 1 {
-		byKey := base.mergeKeyMap()
-		for _, t := range tables[1:] {
-			if err := base.merge(t, byKey); err != nil {
-				return nil, err
-			}
-		}
-	}
-	base.ensureGlobalGroup()
-	return base.emit()
+	return finishAggEmit(a.ctx, a.spec, consumers, shared)
 }
 
-func (a *parallelAggOp) Close() error { return nil }
+func (a *parallelAggOp) Close() error {
+	a.emitter.close()
+	return nil
+}
 
 // ------------------------------------------------------- build dispatch
 

@@ -142,7 +142,7 @@ func TestSerialDrainLoopsObserveCancellation(t *testing.T) {
 		return &materialOp{data: bigMaterialTable(t, 10_000)}
 	}
 
-	sortop := &sortOp{keys: []plan.SortKey{{Expr: &plan.ColRef{Idx: 0, Typ: vector.Int64}}}, child: child()}
+	sortop := &sortOp{spec: &plan.Sort{Keys: []plan.SortKey{{Expr: &plan.ColRef{Idx: 0, Typ: vector.Int64}}}}, child: child()}
 	if err := sortop.Open(ctx); err != nil {
 		t.Fatal(err)
 	}

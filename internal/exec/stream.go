@@ -6,6 +6,7 @@ import (
 
 	"vexdb/internal/catalog"
 	"vexdb/internal/plan"
+	"vexdb/internal/spill"
 	"vexdb/internal/vector"
 )
 
@@ -24,9 +25,11 @@ var ErrCancelled = errors.New("exec: query cancelled")
 // between chunks, so a blocked Next returns ErrCancelled promptly and
 // scan workers stop instead of racing through the whole input.
 type ChunkStream struct {
-	op     Operator
-	schema catalog.Schema
-	stats  *ScanStats
+	op       Operator
+	schema   catalog.Schema
+	stats    *ScanStats
+	spill    *SpillStats
+	spillMgr *spill.Manager // owned: closed (files removed) on Close
 
 	cancel     chan struct{}   // closed by Cancel/Close
 	ext        <-chan struct{} // the caller's Context.Done, if any
@@ -69,9 +72,31 @@ func Stream(node plan.Node, ctx *Context) (*ChunkStream, error) {
 	if c2.Stats == nil {
 		c2.Stats = &ScanStats{}
 	}
+	if c2.Spill == nil {
+		c2.Spill = &SpillStats{}
+	}
+	// A memory budget arms out-of-core execution: one tracker and one
+	// spill-file manager shared by every operator of the query. The
+	// manager's directory is created lazily on first spill and removed
+	// when the stream closes, so error, cancel and success paths all
+	// leave TempDir clean (callers must Close even after errors —
+	// already the stream contract). Nested streams (table-UDF
+	// subplans) re-enter here with mem already set and share the
+	// budget, but own their own manager.
+	var ownedMgr *spill.Manager
+	if c2.MemoryBudget > 0 {
+		if c2.mem == nil {
+			c2.mem = newMemTracker(c2.MemoryBudget)
+		}
+		ownedMgr = spill.NewManager(c2.TempDir, c2.Spill)
+		c2.spillMgr = ownedMgr
+	}
 	ctx = &c2
 	op, err := buildWith(node, ctx.Workers())
 	if err != nil {
+		if ownedMgr != nil {
+			ownedMgr.Close()
+		}
 		return nil, err
 	}
 	if err := op.Open(ctx); err != nil {
@@ -79,9 +104,13 @@ func Stream(node plan.Node, ctx *Context) (*ChunkStream, error) {
 		// (parallel operators start workers in Open); Close cascades
 		// the shutdown.
 		op.Close()
+		if ownedMgr != nil {
+			ownedMgr.Close()
+		}
 		return nil, err
 	}
-	return &ChunkStream{op: op, schema: node.Schema(), stats: ctx.Stats, cancel: cancel, ext: ext, eff: eff}, nil
+	return &ChunkStream{op: op, schema: node.Schema(), stats: ctx.Stats, spill: ctx.Spill,
+		spillMgr: ownedMgr, cancel: cancel, ext: ext, eff: eff}, nil
 }
 
 // Schema returns the stream's column names and types.
@@ -91,6 +120,12 @@ func (s *ChunkStream) Schema() catalog.Schema { return s.schema }
 // skipped by zone-map pruning). The counters are live: they keep
 // growing until the stream is drained or closed.
 func (s *ChunkStream) Stats() *ScanStats { return s.stats }
+
+// SpillStats returns the query's out-of-core counters (partitions and
+// sorted runs spilled to disk, spill bytes written/read). The counters
+// are live until the stream is drained or closed; they stay zero when
+// the query ran without a memory budget or fit within it.
+func (s *ChunkStream) SpillStats() *SpillStats { return s.spill }
 
 // Next returns the next result chunk with columns cast to the declared
 // schema, or (nil, nil) when the stream is exhausted. After an error
@@ -154,6 +189,12 @@ func (s *ChunkStream) Close() error {
 	s.closeOnce.Do(func() {
 		s.done = true
 		s.closeErr = s.op.Close()
+		// Remove the query's spill files after the operators released
+		// them; a failed removal surfaces unless operator close
+		// already failed.
+		if err := s.spillMgr.Close(); err != nil && s.closeErr == nil {
+			s.closeErr = err
+		}
 	})
 	return s.closeErr
 }

@@ -76,9 +76,13 @@ func (b *Binder) BindSelect(sel *sql.Select) (Node, error) {
 			return nil, fmt.Errorf("in WHERE: %w", err)
 		}
 		// Single-table scans get the scan-eligible conjuncts pushed
-		// down for zone-map pruning; the filter itself is untouched.
+		// down for zone-map pruning; under joins each conjunct routes
+		// to the scan owning its column. The filter itself is
+		// untouched either way.
 		if scan, ok := node.(*Scan); ok {
 			scan.Preds = extractScanPreds(pred, nil)
+		} else {
+			pushJoinScanPreds(node, pred)
 		}
 		node = &Filter{Pred: pred, Child: node}
 	}
@@ -594,6 +598,57 @@ func extractScanPreds(e Expr, out []ScanPredicate) []ScanPredicate {
 		}
 	}
 	return out
+}
+
+// pushJoinScanPreds routes scan-eligible WHERE conjuncts through a
+// join tree onto the base-table scan owning each column, so zone-map
+// pruning fires under joins too.
+//
+// This is sound for pruning because the WHERE filter still runs over
+// every joined row: a base row a pushed `col <op> const` conjunct
+// refutes can only ever contribute output rows that fail that same
+// conjunct. For inner joins its output rows carry the refuted value
+// itself; under the right side of a LEFT join, pruning a build row
+// may turn a matched row into a NULL-padded one instead — but a
+// comparison is never TRUE on NULL, so the padded row is filtered
+// exactly like the matched rows it replaced. Probe-side pruning drops
+// the row's entire output, all of which carried the refuted value.
+func pushJoinScanPreds(node Node, pred Expr) {
+	if _, ok := node.(*HashJoin); !ok {
+		return
+	}
+	for _, p := range extractScanPreds(pred, nil) {
+		// p.Col is the combined-schema position here; resolve it to
+		// the owning leaf and its local (= table-schema) position.
+		if scan, local, ok := resolveScanColumn(node, p.Col); ok {
+			scan.Preds = append(scan.Preds, ScanPredicate{Col: local, Op: p.Op, Val: p.Val})
+		}
+	}
+}
+
+// resolveScanColumn descends a join tree to the leaf owning combined
+// output column idx. It succeeds only when the leaf is a base-table
+// Scan without a projection (the bind-time shape, where output
+// position equals table-schema position); subquery and function
+// leaves are left alone.
+func resolveScanColumn(node Node, idx int) (*Scan, int, bool) {
+	for {
+		switch n := node.(type) {
+		case *HashJoin:
+			if nl := len(n.Left.Schema()); idx < nl {
+				node = n.Left
+			} else {
+				node, idx = n.Right, idx-nl
+			}
+		case *Scan:
+			if n.Projection != nil {
+				return nil, 0, false
+			}
+			return n, idx, true
+		default:
+			return nil, 0, false
+		}
+	}
 }
 
 // flipCompare mirrors a comparison for swapped operands

@@ -107,11 +107,9 @@ func TestScanPredicatesSurvivePrune(t *testing.T) {
 	}
 }
 
-// Joins must not receive pushdowns (the filter runs over the combined
-// schema, whose positions are not table positions).
-func TestNoPushdownThroughJoin(t *testing.T) {
-	cat := testCatalog(t)
-	node := bind(t, cat, "SELECT wide.a FROM wide JOIN dim ON wide.a = dim.k WHERE wide.a > 5")
+// walkScans collects every base-table scan under filters, projections
+// and joins.
+func walkScans(n Node) []*Scan {
 	var scans []*Scan
 	var walk func(Node)
 	walk = func(n Node) {
@@ -127,13 +125,95 @@ func TestNoPushdownThroughJoin(t *testing.T) {
 			walk(x.Right)
 		}
 	}
-	walk(node)
+	walk(n)
+	return scans
+}
+
+// WHERE conjuncts of the form col <op> const route through joins onto
+// the scan owning the column, with the combined-schema position mapped
+// back to the table-schema position.
+func TestPushdownThroughJoin(t *testing.T) {
+	cat := testCatalog(t)
+	// wide.d is combined position 3, dim.weight is combined position
+	// 5+2=7; both must land on their own scan with local positions.
+	node := bind(t, cat,
+		"SELECT wide.a FROM wide JOIN dim ON wide.a = dim.k WHERE wide.d > 5 AND dim.weight <= 2.5 AND wide.a + 1 > 2")
+	scans := walkScans(node)
 	if len(scans) != 2 {
 		t.Fatalf("found %d scans", len(scans))
 	}
-	for _, s := range scans {
-		if len(s.Preds) != 0 {
-			t.Fatalf("join-side scan got pushdown: %+v", s.Preds)
+	wide, dim := scans[0], scans[1]
+	if len(wide.Preds) != 1 || wide.Preds[0].Col != 3 || wide.Preds[0].Op != sql.OpGt {
+		t.Fatalf("wide preds = %+v", wide.Preds)
+	}
+	if len(dim.Preds) != 1 || dim.Preds[0].Col != 2 || dim.Preds[0].Op != sql.OpLe {
+		t.Fatalf("dim preds = %+v", dim.Preds)
+	}
+	// The row-level filter still runs over the joined rows.
+	foundFilter := false
+	for n := node; ; {
+		if f, ok := n.(*Filter); ok {
+			foundFilter = true
+			_ = f
+			break
 		}
+		if p, ok := n.(*Project); ok {
+			n = p.Child
+			continue
+		}
+		break
+	}
+	if !foundFilter {
+		t.Fatal("WHERE filter dropped")
+	}
+}
+
+// Multi-level join trees resolve columns through nested joins, and
+// subquery sides are left alone.
+func TestPushdownThroughNestedJoin(t *testing.T) {
+	cat := testCatalog(t)
+	node := bind(t, cat,
+		"SELECT wide.a FROM wide JOIN dim ON wide.a = dim.k JOIN wide w2 ON dim.k = w2.a "+
+			"WHERE dim.weight > 0.5 AND w2.d = 7")
+	scans := walkScans(node)
+	if len(scans) != 3 {
+		t.Fatalf("found %d scans", len(scans))
+	}
+	if len(scans[0].Preds) != 0 {
+		t.Fatalf("wide got preds: %+v", scans[0].Preds)
+	}
+	if len(scans[1].Preds) != 1 || scans[1].Preds[0].Col != 2 {
+		t.Fatalf("dim preds = %+v", scans[1].Preds)
+	}
+	if len(scans[2].Preds) != 1 || scans[2].Preds[0].Col != 3 || scans[2].Preds[0].Op != sql.OpEq {
+		t.Fatalf("w2 preds = %+v", scans[2].Preds)
+	}
+
+	sub := bind(t, cat,
+		"SELECT s.a FROM (SELECT a FROM wide) s JOIN dim ON s.a = dim.k WHERE s.a > 3")
+	for _, s := range walkScans(sub) {
+		if len(s.Preds) != 0 {
+			t.Fatalf("subquery-side scan got pushdown: %+v", s.Preds)
+		}
+	}
+}
+
+// Join pushdowns survive column pruning (Scan.Preds use table-schema
+// positions, which Prune preserves).
+func TestJoinPushdownSurvivesPrune(t *testing.T) {
+	cat := testCatalog(t)
+	node := bind(t, cat,
+		"SELECT wide.a FROM wide JOIN dim ON wide.a = dim.k WHERE wide.d > 5")
+	pruned := Prune(node)
+	found := false
+	for _, s := range walkScans(pruned) {
+		for _, p := range s.Preds {
+			if p.Col == 3 && p.Op == sql.OpGt {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("pushdown lost in pruning")
 	}
 }

@@ -1,0 +1,209 @@
+package spill
+
+import (
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"vexdb/internal/vector"
+)
+
+type countingRec struct{ wrote, read atomic.Int64 }
+
+func (r *countingRec) SpillWrote(n int64) { r.wrote.Add(n) }
+func (r *countingRec) SpillRead(n int64)  { r.read.Add(n) }
+
+// buildMixedChunk exercises every type plus NULLs, NaN and empty
+// strings — the payloads that must round-trip bit-exactly.
+func buildMixedChunk(t *testing.T) []*vector.Vector {
+	t.Helper()
+	b := vector.New(vector.Bool, 4)
+	b.AppendValue(vector.NewBool(true))
+	b.AppendValue(vector.Null())
+	b.AppendValue(vector.NewBool(false))
+	b.AppendValue(vector.NewBool(true))
+	i := vector.New(vector.Int64, 4)
+	i.AppendValue(vector.NewInt64(-1 << 40))
+	i.AppendValue(vector.NewInt64(42))
+	i.AppendValue(vector.Null())
+	i.AppendValue(vector.NewInt64(0))
+	f := vector.New(vector.Float64, 4)
+	f.AppendValue(vector.NewFloat64(math.NaN()))
+	f.AppendValue(vector.NewFloat64(math.Inf(-1)))
+	f.AppendValue(vector.NewFloat64(-0.0))
+	f.AppendValue(vector.Null())
+	s := vector.New(vector.String, 4)
+	s.AppendValue(vector.NewString(""))
+	s.AppendValue(vector.NewString("héllo"))
+	s.AppendValue(vector.Null())
+	s.AppendValue(vector.NewString("x"))
+	bl := vector.New(vector.Blob, 4)
+	bl.AppendValue(vector.NewBlob([]byte{0, 1, 2}))
+	bl.AppendValue(vector.Null())
+	bl.AppendValue(vector.NewBlob(nil))
+	bl.AppendValue(vector.NewBlob([]byte{0xff}))
+	return []*vector.Vector{b, i, f, s, bl}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	rec := &countingRec{}
+	m := NewManager(t.TempDir(), rec)
+	defer m.Close()
+	f, err := m.Create("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := buildMixedChunk(t)
+	for c := 0; c < 3; c++ {
+		if err := f.WriteChunk(cols); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Rows() != 12 || f.Chunks() != 3 {
+		t.Fatalf("rows=%d chunks=%d", f.Rows(), f.Chunks())
+	}
+	for pass := 0; pass < 2; pass++ { // re-read must work
+		if err := f.StartRead(); err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < 3; c++ {
+			got, err := f.ReadChunk()
+			if err != nil {
+				t.Fatalf("pass %d chunk %d: %v", pass, c, err)
+			}
+			if len(got) != len(cols) {
+				t.Fatalf("got %d cols, want %d", len(got), len(cols))
+			}
+			for ci, gc := range got {
+				wc := cols[ci]
+				if gc.Type() != wc.Type() || gc.Len() != wc.Len() {
+					t.Fatalf("col %d: type %v len %d", ci, gc.Type(), gc.Len())
+				}
+				for r := 0; r < wc.Len(); r++ {
+					if gc.IsNull(r) != wc.IsNull(r) {
+						t.Fatalf("col %d row %d null mismatch", ci, r)
+					}
+					if wc.IsNull(r) {
+						continue
+					}
+					if wc.Type() == vector.Float64 {
+						if math.Float64bits(gc.Float64s()[r]) != math.Float64bits(wc.Float64s()[r]) {
+							t.Fatalf("col %d row %d float bits differ", ci, r)
+						}
+						continue
+					}
+					if gc.Get(r).String() != wc.Get(r).String() {
+						t.Fatalf("col %d row %d: %v != %v", ci, r, gc.Get(r), wc.Get(r))
+					}
+				}
+			}
+		}
+		if _, err := f.ReadChunk(); err != io.EOF {
+			t.Fatalf("want EOF, got %v", err)
+		}
+	}
+	if rec.wrote.Load() == 0 || rec.read.Load() == 0 {
+		t.Fatalf("recorder wrote=%d read=%d", rec.wrote.Load(), rec.read.Load())
+	}
+}
+
+func TestManagerCleanup(t *testing.T) {
+	base := t.TempDir()
+	m := NewManager(base, nil)
+	if m.Dir() != "" {
+		t.Fatal("dir created before first file")
+	}
+	f1, err := m.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := m.Create("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.WriteChunk([]*vector.Vector{vector.FromInt64s([]int64{1, 2})}); err != nil {
+		t.Fatal(err)
+	}
+	dir := m.Dir()
+	if dir == "" {
+		t.Fatal("no spill dir")
+	}
+	// Release one file explicitly; leave the other for Close.
+	if err := f2.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("spill dir %s still exists (err=%v)", dir, err)
+	}
+	ents, err := os.ReadDir(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("%d entries left in temp dir", len(ents))
+	}
+	if _, err := m.Create("late"); err == nil {
+		t.Fatal("Create after Close must fail")
+	}
+}
+
+func TestZeroRowChunkSkipped(t *testing.T) {
+	m := NewManager(t.TempDir(), nil)
+	defer m.Close()
+	f, err := m.Create("z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteChunk([]*vector.Vector{vector.New(vector.Int64, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteChunk(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Chunks() != 0 {
+		t.Fatalf("zero-row chunks written: %d", f.Chunks())
+	}
+	if _, err := f.ReadChunk(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestCorruptFileRejected(t *testing.T) {
+	m := NewManager(t.TempDir(), nil)
+	defer m.Close()
+	f, err := m.Create("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteChunk([]*vector.Vector{vector.FromInt64s([]int64{7})}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-payload: the reader must error, not return short data.
+	if err := f.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.f.Truncate(f.written - 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadChunk(); err == nil || err == io.EOF {
+		t.Fatalf("truncated file: want error, got %v", err)
+	}
+	// A file whose path vanished underneath still releases cleanly.
+	g, err := m.Create("gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(m.Dir(), filepath.Base(g.path)))
+	if err := g.Release(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,6 +15,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"vexdb/internal/frame"
 )
@@ -142,6 +143,51 @@ func GeneratePrecincts(cfg Config) *frame.DataFrame {
 	)
 	if err != nil {
 		// Generation always produces equal-length columns.
+		panic(err)
+	}
+	return df
+}
+
+// GenerateEvents synthesizes a high-cardinality / skewed-keys event
+// stream for exercising the out-of-core operator paths (grace-
+// partitioned GROUP BY and join build, external sort): event_id is
+// unique, key draws from `keys` distinct values with a power-law skew
+// (skew 0 = uniform; larger values concentrate mass on hot keys —
+// roughly Zipf-shaped via inverse-power sampling), val is a float
+// measure and tag a low-cardinality label. Hot keys are scrambled
+// across the id space so clustering does not accidentally help
+// zone-map pruning or partitioning.
+func GenerateEvents(rows, keys int, skew float64, seed int64) *frame.DataFrame {
+	if rows < 1 {
+		rows = 1
+	}
+	if keys < 1 {
+		keys = 1
+	}
+	r := newRNG(seed * 41)
+	ids := make([]int64, rows)
+	ks := make([]int64, rows)
+	vals := make([]float64, rows)
+	tags := make([]string, rows)
+	for i := 0; i < rows; i++ {
+		ids[i] = int64(i)
+		u := r.float()
+		rank := int(float64(keys) * math.Pow(u, 1+skew))
+		if rank >= keys {
+			rank = keys - 1
+		}
+		// Scramble rank -> key id (deterministic permutation-ish map).
+		ks[i] = int64((uint64(rank)*2654435761 + uint64(seed)) % uint64(keys))
+		vals[i] = float64(r.intn(1<<20)) / 16 // dyadic: exact float sums
+		tags[i] = fmt.Sprintf("t%d", rank%17)
+	}
+	df, err := frame.New(
+		frame.IntCol("event_id", ids),
+		frame.IntCol("key", ks),
+		frame.FloatCol("val", vals),
+		frame.StrCol("tag", tags),
+	)
+	if err != nil {
 		panic(err)
 	}
 	return df

@@ -1,0 +1,193 @@
+package vexdb
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// loadSpillWorkload loads a 200k-row high-cardinality events table
+// (plus a dimension table for the join) through the public API. The
+// shape mirrors workload.GenerateEvents (which datagen -events uses),
+// regenerated here because the workload package imports vexdb.
+func loadSpillWorkload(tb testing.TB, db *DB, rows int) {
+	tb.Helper()
+	keys := rows * 3 / 4
+	ids := make([]int64, rows)
+	ks := make([]int64, rows)
+	vals := make([]float64, rows)
+	tags := make([]string, rows)
+	for i := 0; i < rows; i++ {
+		ids[i] = int64(i)
+		ks[i] = int64((uint64(i) * 2654435761) % uint64(keys))
+		vals[i] = float64((i*31)%4096) / 16 // dyadic: exact float sums
+		tags[i] = fmt.Sprintf("t%d", i%17)
+	}
+	ev, err := NewTable([]string{"event_id", "key", "val", "tag"}, []*Vector{
+		NewVectorInt64(ids), NewVectorInt64(ks), NewVectorFloat64(vals), NewVectorString(tags)})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := db.CreateTableFrom("events", ev); err != nil {
+		tb.Fatal(err)
+	}
+	nDim := rows / 2
+	dks := make([]int64, nDim)
+	dws := make([]float64, nDim)
+	for i := range dks {
+		dks[i] = int64(i)
+		dws[i] = float64(i) / 4
+	}
+	dim, err := NewTable([]string{"k", "w"}, []*Vector{NewVectorInt64(dks), NewVectorFloat64(dws)})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := db.CreateTableFrom("dim", dim); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// spillSmokeQueries: a high-cardinality GROUP BY, a hash join with a
+// large build side, and a full ORDER BY — the three blocking
+// operators the memory budget governs.
+var spillSmokeQueries = []string{
+	"SELECT key, count(*) AS n, sum(val) AS s, min(tag) AS mt FROM events GROUP BY key",
+	// events is the build (right) side: 200k rows, well over 4MB.
+	"SELECT d.k, d.w, e.event_id, e.val FROM dim d JOIN events e ON d.k = e.key",
+	"SELECT event_id, key, val FROM events ORDER BY val, event_id",
+}
+
+// materialize drains a streamed query into rendered rows plus its
+// spill counters.
+func materializeRows(tb testing.TB, db *DB, q string) ([]string, [4]int64) {
+	tb.Helper()
+	rows, err := db.QueryStream(q)
+	if err != nil {
+		tb.Fatalf("%s: %v", q, err)
+	}
+	defer rows.Close()
+	var out []string
+	for rows.Next() {
+		line := ""
+		for i := range rows.Columns() {
+			line += rows.Value(i).String() + "|"
+		}
+		out = append(out, line)
+	}
+	if err := rows.Err(); err != nil {
+		tb.Fatalf("%s: %v", q, err)
+	}
+	parts, runs, w, r := rows.SpillStats()
+	return out, [4]int64{parts, runs, w, r}
+}
+
+// TestSpillSmoke is the acceptance criterion (and the CI spill
+// smoke): with a 4MB budget, GROUP BY / hash join / ORDER BY over
+// 200k high-cardinality rows must complete with nonzero SpillStats,
+// return results byte-identical to the unlimited-budget run at
+// workers 1, 2 and 8, and leave no files in TempDir afterward.
+func TestSpillSmoke(t *testing.T) {
+	const rows = 200_000
+	ref := Open()
+	loadSpillWorkload(t, ref, rows)
+	ref.SetParallelism(1)
+
+	tempDir := t.TempDir()
+	budgeted := OpenOptions(Options{MemoryBudget: 4 << 20, TempDir: tempDir})
+	loadSpillWorkload(t, budgeted, rows)
+
+	for _, q := range spillSmokeQueries {
+		want, refStats := materializeRows(t, ref, q)
+		if refStats != [4]int64{} {
+			t.Fatalf("%s: unlimited run spilled: %v", q, refStats)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			budgeted.SetParallelism(workers)
+			got, stats := materializeRows(t, budgeted, q)
+			if len(got) != len(want) {
+				t.Fatalf("%s workers=%d: %d rows, want %d", q, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s workers=%d row %d:\n  got  %s\n  want %s", q, workers, i, got[i], want[i])
+				}
+			}
+			if stats == [4]int64{} {
+				t.Fatalf("%s workers=%d: expected nonzero SpillStats under 4MB budget", q, workers)
+			}
+			if stats[2] == 0 || stats[3] == 0 {
+				t.Fatalf("%s workers=%d: spill bytes written=%d read=%d", q, workers, stats[2], stats[3])
+			}
+			ents, err := os.ReadDir(tempDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ents) != 0 {
+				t.Fatalf("%s workers=%d: %d entries left in temp dir", q, workers, len(ents))
+			}
+		}
+	}
+}
+
+// BenchmarkMicroAggregateSpill measures the 200k-row high-cardinality
+// GROUP BY at an unlimited budget vs. a 4MB budget (grace-partitioned
+// out-of-core aggregation).
+func BenchmarkMicroAggregateSpill(b *testing.B) {
+	const rows = 200_000
+	for _, budget := range []int64{0, 4 << 20} {
+		name := "unlimited"
+		if budget > 0 {
+			name = "budget4MB"
+		}
+		b.Run(name, func(b *testing.B) {
+			dir := b.TempDir()
+			db := OpenOptions(Options{MemoryBudget: budget, TempDir: dir})
+			loadSpillWorkload(b, db, rows)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tab, err := db.Query("SELECT key, count(*) AS n, sum(val) AS s FROM events GROUP BY key")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tab.NumRows() == 0 {
+					b.Fatal("empty result")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMicroSortSpill measures the 200k-row full ORDER BY at an
+// unlimited vs. 4MB budget (external sorted runs + streaming merge).
+func BenchmarkMicroSortSpill(b *testing.B) {
+	const rows = 200_000
+	for _, budget := range []int64{0, 4 << 20} {
+		name := "unlimited"
+		if budget > 0 {
+			name = "budget4MB"
+		}
+		b.Run(name, func(b *testing.B) {
+			dir := b.TempDir()
+			db := OpenOptions(Options{MemoryBudget: budget, TempDir: dir})
+			loadSpillWorkload(b, db, rows)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				rows, err := db.QueryStream("SELECT event_id, val FROM events ORDER BY val, event_id")
+				if err != nil {
+					b.Fatal(err)
+				}
+				for rows.Next() {
+					n++
+				}
+				if err := rows.Err(); err != nil {
+					b.Fatal(err)
+				}
+				rows.Close()
+				if n == 0 {
+					b.Fatal("empty result")
+				}
+			}
+		})
+	}
+}

@@ -94,12 +94,48 @@ type DB struct {
 	modelCache *modelCache
 }
 
+// Options configures a database instance at Open time. The zero value
+// is a valid default configuration.
+type Options struct {
+	// Parallelism bounds the morsel-driven parallel executor's worker
+	// goroutines (0 = all CPUs). See SetParallelism for the ordering
+	// and floating-point guarantees.
+	Parallelism int
+
+	// MemoryBudget bounds, per query, the estimated bytes of
+	// blocking-operator state (hash aggregation tables, join build
+	// sides, sort runs) held in memory at once. Queries whose state
+	// outgrows the budget degrade gracefully to disk: hash state
+	// grace-partitions into temp files and re-aggregates or re-probes
+	// partition by partition, sorts write sorted runs and merge them
+	// streaming from disk. Results are identical to unbounded
+	// execution (see Rows.SpillStats to observe spilling). 0 means
+	// unlimited — out-of-core execution disabled.
+	MemoryBudget int64
+
+	// TempDir hosts per-query spill directories when MemoryBudget
+	// forces out-of-core execution; empty means os.TempDir(). Each
+	// query's spill files are removed when its result is closed,
+	// including on cancellation and error.
+	TempDir string
+}
+
 // Open creates an empty in-memory database with the built-in function
 // library and the ML UDF suite (train_*, predict, predict_confidence,
 // weighted_label) registered.
 func Open() *DB {
 	db := &DB{eng: engine.New()}
 	registerMLFunctions(db)
+	return db
+}
+
+// OpenOptions creates an empty in-memory database configured with
+// opts.
+func OpenOptions(opts Options) *DB {
+	db := Open()
+	db.SetParallelism(opts.Parallelism)
+	db.SetMemoryBudget(opts.MemoryBudget)
+	db.SetTempDir(opts.TempDir)
 	return db
 }
 
@@ -110,6 +146,19 @@ func OpenDir(dir string) (*DB, error) {
 	if err := db.eng.LoadDir(dir); err != nil {
 		return nil, err
 	}
+	return db, nil
+}
+
+// OpenDirOptions opens a database from a directory of table files,
+// configured with opts.
+func OpenDirOptions(dir string, opts Options) (*DB, error) {
+	db, err := OpenDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	db.SetParallelism(opts.Parallelism)
+	db.SetMemoryBudget(opts.MemoryBudget)
+	db.SetTempDir(opts.TempDir)
 	return db, nil
 }
 
@@ -240,6 +289,17 @@ func (r *Rows) ScanStats() (scanned, skipped int64) {
 	return st.Scanned(), st.Skipped()
 }
 
+// SpillStats reports the query's out-of-core activity under a memory
+// budget: how many grace partitions (hash aggregation and join state)
+// and sorted runs went to disk, and the spill bytes written and read
+// back. All zero when the query ran without a budget or fit within
+// it. The counters are live while the result streams; read them after
+// draining (or closing) for final values.
+func (r *Rows) SpillStats() (partitions, runs, bytesWritten, bytesRead int64) {
+	st := r.rs.SpillStats()
+	return st.Partitions(), st.Runs(), st.BytesWritten(), st.BytesRead()
+}
+
 // Err returns the first error encountered while iterating.
 func (r *Rows) Err() error { return r.err }
 
@@ -264,6 +324,16 @@ func (db *DB) RegisterTable(f *TableFunc) error { return db.eng.Registry().Regis
 // compare equal but are distinguishable (NaN against numbers, -0.0 vs
 // 0.0). Integer, string, COUNT and boolean results are exact.
 func (db *DB) SetParallelism(n int) { db.eng.Parallelism = n }
+
+// SetMemoryBudget bounds, per query, the estimated in-memory footprint
+// of blocking operators; over-budget queries spill to TempDir and
+// return identical results (Options.MemoryBudget has the details).
+// 0 restores unlimited memory.
+func (db *DB) SetMemoryBudget(bytes int64) { db.eng.MemoryBudget = bytes }
+
+// SetTempDir sets where spill files go when a memory budget forces
+// out-of-core execution. Empty restores os.TempDir().
+func (db *DB) SetTempDir(dir string) { db.eng.TempDir = dir }
 
 // SaveDir persists every table to dir.
 func (db *DB) SaveDir(dir string) error { return db.eng.SaveDir(dir) }
