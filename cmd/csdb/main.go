@@ -31,6 +31,7 @@ func main() {
 	workers := flag.Int("workers", 0, "query execution parallelism (0 = all CPUs)")
 	memBudget := flag.String("mem-budget", "0", "per-query memory budget for blocking operators, e.g. 64MB (0 = unlimited; over-budget queries spill to -temp-dir)")
 	tempDir := flag.String("temp-dir", "", "spill directory for out-of-core execution (default: system temp dir)")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline; expired queries stop with an error (0 = none)")
 	flag.Parse()
 
 	budget, err := cliutil.ParseByteSize(*memBudget)
@@ -53,6 +54,7 @@ func main() {
 	db.SetParallelism(*workers)
 	db.SetMemoryBudget(budget)
 	db.SetTempDir(*tempDir)
+	db.SetQueryTimeout(*queryTimeout)
 
 	exec := func(stmt string) bool {
 		stmt = strings.TrimSpace(stmt)

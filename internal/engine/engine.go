@@ -4,20 +4,28 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"vexdb/internal/catalog"
 	"vexdb/internal/core"
 	"vexdb/internal/exec"
+	"vexdb/internal/governor"
 	"vexdb/internal/plan"
 	"vexdb/internal/sql"
 	"vexdb/internal/storage"
 	"vexdb/internal/vector"
 )
+
+// ErrQueryTimeout is returned (wrapped) when a query exceeds the
+// database's QueryTimeout — whether it expired waiting in the
+// admission queue or mid-execution.
+var ErrQueryTimeout = errors.New("engine: query deadline exceeded")
 
 // DB is one database instance: a catalog of tables plus a UDF
 // registry. Queries may run concurrently; DDL and DML take a write
@@ -44,6 +52,21 @@ type DB struct {
 	// TempDir hosts per-query spill directories when MemoryBudget
 	// forces out-of-core execution; empty means os.TempDir().
 	TempDir string
+
+	// Gov, when non-nil, is the process-wide resource governor: every
+	// SELECT admits through it before executing, leasing its memory
+	// budget and worker count from the shared pools instead of the
+	// per-query fields above (MemoryBudget still applies as a per-query
+	// cap when smaller than the lease). Writes (DDL/DML) are serialized
+	// by ddlMu and do not admit; their embedded SELECTs (CTAS,
+	// INSERT..SELECT) run ungoverned under the write lock.
+	Gov *governor.Governor
+
+	// QueryTimeout bounds each governed query's wall-clock time —
+	// admission wait plus execution; expiry cancels the stream with
+	// ErrQueryTimeout at the same checkpoints as cancellation.
+	// 0 = no deadline.
+	QueryTimeout time.Duration
 }
 
 // New creates an empty in-memory database with the built-in scalar

@@ -1,8 +1,14 @@
 package engine
 
 import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
 	"vexdb/internal/catalog"
 	"vexdb/internal/exec"
+	"vexdb/internal/governor"
 	"vexdb/internal/plan"
 	"vexdb/internal/sql"
 	"vexdb/internal/vector"
@@ -25,19 +31,32 @@ type ResultSet struct {
 // Query parses and executes one SQL statement, streaming result rows.
 // The caller must Close the ResultSet.
 func (db *DB) Query(query string) (*ResultSet, error) {
+	return db.QuerySession(nil, query)
+}
+
+// QuerySession is Query with a governor session: when the database has
+// a governor, the query admits against sess's concurrent-query and
+// memory limits (a nil session admits without session limits). The
+// wire server passes one session per connection.
+func (db *DB) QuerySession(sess *governor.Session, query string) (*ResultSet, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return db.QueryStmt(stmt)
+	return db.QueryStmtSession(sess, stmt)
 }
 
 // QueryStmt executes a parsed statement, streaming result rows.
 // Non-SELECT statements run through the materializing Exec path (their
 // results are row counts, not relations).
 func (db *DB) QueryStmt(stmt sql.Statement) (*ResultSet, error) {
+	return db.QueryStmtSession(nil, stmt)
+}
+
+// QueryStmtSession is QueryStmt with a governor session.
+func (db *DB) QueryStmtSession(sess *governor.Session, stmt sql.Statement) (*ResultSet, error) {
 	if s, ok := stmt.(*sql.Select); ok {
-		stream, err := db.StreamSelect(s)
+		stream, err := db.streamSelect(sess, s)
 		if err != nil {
 			return nil, err
 		}
@@ -52,17 +71,107 @@ func (db *DB) QueryStmt(stmt sql.Statement) (*ResultSet, error) {
 
 // StreamSelect binds a SELECT and opens it as a chunk-pull stream.
 func (db *DB) StreamSelect(s *sql.Select) (*exec.ChunkStream, error) {
+	return db.streamSelect(nil, s)
+}
+
+// streamSelect binds and opens a SELECT, admitting through the
+// governor (when configured) and arming the query deadline. The
+// governor ticket and deadline timer are released by the stream's
+// OnClose hook, so every exit path — drain, early Close, cancel,
+// error — returns the lease exactly once.
+func (db *DB) streamSelect(sess *governor.Session, s *sql.Select) (*exec.ChunkStream, error) {
 	binder := plan.NewBinder(db.cat, db.reg)
 	node, err := binder.BindSelect(s)
 	if err != nil {
 		return nil, err
 	}
 	node = plan.Prune(node)
-	return exec.Stream(node, &exec.Context{
+	ctx := &exec.Context{
 		Parallelism:  db.Parallelism,
 		MemoryBudget: db.MemoryBudget,
 		TempDir:      db.TempDir,
-	})
+	}
+	deadline := db.QueryTimeout
+	var ticket *governor.Ticket
+	if db.Gov != nil {
+		start := time.Now()
+		t, err := db.Gov.Admit(sess, ctx.Workers(), deadline, nil)
+		if err != nil {
+			if errors.Is(err, governor.ErrQueueTimeout) {
+				return nil, fmt.Errorf("%w (queued %v)", ErrQueryTimeout, deadline)
+			}
+			return nil, err
+		}
+		ticket = t
+		ctx.Parallelism = t.Workers()
+		if lease := t.MemoryBudget(); lease > 0 {
+			if ctx.MemoryBudget == 0 || lease < ctx.MemoryBudget {
+				ctx.MemoryBudget = lease
+			}
+		}
+		// The admission wait already consumed part of the deadline.
+		if deadline > 0 {
+			deadline -= time.Since(start)
+			if deadline <= 0 {
+				t.Release()
+				return nil, fmt.Errorf("%w (queued %v)", ErrQueryTimeout, db.QueryTimeout)
+			}
+		}
+	}
+	var tb *timerBox
+	if deadline > 0 {
+		tb = &timerBox{}
+	}
+	release := func() {
+		tb.stop()
+		if ticket != nil {
+			ticket.Release()
+		}
+	}
+	ctx.OnClose = release
+	cs, err := exec.Stream(node, ctx)
+	if err != nil {
+		release() // Stream does not fire OnClose on construction errors
+		return nil, err
+	}
+	if tb != nil {
+		total := db.QueryTimeout
+		tb.set(time.AfterFunc(deadline, func() {
+			cs.CancelCause(fmt.Errorf("%w (%v)", ErrQueryTimeout, total))
+		}))
+	}
+	return cs, nil
+}
+
+// timerBox holds a deadline timer that may be stopped before it is
+// set: OnClose can fire from Stream's error path before the timer is
+// armed, and set observes the prior stop instead of leaking a timer.
+type timerBox struct {
+	mu      sync.Mutex
+	t       *time.Timer
+	stopped bool
+}
+
+func (b *timerBox) set(t *time.Timer) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.stopped {
+		t.Stop()
+		return
+	}
+	b.t = t
+}
+
+func (b *timerBox) stop() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stopped = true
+	if b.t != nil {
+		b.t.Stop()
+	}
 }
 
 // Schema returns the result's column names and types (empty for
@@ -112,6 +221,15 @@ func (r *ResultSet) Next() (*vector.Chunk, error) {
 func (r *ResultSet) Cancel() {
 	if r.stream != nil {
 		r.stream.Cancel()
+	}
+}
+
+// CancelCause cancels like Cancel but records err as the reason, so
+// Next reports it instead of the generic exec.ErrCancelled (e.g. a
+// client-initiated cancel vs. a deadline). Safe from any goroutine.
+func (r *ResultSet) CancelCause(err error) {
+	if r.stream != nil {
+		r.stream.CancelCause(err)
 	}
 }
 

@@ -1,0 +1,358 @@
+// Grace-partitioned spill for the serial distinct operator. distinctOp
+// streams survivors straight from its in-memory group index until the
+// index outgrows the query's memory budget; it then switches to
+// out-of-core mode:
+//
+//  1. The index's keys are dumped as per-partition "seen" rows (one
+//     canonical key blob per already-emitted row), partitioned by a
+//     hash of the canonical key, and the index is dropped.
+//  2. Every subsequent input row is routed by the same hash to its
+//     partition as a raw row (the data columns plus the row's global
+//     input position) without touching the index at all.
+//  3. At input exhaustion, partitions are processed one at a time: the
+//     partition's seen set loads into a map, its raw rows replay in
+//     arrival (= position) order keeping first appearances only, and
+//     the survivors form position-sorted runs — spilled to a shared
+//     out-file when the query is still over budget. The shared run
+//     merger folds the partition runs back into global input order, so
+//     output order is identical to the in-memory path.
+//
+// All rows of one distinct key hash to one partition, so dedup is
+// exact. Unlike aggregation, partitions do not re-partition
+// recursively: a partition whose seen set alone exceeds the budget is
+// processed in memory — the same correctness-over-budget degradation
+// aggregation applies at maxSpillLevels.
+package exec
+
+import (
+	"encoding/binary"
+
+	"vexdb/internal/spill"
+	"vexdb/internal/vector"
+)
+
+// Canonical distinct-key encoding. The group index stores keys in
+// three different representations (folded uint64, raw string, generic
+// byte encoding); the canonical form prefixes each with a marker so
+// dumped index keys and keys recomputed from replayed rows land in one
+// shared keyspace without collisions across representations.
+const (
+	distinctKeyNull  = 0xFF // single-key NULL row
+	distinctKeyInt   = 1    // folded fixed-width key (u64 LE)
+	distinctKeyStr   = 2    // raw string bytes
+	distinctKeyBytes = 3    // appendRowKey over all columns
+)
+
+// distinctSpiller fans post-overflow distinct input out to spillFanout
+// partitions. It is serial (distinctOp never runs concurrently), so
+// partitions need no locks.
+type distinctSpiller struct {
+	ctx  *Context
+	kind keyKind
+
+	file  *spill.File
+	parts [spillFanout]distinctPart
+}
+
+type distinctPart struct {
+	raw      *rowAppender // data cols + pos
+	seen     *rowAppender // one Blob col of canonical keys
+	rawRefs  []spill.ChunkRef
+	seenRefs []spill.ChunkRef
+}
+
+func newDistinctSpiller(ctx *Context, kind keyKind) *distinctSpiller {
+	return &distinctSpiller{ctx: ctx, kind: kind}
+}
+
+// keyOf appends row r's canonical distinct key to buf[:0], mirroring
+// groupIndex.groupID's representation choices (including the
+// divergence fallback to the generic encoding) so dumped index entries
+// and replayed rows agree byte-for-byte.
+func (s *distinctSpiller) keyOf(buf []byte, cols []*vector.Vector, r int) []byte {
+	buf = buf[:0]
+	switch s.kind {
+	case keyKindInt:
+		v := cols[0]
+		if v.IsNull(r) {
+			return append(buf, distinctKeyNull)
+		}
+		if k, ok := fixedKeyAt(v, r); ok {
+			buf = append(buf, distinctKeyInt)
+			return binary.LittleEndian.AppendUint64(buf, k)
+		}
+	case keyKindStr:
+		v := cols[0]
+		if v.IsNull(r) {
+			return append(buf, distinctKeyNull)
+		}
+		if v.Type() == vector.String {
+			buf = append(buf, distinctKeyStr)
+			return append(buf, v.Strings()[r]...)
+		}
+	}
+	buf = append(buf, distinctKeyBytes)
+	for _, c := range cols {
+		buf = appendRowKey(buf, c, r)
+	}
+	return buf
+}
+
+// writeBuf flushes one partition buffer into the shared spill file,
+// recording the chunk ref.
+func (s *distinctSpiller) writeBuf(a *rowAppender, refs *[]spill.ChunkRef) error {
+	if a.rows() == 0 {
+		return nil
+	}
+	if s.file == nil {
+		f, err := s.ctx.spillManager().Create("distinct")
+		if err != nil {
+			return err
+		}
+		s.file = f
+	}
+	ref, err := s.file.WriteChunkRef(a.cols)
+	if err != nil {
+		return err
+	}
+	*refs = append(*refs, ref)
+	a.reset()
+	return nil
+}
+
+// dumpIndex writes every key of the dropped group index as a seen row,
+// each representation under its canonical marker.
+func (s *distinctSpiller) dumpIndex(gi *groupIndex) error {
+	var buf []byte
+	add := func(key []byte) error {
+		p := partitionOf(hashKeyBytes(key), 0)
+		pt := &s.parts[p]
+		if pt.seen == nil {
+			pt.seen = newRowAppender([]vector.Type{vector.Blob})
+		}
+		pt.seen.cols[0].AppendValue(vector.NewBlob(append([]byte(nil), key...)))
+		if pt.seen.rows() >= vector.DefaultChunkSize {
+			return s.writeBuf(pt.seen, &pt.seenRefs)
+		}
+		return nil
+	}
+	for k := range gi.fastInt {
+		buf = append(buf[:0], distinctKeyInt)
+		buf = binary.LittleEndian.AppendUint64(buf, k)
+		if err := add(buf); err != nil {
+			return err
+		}
+	}
+	for k := range gi.fastStr {
+		buf = append(buf[:0], distinctKeyStr)
+		buf = append(buf, k...)
+		if err := add(buf); err != nil {
+			return err
+		}
+	}
+	for k := range gi.slow {
+		buf = append(buf[:0], distinctKeyBytes)
+		buf = append(buf, k...)
+		if err := add(buf); err != nil {
+			return err
+		}
+	}
+	if gi.nullID >= 0 {
+		if err := add([]byte{distinctKeyNull}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// route appends one post-overflow input chunk's rows to their
+// partitions' raw lists. basePos is the global input position of the
+// chunk's first row.
+func (s *distinctSpiller) route(ch *vector.Chunk, basePos int64) error {
+	cols := ch.Cols()
+	var buf []byte
+	for r := 0; r < ch.NumRows(); r++ {
+		buf = s.keyOf(buf, cols, r)
+		pt := &s.parts[partitionOf(hashKeyBytes(buf), 0)]
+		if pt.raw == nil {
+			types := make([]vector.Type, len(cols)+1)
+			for i, c := range cols {
+				types[i] = c.Type()
+			}
+			types[len(cols)] = vector.Int64
+			pt.raw = newRowAppender(types)
+		}
+		for c := range cols {
+			pt.raw.cols[c].AppendRowFrom(cols[c], r)
+		}
+		pt.raw.cols[len(cols)].AppendValue(vector.NewInt64(basePos + int64(r)))
+		if pt.raw.rows() >= vector.DefaultChunkSize {
+			if err := s.writeBuf(pt.raw, &pt.rawRefs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// finish flushes all buffered rows and counts the spilled partitions.
+func (s *distinctSpiller) finish() error {
+	n := int64(0)
+	for p := range s.parts {
+		pt := &s.parts[p]
+		if pt.raw != nil {
+			if err := s.writeBuf(pt.raw, &pt.rawRefs); err != nil {
+				return err
+			}
+		}
+		if pt.seen != nil {
+			if err := s.writeBuf(pt.seen, &pt.seenRefs); err != nil {
+				return err
+			}
+		}
+		if len(pt.rawRefs) > 0 || len(pt.seenRefs) > 0 {
+			n++
+		}
+	}
+	s.ctx.spillStats().addPartitions(n)
+	return nil
+}
+
+// release frees the spiller's input file once every partition is
+// processed (the out-file with the survivor runs is the merger's).
+func (s *distinctSpiller) release() {
+	if s != nil && s.file != nil {
+		s.file.Release()
+		s.file = nil
+	}
+}
+
+// finishDistinct turns the spilled partitions into a merger that
+// streams the remaining survivors in global input order.
+func (s *distinctSpiller) finishDistinct() (*runMerger, error) {
+	if err := s.finish(); err != nil {
+		return nil, err
+	}
+	var outFile *spill.File
+	getOut := func() (*spill.File, error) {
+		if outFile == nil {
+			f, err := s.ctx.spillManager().Create("distinct-out")
+			if err != nil {
+				return nil, err
+			}
+			outFile = f
+		}
+		return outFile, nil
+	}
+	var runs []*mergeRun
+	var held int64
+	for p := range s.parts {
+		pt := &s.parts[p]
+		if len(pt.rawRefs) == 0 {
+			continue // a seen-only partition has nothing left to emit
+		}
+		prs, err := s.processPartition(pt, getOut, &held)
+		if err != nil {
+			s.ctx.memShrink(held)
+			return nil, err
+		}
+		runs = append(runs, prs...)
+	}
+	s.release()
+	var files []*spill.File
+	if outFile != nil {
+		files = append(files, outFile)
+	}
+	return newRunMerger(s.ctx, nil, runs, -1, files, held), nil
+}
+
+// processPartition replays one partition: load its seen set, then keep
+// each raw row whose key appears for the first time. Raw chunks were
+// written in arrival order, so survivors come out position-sorted and
+// chunk-sized survivor slabs are valid runs as-is.
+func (s *distinctSpiller) processPartition(pt *distinctPart, getOut func() (*spill.File, error), held *int64) ([]*mergeRun, error) {
+	ctx := s.ctx
+	seen := make(map[string]struct{})
+	var seenBytes int64
+	defer func() {
+		ctx.memShrink(seenBytes)
+	}()
+	note := func(key []byte) bool {
+		if _, ok := seen[string(key)]; ok {
+			return false
+		}
+		seen[string(key)] = struct{}{}
+		b := int64(len(key)) + 48
+		seenBytes += b
+		ctx.memGrow(b)
+		return true
+	}
+	for _, ref := range pt.seenRefs {
+		if ctx.interrupted() {
+			return nil, ErrCancelled
+		}
+		cols, err := s.file.ReadChunkAt(ref)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range cols[0].Blobs() {
+			note(k)
+		}
+	}
+
+	var runs []*mergeRun
+	var surv *rowAppender
+	var survPos []int64
+	flush := func() error {
+		if surv == nil || surv.rows() == 0 {
+			return nil
+		}
+		run := &sortedRun{data: vector.NewChunk(surv.cols...), pos: survPos}
+		mr, err := maybeSpillAggRun(ctx, run, getOut, held)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, mr)
+		surv = nil
+		survPos = nil
+		return nil
+	}
+	var buf []byte
+	for _, ref := range pt.rawRefs {
+		if ctx.interrupted() {
+			return nil, ErrCancelled
+		}
+		cols, err := s.file.ReadChunkAt(ref)
+		if err != nil {
+			return nil, err
+		}
+		data := cols[:len(cols)-1]
+		pos := cols[len(cols)-1].Int64s()
+		for r := range pos {
+			buf = s.keyOf(buf, data, r)
+			if !note(buf) {
+				continue
+			}
+			if surv == nil {
+				types := make([]vector.Type, len(data))
+				for i, c := range data {
+					types[i] = c.Type()
+				}
+				surv = newRowAppender(types)
+			}
+			for c := range data {
+				surv.cols[c].AppendRowFrom(data[c], r)
+			}
+			survPos = append(survPos, pos[r])
+		}
+		if surv != nil && surv.rows() >= vector.DefaultChunkSize {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return runs, nil
+}

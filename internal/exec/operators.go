@@ -53,6 +53,15 @@ type Context struct {
 	// Stream installs one when unset.
 	Spill *SpillStats
 
+	// OnClose, when non-nil, runs exactly once when the query's stream
+	// closes — after the operators shut down and the spill files are
+	// removed. The resource governor uses it to return the query's
+	// memory lease and worker slots. Stream clears the hook in its
+	// private context copy so nested streams (table-UDF subplans) do
+	// not fire it again, and does not fire it when stream construction
+	// itself fails (the caller still owns cleanup on error).
+	OnClose func()
+
 	// mem and spillMgr are installed by Stream when MemoryBudget > 0;
 	// they are shared by every operator of the query (the Context
 	// itself is copied).
@@ -543,27 +552,64 @@ func (l *limitOp) Close() error { return l.child.Close() }
 
 // ----------------------------------------------------------------- distinct
 
+// distinctOp streams first appearances from an in-memory group index.
+// Under a memory budget it switches to grace-partitioned spill once
+// the index outgrows the budget (see distinct_spill.go): rows already
+// emitted keep the streaming order, and the spilled remainder is
+// merged back in global input order at child exhaustion, so output is
+// identical to the unbounded run.
 type distinctOp struct {
-	child Operator
-	ctx   *Context
-	gi    *groupIndex
-	sel   []int // selection buffer reused across chunks
+	child   Operator
+	ctx     *Context
+	gi      *groupIndex
+	kind    keyKind
+	sel     []int // selection buffer reused across chunks
+	bytes   int64 // estimated index footprint, tracked against the budget
+	pos     int64 // global input row counter (merge tiebreak after spill)
+	spiller *distinctSpiller
+	merger  *runMerger
 }
 
 func (d *distinctOp) Open(ctx *Context) error {
 	d.gi = nil
 	d.ctx = ctx
+	d.bytes, d.pos = 0, 0
+	d.spiller, d.merger = nil, nil
 	return d.child.Open(ctx)
 }
 
 func (d *distinctOp) Next() (*vector.Chunk, error) {
+	if d.merger != nil {
+		return d.merger.next(d.ctx)
+	}
 	for {
 		if d.ctx.interrupted() {
 			return nil, ErrCancelled
 		}
 		ch, err := d.child.Next()
-		if err != nil || ch == nil {
-			return ch, err
+		if err != nil {
+			return nil, err
+		}
+		if ch == nil {
+			if d.spiller == nil {
+				d.ctx.memShrink(d.bytes)
+				d.bytes = 0
+				return nil, nil
+			}
+			m, err := d.spiller.finishDistinct()
+			if err != nil {
+				return nil, err
+			}
+			d.merger = m
+			return d.merger.next(d.ctx)
+		}
+		if d.spiller != nil {
+			base := d.pos
+			d.pos += int64(ch.NumRows())
+			if err := d.spiller.route(ch, base); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		if d.gi == nil {
 			types := make([]vector.Type, ch.NumCols())
@@ -571,15 +617,34 @@ func (d *distinctOp) Next() (*vector.Chunk, error) {
 				types[i] = ch.Col(i).Type()
 			}
 			d.gi = newGroupIndex(types)
+			d.kind = d.gi.kind
 		}
 		sel := d.sel[:0]
 		cols := ch.Cols()
+		var grew int64
 		for i := 0; i < ch.NumRows(); i++ {
 			if _, created := d.gi.groupID(cols, i); created {
 				sel = append(sel, i)
+				grew += distinctRowBytes(cols, i)
 			}
 		}
+		d.pos += int64(ch.NumRows())
 		d.sel = sel
+		if grew > 0 {
+			d.bytes += grew
+			d.ctx.memGrow(grew)
+		}
+		// A zero-key distinct (defensive; plans always have columns)
+		// holds one group and never needs to spill.
+		if d.kind != keyKindNone && d.ctx.shouldSpill(d.bytes) {
+			d.spiller = newDistinctSpiller(d.ctx, d.kind)
+			if err := d.spiller.dumpIndex(d.gi); err != nil {
+				return nil, err
+			}
+			d.ctx.memShrink(d.bytes)
+			d.bytes = 0
+			d.gi = nil
+		}
 		if len(sel) == 0 {
 			continue
 		}
@@ -590,7 +655,36 @@ func (d *distinctOp) Next() (*vector.Chunk, error) {
 	}
 }
 
-func (d *distinctOp) Close() error { return d.child.Close() }
+func (d *distinctOp) Close() error {
+	d.merger.close()
+	d.spiller.release()
+	d.ctx.memShrink(d.bytes)
+	d.bytes = 0
+	return d.child.Close()
+}
+
+// distinctRowBytes estimates the index footprint of one newly created
+// distinct key: per-column stored bytes plus map-entry overhead.
+func distinctRowBytes(cols []*vector.Vector, r int) int64 {
+	n := int64(48)
+	for _, c := range cols {
+		switch c.Type() {
+		case vector.String:
+			if !c.IsNull(r) {
+				n += int64(len(c.Strings()[r]))
+			}
+			n += 16
+		case vector.Blob:
+			if !c.IsNull(r) {
+				n += int64(len(c.Blobs()[r]))
+			}
+			n += 24
+		default:
+			n += 9
+		}
+	}
+	return n
+}
 
 // ----------------------------------------------------------------- union
 

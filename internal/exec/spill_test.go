@@ -405,3 +405,59 @@ func TestSpillCleanupOnCancelAndError(t *testing.T) {
 	}
 	assertTempDirEmpty(t, dir2)
 }
+
+// TestSpillDistinctMatchesInMemory: serial DISTINCT must produce the
+// same rows in the same (first-appearance) order under a tiny budget,
+// across all three key-index representations (single int key, single
+// string key, generic multi-column), and leave no temp files behind.
+func TestSpillDistinctMatchesInMemory(t *testing.T) {
+	tab := buildSpillTable(t, 4*vector.DefaultChunkSize)
+	cases := []struct {
+		name   string
+		proj   []int
+		budget int64
+	}{
+		{"int-key", []int{1}, 1 << 12},         // hk: keyKindInt
+		{"str-key", []int{4}, 1 << 9},          // name: keyKindStr (26 keys — needs a tiny budget)
+		{"multi-col", []int{2, 3, 4}, 1 << 12}, // sk,v,name: generic bytes (incl. NULL/NaN)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			node := plan.Node(&plan.Distinct{Child: &plan.Scan{Table: tab, Projection: tc.proj}})
+			want := runPlan(t, node, &Context{Parallelism: 1})
+			ctx, dir := spillCtx(t, 1, tc.budget)
+			got := runPlan(t, node, ctx)
+			assertTablesEqual(t, got, want, "distinct spill "+tc.name)
+			if !ctx.Spill.Spilled() {
+				t.Fatal("expected spilling")
+			}
+			if ctx.Spill.Partitions() == 0 {
+				t.Fatal("no partitions recorded")
+			}
+			assertTempDirEmpty(t, dir)
+		})
+	}
+}
+
+// TestSpillDistinctStreamed: the spilled remainder must stream through
+// ChunkStream (the server path) and still clean up its temp files on
+// early Close.
+func TestSpillDistinctStreamed(t *testing.T) {
+	tab := buildSpillTable(t, 4*vector.DefaultChunkSize)
+	node := plan.Node(&plan.Distinct{Child: &plan.Scan{Table: tab, Projection: []int{1}}})
+	ctx, dir := spillCtx(t, 1, 1<<12)
+	s, err := Stream(node, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pull a couple of chunks, then abandon mid-stream.
+	for i := 0; i < 2; i++ {
+		if _, err := s.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertTempDirEmpty(t, dir)
+}

@@ -38,6 +38,10 @@ type ChunkStream struct {
 	closeOnce  sync.Once
 	closeErr   error
 	done       bool
+
+	causeMu sync.Mutex
+	cause   error  // first CancelCause error, reported instead of ErrCancelled
+	onClose func() // the caller Context's OnClose hook, fired once by Close
 }
 
 // Stream builds and opens a plan as a chunk-pull stream. The caller
@@ -69,6 +73,8 @@ func Stream(node plan.Node, ctx *Context) (*ChunkStream, error) {
 	}
 	c2 := *ctx
 	c2.Done = eff
+	onClose := c2.OnClose
+	c2.OnClose = nil
 	if c2.Stats == nil {
 		c2.Stats = &ScanStats{}
 	}
@@ -110,7 +116,7 @@ func Stream(node plan.Node, ctx *Context) (*ChunkStream, error) {
 		return nil, err
 	}
 	return &ChunkStream{op: op, schema: node.Schema(), stats: ctx.Stats, spill: ctx.Spill,
-		spillMgr: ownedMgr, cancel: cancel, ext: ext, eff: eff}, nil
+		spillMgr: ownedMgr, cancel: cancel, ext: ext, eff: eff, onClose: onClose}, nil
 }
 
 // Schema returns the stream's column names and types.
@@ -136,11 +142,14 @@ func (s *ChunkStream) Next() (*vector.Chunk, error) {
 	}
 	if s.interrupted() {
 		s.done = true
-		return nil, ErrCancelled
+		return nil, s.cancelCause()
 	}
 	ch, err := s.op.Next()
 	if err != nil {
 		s.done = true
+		if errors.Is(err, ErrCancelled) {
+			return nil, s.cancelCause()
+		}
 		return nil, err
 	}
 	if ch == nil {
@@ -182,6 +191,33 @@ func (s *ChunkStream) Cancel() {
 	s.cancelOnce.Do(func() { close(s.cancel) })
 }
 
+// CancelCause cancels like Cancel but records err as the reason: a
+// blocked or subsequent Next returns err instead of the generic
+// ErrCancelled, so callers can tell a deadline expiry or a
+// client-initiated cancel from a shutdown. The first recorded cause
+// wins. Safe to call from any goroutine.
+func (s *ChunkStream) CancelCause(err error) {
+	if err != nil {
+		s.causeMu.Lock()
+		if s.cause == nil {
+			s.cause = err
+		}
+		s.causeMu.Unlock()
+	}
+	s.Cancel()
+}
+
+// cancelCause returns the recorded cancellation cause, defaulting to
+// ErrCancelled.
+func (s *ChunkStream) cancelCause() error {
+	s.causeMu.Lock()
+	defer s.causeMu.Unlock()
+	if s.cause != nil {
+		return s.cause
+	}
+	return ErrCancelled
+}
+
 // Close cancels the stream and shuts the operator tree down, stopping
 // and joining any parallel workers. Safe to call more than once.
 func (s *ChunkStream) Close() error {
@@ -194,6 +230,9 @@ func (s *ChunkStream) Close() error {
 		// already failed.
 		if err := s.spillMgr.Close(); err != nil && s.closeErr == nil {
 			s.closeErr = err
+		}
+		if s.onClose != nil {
+			s.onClose()
 		}
 	})
 	return s.closeErr

@@ -1,0 +1,395 @@
+// Package governor provides process-wide resource governance for a
+// serving database: every mechanism below it (parallel executor,
+// memory budget, spill) is per-query, so N concurrent queries would
+// each claim all CPUs and their own budget and the process would
+// over-commit instead of degrading. The governor sits between the
+// session layer and the executor and hands each admitted query a
+// Ticket — a lease on a slice of one shared memory pool and a bounded
+// worker-slot pool — or makes it wait in a bounded FIFO queue, or
+// rejects it with a typed retryable error when the queue is full.
+//
+// Invariants:
+//
+//   - The sum of outstanding memory leases never exceeds Config.PoolBytes
+//     (leases are fixed fair shares, PoolBytes/MaxActive, so even a
+//     query admitted when the pool is idle cannot strand later ones).
+//   - At most MaxActive tickets are outstanding; excess admissions
+//     queue in arrival order and are granted strictly FIFO.
+//   - Every granted ticket carries at least one worker: worker slots
+//     bound the *extra* parallelism a query may claim, so admission
+//     can never deadlock on an empty slot pool.
+//
+// The lease becomes the query's exec MemoryBudget, so an over-budget
+// query degrades to spill exactly as a standalone one would — the
+// governor changes who sets the number, not the spill machinery.
+package governor
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config sizes the governor. The zero value of any field selects its
+// default; a zero PoolBytes disables memory leasing (queries run with
+// the engine's own per-query budget, possibly unlimited).
+type Config struct {
+	// PoolBytes is the process-wide memory pool queries lease from.
+	// Each admitted query leases PoolBytes/MaxActive (its exec memory
+	// budget); 0 disables leasing.
+	PoolBytes int64
+
+	// WorkerSlots bounds the extra executor workers handed out across
+	// all running queries (each query always gets one worker
+	// regardless). 0 means runtime.NumCPU().
+	WorkerSlots int
+
+	// MaxActive bounds concurrently executing queries. 0 means
+	// 2 × runtime.NumCPU().
+	MaxActive int
+
+	// MaxQueued bounds the admission queue; an admission arriving with
+	// the queue full is rejected with a retryable OverloadedError.
+	// 0 means 64.
+	MaxQueued int
+
+	// SessionMaxActive bounds one session's concurrently executing
+	// queries; 0 means unlimited.
+	SessionMaxActive int
+
+	// SessionMaxMemory bounds one session's total leased bytes;
+	// a query that would exceed it gets a smaller lease, or a
+	// retryable rejection when nothing is left. 0 means unlimited.
+	SessionMaxMemory int64
+
+	// RetryAfter is the base client back-off hint carried by
+	// OverloadedError; 0 means 250ms.
+	RetryAfter time.Duration
+}
+
+func (c Config) maxActive() int {
+	if c.MaxActive > 0 {
+		return c.MaxActive
+	}
+	return 2 * runtime.NumCPU()
+}
+
+func (c Config) maxQueued() int {
+	if c.MaxQueued > 0 {
+		return c.MaxQueued
+	}
+	return 64
+}
+
+func (c Config) workerSlots() int {
+	if c.WorkerSlots > 0 {
+		return c.WorkerSlots
+	}
+	return runtime.NumCPU()
+}
+
+func (c Config) retryAfter() time.Duration {
+	if c.RetryAfter > 0 {
+		return c.RetryAfter
+	}
+	return 250 * time.Millisecond
+}
+
+// OverloadedError is the typed, retryable rejection: the server is
+// healthy but saturated, and the client should back off RetryAfter
+// before retrying. The wire layer maps it to a dedicated frame so
+// remote clients receive the same type.
+type OverloadedError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("governor: overloaded (%s), retry after %v", e.Reason, e.RetryAfter)
+}
+
+// ErrQueueTimeout reports that an admission waited out its deadline
+// while queued. It is a deadline error, not an overload rejection:
+// retrying immediately would queue again behind the same backlog.
+var ErrQueueTimeout = errors.New("governor: queue wait deadline exceeded")
+
+// errSessionClosed guards against admissions on a closed session.
+var errSessionClosed = errors.New("governor: session closed")
+
+// Governor is the process-wide resource arbiter. One instance serves
+// one engine; all methods are safe for concurrent use.
+type Governor struct {
+	cfg Config
+
+	mu          sync.Mutex
+	active      int
+	leased      int64
+	workersFree int
+	queue       []*waiter
+	draining    bool
+
+	// cumulative / peak counters for reports and tests
+	admitted   int64
+	rejected   int64
+	timedOut   int64
+	peakActive int
+	peakQueued int
+	peakLeased int64
+}
+
+// New creates a governor from cfg (zero fields take their defaults).
+func New(cfg Config) *Governor {
+	return &Governor{cfg: cfg, workersFree: cfg.workerSlots()}
+}
+
+// Session is one client's admission scope (per-connection in the wire
+// server): per-session limits are enforced against it.
+type Session struct {
+	g      *Governor
+	active int
+	leased int64
+	closed bool
+}
+
+// NewSession opens an admission scope.
+func (g *Governor) NewSession() *Session { return &Session{g: g} }
+
+// Close marks the session closed; further admissions through it fail.
+// Outstanding tickets remain valid until released.
+func (s *Session) Close() {
+	s.g.mu.Lock()
+	s.closed = true
+	s.g.mu.Unlock()
+}
+
+// Ticket is one admitted query's resource lease. Release must be
+// called exactly when the query finishes (it is idempotent).
+type Ticket struct {
+	g       *Governor
+	sess    *Session
+	budget  int64
+	workers int
+	once    sync.Once
+}
+
+// MemoryBudget returns the bytes leased from the pool (0 when the
+// pool is disabled: no lease, caller falls back to its own budget).
+func (t *Ticket) MemoryBudget() int64 { return t.budget }
+
+// Workers returns the granted executor parallelism (always ≥ 1).
+func (t *Ticket) Workers() int { return t.workers }
+
+// Release returns the lease to the pool and wakes the next queued
+// admission. Idempotent.
+func (t *Ticket) Release() {
+	t.once.Do(func() {
+		g := t.g
+		g.mu.Lock()
+		g.active--
+		g.leased -= t.budget
+		g.workersFree += t.workers - 1
+		if t.sess != nil {
+			t.sess.active--
+			t.sess.leased -= t.budget
+		}
+		g.dispatchLocked()
+		g.mu.Unlock()
+	})
+}
+
+type admitResult struct {
+	ticket *Ticket
+	err    error
+}
+
+type waiter struct {
+	sess *Session
+	want int
+	ch   chan admitResult // buffered: dispatch never blocks
+}
+
+// Admit requests a ticket for one query wanting up to wantWorkers
+// executor workers (0 means NumCPU). When the governor is at
+// MaxActive the call queues FIFO; wait bounds the queue time (0 =
+// wait indefinitely) and a closed done channel abandons the wait.
+// Rejections (queue full, draining, session limits) are
+// *OverloadedError; waiting out the deadline is ErrQueueTimeout.
+func (g *Governor) Admit(sess *Session, wantWorkers int, wait time.Duration, done <-chan struct{}) (*Ticket, error) {
+	g.mu.Lock()
+	if g.draining {
+		g.rejected++
+		g.mu.Unlock()
+		return nil, &OverloadedError{Reason: "server draining", RetryAfter: g.cfg.retryAfter()}
+	}
+	if sess != nil && sess.closed {
+		g.mu.Unlock()
+		return nil, errSessionClosed
+	}
+	// Grant immediately only when no one is queued ahead: an empty
+	// queue is what makes the fast path FIFO-safe.
+	if g.active < g.cfg.maxActive() && len(g.queue) == 0 {
+		t, err := g.grantLocked(sess, wantWorkers)
+		g.mu.Unlock()
+		return t, err
+	}
+	if len(g.queue) >= g.cfg.maxQueued() {
+		g.rejected++
+		g.mu.Unlock()
+		// Scale the hint by queue depth: a full queue means real wait.
+		return nil, &OverloadedError{Reason: "admission queue full", RetryAfter: 2 * g.cfg.retryAfter()}
+	}
+	w := &waiter{sess: sess, want: wantWorkers, ch: make(chan admitResult, 1)}
+	g.queue = append(g.queue, w)
+	if len(g.queue) > g.peakQueued {
+		g.peakQueued = len(g.queue)
+	}
+	g.mu.Unlock()
+
+	var timeout <-chan time.Time
+	if wait > 0 {
+		tm := time.NewTimer(wait)
+		defer tm.Stop()
+		timeout = tm.C
+	}
+	select {
+	case res := <-w.ch:
+		return res.ticket, res.err
+	case <-timeout:
+	case <-done:
+	}
+	// Timed out (or abandoned) while queued. Removing ourselves races
+	// with a concurrent grant: dispatch removes the waiter and sends
+	// the result under the governor lock, so if the waiter is gone
+	// from the queue the result is already in the (buffered) channel —
+	// receive it and return the ticket so the lease is not stranded.
+	g.mu.Lock()
+	for i, q := range g.queue {
+		if q == w {
+			g.queue = append(g.queue[:i], g.queue[i+1:]...)
+			g.timedOut++
+			g.mu.Unlock()
+			return nil, ErrQueueTimeout
+		}
+	}
+	g.mu.Unlock()
+	res := <-w.ch
+	if res.ticket != nil {
+		res.ticket.Release()
+	}
+	return nil, ErrQueueTimeout
+}
+
+// grantLocked builds a ticket for one admission. Session limits are
+// re-checked here (not only at Admit entry) because a session's other
+// queries may have been admitted while this one queued.
+func (g *Governor) grantLocked(sess *Session, wantWorkers int) (*Ticket, error) {
+	if sess != nil && g.cfg.SessionMaxActive > 0 && sess.active >= g.cfg.SessionMaxActive {
+		g.rejected++
+		return nil, &OverloadedError{Reason: "session concurrent-query limit", RetryAfter: g.cfg.retryAfter()}
+	}
+	var budget int64
+	if g.cfg.PoolBytes > 0 {
+		budget = g.cfg.PoolBytes / int64(g.cfg.maxActive())
+		if budget < 1 {
+			budget = 1
+		}
+		if sess != nil && g.cfg.SessionMaxMemory > 0 {
+			rem := g.cfg.SessionMaxMemory - sess.leased
+			if rem <= 0 {
+				g.rejected++
+				return nil, &OverloadedError{Reason: "session memory limit", RetryAfter: g.cfg.retryAfter()}
+			}
+			if budget > rem {
+				budget = rem
+			}
+		}
+	}
+	want := wantWorkers
+	if want <= 0 {
+		want = runtime.NumCPU()
+	}
+	extra := want - 1
+	if extra > g.workersFree {
+		extra = g.workersFree
+	}
+	g.workersFree -= extra
+
+	g.active++
+	g.leased += budget
+	if sess != nil {
+		sess.active++
+		sess.leased += budget
+	}
+	g.admitted++
+	if g.active > g.peakActive {
+		g.peakActive = g.active
+	}
+	if g.leased > g.peakLeased {
+		g.peakLeased = g.leased
+	}
+	return &Ticket{g: g, sess: sess, budget: budget, workers: 1 + extra}, nil
+}
+
+// dispatchLocked grants queued admissions in FIFO order while
+// capacity lasts. A waiter whose session limit is now exceeded gets
+// its rejection here without consuming capacity.
+func (g *Governor) dispatchLocked() {
+	for g.active < g.cfg.maxActive() && len(g.queue) > 0 {
+		w := g.queue[0]
+		g.queue = g.queue[1:]
+		t, err := g.grantLocked(w.sess, w.want)
+		w.ch <- admitResult{ticket: t, err: err}
+	}
+}
+
+// SetDraining rejects all future admissions and flushes the queue
+// with retryable "server draining" errors. In-flight tickets are
+// unaffected; the caller waits for them separately.
+func (g *Governor) SetDraining() {
+	g.mu.Lock()
+	g.draining = true
+	q := g.queue
+	g.queue = nil
+	for _, w := range q {
+		g.rejected++
+		w.ch <- admitResult{err: &OverloadedError{Reason: "server draining", RetryAfter: g.cfg.retryAfter()}}
+	}
+	g.mu.Unlock()
+}
+
+// Stats is a snapshot of the governor's gauges and counters.
+type Stats struct {
+	Active      int   // currently executing queries
+	Queued      int   // currently waiting admissions
+	LeasedBytes int64 // currently leased pool bytes
+
+	Admitted int64 // tickets granted since start
+	Rejected int64 // overload rejections since start
+	TimedOut int64 // queue-wait deadline expiries since start
+
+	PeakActive      int   // high-water concurrent queries
+	PeakQueued      int   // high-water queue depth
+	PeakLeasedBytes int64 // high-water leased bytes (≤ PoolBytes always)
+}
+
+// Stats returns a consistent snapshot.
+func (g *Governor) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return Stats{
+		Active:          g.active,
+		Queued:          len(g.queue),
+		LeasedBytes:     g.leased,
+		Admitted:        g.admitted,
+		Rejected:        g.rejected,
+		TimedOut:        g.timedOut,
+		PeakActive:      g.peakActive,
+		PeakQueued:      g.peakQueued,
+		PeakLeasedBytes: g.peakLeased,
+	}
+}
+
+// Config returns the governor's effective configuration.
+func (g *Governor) Config() Config { return g.cfg }

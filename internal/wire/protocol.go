@@ -29,8 +29,10 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"time"
 
 	"vexdb/internal/catalog"
+	"vexdb/internal/governor"
 	"vexdb/internal/storage"
 	"vexdb/internal/vector"
 )
@@ -53,6 +55,14 @@ const (
 	BinaryRows
 	// Columnar bulk-transfers whole columns (vexdb native).
 	Columnar
+
+	// protoCancel marks a control request rather than a query: its SQL
+	// payload is empty and the server cancels the connection's
+	// in-flight query (if any) instead of replying. The client may send
+	// it from another goroutine while a result is streaming; the
+	// cancelled query terminates with an in-band error frame carrying
+	// ErrQueryCancelled, and the connection stays usable.
+	protoCancel Protocol = 0xF0
 )
 
 func (p Protocol) String() string {
@@ -88,6 +98,7 @@ const (
 	frameEnd      byte = 'E' // u64 total rows delivered
 	frameError    byte = 'X' // error message bytes
 	frameAffected byte = 'A' // u64 rows affected
+	frameRetry    byte = 'R' // u32 retry-after millis, then reason bytes
 )
 
 // maxFrameSize caps frame payloads accepted from the peer. Chunks are
@@ -106,14 +117,38 @@ func writeRequest(w io.Writer, proto Protocol, sql string) error {
 	return err
 }
 
+// maxRequestSize caps the SQL text of one request. Between it and
+// maxDiscardSize the payload is consumed and discarded so the server
+// can reject the query in-band and keep the connection; beyond the
+// discard limit the connection is dropped rather than read through.
+const (
+	maxRequestSize = 1 << 24
+	maxDiscardSize = 1 << 26
+)
+
+// requestTooLargeError reports an oversized-but-discarded request: the
+// stream is positioned at the next request, so the connection remains
+// usable.
+type requestTooLargeError struct{ n uint32 }
+
+func (e *requestTooLargeError) Error() string {
+	return fmt.Sprintf("wire: request too large (%d bytes, limit %d)", e.n, maxRequestSize)
+}
+
 func readRequest(r io.Reader) (Protocol, string, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, "", err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:4])
-	if n > 1<<24 {
-		return 0, "", fmt.Errorf("wire: request too large (%d bytes)", n)
+	if n > maxRequestSize {
+		if n > maxDiscardSize {
+			return 0, "", fmt.Errorf("wire: request of %d bytes exceeds discard limit", n)
+		}
+		if _, err := io.CopyN(io.Discard, r, int64(n)); err != nil {
+			return 0, "", err
+		}
+		return Protocol(hdr[4]), "", &requestTooLargeError{n}
 	}
 	sql := make([]byte, n)
 	if _, err := io.ReadFull(r, sql); err != nil {
@@ -153,6 +188,33 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 
 func writeErrorFrame(w io.Writer, err error) error {
 	return writeFrame(w, frameError, []byte(err.Error()))
+}
+
+// writeRetryFrame reports an admission rejection: the query did not
+// run, and the client should retry after the carried delay.
+func writeRetryFrame(w io.Writer, ov *governor.OverloadedError) error {
+	ms := ov.RetryAfter.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	buf := make([]byte, 4+len(ov.Reason))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(ms))
+	copy(buf[4:], ov.Reason)
+	return writeFrame(w, frameRetry, buf)
+}
+
+// decodeRetryFrame reconstructs the typed retryable error client-side,
+// so callers can errors.As for *governor.OverloadedError and back off
+// by its RetryAfter.
+func decodeRetryFrame(payload []byte) error {
+	if len(payload) < 4 {
+		return fmt.Errorf("wire: bad retry frame")
+	}
+	ov := &governor.OverloadedError{
+		Reason:     string(payload[4:]),
+		RetryAfter: time.Duration(binary.LittleEndian.Uint32(payload)) * time.Millisecond,
+	}
+	return fmt.Errorf("wire: server rejected query: %w", ov)
 }
 
 func writeAffectedFrame(w io.Writer, n int64) error {

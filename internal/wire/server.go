@@ -8,33 +8,54 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"vexdb/internal/engine"
+	"vexdb/internal/governor"
 	"vexdb/internal/vector"
 )
 
+// ErrQueryCancelled reports a query abandoned by a client-initiated
+// cancel request. The server uses it as the stream's cancellation
+// cause, so its message travels the error frame verbatim and the
+// client reconstructs the sentinel for errors.Is.
+var ErrQueryCancelled = errors.New("wire: query cancelled by client")
+
 // Server exposes an engine over TCP. Each connection handles a
-// sequence of requests; one goroutine per connection. Results are
-// streamed chunk by chunk straight from the executor, so serving a
-// huge result holds O(chunk size × workers) memory, and a client that
-// disconnects mid-result (or a server Close) cancels the query instead
-// of letting scan workers run to completion.
+// sequence of requests; one goroutine per connection plus a reader
+// goroutine that keeps consuming control requests (cancel) while a
+// result streams. Results are streamed chunk by chunk straight from
+// the executor, so serving a huge result holds O(chunk size × workers)
+// memory, and a client that disconnects mid-result (or a server
+// Close) cancels the query instead of letting scan workers run to
+// completion. When the database has a governor, each connection gets
+// one governor session, so per-session limits are per-connection.
 type Server struct {
 	db *engine.DB
 	ln net.Listener
 
-	mu      sync.Mutex
-	closed  bool
-	conns   map[net.Conn]struct{}
-	streams map[*engine.ResultSet]struct{}
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+	draining bool
+	conns    map[net.Conn]*connState
+	streams  map[*engine.ResultSet]struct{}
+	wg       sync.WaitGroup
+}
+
+// connState is one connection's serving state, shared between its
+// serve loop and its reader goroutine.
+type connState struct {
+	sess    *governor.Session
+	serving atomic.Bool                      // a request is being served right now
+	cur     atomic.Pointer[engine.ResultSet] // in-flight result, cancel target
 }
 
 // NewServer wraps a database for network serving.
 func NewServer(db *engine.DB) *Server {
 	return &Server{
 		db:      db,
-		conns:   make(map[net.Conn]struct{}),
+		conns:   make(map[net.Conn]*connState),
 		streams: make(map[*engine.ResultSet]struct{}),
 	}
 }
@@ -60,17 +81,24 @@ func (s *Server) acceptLoop() {
 			return // listener closed
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
 			conn.Close()
-			return
+			continue
 		}
-		s.conns[conn] = struct{}{}
+		st := &connState{}
+		if s.db.Gov != nil {
+			st.sess = s.db.Gov.NewSession()
+		}
+		s.conns[conn] = st
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.serveConn(conn)
+			s.serveConn(conn, st)
+			if st.sess != nil {
+				st.sess.Close()
+			}
 			s.mu.Lock()
 			delete(s.conns, conn)
 			s.mu.Unlock()
@@ -78,45 +106,124 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-func (s *Server) serveConn(conn net.Conn) {
+// connRequest is one item handed from a connection's reader goroutine
+// to its serve loop.
+type connRequest struct {
+	proto    Protocol
+	query    string
+	err      error // read failure; tooLarge requests are recoverable
+	tooLarge bool
+}
+
+func (s *Server) serveConn(conn net.Conn, st *connState) {
 	defer conn.Close()
-	br := bufio.NewReaderSize(conn, 1<<16)
+	// A dedicated reader keeps consuming requests while the serve loop
+	// streams a result, so a cancel control request takes effect
+	// mid-stream. Regular requests are handed over one at a time;
+	// connDone (closed when the serve loop exits) keeps the reader from
+	// blocking forever on the handoff if the loop exits early.
+	connDone := make(chan struct{})
+	defer close(connDone)
+	reqC := make(chan connRequest, 1)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		br := bufio.NewReaderSize(conn, 1<<16)
+		for {
+			proto, query, err := readRequest(br)
+			if err != nil {
+				var tl *requestTooLargeError
+				recoverable := errors.As(err, &tl)
+				select {
+				case reqC <- connRequest{err: err, tooLarge: recoverable}:
+				case <-connDone:
+					return
+				}
+				if recoverable {
+					continue
+				}
+				return // client hung up or sent garbage
+			}
+			if proto == protoCancel {
+				if rs := st.cur.Load(); rs != nil {
+					rs.CancelCause(ErrQueryCancelled)
+				}
+				continue
+			}
+			select {
+			case reqC <- connRequest{proto: proto, query: query}:
+			case <-connDone:
+				return
+			}
+		}
+	}()
+
 	bw := bufio.NewWriterSize(conn, 1<<18)
 	var scratch bytes.Buffer
 	for {
-		proto, query, err := readRequest(br)
-		if err != nil {
-			return // client hung up or sent garbage
+		req := <-reqC
+		if req.err != nil {
+			if !req.tooLarge {
+				return
+			}
+			// Oversized request: the reader discarded the payload, so
+			// reject in-band and keep serving.
+			if writeErrorFrame(bw, req.err) != nil || bw.Flush() != nil {
+				return
+			}
+			continue
 		}
-		if err := s.serveQuery(bw, &scratch, proto, query); err != nil {
+		st.serving.Store(true)
+		err := s.serveQuery(bw, &scratch, st, req.proto, req.query)
+		st.serving.Store(false)
+		if err != nil {
 			return // connection-level write failure
 		}
 		if bw.Flush() != nil {
 			return
 		}
+		if s.isDraining() {
+			return // finish the current request, then bow out
+		}
 	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining || s.closed
 }
 
 // serveQuery executes one request and streams its response frames.
 // Statement failures become error frames and return nil (the
 // connection stays usable); a non-nil return means the connection
 // itself is broken.
-func (s *Server) serveQuery(bw *bufio.Writer, scratch *bytes.Buffer, proto Protocol, query string) error {
+func (s *Server) serveQuery(bw *bufio.Writer, scratch *bytes.Buffer, st *connState, proto Protocol, query string) error {
 	switch proto {
 	case TextRows, BinaryRows, Columnar:
 	default:
 		return writeErrorFrame(bw, fmt.Errorf("wire: unknown protocol %d", proto))
 	}
-	rs, err := s.db.Query(query)
+	rs, err := s.db.QuerySession(st.sess, query)
 	if err != nil {
+		var ov *governor.OverloadedError
+		if errors.As(err, &ov) {
+			// Admission rejection: typed retryable frame, nothing ran.
+			return writeRetryFrame(bw, ov)
+		}
 		return writeErrorFrame(bw, err)
 	}
-	// Register for cancellation on Server.Close, and always stop the
+	// Register for cancellation on Server.Close and expose to the
+	// reader goroutine for client-initiated cancel; always stop the
 	// executor's workers before returning — including on write errors,
 	// which is how a mid-result client disconnect cancels the query.
 	s.trackStream(rs)
-	defer s.untrackStream(rs)
-	defer rs.Close()
+	st.cur.Store(rs)
+	defer func() {
+		st.cur.Store(nil)
+		s.untrackStream(rs)
+		rs.Close()
+	}()
 
 	if !rs.HasRows() {
 		return writeAffectedFrame(bw, rs.RowsAffected())
@@ -196,12 +303,66 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// Shutdown drains the server gracefully: stop accepting connections,
+// reject newly arriving queries with the typed retryable overloaded
+// error, let in-flight queries stream to completion, and fall back to
+// a hard Close for whatever has not finished within drainTimeout.
+// Idle connections are closed immediately; serving connections close
+// themselves after their current request. Blocks until the server is
+// fully stopped.
+func (s *Server) Shutdown(drainTimeout time.Duration) {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	idle := make([]net.Conn, 0, len(s.conns))
+	for c, st := range s.conns {
+		// A connection can start serving between this check and the
+		// close; its client then sees a connection error instead of a
+		// drained result — the same signal a hard shutdown gives.
+		if !st.serving.Load() {
+			idle = append(idle, c)
+		}
+	}
+	s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	if s.db.Gov != nil {
+		s.db.Gov.SetDraining()
+	}
+	for _, c := range idle {
+		c.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	t := time.NewTimer(drainTimeout)
+	defer t.Stop()
+	select {
+	case <-done:
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+	case <-t.C:
+		s.Close() // drain window expired: hard-cancel the stragglers
+	}
+}
+
 // Client is a connection to a wire server. Not safe for concurrent
-// use; open one client per goroutine.
+// use — open one client per goroutine — with one exception: Cancel may
+// be called from any goroutine while another streams a result.
 type Client struct {
 	conn net.Conn
 	br   *bufio.Reader
-	bw   *bufio.Writer
+	// wmu serializes request writes: Stream's query requests against
+	// Cancel's control requests from other goroutines.
+	wmu sync.Mutex
+	bw  *bufio.Writer
 	// stream is the in-flight result, which owns the connection until
 	// drained or closed.
 	stream *ResultStream
@@ -226,6 +387,30 @@ func Dial(addr string) (*Client, error) {
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// Cancel asks the server to abandon the connection's in-flight query
+// without dropping the connection. Safe to call from any goroutine; a
+// best-effort race with query completion is fine — the streaming
+// goroutine then sees either ErrQueryCancelled or the completed
+// result. The cancelled stream must still be drained (Next to the
+// error, or Close) before the next request.
+func (c *Client) Cancel() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := writeRequest(c.bw, protoCancel, ""); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// serverError maps an error-frame payload back to a client-side
+// error, reconstructing the ErrQueryCancelled sentinel.
+func serverError(payload []byte) error {
+	if string(payload) == ErrQueryCancelled.Error() {
+		return ErrQueryCancelled
+	}
+	return fmt.Errorf("wire: server error: %s", payload)
+}
 
 // ResultStream iterates a streamed query result chunk by chunk. The
 // stream owns the connection until it ends (Next returning nil), the
@@ -253,10 +438,13 @@ func (c *Client) Stream(proto Protocol, sql string) (*ResultStream, error) {
 	if c.stream != nil && !c.stream.done {
 		return nil, errors.New("wire: previous result stream still open")
 	}
-	if err := writeRequest(c.bw, proto, sql); err != nil {
-		return nil, err
+	c.wmu.Lock()
+	err := writeRequest(c.bw, proto, sql)
+	if err == nil {
+		err = c.bw.Flush()
 	}
-	if err := c.bw.Flush(); err != nil {
+	c.wmu.Unlock()
+	if err != nil {
 		return nil, err
 	}
 	kind, payload, err := readFrame(c.br)
@@ -266,7 +454,11 @@ func (c *Client) Stream(proto Protocol, sql string) (*ResultStream, error) {
 	st := &ResultStream{c: c, proto: proto}
 	switch kind {
 	case frameError:
-		return nil, fmt.Errorf("wire: server error: %s", payload)
+		return nil, serverError(payload)
+	case frameRetry:
+		// Admission rejection: the query never ran and the connection
+		// is ready for the next request.
+		return nil, decodeRetryFrame(payload)
 	case frameAffected:
 		if len(payload) != 8 {
 			return nil, fmt.Errorf("wire: bad affected frame")
@@ -330,9 +522,10 @@ func (s *ResultStream) Next() (*vector.Chunk, error) {
 		s.done = true
 		return nil, nil
 	case frameError:
-		// Clean in-band termination: the connection stays usable.
+		// Clean in-band termination (including a cancelled query): the
+		// connection stays usable.
 		s.done = true
-		s.err = fmt.Errorf("wire: server error: %s", payload)
+		s.err = serverError(payload)
 		return nil, s.err
 	default:
 		return nil, s.fail(fmt.Errorf("wire: unexpected frame %q", kind))
@@ -365,7 +558,7 @@ func (s *ResultStream) Close() error {
 			s.done = true
 		case frameError:
 			s.done = true
-			s.err = fmt.Errorf("wire: server error: %s", payload)
+			s.err = serverError(payload)
 		}
 	}
 	return nil

@@ -52,6 +52,20 @@ func startServer(t *testing.T) (*engine.DB, string) {
 // fast.
 func bigServer(t *testing.T, rows, workers int) (*engine.DB, *Server, string) {
 	t.Helper()
+	db := bigDB(t, rows, workers)
+	srv := NewServer(db)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return db, srv, addr
+}
+
+// bigDB builds the "big" table without starting a server, so tests can
+// configure the engine (governor, deadlines) before it begins serving.
+func bigDB(t *testing.T, rows, workers int) *engine.DB {
+	t.Helper()
 	db := engine.New()
 	db.Parallelism = workers
 	schema := catalog.Schema{
@@ -79,13 +93,7 @@ func bigServer(t *testing.T, rows, workers int) (*engine.DB, *Server, string) {
 			t.Fatal(err)
 		}
 	}
-	srv := NewServer(db)
-	addr, err := srv.Start("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(srv.Close)
-	return db, srv, addr
+	return db
 }
 
 func TestAllProtocolsRoundTrip(t *testing.T) {

@@ -13,9 +13,12 @@
 package vexdb
 
 import (
+	"time"
+
 	"vexdb/internal/catalog"
 	"vexdb/internal/core"
 	"vexdb/internal/engine"
+	"vexdb/internal/governor"
 	"vexdb/internal/storage"
 	"vexdb/internal/vector"
 )
@@ -118,7 +121,26 @@ type Options struct {
 	// query's spill files are removed when its result is closed,
 	// including on cancellation and error.
 	TempDir string
+
+	// QueryTimeout bounds each SELECT's total time — admission wait
+	// plus execution. Expired queries terminate with a deadline error
+	// at the next cancellation checkpoint. 0 means no deadline.
+	QueryTimeout time.Duration
+
+	// Governor, when non-nil, installs process-wide resource
+	// governance: concurrent SELECTs lease memory from a shared pool
+	// and worker slots from a shared budget, excess queries wait in a
+	// bounded FIFO admission queue, and overload is rejected with a
+	// typed retryable error (see GovernorConfig). Nil (the default)
+	// admits every query immediately, as before.
+	Governor *GovernorConfig
 }
+
+// GovernorConfig configures the process-wide resource governor:
+// shared memory pool, worker slots, concurrent-query and queue caps,
+// and per-session limits. The zero value of each field selects a
+// sensible default.
+type GovernorConfig = governor.Config
 
 // Open creates an empty in-memory database with the built-in function
 // library and the ML UDF suite (train_*, predict, predict_confidence,
@@ -133,9 +155,7 @@ func Open() *DB {
 // opts.
 func OpenOptions(opts Options) *DB {
 	db := Open()
-	db.SetParallelism(opts.Parallelism)
-	db.SetMemoryBudget(opts.MemoryBudget)
-	db.SetTempDir(opts.TempDir)
+	db.applyOptions(opts)
 	return db
 }
 
@@ -156,10 +176,18 @@ func OpenDirOptions(dir string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	db.applyOptions(opts)
+	return db, nil
+}
+
+func (db *DB) applyOptions(opts Options) {
 	db.SetParallelism(opts.Parallelism)
 	db.SetMemoryBudget(opts.MemoryBudget)
 	db.SetTempDir(opts.TempDir)
-	return db, nil
+	db.SetQueryTimeout(opts.QueryTimeout)
+	if opts.Governor != nil {
+		db.SetGovernor(*opts.Governor)
+	}
 }
 
 // Exec parses and executes one SQL statement.
@@ -334,6 +362,17 @@ func (db *DB) SetMemoryBudget(bytes int64) { db.eng.MemoryBudget = bytes }
 // SetTempDir sets where spill files go when a memory budget forces
 // out-of-core execution. Empty restores os.TempDir().
 func (db *DB) SetTempDir(dir string) { db.eng.TempDir = dir }
+
+// SetQueryTimeout bounds each SELECT's total time, admission wait
+// included (Options.QueryTimeout has the details). 0 removes the
+// deadline. Call before queries start; it is not synchronized with
+// concurrent query execution.
+func (db *DB) SetQueryTimeout(d time.Duration) { db.eng.QueryTimeout = d }
+
+// SetGovernor installs a process-wide resource governor configured by
+// cfg (Options.Governor has the details). Call before queries start;
+// it is not synchronized with concurrent query execution.
+func (db *DB) SetGovernor(cfg GovernorConfig) { db.eng.Gov = governor.New(cfg) }
 
 // SaveDir persists every table to dir.
 func (db *DB) SaveDir(dir string) error { return db.eng.SaveDir(dir) }
