@@ -6,11 +6,16 @@
 // Usage:
 //
 //	voterbench [-rows N] [-precincts N] [-cols N] [-trees N] [-seed N]
-//	           [-exp figure1|serialize|parallel|ensemble|protocols|all]
-//	           [-dir PATH]
+//	           [-exp figure1|serialize|parallel|ensemble|protocols|ml|all]
+//	           [-dir PATH] [-json PATH]
+//
+// The ml experiment benchmarks the in-database TRAIN and CLASSIFY
+// paths across worker counts; -json additionally writes the results
+// as a machine-readable file (BENCH_ml.json) for CI tracking.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,8 +32,9 @@ func main() {
 	cols := flag.Int("cols", cfg.Columns, "total voter columns (paper: 96)")
 	trees := flag.Int("trees", cfg.Estimators, "random forest size")
 	seed := flag.Int64("seed", cfg.Seed, "deterministic seed")
-	exp := flag.String("exp", "figure1", "experiment: figure1|serialize|parallel|morsel|ensemble|protocols|all")
+	exp := flag.String("exp", "figure1", "experiment: figure1|serialize|parallel|morsel|ensemble|protocols|ml|all")
 	dir := flag.String("dir", "", "work directory (default: temp)")
+	jsonPath := flag.String("json", "", "write ml experiment results as JSON to this path")
 	flag.Parse()
 
 	cfg.Voters = *rows
@@ -71,6 +77,7 @@ func main() {
 	run("morsel", func() error { return runMorsel(env) })
 	run("ensemble", func() error { return runEnsemble(env) })
 	run("protocols", func() error { return runProtocols(env) })
+	run("ml", func() error { return runML(env, *jsonPath) })
 }
 
 func runFigure1(env *workload.Env) error {
@@ -176,6 +183,94 @@ func runProtocols(env *workload.Env) error {
 		fmt.Printf("%-28s %10d %14v\n", r.Protocol, r.Rows, r.Elapsed.Round(time.Millisecond))
 	}
 	fmt.Println()
+	return nil
+}
+
+// mlBenchJSON is the BENCH_ml.json schema: the pipeline shape plus
+// one entry per worker count with train/classify ns-per-row and the
+// model digest, and the cross-worker determinism verdict.
+type mlBenchJSON struct {
+	Benchmark       string  `json:"benchmark"`
+	Voters          int     `json:"voters"`
+	Features        int     `json:"features"`
+	Trees           int     `json:"trees"`
+	MaxDepth        int     `json:"max_depth"`
+	Seed            int64   `json:"seed"`
+	TrainRows       int     `json:"train_rows"`
+	ClassifyRows    int     `json:"classify_rows"`
+	ModelsIdentical bool    `json:"models_identical"`
+	Runs            []mlRun `json:"runs"`
+}
+
+type mlRun struct {
+	Workers          int     `json:"workers"`
+	TrainNs          int64   `json:"train_ns"`
+	TrainNsPerRow    float64 `json:"train_ns_per_row"`
+	TrainSpeedup     float64 `json:"train_speedup"`
+	ClassifyNs       int64   `json:"classify_ns"`
+	ClassifyNsPerRow float64 `json:"classify_ns_per_row"`
+	ClassifySpeedup  float64 `json:"classify_speedup"`
+	ModelSHA256      string  `json:"model_sha256"`
+}
+
+func runML(env *workload.Env, jsonPath string) error {
+	fmt.Println("E7 — in-database ML: morsel-parallel TRAIN and streamed vectorized CLASSIFY")
+	workers := []int{1}
+	for w := 2; w <= 8 || w <= runtime.NumCPU(); w *= 2 {
+		workers = append(workers, w)
+	}
+	res, err := workload.E7MLBench(env, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s %12s %14s %10s %12s %14s %10s\n",
+		"workers", "train", "train ns/row", "speedup", "classify", "clf ns/row", "speedup")
+	for _, r := range res.Rows {
+		fmt.Printf("%8d %12v %14.1f %9.2fx %12v %14.1f %9.2fx\n",
+			r.Workers,
+			r.Train.Round(time.Millisecond), r.TrainNsPerRow, r.TrainSpeedup,
+			r.Classify.Round(time.Millisecond), r.ClassifyNsPerRow, r.ClassifySpeedup)
+	}
+	fmt.Printf("models byte-identical across worker counts: %v\n\n", res.ModelsIdentical)
+	if !res.ModelsIdentical {
+		return fmt.Errorf("ml: trained models differ across worker counts")
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	cfg := env.Cfg
+	out := mlBenchJSON{
+		Benchmark:       "voter-classification",
+		Voters:          cfg.Voters,
+		Features:        cfg.Features,
+		Trees:           cfg.Estimators,
+		MaxDepth:        cfg.MaxDepth,
+		Seed:            cfg.Seed,
+		TrainRows:       res.TrainRows,
+		ClassifyRows:    res.ClassifyRows,
+		ModelsIdentical: res.ModelsIdentical,
+	}
+	for _, r := range res.Rows {
+		out.Runs = append(out.Runs, mlRun{
+			Workers:          r.Workers,
+			TrainNs:          r.Train.Nanoseconds(),
+			TrainNsPerRow:    r.TrainNsPerRow,
+			TrainSpeedup:     r.TrainSpeedup,
+			ClassifyNs:       r.Classify.Nanoseconds(),
+			ClassifyNsPerRow: r.ClassifyNsPerRow,
+			ClassifySpeedup:  r.ClassifySpeedup,
+			ModelSHA256:      r.ModelDigest,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", jsonPath)
 	return nil
 }
 

@@ -57,6 +57,12 @@ type TableFunc struct {
 	// Fn consumes the evaluated arguments and produces the output
 	// relation, whose columns must match Columns.
 	Fn func(args []TableArg) (*vector.Table, error)
+	// FnPar, when set, is invoked instead of Fn with the executing
+	// query's worker count, letting blocking table UDFs (model
+	// training) parallelize internally under the engine's parallelism
+	// setting. Implementations must produce results identical to Fn at
+	// any worker count; workers <= 0 means "choose" (NumCPU).
+	FnPar func(args []TableArg, workers int) (*vector.Table, error)
 }
 
 // ColumnDecl declares one output column of a table UDF.

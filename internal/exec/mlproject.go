@@ -1,0 +1,103 @@
+package exec
+
+import (
+	"vexdb/internal/plan"
+	"vexdb/internal/vector"
+)
+
+// mlProjectOp is the streaming vectorized projection for row-local
+// (Parallel) UDFs — the engine's PREDICT operator. Where udfProjectOp
+// drains its whole input before the first UDF call, mlProjectOp scores
+// each arriving chunk as it is pulled: memory stays O(chunk) no matter
+// the input size, LIMIT consumers stop the scan early, cancellation is
+// observed at every chunk boundary, and a memory-governed query never
+// needs to spill its scored input. Oversized child chunks (a join can
+// emit more than DefaultChunkSize rows at once) are split before
+// evaluation, so downstream operators and the wire only ever see
+// standard-sized chunks.
+//
+// Top-level Parallel UDF calls are partitioned across the context's
+// worker count per chunk via EvalPartitionedCall, preserving the
+// drained path's partitioned-execution semantics; row-local evaluation
+// makes chunked results bit-identical to whole-input evaluation.
+type mlProjectOp struct {
+	exprs []plan.Expr
+	child Operator
+	ctx   *Context
+	carry *vector.Chunk // oversized child chunk being re-sliced
+	off   int
+}
+
+func (p *mlProjectOp) Open(ctx *Context) error {
+	p.ctx = ctx
+	p.carry, p.off = nil, 0
+	return p.child.Open(ctx)
+}
+
+func (p *mlProjectOp) Next() (*vector.Chunk, error) {
+	for {
+		if p.ctx.interrupted() {
+			return nil, ErrCancelled
+		}
+		if p.carry != nil {
+			end := p.off + vector.DefaultChunkSize
+			if n := p.carry.NumRows(); end > n {
+				end = n
+			}
+			in := p.carry.Slice(p.off, end)
+			if end >= p.carry.NumRows() {
+				p.carry, p.off = nil, 0
+			} else {
+				p.off = end
+			}
+			return p.evalChunk(in)
+		}
+		ch, err := p.child.Next()
+		if err != nil || ch == nil {
+			return nil, err
+		}
+		if ch.NumRows() == 0 {
+			continue
+		}
+		if ch.NumRows() > vector.DefaultChunkSize {
+			p.carry, p.off = ch, 0
+			continue
+		}
+		return p.evalChunk(ch)
+	}
+}
+
+// evalChunk evaluates the projection over one input chunk.
+func (p *mlProjectOp) evalChunk(in *vector.Chunk) (*vector.Chunk, error) {
+	cols := make([]*vector.Vector, len(p.exprs))
+	for i, e := range p.exprs {
+		v, err := p.evalExpr(e, in)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = v
+	}
+	return vector.NewChunk(cols...), nil
+}
+
+// evalExpr evaluates one expression over a chunk, partitioning
+// top-level Parallel UDF calls across workers (the same shape
+// udfProjectOp.evalFull uses over the drained input).
+func (p *mlProjectOp) evalExpr(e plan.Expr, in *vector.Chunk) (*vector.Vector, error) {
+	if call, ok := e.(*plan.Call); ok && call.Fn.Parallel {
+		args := make([]*vector.Vector, len(call.Args))
+		for i, a := range call.Args {
+			v, err := p.evalExpr(a, in)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		return EvalPartitionedCall(call, args, p.ctx.Workers())
+	}
+	return Evaluate(e, in)
+}
+
+func (p *mlProjectOp) Close() error { return p.child.Close() }
+
+var _ Operator = (*mlProjectOp)(nil)

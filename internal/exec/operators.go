@@ -135,7 +135,13 @@ func buildWith(node plan.Node, workers int) (Operator, error) {
 			return nil, err
 		}
 		if exprsHaveUDF(n.Exprs) {
-			// UDF calls in the select list receive whole columns, as
+			if callsAllParallel(n.Exprs) {
+				// Row-local (Parallel) UDFs — model prediction — stream
+				// chunk at a time: O(chunk) memory, LIMIT early-exit,
+				// cancellation at chunk boundaries.
+				return &mlProjectOp{exprs: n.Exprs, child: child}, nil
+			}
+			// Holistic UDFs must see the whole input at once, as
 			// MonetDB/Python vectorized UDFs do: materialize the child
 			// and evaluate once over the full input.
 			return &udfProjectOp{exprs: n.Exprs, child: child}, nil
@@ -371,46 +377,25 @@ func (p *projectOp) Close() error { return p.child.Close() }
 
 // exprsHaveUDF reports whether any expression contains a UDF call.
 func exprsHaveUDF(exprs []plan.Expr) bool {
-	var has func(e plan.Expr) bool
-	has = func(e plan.Expr) bool {
-		switch x := e.(type) {
-		case *plan.Call:
-			return true
-		case *plan.BinOp:
-			return has(x.Left) || has(x.Right)
-		case *plan.Neg:
-			return has(x.Operand)
-		case *plan.Not:
-			return has(x.Operand)
-		case *plan.IsNull:
-			return has(x.Operand)
-		case *plan.Cast:
-			return has(x.Operand)
-		case *plan.Case:
-			for _, w := range x.Whens {
-				if has(w.Cond) || has(w.Then) {
-					return true
-				}
-			}
-			return x.Else != nil && has(x.Else)
-		case *plan.In:
-			if has(x.Operand) {
-				return true
-			}
-			for _, l := range x.List {
-				if has(l) {
-					return true
-				}
-			}
-		}
-		return false
-	}
 	for _, e := range exprs {
-		if has(e) {
+		if !plan.EachCall(e, func(*plan.Call) bool { return false }) {
 			return true
 		}
 	}
 	return false
+}
+
+// callsAllParallel reports whether every UDF call in exprs is marked
+// Parallel — output row i depends only on input row i — and therefore
+// safe for chunk-at-a-time streaming evaluation and morsel-parallel
+// execution. Vacuously true for UDF-free expressions.
+func callsAllParallel(exprs []plan.Expr) bool {
+	for _, e := range exprs {
+		if !plan.EachCall(e, func(c *plan.Call) bool { return c.Fn.Parallel }) {
+			return false
+		}
+	}
+	return true
 }
 
 // drain materializes an operator's full output as one chunk,
@@ -447,43 +432,59 @@ func drain(op Operator, ctx *Context) (*vector.Chunk, error) {
 }
 
 // udfProjectOp materializes its child and evaluates the projection
-// once over the whole input, so vectorized UDFs see entire columns.
-// Parallel UDF calls at the top level of an expression are partitioned
-// across the context's worker count.
+// once over the whole input, so holistic vectorized UDFs (calls not
+// marked Parallel) see entire columns. Parallel UDF calls at the top
+// level of an expression are partitioned across the context's worker
+// count. The evaluated result is re-emitted in standard-sized chunks
+// so downstream operators and the wire never see an oversized chunk.
+// Row-local UDF projections take the streaming mlProjectOp path
+// instead (see mlproject.go).
 type udfProjectOp struct {
 	exprs []plan.Expr
 	child Operator
 	ctx   *Context
 	done  bool
+	out   *vector.Chunk // evaluated result, emitted in slices
+	pos   int
 }
 
 func (p *udfProjectOp) Open(ctx *Context) error {
 	p.ctx = ctx
 	p.done = false
+	p.out, p.pos = nil, 0
 	return p.child.Open(ctx)
 }
 
 func (p *udfProjectOp) Next() (*vector.Chunk, error) {
-	if p.done {
-		return nil, nil
-	}
-	p.done = true
-	in, err := drain(p.child, p.ctx)
-	if err != nil {
-		return nil, err
-	}
-	if in.NumCols() == 0 || in.NumRows() == 0 {
-		return nil, nil
-	}
-	cols := make([]*vector.Vector, len(p.exprs))
-	for i, e := range p.exprs {
-		v, err := p.evalFull(e, in)
+	if !p.done {
+		p.done = true
+		in, err := drain(p.child, p.ctx)
 		if err != nil {
 			return nil, err
 		}
-		cols[i] = v
+		if in.NumCols() == 0 || in.NumRows() == 0 {
+			return nil, nil
+		}
+		cols := make([]*vector.Vector, len(p.exprs))
+		for i, e := range p.exprs {
+			v, err := p.evalFull(e, in)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = v
+		}
+		p.out = vector.NewChunk(cols...)
 	}
-	return vector.NewChunk(cols...), nil
+	if p.out == nil || p.pos >= p.out.NumRows() {
+		return nil, nil
+	}
+	end := p.pos + vector.DefaultChunkSize
+	if n := p.out.NumRows(); end > n {
+		end = n
+	}
+	ch := p.out.Slice(p.pos, end)
+	p.pos = end
+	return ch, nil
 }
 
 // evalFull evaluates an expression over the whole input, partitioning

@@ -121,9 +121,14 @@ type pipeScratch struct {
 }
 
 // extractPipe returns the pipeline form of node when every operator in
-// the chain is chunk-local and UDF-free, nil otherwise. UDFs are
-// excluded because registered functions may keep unsynchronized state
-// (the engine parallelizes those explicitly via EvalPartitionedCall).
+// the chain is chunk-local, nil otherwise. UDF-bearing stages are
+// admitted only when every call is marked Parallel: that flag is the
+// function's declaration that concurrent evaluation over disjoint row
+// ranges is safe — the same contract EvalPartitionedCall relies on —
+// so model prediction runs morsel-parallel directly over base scans
+// with zone-map pruning intact. Holistic UDFs (not Parallel) may keep
+// unsynchronized state across calls and stay on the serial
+// materializing path.
 func extractPipe(node plan.Node) *pipeSpec {
 	switch n := node.(type) {
 	case *plan.Scan:
@@ -131,7 +136,7 @@ func extractPipe(node plan.Node) *pipeSpec {
 	case *plan.Material:
 		return &pipeSpec{src: &materialSource{data: n.Data}}
 	case *plan.Filter:
-		if exprsHaveUDF([]plan.Expr{n.Pred}) {
+		if !callsAllParallel([]plan.Expr{n.Pred}) {
 			return nil
 		}
 		p := extractPipe(n.Child)
@@ -141,7 +146,7 @@ func extractPipe(node plan.Node) *pipeSpec {
 		p.stages = append(p.stages, pipeStage{pred: n.Pred})
 		return p
 	case *plan.Project:
-		if exprsHaveUDF(n.Exprs) {
+		if !callsAllParallel(n.Exprs) {
 			return nil
 		}
 		p := extractPipe(n.Child)

@@ -37,7 +37,16 @@ func (t *tableFuncOp) Open(ctx *Context) error {
 		}
 		args[i] = core.TableArg{Scalar: v}
 	}
-	out, err := t.spec.Fn.Fn(args)
+	var out *vector.Table
+	var err error
+	if t.spec.Fn.FnPar != nil {
+		// Parallel-aware table UDFs (the trainers) get the query's
+		// worker count; their contract requires results identical to
+		// the serial path at any count.
+		out, err = t.spec.Fn.FnPar(args, ctx.Workers())
+	} else {
+		out, err = t.spec.Fn.Fn(args)
+	}
 	if err != nil {
 		return fmt.Errorf("exec: table function %s: %w", t.spec.Fn.Name, err)
 	}

@@ -100,6 +100,55 @@ func (e *Case) Type() vector.Type   { return e.Typ }
 func (e *Call) Type() vector.Type   { return e.Typ }
 func (e *In) Type() vector.Type     { return vector.Bool }
 
+// EachCall walks e depth-first and invokes fn for every UDF call it
+// contains. fn returning false stops the walk; EachCall reports
+// whether the walk ran to completion. The executor uses it both to
+// detect UDF-bearing expressions and to decide whether a projection's
+// calls are all Parallel (and therefore safe for the streaming,
+// morsel-parallel ML operator).
+func EachCall(e Expr, fn func(*Call) bool) bool {
+	switch x := e.(type) {
+	case *Call:
+		if !fn(x) {
+			return false
+		}
+		for _, a := range x.Args {
+			if !EachCall(a, fn) {
+				return false
+			}
+		}
+	case *BinOp:
+		return EachCall(x.Left, fn) && EachCall(x.Right, fn)
+	case *Neg:
+		return EachCall(x.Operand, fn)
+	case *Not:
+		return EachCall(x.Operand, fn)
+	case *IsNull:
+		return EachCall(x.Operand, fn)
+	case *Cast:
+		return EachCall(x.Operand, fn)
+	case *Case:
+		for _, w := range x.Whens {
+			if !EachCall(w.Cond, fn) || !EachCall(w.Then, fn) {
+				return false
+			}
+		}
+		if x.Else != nil {
+			return EachCall(x.Else, fn)
+		}
+	case *In:
+		if !EachCall(x.Operand, fn) {
+			return false
+		}
+		for _, l := range x.List {
+			if !EachCall(l, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // binOpType infers the result type of a binary operator application.
 func binOpType(op sql.BinaryOp, l, r vector.Type) (vector.Type, error) {
 	switch op {

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// MLBenchRow is one worker-count measurement of the in-database ML
+// pipeline: TRAIN as a parallel table UDF (morsel-partitioned fits
+// merged deterministically) and CLASSIFY as the streaming vectorized
+// predict over the full labeled table.
+type MLBenchRow struct {
+	Workers          int
+	Train            time.Duration
+	Classify         time.Duration
+	TrainNsPerRow    float64
+	ClassifyNsPerRow float64
+	TrainSpeedup     float64 // relative to the first (smallest) worker count
+	ClassifySpeedup  float64
+	ModelDigest      string // SHA-256 of the serialized model blob
+}
+
+// MLBenchResult aggregates E7 across worker counts. ModelsIdentical
+// reports whether every worker count produced a byte-identical model —
+// the parallel-training determinism contract, checked on real data.
+type MLBenchResult struct {
+	TrainRows       int
+	ClassifyRows    int
+	Rows            []MLBenchRow
+	ModelsIdentical bool
+}
+
+// E7MLBench measures end-to-end TRAIN and CLASSIFY cost per row at
+// each worker count, on the voter benchmark's labeled table. Training
+// uses the same train_rf invocation as the Figure 1 pipeline;
+// classification scores every labeled row through the streamed
+// predict operator. The model digest per worker count verifies
+// byte-identical training at any parallelism.
+func E7MLBench(env *Env, workerCounts []int) (*MLBenchResult, error) {
+	cfg := env.Cfg
+	db := env.DB
+	if !db.HasTable("labeled") {
+		if _, err := RunInDatabase(env); err != nil {
+			return nil, err
+		}
+	}
+	feats := FeatureNames(cfg)
+	trainSQL := fmt.Sprintf(
+		`SELECT model FROM train_rf((SELECT %s, label FROM labeled WHERE id %% %d <> 0), %d, %d, %d)`,
+		strings.Join(feats, ", "), cfg.TestModulus, cfg.Estimators, cfg.MaxDepth, cfg.Seed)
+	classifySQL := fmt.Sprintf(
+		`SELECT count(*) AS n FROM (
+			SELECT predict(m.model, %s) AS pred
+			FROM labeled l, rf_model m) q WHERE q.pred >= 0`,
+		prefixAll("l.", feats))
+
+	res := &MLBenchResult{ModelsIdentical: true}
+	cnt, err := db.Query(fmt.Sprintf(
+		`SELECT count(*) AS train_n FROM labeled WHERE id %% %d <> 0`, cfg.TestModulus))
+	if err != nil {
+		return nil, fmt.Errorf("E7 count: %w", err)
+	}
+	res.TrainRows = int(cnt.Cols[0].Int64s()[0])
+	res.ClassifyRows = db.NumRows("labeled")
+
+	defer db.SetParallelism(cfg.Parallelism)
+	for _, w := range workerCounts {
+		db.SetParallelism(w)
+
+		t0 := time.Now()
+		tab, err := db.Query(trainSQL)
+		if err != nil {
+			return nil, fmt.Errorf("E7 train workers=%d: %w", w, err)
+		}
+		train := time.Since(t0)
+		blob := tab.Cols[0].Blobs()[0]
+		sum := sha256.Sum256(blob)
+		digest := hex.EncodeToString(sum[:])
+
+		t0 = time.Now()
+		out, err := db.Query(classifySQL)
+		if err != nil {
+			return nil, fmt.Errorf("E7 classify workers=%d: %w", w, err)
+		}
+		classify := time.Since(t0)
+		if got := int(out.Cols[0].Int64s()[0]); got != res.ClassifyRows {
+			return nil, fmt.Errorf("E7 classify workers=%d: scored %d rows, want %d", w, got, res.ClassifyRows)
+		}
+
+		row := MLBenchRow{
+			Workers:          w,
+			Train:            train,
+			Classify:         classify,
+			TrainNsPerRow:    float64(train.Nanoseconds()) / float64(res.TrainRows),
+			ClassifyNsPerRow: float64(classify.Nanoseconds()) / float64(res.ClassifyRows),
+			ModelDigest:      digest,
+		}
+		if len(res.Rows) == 0 {
+			row.TrainSpeedup = 1
+			row.ClassifySpeedup = 1
+		} else {
+			row.TrainSpeedup = float64(res.Rows[0].Train) / float64(train)
+			row.ClassifySpeedup = float64(res.Rows[0].Classify) / float64(classify)
+			if digest != res.Rows[0].ModelDigest {
+				res.ModelsIdentical = false
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,79 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+// benchForest fits a voterbench-shaped forest (16 trees, depth 10,
+// 6 features) and returns it with one chunk of scoring input.
+func benchForest(b *testing.B, nrows int) (*RandomForest, [][]float64) {
+	b.Helper()
+	const nfeat = 6
+	X, y := benchData(8000, nfeat)
+	f := NewRandomForest(16)
+	f.MaxDepth = 10
+	f.Seed = 7
+	if err := f.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	Xs, _ := benchData(nrows, nfeat)
+	return f, Xs
+}
+
+func benchData(n, nfeat int) ([][]float64, []int) {
+	X := make([][]float64, nfeat)
+	state := uint64(0x2545f4914f6cdd1d)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+	for f := range X {
+		col := make([]float64, n)
+		for i := range col {
+			col[i] = next()*8 - 4
+		}
+		X[f] = col
+	}
+	y := make([]int, n)
+	for i := range y {
+		s := X[0][i] + X[1][i] - X[2][i]
+		switch {
+		case s > 1:
+			y[i] = 2
+		case s > -1:
+			y[i] = 1
+		}
+		if i%97 == 0 {
+			X[1][i] = math.NaN()
+		}
+	}
+	return X, y
+}
+
+// BenchmarkForestBatch measures the streaming operator's scoring core:
+// one 2048-row chunk through the batch path.
+func BenchmarkForestBatch(b *testing.B) {
+	f, X := benchForest(b, 2048)
+	out := make([]int32, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.PredictLabelsInto(X, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/2048, "ns/row")
+}
+
+// BenchmarkForestRow measures the row-at-a-time Classifier path on the
+// same chunk, for comparison.
+func BenchmarkForestRow(b *testing.B) {
+	f, X := benchForest(b, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Predict(X); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/2048, "ns/row")
+}

@@ -3,8 +3,9 @@ package ml
 import (
 	"fmt"
 	"math"
-	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // RandomForest is a bagged ensemble of CART trees with per-split
@@ -28,6 +29,9 @@ type RandomForest struct {
 	trees   []*DecisionTree
 	classes []int
 	nfeat   int
+	// prep caches the traversal-optimized form used by the batch
+	// prediction path; fitting resets it.
+	prep atomic.Pointer[preparedForest]
 }
 
 // NewRandomForest returns a forest with n trees and common defaults.
@@ -47,74 +51,139 @@ func (f *RandomForest) NumTrees() int { return len(f.trees) }
 // Fit implements Classifier. Each tree is trained on a bootstrap
 // sample of the rows with sqrt(p) feature subsampling per split.
 func (f *RandomForest) Fit(X [][]float64, y []int) error {
-	n, err := validateXY(X, y)
-	if err != nil {
-		return err
-	}
+	return f.FitWorkers(X, y, f.Workers)
+}
+
+// FitWorkers is Fit with an explicit worker count: the trees are
+// partitioned into contiguous ranges, one FitPartial per worker, and
+// the partials merge in tree order. Per-tree seeds derive from the
+// absolute tree index, so the fitted forest is byte-identical at any
+// worker count.
+func (f *RandomForest) FitWorkers(X [][]float64, y []int, workers int) error {
 	if f.NEstimators <= 0 {
 		f.NEstimators = 16
 	}
-	classes, cidx := classIndex(y)
-	f.classes = classes
-	f.nfeat = len(X)
+	est := f.NEstimators
+	workers = resolveWorkers(workers, est)
+	parts := make([]*ForestPartial, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo := w * est / workers
+			hi := (w + 1) * est / workers
+			parts[w], errs[w] = f.FitPartial(X, y, lo, hi)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			f.trees = nil
+			return err
+		}
+	}
+	return f.MergePartials(parts)
+}
+
+// ForestPartial holds the fitted trees of one contiguous tree range —
+// the per-worker partial state of parallel forest training. Because
+// every tree's bootstrap and split seeds derive from its absolute
+// index, a partial's bytes depend only on its range, never on which
+// worker produced it or what else ran concurrently.
+type ForestPartial struct {
+	lo, hi  int
+	trees   []*DecisionTree
+	classes []int
+	nfeat   int
+}
+
+// FitPartial fits trees [lo, hi) on X, y and returns them as a
+// mergeable partial. It does not mutate the receiver beyond reading
+// hyperparameters, so concurrent partial fits on one forest are safe.
+func (f *RandomForest) FitPartial(X [][]float64, y []int, lo, hi int) (*ForestPartial, error) {
+	n, err := validateXY(X, y)
+	if err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi < lo {
+		return nil, fmt.Errorf("ml: invalid tree range [%d, %d)", lo, hi)
+	}
+	classes, _ := classIndex(y)
+	mtry := f.mtry(len(X))
+	part := &ForestPartial{
+		lo: lo, hi: hi,
+		trees:   make([]*DecisionTree, 0, hi-lo),
+		classes: classes,
+		nfeat:   len(X),
+	}
+	for ti := lo; ti < hi; ti++ {
+		t := &DecisionTree{
+			MaxDepth:       f.MaxDepth,
+			MinSamplesLeaf: f.MinSamplesLeaf,
+			MaxFeatures:    mtry,
+			Seed:           f.Seed + int64(ti)*7919,
+		}
+		bx, by := bootstrap(X, y, n, newRNG(f.Seed+int64(ti)*104729+1))
+		if err := t.Fit(bx, by); err != nil {
+			return nil, fmt.Errorf("ml: tree %d: %w", ti, err)
+		}
+		part.trees = append(part.trees, t)
+	}
+	return part, nil
+}
+
+// MergePartials assembles partial fits covering tree ranges
+// [0, NEstimators) contiguously into the fitted forest.
+func (f *RandomForest) MergePartials(parts []*ForestPartial) error {
+	ordered := append([]*ForestPartial(nil), parts...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].lo < ordered[j].lo })
+	trees := make([]*DecisionTree, 0, f.NEstimators)
+	next := 0
+	for _, p := range ordered {
+		if p.lo != next {
+			return fmt.Errorf("ml: forest partials not contiguous at tree %d", next)
+		}
+		if len(trees) > 0 && (p.nfeat != f.nfeat || !equalInts(p.classes, f.classes)) {
+			return fmt.Errorf("ml: forest partials trained on different data shapes")
+		}
+		f.classes = p.classes
+		f.nfeat = p.nfeat
+		trees = append(trees, p.trees...)
+		next = p.hi
+	}
+	if next != f.NEstimators {
+		return fmt.Errorf("ml: forest partials cover %d of %d trees", next, f.NEstimators)
+	}
+	f.trees = trees
+	f.prep.Store(nil)
+	return nil
+}
+
+// mtry resolves the per-split feature budget (sqrt(p) by default).
+func (f *RandomForest) mtry(nfeat int) int {
 	mtry := f.MaxFeatures
 	if mtry <= 0 {
-		mtry = int(math.Sqrt(float64(len(X))))
+		mtry = int(math.Sqrt(float64(nfeat)))
 		if mtry < 1 {
 			mtry = 1
 		}
 	}
-	_ = cidx
+	return mtry
+}
 
-	f.trees = make([]*DecisionTree, f.NEstimators)
-	workers := f.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
+// equalInts reports element-wise equality.
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	if workers > f.NEstimators {
-		workers = f.NEstimators
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
 	}
-
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ti := range jobs {
-				t := &DecisionTree{
-					MaxDepth:       f.MaxDepth,
-					MinSamplesLeaf: f.MinSamplesLeaf,
-					MaxFeatures:    mtry,
-					Seed:           f.Seed + int64(ti)*7919,
-				}
-				bx, by := bootstrap(X, y, n, newRNG(f.Seed+int64(ti)*104729+1))
-				if err := t.Fit(bx, by); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("ml: tree %d: %w", ti, err)
-					}
-					mu.Unlock()
-					continue
-				}
-				f.trees[ti] = t
-			}
-		}()
-	}
-	for ti := 0; ti < f.NEstimators; ti++ {
-		jobs <- ti
-	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		f.trees = nil
-		return firstErr
-	}
-	return nil
+	return true
 }
 
 // bootstrap draws n rows with replacement, materializing the sampled

@@ -108,6 +108,109 @@ func (m *LogisticRegression) Fit(X [][]float64, y []int) error {
 	return nil
 }
 
+// FitParallel trains by the same full-batch gradient descent as Fit,
+// parallelized over row morsels: each iteration computes residuals
+// over disjoint row ranges concurrently (per-row arithmetic, identical
+// to serial) and accumulates per-morsel gradient partials that merge
+// in morsel order. Fixed morsel boundaries make the fitted weights
+// byte-identical at any worker count (0 means NumCPU); the gradient's
+// summation grouping differs from Fit, so its last-bit numerics may
+// differ from the serial path.
+func (m *LogisticRegression) FitParallel(X [][]float64, y []int, workers int) error {
+	n, err := validateXY(X, y)
+	if err != nil {
+		return err
+	}
+	if m.LearningRate <= 0 {
+		m.LearningRate = 0.1
+	}
+	if m.Iterations <= 0 {
+		m.Iterations = 200
+	}
+	classes, cidx := classIndex(y)
+	if len(classes) < 2 {
+		return fmt.Errorf("ml: logistic regression needs at least 2 classes, got %d", len(classes))
+	}
+	m.classes = classes
+	m.nfeat = len(X)
+	p := len(X)
+	nm := numMorsels(n)
+
+	m.weights = make([][]float64, len(classes))
+	targets := make([]float64, n)
+	preds := make([]float64, n)
+	grad := make([]float64, p+1)
+	partials := make([][]float64, nm)
+	for mi := range partials {
+		partials[mi] = make([]float64, p+1)
+	}
+	for k := range classes {
+		w := make([]float64, p+1)
+		for i, c := range y {
+			if cidx[c] == k {
+				targets[i] = 1
+			} else {
+				targets[i] = 0
+			}
+		}
+		for it := 0; it < m.Iterations; it++ {
+			parallelMorsels(workers, nm, func(mi int) {
+				lo, hi := morselBounds(mi, n)
+				// Residuals over this morsel's disjoint row range.
+				for i := lo; i < hi; i++ {
+					preds[i] = w[p] // bias
+				}
+				for f := 0; f < p; f++ {
+					wf := w[f]
+					if wf == 0 {
+						continue
+					}
+					col := X[f]
+					for i := lo; i < hi; i++ {
+						preds[i] += wf * col[i]
+					}
+				}
+				for i := lo; i < hi; i++ {
+					preds[i] = sigmoid(preds[i]) - targets[i]
+				}
+				// This morsel's gradient partial: X^T residual.
+				g := partials[mi]
+				for f := 0; f < p; f++ {
+					col := X[f]
+					s := 0.0
+					for i := lo; i < hi; i++ {
+						s += col[i] * preds[i]
+					}
+					g[f] = s
+				}
+				s := 0.0
+				for i := lo; i < hi; i++ {
+					s += preds[i]
+				}
+				g[p] = s
+			})
+			// Merge partials in morsel order; the grouping is fixed by
+			// the morsel layout, so the sum is worker-count independent.
+			for f := 0; f <= p; f++ {
+				s := 0.0
+				for _, g := range partials {
+					s += g[f]
+				}
+				if f < p {
+					grad[f] = s/float64(n) + m.L2*w[f]
+				} else {
+					grad[f] = s / float64(n)
+				}
+			}
+			for f := range w {
+				w[f] -= m.LearningRate * grad[f]
+			}
+		}
+		m.weights[k] = w
+	}
+	return nil
+}
+
 func sigmoid(x float64) float64 {
 	return 1 / (1 + math.Exp(-x))
 }

@@ -83,6 +83,70 @@ func PrecisionRecallF1(truth, pred []int) ([]ClassReport, error) {
 	return out, nil
 }
 
+// EvalStats is a mergeable classification-metrics accumulator:
+// confusion cells are the sufficient statistics, so per-worker stats
+// collected over disjoint row ranges combine exactly (integer
+// addition, any merge order) into the same metrics a single pass
+// would produce.
+type EvalStats struct {
+	total   int64
+	correct int64
+	cells   map[[2]int]int64 // (truth, pred) -> count
+}
+
+// NewEvalStats returns an empty accumulator.
+func NewEvalStats() *EvalStats {
+	return &EvalStats{cells: make(map[[2]int]int64)}
+}
+
+// Observe records one (truth, prediction) pair.
+func (s *EvalStats) Observe(truth, pred int) {
+	s.total++
+	if truth == pred {
+		s.correct++
+	}
+	s.cells[[2]int{truth, pred}]++
+}
+
+// Merge adds o's counts into s.
+func (s *EvalStats) Merge(o *EvalStats) {
+	s.total += o.total
+	s.correct += o.correct
+	for k, v := range o.cells {
+		s.cells[k] += v
+	}
+}
+
+// Total returns the number of observed pairs.
+func (s *EvalStats) Total() int64 { return s.total }
+
+// Accuracy returns the fraction of correct predictions (0 when empty).
+func (s *EvalStats) Accuracy() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return float64(s.correct) / float64(s.total)
+}
+
+// Confusion returns the confusion matrix [truthIdx][predIdx] over the
+// sorted unique classes seen, and the class order — the same shape
+// ConfusionMatrix produces from full label slices.
+func (s *EvalStats) Confusion() ([][]int, []int) {
+	seen := make([]int, 0, 2*len(s.cells))
+	for k := range s.cells {
+		seen = append(seen, k[0], k[1])
+	}
+	classes, cidx := classIndex(seen)
+	m := make([][]int, len(classes))
+	for i := range m {
+		m[i] = make([]int, len(classes))
+	}
+	for k, v := range s.cells {
+		m[cidx[k[0]]][cidx[k[1]]] += int(v)
+	}
+	return m, classes
+}
+
 // LogLoss computes the cross-entropy of predicted probabilities
 // against integer truths, clamping probabilities to [eps, 1-eps].
 func LogLoss(truth []int, probs [][]float64, classes []int) (float64, error) {

@@ -130,13 +130,20 @@ func (m *GaussianNB) PredictProba(X [][]float64) ([][]float64, error) {
 
 // softmaxFromLogs exponentiates shifted log scores into probabilities.
 func softmaxFromLogs(logp []float64) []float64 {
+	out := make([]float64, len(logp))
+	softmaxInto(logp, out)
+	return out
+}
+
+// softmaxInto is softmaxFromLogs writing into caller scratch (same
+// arithmetic, no allocation) for the batch prediction path.
+func softmaxInto(logp, out []float64) {
 	maxLog := logp[0]
 	for _, v := range logp[1:] {
 		if v > maxLog {
 			maxLog = v
 		}
 	}
-	out := make([]float64, len(logp))
 	sum := 0.0
 	for i, v := range logp {
 		out[i] = math.Exp(v - maxLog)
@@ -145,7 +152,139 @@ func softmaxFromLogs(logp []float64) []float64 {
 	for i := range out {
 		out[i] /= sum
 	}
-	return out
+}
+
+// NBPartial is the mergeable sufficient-statistics accumulator of
+// Gaussian naive Bayes training: per-class row counts, feature sums,
+// and feature sums of squares. Partials merge by plain addition, so
+// per-worker statistics combine exactly like the engine's partitioned
+// DISTINCT key sets — the merge result depends only on the merge
+// order, never on which worker produced which partial.
+type NBPartial struct {
+	counts []float64
+	sum    [][]float64 // [class][feature]
+	sumsq  [][]float64 // [class][feature]
+}
+
+// NewNBPartial returns an empty accumulator for k classes over nfeat
+// features.
+func NewNBPartial(k, nfeat int) *NBPartial {
+	p := &NBPartial{
+		counts: make([]float64, k),
+		sum:    make([][]float64, k),
+		sumsq:  make([][]float64, k),
+	}
+	for c := 0; c < k; c++ {
+		p.sum[c] = make([]float64, nfeat)
+		p.sumsq[c] = make([]float64, nfeat)
+	}
+	return p
+}
+
+// Observe accumulates rows [lo, hi) of X; yi holds class indices.
+func (p *NBPartial) Observe(X [][]float64, yi []int, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		c := yi[i]
+		p.counts[c]++
+		sum, sumsq := p.sum[c], p.sumsq[c]
+		for f := range X {
+			v := X[f][i]
+			sum[f] += v
+			sumsq[f] += v * v
+		}
+	}
+}
+
+// Merge adds o's statistics into p.
+func (p *NBPartial) Merge(o *NBPartial) {
+	for c := range p.counts {
+		p.counts[c] += o.counts[c]
+		for f := range p.sum[c] {
+			p.sum[c][f] += o.sum[c][f]
+			p.sumsq[c][f] += o.sumsq[c][f]
+		}
+	}
+}
+
+// FitParallel trains the model from per-morsel sufficient statistics
+// accumulated by up to `workers` goroutines (0 means NumCPU) and
+// merged in morsel order. Because morsel boundaries are fixed and the
+// merge is ordered, the fitted model is byte-identical at any worker
+// count; its last-bit numerics may differ from the two-pass serial
+// Fit (variance via E[x²]−E[x]² instead of centered deviations).
+func (m *GaussianNB) FitParallel(X [][]float64, y []int, workers int) error {
+	n, err := validateXY(X, y)
+	if err != nil {
+		return err
+	}
+	classes, cidx := classIndex(y)
+	yi := make([]int, n)
+	for i, c := range y {
+		yi[i] = cidx[c]
+	}
+	k := len(classes)
+	nm := numMorsels(n)
+	parts := make([]*NBPartial, nm)
+	parallelMorsels(workers, nm, func(mi int) {
+		lo, hi := morselBounds(mi, n)
+		p := NewNBPartial(k, len(X))
+		p.Observe(X, yi, lo, hi)
+		parts[mi] = p
+	})
+	total := NewNBPartial(k, len(X))
+	for _, p := range parts {
+		total.Merge(p)
+	}
+	return m.fitFromStats(classes, len(X), n, total)
+}
+
+// fitFromStats finalizes the model parameters from merged sufficient
+// statistics.
+func (m *GaussianNB) fitFromStats(classes []int, nfeat, n int, s *NBPartial) error {
+	m.classes = classes
+	m.nfeat = nfeat
+	k := len(classes)
+	m.means = make([][]float64, k)
+	m.vars = make([][]float64, k)
+	maxVar := 0.0
+	for c := 0; c < k; c++ {
+		m.means[c] = make([]float64, nfeat)
+		m.vars[c] = make([]float64, nfeat)
+		cnt := s.counts[c]
+		if cnt == 0 {
+			continue
+		}
+		for f := 0; f < nfeat; f++ {
+			mean := s.sum[c][f] / cnt
+			m.means[c][f] = mean
+			// E[x²]−E[x]² can round a hair below zero; clamp.
+			v := s.sumsq[c][f]/cnt - mean*mean
+			if v < 0 {
+				v = 0
+			}
+			m.vars[c][f] = v
+			if v > maxVar {
+				maxVar = v
+			}
+		}
+	}
+	eps := m.VarSmoothing
+	if eps <= 0 {
+		eps = 1e-9 * maxVar
+		if eps <= 0 {
+			eps = 1e-9
+		}
+	}
+	for c := 0; c < k; c++ {
+		for f := 0; f < nfeat; f++ {
+			m.vars[c][f] += eps
+		}
+	}
+	m.priors = make([]float64, k)
+	for c := 0; c < k; c++ {
+		m.priors[c] = math.Log(s.counts[c] / float64(n))
+	}
+	return nil
 }
 
 // Predict implements Classifier.

@@ -25,14 +25,22 @@ import (
 // Training relations use the convention of the paper's train(data,
 // classes) UDF generalized to many features: every column except the
 // last is a numeric feature, the last column is the integer class
-// label.
-// The cached predict variants implement the paper's §5.1 future work:
-// "the database system could be extended to directly store snapshots
-// of the in-memory representation of the models to avoid this
-// (de)serialization overhead". A per-database cache maps model blobs
-// to their deserialized in-memory form, so repeated predict calls (and
-// the per-partition calls of parallel UDF execution) skip
-// deserialization entirely.
+// label. The trainers are parallel blocking operators: they fit
+// per-worker partials (contiguous tree ranges for the forest,
+// per-morsel sufficient statistics for naive Bayes, per-morsel
+// gradient partials for logistic regression) under the query's
+// parallelism setting and merge them deterministically, so trained
+// models are byte-identical at any worker count.
+//
+// Every predict variant goes through the per-database model cache —
+// the paper's §5.1 future work ("the database system could be
+// extended to directly store snapshots of the in-memory
+// representation of the models to avoid this (de)serialization
+// overhead") is the default, not an opt-in: a pointer-identity fast
+// path plus a SHA-256-verified digest map hand each chunk the already
+// deserialized classifier, and scoring runs through ml's batch
+// predictors (no per-row boxing). predict_cached remains registered
+// as a deprecated alias of predict for backward compatibility.
 func registerMLFunctions(db *DB) {
 	cache := newModelCache()
 	db.modelCache = cache
@@ -69,22 +77,28 @@ func registerMLFunctions(db *DB) {
 			})
 	}
 
+	// Each trainer's FnPar receives the executing query's worker count
+	// (workers <= 0 lets the fit choose); the serial Fn entry point
+	// defers to the same implementation, so both paths produce
+	// byte-identical models.
+	trainRF := func(args []TableArg, workers int) (*Table, error) {
+		X, y, err := trainingData("train_rf", args, 3)
+		if err != nil {
+			return nil, err
+		}
+		f := ml.NewRandomForest(int(scalarInt(args, 1, 16)))
+		f.MaxDepth = int(scalarInt(args, 2, 12))
+		f.Seed = scalarInt(args, 3, 1)
+		if err := f.FitWorkers(X, y, workers); err != nil {
+			return nil, err
+		}
+		return trainResult(f, len(y), len(X))
+	}
 	mustRegisterTable(&TableFunc{
 		Name:    "train_rf",
 		Columns: trainColumns,
-		Fn: func(args []TableArg) (*Table, error) {
-			X, y, err := trainingData("train_rf", args, 3)
-			if err != nil {
-				return nil, err
-			}
-			f := ml.NewRandomForest(int(scalarInt(args, 1, 16)))
-			f.MaxDepth = int(scalarInt(args, 2, 12))
-			f.Seed = scalarInt(args, 3, 1)
-			if err := f.Fit(X, y); err != nil {
-				return nil, err
-			}
-			return trainResult(f, len(y), len(X))
-		},
+		Fn:      func(args []TableArg) (*Table, error) { return trainRF(args, 0) },
+		FnPar:   trainRF,
 	})
 
 	mustRegisterTable(&TableFunc{
@@ -104,59 +118,68 @@ func registerMLFunctions(db *DB) {
 		},
 	})
 
+	trainLogreg := func(args []TableArg, workers int) (*Table, error) {
+		X, y, err := trainingData("train_logreg", args, 1)
+		if err != nil {
+			return nil, err
+		}
+		m := ml.NewLogisticRegression()
+		m.Iterations = int(scalarInt(args, 1, 200))
+		if err := m.FitParallel(X, y, workers); err != nil {
+			return nil, err
+		}
+		return trainResult(m, len(y), len(X))
+	}
 	mustRegisterTable(&TableFunc{
 		Name:    "train_logreg",
 		Columns: trainColumns,
-		Fn: func(args []TableArg) (*Table, error) {
-			X, y, err := trainingData("train_logreg", args, 1)
-			if err != nil {
-				return nil, err
-			}
-			m := ml.NewLogisticRegression()
-			m.Iterations = int(scalarInt(args, 1, 200))
-			if err := m.Fit(X, y); err != nil {
-				return nil, err
-			}
-			return trainResult(m, len(y), len(X))
-		},
+		Fn:      func(args []TableArg) (*Table, error) { return trainLogreg(args, 0) },
+		FnPar:   trainLogreg,
 	})
 
+	trainNB := func(args []TableArg, workers int) (*Table, error) {
+		X, y, err := trainingData("train_nb", args, 0)
+		if err != nil {
+			return nil, err
+		}
+		m := ml.NewGaussianNB()
+		if err := m.FitParallel(X, y, workers); err != nil {
+			return nil, err
+		}
+		return trainResult(m, len(y), len(X))
+	}
 	mustRegisterTable(&TableFunc{
 		Name:    "train_nb",
 		Columns: trainColumns,
-		Fn: func(args []TableArg) (*Table, error) {
-			X, y, err := trainingData("train_nb", args, 0)
+		Fn:      func(args []TableArg) (*Table, error) { return trainNB(args, 0) },
+		FnPar:   trainNB,
+	})
+
+	// evalPredictLabels scores feature columns against the cached model
+	// through ml's batch predictors: the cache hands back the already
+	// deserialized classifier (pointer-identity fast path per chunk) and
+	// PredictLabelsInto writes straight into the result column — no
+	// per-call Unmarshal, no per-row feature boxing.
+	evalPredictLabels := func(fn string) func(args []*Vector) (*Vector, error) {
+		return func(args []*Vector) (*Vector, error) {
+			clf, X, err := predictInputsCached(fn, args, cache)
 			if err != nil {
 				return nil, err
 			}
-			m := ml.NewGaussianNB()
-			if err := m.Fit(X, y); err != nil {
+			out := make([]int32, len(X[0]))
+			if err := ml.PredictLabelsInto(clf, X, out); err != nil {
 				return nil, err
 			}
-			return trainResult(m, len(y), len(X))
-		},
-	})
+			return vector.FromInt32s(out), nil
+		}
+	}
 
 	mustRegisterScalar(&ScalarFunc{
 		Name:       "predict",
 		Arity:      -1,
 		Parallel:   true,
 		ReturnType: core.FixedReturn(Int32),
-		Eval: func(args []*Vector) (*Vector, error) {
-			clf, X, err := predictInputs("predict", args)
-			if err != nil {
-				return nil, err
-			}
-			labels, err := clf.Predict(X)
-			if err != nil {
-				return nil, err
-			}
-			out := make([]int32, len(labels))
-			for i, l := range labels {
-				out[i] = int32(l)
-			}
-			return vector.FromInt32s(out), nil
-		},
+		Eval:       evalPredictLabels("predict"),
 	})
 
 	mustRegisterScalar(&ScalarFunc{
@@ -165,48 +188,26 @@ func registerMLFunctions(db *DB) {
 		Parallel:   true,
 		ReturnType: core.FixedReturn(Float64),
 		Eval: func(args []*Vector) (*Vector, error) {
-			clf, X, err := predictInputs("predict_confidence", args)
+			clf, X, err := predictInputsCached("predict_confidence", args, cache)
 			if err != nil {
 				return nil, err
 			}
-			probs, err := clf.PredictProba(X)
-			if err != nil {
+			out := make([]float64, len(X[0]))
+			if err := ml.PredictConfidenceInto(clf, X, out); err != nil {
 				return nil, err
-			}
-			out := make([]float64, len(probs))
-			for i, p := range probs {
-				best := p[0]
-				for _, v := range p[1:] {
-					if v > best {
-						best = v
-					}
-				}
-				out[i] = best
 			}
 			return vector.FromFloat64s(out), nil
 		},
 	})
 
+	// Deprecated: predict_cached is an alias of predict, kept for
+	// queries written before the cache became the default path.
 	mustRegisterScalar(&ScalarFunc{
 		Name:       "predict_cached",
 		Arity:      -1,
 		Parallel:   true,
 		ReturnType: core.FixedReturn(Int32),
-		Eval: func(args []*Vector) (*Vector, error) {
-			clf, X, err := predictInputsCached("predict_cached", args, cache)
-			if err != nil {
-				return nil, err
-			}
-			labels, err := clf.Predict(X)
-			if err != nil {
-				return nil, err
-			}
-			out := make([]int32, len(labels))
-			for i, l := range labels {
-				out[i] = int32(l)
-			}
-			return vector.FromInt32s(out), nil
-		},
+		Eval:       evalPredictLabels("predict_cached"),
 	})
 
 	// weighted_label(id, w0, w1, seed) draws class 0 with probability
@@ -318,9 +319,31 @@ func scalarInt(args []TableArg, idx int, def int64) int64 {
 // entry versus retaining multi-megabyte model blobs). The cache is
 // bounded to a fixed entry count with single-entry eviction, so
 // filling it does not drop every hot model at once.
+//
+// In front of the digest map sits a small MRU pointer-identity ring:
+// engine blobs are immutable once stored, so (&blob[0], len)
+// identifies the exact bytes without touching them. Streaming PREDICT
+// consults the cache once per chunk, where hashing a multi-megabyte
+// model blob per 2048-row chunk would rival the scoring cost itself;
+// the identity hit is O(1). A blob copy (different backing array,
+// same bytes) misses the ring and falls through to the verified
+// digest path, so identity is an accelerator, never an identity
+// *assumption*.
 type modelCache struct {
 	mu      sync.Mutex
 	entries map[modelKey]*modelEntry
+	ident   [identSlots]identEntry
+}
+
+// identSlots bounds the pointer-identity ring; queries rarely score
+// against more than a couple of live models at once.
+const identSlots = 4
+
+// identEntry caches one deserialized model by blob identity.
+type identEntry struct {
+	ptr  *byte
+	size int
+	clf  ml.Classifier
 }
 
 type modelKey struct {
@@ -342,10 +365,27 @@ func newModelCache() *modelCache {
 }
 
 func (c *modelCache) get(blob []byte) (ml.Classifier, error) {
+	if len(blob) > 0 {
+		p := &blob[0]
+		c.mu.Lock()
+		for i := range c.ident {
+			e := c.ident[i]
+			if e.ptr == p && e.size == len(blob) {
+				if i != 0 {
+					copy(c.ident[1:i+1], c.ident[0:i])
+					c.ident[0] = e
+				}
+				c.mu.Unlock()
+				return e.clf, nil
+			}
+		}
+		c.mu.Unlock()
+	}
 	key := modelKey{hash: fnv64a(blob), size: len(blob)}
 	digest := sha256.Sum256(blob)
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok && e.digest == digest {
+		c.noteIdentLocked(blob, e.clf)
 		c.mu.Unlock()
 		return e.clf, nil
 	}
@@ -365,8 +405,19 @@ func (c *modelCache) get(blob []byte) (ml.Classifier, error) {
 		}
 	}
 	c.entries[key] = &modelEntry{digest: digest, clf: clf}
+	c.noteIdentLocked(blob, clf)
 	c.mu.Unlock()
 	return clf, nil
+}
+
+// noteIdentLocked records the blob identity at the ring's MRU slot.
+// Callers hold c.mu.
+func (c *modelCache) noteIdentLocked(blob []byte, clf ml.Classifier) {
+	if len(blob) == 0 {
+		return
+	}
+	copy(c.ident[1:], c.ident[:len(c.ident)-1])
+	c.ident[0] = identEntry{ptr: &blob[0], size: len(blob), clf: clf}
 }
 
 func fnv64a(b []byte) uint64 {
@@ -378,7 +429,10 @@ func fnv64a(b []byte) uint64 {
 	return h
 }
 
-// predictInputsCached is predictInputs with the §5.1 snapshot cache.
+// predictInputsCached resolves the model from the first argument's
+// blob (constant across rows) through the §5.1 snapshot cache and
+// converts the remaining arguments to column-major features — the
+// body of the paper's Listing 2, minus the per-call deserialization.
 func predictInputsCached(fn string, args []*Vector, cache *modelCache) (ml.Classifier, [][]float64, error) {
 	if len(args) < 2 {
 		return nil, nil, fmt.Errorf("%s: requires (model, feature...) arguments", fn)
@@ -393,37 +447,6 @@ func predictInputsCached(fn string, args []*Vector, cache *modelCache) (ml.Class
 		return nil, nil, fmt.Errorf("%s: model is NULL", fn)
 	}
 	clf, err := cache.get(args[0].Blobs()[0])
-	if err != nil {
-		return nil, nil, fmt.Errorf("%s: %w", fn, err)
-	}
-	X := make([][]float64, len(args)-1)
-	for i, a := range args[1:] {
-		col, err := a.AsFloat64s()
-		if err != nil {
-			return nil, nil, fmt.Errorf("%s: feature %d: %w", fn, i, err)
-		}
-		X[i] = col
-	}
-	return clf, X, nil
-}
-
-// predictInputs deserializes the model from the first argument's blob
-// (constant across rows) and converts the remaining arguments to
-// column-major features — the body of the paper's Listing 2.
-func predictInputs(fn string, args []*Vector) (ml.Classifier, [][]float64, error) {
-	if len(args) < 2 {
-		return nil, nil, fmt.Errorf("%s: requires (model, feature...) arguments", fn)
-	}
-	if args[0].Type() != Blob {
-		return nil, nil, fmt.Errorf("%s: first argument must be a model BLOB, got %s", fn, args[0].Type())
-	}
-	if args[0].Len() == 0 {
-		return nil, nil, fmt.Errorf("%s: empty input", fn)
-	}
-	if args[0].IsNull(0) {
-		return nil, nil, fmt.Errorf("%s: model is NULL", fn)
-	}
-	clf, err := ml.Unmarshal(args[0].Blobs()[0])
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", fn, err)
 	}
