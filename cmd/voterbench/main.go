@@ -6,12 +6,16 @@
 // Usage:
 //
 //	voterbench [-rows N] [-precincts N] [-cols N] [-trees N] [-seed N]
-//	           [-exp figure1|serialize|parallel|ensemble|protocols|ml|all]
+//	           [-exp figure1|serialize|parallel|ensemble|protocols|ml|plan|all]
 //	           [-dir PATH] [-json PATH]
 //
 // The ml experiment benchmarks the in-database TRAIN and CLASSIFY
 // paths across worker counts; -json additionally writes the results
-// as a machine-readable file (BENCH_ml.json) for CI tracking.
+// as a machine-readable file (BENCH_ml.json) for CI tracking. The
+// plan experiment measures the cost-based planner against the
+// syntactic plan on a skewed multi-join (its -json report is
+// BENCH_plan.json); it exits non-zero unless the cost-based plan is
+// byte-identical, picks the expected join order, and wins by >= 2x.
 package main
 
 import (
@@ -32,7 +36,7 @@ func main() {
 	cols := flag.Int("cols", cfg.Columns, "total voter columns (paper: 96)")
 	trees := flag.Int("trees", cfg.Estimators, "random forest size")
 	seed := flag.Int64("seed", cfg.Seed, "deterministic seed")
-	exp := flag.String("exp", "figure1", "experiment: figure1|serialize|parallel|morsel|ensemble|protocols|ml|all")
+	exp := flag.String("exp", "figure1", "experiment: figure1|serialize|parallel|morsel|ensemble|protocols|ml|plan|all")
 	dir := flag.String("dir", "", "work directory (default: temp)")
 	jsonPath := flag.String("json", "", "write ml experiment results as JSON to this path")
 	flag.Parse()
@@ -78,6 +82,13 @@ func main() {
 	run("ensemble", func() error { return runEnsemble(env) })
 	run("protocols", func() error { return runProtocols(env) })
 	run("ml", func() error { return runML(env, *jsonPath) })
+	run("plan", func() error {
+		path := *jsonPath
+		if *exp == "all" {
+			path = "" // -json names the ml report in all mode
+		}
+		return runPlan(path)
+	})
 }
 
 func runFigure1(env *workload.Env) error {
@@ -261,6 +272,73 @@ func runML(env *workload.Env, jsonPath string) error {
 			ClassifySpeedup:  r.ClassifySpeedup,
 			ModelSHA256:      r.ModelDigest,
 		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", jsonPath)
+	return nil
+}
+
+// planBenchJSON is the BENCH_plan.json schema: workload shape, the
+// benchmarked query, per-planner wall clock and intermediate rows,
+// and the verdicts the run is gated on.
+type planBenchJSON struct {
+	Benchmark     string    `json:"benchmark"`
+	Events        int       `json:"events"`
+	HotKeys       int       `json:"hot_keys"`
+	DimRows       int       `json:"dim_rows"`
+	Workers       int       `json:"workers"`
+	Query         string    `json:"query"`
+	Runs          []planRun `json:"runs"`
+	Speedup       float64   `json:"speedup"`
+	Identical     bool      `json:"identical_results"`
+	ExpectedOrder bool      `json:"expected_join_order"`
+}
+
+type planRun struct {
+	Planner          string `json:"planner"`
+	Ns               int64  `json:"ns"`
+	IntermediateRows int64  `json:"intermediate_rows"`
+}
+
+func runPlan(jsonPath string) error {
+	fmt.Println("E8 — cost-based planning: skewed 3-table join, syntactic vs cost-based")
+	res, err := workload.E8PlanBench(runtime.NumCPU())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %14s %18s\n", "planner", "elapsed", "intermediate rows")
+	for _, r := range []workload.PlanRun{res.Syntactic, res.CostBased} {
+		fmt.Printf("%-12s %14v %18d\n", r.Planner, r.Elapsed.Round(time.Millisecond), r.IntermediateRows)
+	}
+	fmt.Printf("speedup %.2fx, identical results %v, expected join order %v\n\n",
+		res.Speedup, res.Identical, res.ExpectedOrder)
+	if res.Speedup < 2 {
+		return fmt.Errorf("plan: cost-based speedup %.2fx below the 2x acceptance floor", res.Speedup)
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	out := planBenchJSON{
+		Benchmark:     "cost-based-planning",
+		Events:        res.Events,
+		HotKeys:       res.HotKeys,
+		DimRows:       res.DimRows,
+		Workers:       res.Workers,
+		Query:         res.Query,
+		Speedup:       res.Speedup,
+		Identical:     res.Identical,
+		ExpectedOrder: res.ExpectedOrder,
+		Runs: []planRun{
+			{Planner: res.Syntactic.Planner, Ns: res.Syntactic.Elapsed.Nanoseconds(), IntermediateRows: res.Syntactic.IntermediateRows},
+			{Planner: res.CostBased.Planner, Ns: res.CostBased.Elapsed.Nanoseconds(), IntermediateRows: res.CostBased.IntermediateRows},
+		},
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

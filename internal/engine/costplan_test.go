@@ -1,0 +1,253 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"vexdb/internal/vector"
+)
+
+// Cost-planner differential tests: every plan the cost pass may pick
+// (reordered joins, flipped build sides, serial pins, widened spill
+// fan-out) must produce byte-identical results to the syntactic plan,
+// at any worker count and memory budget, streamed or materialized.
+
+// fingerprintTable renders a table with exact value identity: floats
+// by their IEEE bit pattern (so NaN payloads and -0.0 vs 0.0 are
+// distinguished), NULLs distinct from any value.
+func fingerprintTable(tab *vector.Table) []string {
+	rows := make([]string, tab.NumRows())
+	for i := range rows {
+		var sb strings.Builder
+		for c := 0; c < tab.NumCols(); c++ {
+			v := tab.Cols[c].Get(i)
+			switch {
+			case v.IsNull():
+				sb.WriteString("N")
+			case v.Type() == vector.Float64:
+				fmt.Fprintf(&sb, "%016x", math.Float64bits(v.Float64()))
+			case v.Type() == vector.Int64 || v.Type() == vector.Int32:
+				fmt.Fprintf(&sb, "%d", v.Int64())
+			default:
+				sb.WriteString(v.String())
+			}
+			sb.WriteString("|")
+		}
+		rows[i] = sb.String()
+	}
+	return rows
+}
+
+// loadEvents creates the skewed three-table workload: two event
+// tables sharing a hot 7-value key (their join explodes) and a
+// selective dimension. Row counts exceed one segment so sealed
+// segments carry sketches and the planner sees real statistics.
+func loadEvents(t *testing.T, db *DB, rows int) {
+	t.Helper()
+	mustExec(t, db, "CREATE TABLE ev1 (k BIGINT, dk BIGINT, v DOUBLE)")
+	mustExec(t, db, "CREATE TABLE ev2 (k BIGINT, w DOUBLE)")
+	mustExec(t, db, "CREATE TABLE dm (dk BIGINT, label VARCHAR)")
+	batchInsert(t, db, "ev1", rows, func(i int) string {
+		return fmt.Sprintf("(%d, %d, %g)", i%7, i%256, float64(i)/4)
+	})
+	batchInsert(t, db, "ev2", rows, func(i int) string {
+		return fmt.Sprintf("(%d, %g)", i%7, float64(i)/2)
+	})
+	batchInsert(t, db, "dm", 256, func(i int) string {
+		return fmt.Sprintf("(%d, 'd%d')", i, i)
+	})
+}
+
+func batchInsert(t *testing.T, db *DB, name string, rows int, gen func(i int) string) {
+	t.Helper()
+	var sb strings.Builder
+	for i := 0; i < rows; i++ {
+		if i%500 == 0 {
+			if sb.Len() > 0 {
+				mustExec(t, db, sb.String())
+				sb.Reset()
+			}
+			fmt.Fprintf(&sb, "INSERT INTO %s VALUES ", name)
+		} else {
+			sb.WriteString(",")
+		}
+		sb.WriteString(gen(i))
+	}
+	if sb.Len() > 0 {
+		mustExec(t, db, sb.String())
+	}
+}
+
+// loadFloatKeys creates two tables joined on a DOUBLE key seeded with
+// NaN and NULL values — the cases where promoting comparisons to hash
+// keys (or vice versa) would change semantics. The big table is
+// written on the syntactic build side so the planner flips it.
+func loadFloatKeys(t *testing.T, db *DB, rows int) {
+	t.Helper()
+	mustExec(t, db, "CREATE TABLE f1 (fk DOUBLE, a BIGINT)")
+	mustExec(t, db, "CREATE TABLE f2 (fk DOUBLE, b BIGINT)")
+	f1, err := db.cat.Table("f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := db.cat.Table("f2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(i int) vector.Value {
+		switch {
+		case i%89 == 0:
+			return vector.Null()
+		case i%97 == 0:
+			return vector.NewFloat64(math.NaN())
+		}
+		return vector.NewFloat64(float64(i%50) / 2)
+	}
+	for i := 0; i < rows; i++ {
+		if err := f1.Data.AppendRow([]vector.Value{key(i), vector.NewInt64(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if err := f2.Data.AppendRow([]vector.Value{key(i * 3), vector.NewInt64(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// queryFingerprint runs q and fingerprints the result, materialized
+// or streamed chunk-by-chunk.
+func queryFingerprint(t *testing.T, db *DB, q string, streamed bool) []string {
+	t.Helper()
+	rs, err := db.Query(q)
+	if err != nil {
+		t.Fatalf("query %q: %v", q, err)
+	}
+	if !streamed {
+		tab, err := rs.Materialize()
+		if err != nil {
+			t.Fatalf("materialize %q: %v", q, err)
+		}
+		return fingerprintTable(tab)
+	}
+	var out []string
+	for {
+		ch, err := rs.Next()
+		if err != nil {
+			rs.Close()
+			t.Fatalf("next %q: %v", q, err)
+		}
+		if ch == nil {
+			break
+		}
+		tab := &vector.Table{Names: make([]string, ch.NumCols()), Cols: ch.Cols()}
+		out = append(out, fingerprintTable(tab)...)
+	}
+	if err := rs.Close(); err != nil {
+		t.Fatalf("close %q: %v", q, err)
+	}
+	return out
+}
+
+func assertSameRows(t *testing.T, label string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: row %d differs:\n  got  %s\n  want %s", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestCostPlanByteIdentity is the central acceptance test: the
+// cost-based plan must be byte-identical to the syntactic plan across
+// worker counts, memory budgets, and both consumption modes.
+func TestCostPlanByteIdentity(t *testing.T) {
+	db := New()
+	db.TempDir = t.TempDir()
+	loadEvents(t, db, 3000)
+	loadFloatKeys(t, db, 3000)
+	queries := []string{
+		// Skewed 3-table chain: the planner reorders dm ahead of ev2.
+		"SELECT ev1.v, ev2.w, dm.label FROM ev1 JOIN ev2 ON ev1.k = ev2.k JOIN dm ON ev1.dk = dm.dk WHERE dm.dk < 2",
+		// Aggregation over the reordered chain.
+		"SELECT dm.label, count(*) AS n, sum(ev1.v + ev2.w) AS s FROM ev1 JOIN ev2 ON ev1.k = ev2.k JOIN dm ON ev1.dk = dm.dk WHERE dm.dk < 4 GROUP BY dm.label",
+		// DOUBLE keys with NaN and NULL, big table on the syntactic
+		// build side (planner flips it).
+		"SELECT f2.b, f1.a FROM f2 JOIN f1 ON f2.fk = f1.fk WHERE f1.a < 500",
+		// Same flip under a final ORDER BY (restoration sort composes
+		// with a user sort).
+		"SELECT f2.b, f1.a FROM f2 JOIN f1 ON f2.fk = f1.fk WHERE f1.a < 200 ORDER BY f1.a, f2.b",
+	}
+	for qi, q := range queries {
+		db.NoCostPlanner = true
+		db.Parallelism = 1
+		db.MemoryBudget = 0
+		want := queryFingerprint(t, db, q, false)
+
+		for _, planner := range []bool{false, true} {
+			db.NoCostPlanner = !planner
+			for _, workers := range []int{1, 2, 8} {
+				db.Parallelism = workers
+				for _, budget := range []int64{0, 64 << 10} {
+					db.MemoryBudget = budget
+					label := fmt.Sprintf("q%d planner=%v workers=%d budget=%d", qi, planner, workers, budget)
+					assertSameRows(t, label+" mat", queryFingerprint(t, db, q, false), want)
+				}
+			}
+			// Streamed consumption at the most adversarial point of the
+			// matrix: max workers, tiny budget.
+			db.Parallelism = 8
+			db.MemoryBudget = 64 << 10
+			label := fmt.Sprintf("q%d planner=%v streamed", qi, planner)
+			assertSameRows(t, label, queryFingerprint(t, db, q, true), want)
+		}
+		db.NoCostPlanner = false
+		db.MemoryBudget = 0
+		db.Parallelism = 0
+	}
+}
+
+// TestExplainOutput checks the EXPLAIN surface: the cost-based plan
+// renders the rewritten (rowpos-tagged) join with estimates, ANALYZE
+// adds actual row counts, and disabling the planner shows the
+// syntactic plan.
+func TestExplainOutput(t *testing.T) {
+	db := New()
+	loadEvents(t, db, 3000)
+	const q = "SELECT ev1.v, ev2.w, dm.label FROM ev1 JOIN ev2 ON ev1.k = ev2.k JOIN dm ON ev1.dk = dm.dk WHERE dm.dk < 2"
+
+	planText := func(query string) string {
+		tab := mustQuery(t, db, query)
+		var lines []string
+		for i := 0; i < tab.NumRows(); i++ {
+			lines = append(lines, tab.Cols[0].Get(i).Str())
+		}
+		return strings.Join(lines, "\n")
+	}
+
+	out := planText("EXPLAIN " + q)
+	for _, want := range []string{"HashJoin", "build=right", "est=", "rowpos", "Scan dm", "Sort"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("EXPLAIN output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "act=") {
+		t.Fatalf("plain EXPLAIN must not report actuals:\n%s", out)
+	}
+
+	out = planText("EXPLAIN ANALYZE " + q)
+	if !strings.Contains(out, "act=") {
+		t.Fatalf("EXPLAIN ANALYZE missing actuals:\n%s", out)
+	}
+
+	db.NoCostPlanner = true
+	out = planText("EXPLAIN " + q)
+	if strings.Contains(out, "rowpos") {
+		t.Fatalf("syntactic plan must not be rewritten:\n%s", out)
+	}
+}

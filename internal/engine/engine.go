@@ -67,6 +67,12 @@ type DB struct {
 	// ErrQueryTimeout at the same checkpoints as cancellation.
 	// 0 = no deadline.
 	QueryTimeout time.Duration
+
+	// NoCostPlanner disables the cost-based planning pass (join
+	// reordering, build-side selection, execution hints); plans then
+	// execute exactly as bound. Results are identical either way — the
+	// flag exists for benchmarking and differential testing.
+	NoCostPlanner bool
 }
 
 // New creates an empty in-memory database with the built-in scalar
@@ -122,6 +128,16 @@ func (db *DB) ExecStmt(stmt sql.Statement) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sql.Select:
 		tab, err := db.RunSelect(s)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Table: tab}, nil
+	case *sql.Explain:
+		rs, err := db.explain(s)
+		if err != nil {
+			return nil, err
+		}
+		tab, err := rs.Materialize()
 		if err != nil {
 			return nil, err
 		}

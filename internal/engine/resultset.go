@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"vexdb/internal/exec"
 	"vexdb/internal/governor"
 	"vexdb/internal/plan"
+	"vexdb/internal/plan/cost"
 	"vexdb/internal/sql"
 	"vexdb/internal/vector"
 )
@@ -61,6 +63,9 @@ func (db *DB) QueryStmtSession(sess *governor.Session, stmt sql.Statement) (*Res
 			return nil, err
 		}
 		return &ResultSet{schema: stream.Schema(), stream: stream}, nil
+	}
+	if ex, ok := stmt.(*sql.Explain); ok {
+		return db.explain(ex)
 	}
 	res, err := db.ExecStmt(stmt)
 	if err != nil {
@@ -118,6 +123,9 @@ func (db *DB) streamSelect(sess *governor.Session, s *sql.Select) (*exec.ChunkSt
 			}
 		}
 	}
+	if !db.NoCostPlanner {
+		node = cost.Apply(node, ctx.Workers(), ctx.MemoryBudget)
+	}
 	var tb *timerBox
 	if deadline > 0 {
 		tb = &timerBox{}
@@ -141,6 +149,61 @@ func (db *DB) streamSelect(sess *governor.Session, s *sql.Select) (*exec.ChunkSt
 		}))
 	}
 	return cs, nil
+}
+
+// explain binds and plans ex.Query exactly as streamSelect would
+// (including the cost-based pass, unless disabled) and renders the
+// resulting tree as a one-column result set, one operator line per
+// row. EXPLAIN ANALYZE additionally executes the query to completion
+// with row-count taps installed, so the rendering reports actual
+// cardinalities next to the estimates; the diagnostic run bypasses the
+// governor (it admits no result stream a client could hold open).
+func (db *DB) explain(ex *sql.Explain) (*ResultSet, error) {
+	binder := plan.NewBinder(db.cat, db.reg)
+	node, err := binder.BindSelect(ex.Query)
+	if err != nil {
+		return nil, err
+	}
+	node = plan.Prune(node)
+	ctx := &exec.Context{
+		Parallelism:  db.Parallelism,
+		MemoryBudget: db.MemoryBudget,
+		TempDir:      db.TempDir,
+	}
+	if !db.NoCostPlanner {
+		node = cost.Apply(node, ctx.Workers(), ctx.MemoryBudget)
+	}
+	if ex.Analyze {
+		plan.InstallTaps(node)
+		cs, err := exec.Stream(node, ctx)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			ch, err := cs.Next()
+			if err != nil {
+				cs.Close()
+				return nil, err
+			}
+			if ch == nil {
+				break
+			}
+		}
+		if err := cs.Close(); err != nil {
+			return nil, err
+		}
+	}
+	lines := strings.Split(plan.Render(node, ex.Analyze), "\n")
+	tab, err := vector.NewTable([]string{"plan"}, []*vector.Vector{vector.FromStrings(lines)})
+	if err != nil {
+		return nil, err
+	}
+	schema := catalog.Schema{{Name: "plan", Type: vector.String}}
+	cs, err := exec.Stream(&plan.Material{Data: tab, Schem: schema}, &exec.Context{Parallelism: 1})
+	if err != nil {
+		return nil, err
+	}
+	return &ResultSet{schema: schema, stream: cs}, nil
 }
 
 // timerBox holds a deadline timer that may be stopped before it is

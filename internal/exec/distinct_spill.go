@@ -18,10 +18,13 @@
 //     output order is identical to the in-memory path.
 //
 // All rows of one distinct key hash to one partition, so dedup is
-// exact. Unlike aggregation, partitions do not re-partition
-// recursively: a partition whose seen set alone exceeds the budget is
-// processed in memory — the same correctness-over-budget degradation
-// aggregation applies at maxSpillLevels.
+// exact. Like aggregation, partitions re-partition recursively: when a
+// partition's seen set outgrows the budget while it is being
+// processed, its remaining seen keys and raw rows fan out to a
+// sub-spiller on the next hash nibble, down to maxSpillLevels. Only a
+// partition that is still oversized at the deepest level degrades to
+// in-memory processing (correctness over budget) — which now requires
+// a key set that defeats 16^maxSpillLevels-way splitting.
 package exec
 
 import (
@@ -45,10 +48,12 @@ const (
 
 // distinctSpiller fans post-overflow distinct input out to spillFanout
 // partitions. It is serial (distinctOp never runs concurrently), so
-// partitions need no locks.
+// partitions need no locks. level selects the hash nibble this spiller
+// partitions on; recursive sub-spillers run one nibble deeper.
 type distinctSpiller struct {
-	ctx  *Context
-	kind keyKind
+	ctx   *Context
+	kind  keyKind
+	level int
 
 	file  *spill.File
 	parts [spillFanout]distinctPart
@@ -120,45 +125,46 @@ func (s *distinctSpiller) writeBuf(a *rowAppender, refs *[]spill.ChunkRef) error
 	return nil
 }
 
+// addSeen routes one canonical key to its partition's seen list.
+func (s *distinctSpiller) addSeen(key []byte) error {
+	pt := &s.parts[partitionOf(hashKeyBytes(key), s.level)]
+	if pt.seen == nil {
+		pt.seen = newRowAppender([]vector.Type{vector.Blob})
+	}
+	pt.seen.cols[0].AppendValue(vector.NewBlob(append([]byte(nil), key...)))
+	if pt.seen.rows() >= vector.DefaultChunkSize {
+		return s.writeBuf(pt.seen, &pt.seenRefs)
+	}
+	return nil
+}
+
 // dumpIndex writes every key of the dropped group index as a seen row,
 // each representation under its canonical marker.
 func (s *distinctSpiller) dumpIndex(gi *groupIndex) error {
 	var buf []byte
-	add := func(key []byte) error {
-		p := partitionOf(hashKeyBytes(key), 0)
-		pt := &s.parts[p]
-		if pt.seen == nil {
-			pt.seen = newRowAppender([]vector.Type{vector.Blob})
-		}
-		pt.seen.cols[0].AppendValue(vector.NewBlob(append([]byte(nil), key...)))
-		if pt.seen.rows() >= vector.DefaultChunkSize {
-			return s.writeBuf(pt.seen, &pt.seenRefs)
-		}
-		return nil
-	}
 	for k := range gi.fastInt {
 		buf = append(buf[:0], distinctKeyInt)
 		buf = binary.LittleEndian.AppendUint64(buf, k)
-		if err := add(buf); err != nil {
+		if err := s.addSeen(buf); err != nil {
 			return err
 		}
 	}
 	for k := range gi.fastStr {
 		buf = append(buf[:0], distinctKeyStr)
 		buf = append(buf, k...)
-		if err := add(buf); err != nil {
+		if err := s.addSeen(buf); err != nil {
 			return err
 		}
 	}
 	for k := range gi.slow {
 		buf = append(buf[:0], distinctKeyBytes)
 		buf = append(buf, k...)
-		if err := add(buf); err != nil {
+		if err := s.addSeen(buf); err != nil {
 			return err
 		}
 	}
 	if gi.nullID >= 0 {
-		if err := add([]byte{distinctKeyNull}); err != nil {
+		if err := s.addSeen([]byte{distinctKeyNull}); err != nil {
 			return err
 		}
 	}
@@ -173,23 +179,44 @@ func (s *distinctSpiller) route(ch *vector.Chunk, basePos int64) error {
 	var buf []byte
 	for r := 0; r < ch.NumRows(); r++ {
 		buf = s.keyOf(buf, cols, r)
-		pt := &s.parts[partitionOf(hashKeyBytes(buf), 0)]
-		if pt.raw == nil {
-			types := make([]vector.Type, len(cols)+1)
-			for i, c := range cols {
-				types[i] = c.Type()
-			}
-			types[len(cols)] = vector.Int64
-			pt.raw = newRowAppender(types)
+		if err := s.routeRawRow(buf, cols, r, basePos+int64(r)); err != nil {
+			return err
 		}
-		for c := range cols {
-			pt.raw.cols[c].AppendRowFrom(cols[c], r)
+	}
+	return nil
+}
+
+// routeRawRow appends one raw row (keyed by its canonical key) to its
+// partition's raw list under global input position pos.
+func (s *distinctSpiller) routeRawRow(key []byte, cols []*vector.Vector, r int, pos int64) error {
+	pt := &s.parts[partitionOf(hashKeyBytes(key), s.level)]
+	if pt.raw == nil {
+		types := make([]vector.Type, len(cols)+1)
+		for i, c := range cols {
+			types[i] = c.Type()
 		}
-		pt.raw.cols[len(cols)].AppendValue(vector.NewInt64(basePos + int64(r)))
-		if pt.raw.rows() >= vector.DefaultChunkSize {
-			if err := s.writeBuf(pt.raw, &pt.rawRefs); err != nil {
-				return err
-			}
+		types[len(cols)] = vector.Int64
+		pt.raw = newRowAppender(types)
+	}
+	for c := range cols {
+		pt.raw.cols[c].AppendRowFrom(cols[c], r)
+	}
+	pt.raw.cols[len(cols)].AppendValue(vector.NewInt64(pos))
+	if pt.raw.rows() >= vector.DefaultChunkSize {
+		return s.writeBuf(pt.raw, &pt.rawRefs)
+	}
+	return nil
+}
+
+// routeRawRows re-routes already-positioned raw rows (data columns
+// plus an explicit position column) — the recursive re-partitioning
+// entry, where positions are no longer contiguous.
+func (s *distinctSpiller) routeRawRows(data []*vector.Vector, pos []int64) error {
+	var buf []byte
+	for r := range pos {
+		buf = s.keyOf(buf, data, r)
+		if err := s.routeRawRow(buf, data, r, pos[r]); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -230,9 +257,6 @@ func (s *distinctSpiller) release() {
 // finishDistinct turns the spilled partitions into a merger that
 // streams the remaining survivors in global input order.
 func (s *distinctSpiller) finishDistinct() (*runMerger, error) {
-	if err := s.finish(); err != nil {
-		return nil, err
-	}
 	var outFile *spill.File
 	getOut := func() (*spill.File, error) {
 		if outFile == nil {
@@ -244,21 +268,13 @@ func (s *distinctSpiller) finishDistinct() (*runMerger, error) {
 		}
 		return outFile, nil
 	}
-	var runs []*mergeRun
 	var held int64
-	for p := range s.parts {
-		pt := &s.parts[p]
-		if len(pt.rawRefs) == 0 {
-			continue // a seen-only partition has nothing left to emit
-		}
-		prs, err := s.processPartition(pt, getOut, &held)
-		if err != nil {
-			s.ctx.memShrink(held)
-			return nil, err
-		}
-		runs = append(runs, prs...)
-	}
+	runs, err := s.processAll(getOut, &held)
 	s.release()
+	if err != nil {
+		s.ctx.memShrink(held)
+		return nil, err
+	}
 	var files []*spill.File
 	if outFile != nil {
 		files = append(files, outFile)
@@ -266,12 +282,43 @@ func (s *distinctSpiller) finishDistinct() (*runMerger, error) {
 	return newRunMerger(s.ctx, nil, runs, -1, files, held), nil
 }
 
+// processAll flushes the spiller's buffers and processes every
+// partition holding raw rows, returning their survivor runs. It is the
+// shared driver for the top-level spiller and recursive sub-spillers.
+func (s *distinctSpiller) processAll(getOut func() (*spill.File, error), held *int64) ([]*mergeRun, error) {
+	if err := s.finish(); err != nil {
+		return nil, err
+	}
+	var runs []*mergeRun
+	for p := range s.parts {
+		pt := &s.parts[p]
+		if len(pt.rawRefs) == 0 {
+			continue // a seen-only partition has nothing left to emit
+		}
+		prs, err := s.processPartition(pt, getOut, held)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, prs...)
+	}
+	return runs, nil
+}
+
 // processPartition replays one partition: load its seen set, then keep
 // each raw row whose key appears for the first time. Raw chunks were
 // written in arrival order, so survivors come out position-sorted and
 // chunk-sized survivor slabs are valid runs as-is.
+//
+// When the partition's seen set outgrows the budget mid-load (or
+// mid-replay), the partition hands its remaining state to a
+// sub-spiller on the next hash nibble: the in-memory seen keys and
+// unread seen chunks re-route as seen rows, the unread raw chunks
+// re-route with their original positions, and the sub-spiller's
+// partitions process recursively. Survivor runs stay position-sorted
+// throughout, so the global merge is unaffected by recursion depth.
 func (s *distinctSpiller) processPartition(pt *distinctPart, getOut func() (*spill.File, error), held *int64) ([]*mergeRun, error) {
 	ctx := s.ctx
+	canRecurse := s.level+1 < maxSpillLevels
 	seen := make(map[string]struct{})
 	var seenBytes int64
 	defer func() {
@@ -287,19 +334,6 @@ func (s *distinctSpiller) processPartition(pt *distinctPart, getOut func() (*spi
 		ctx.memGrow(b)
 		return true
 	}
-	for _, ref := range pt.seenRefs {
-		if ctx.interrupted() {
-			return nil, ErrCancelled
-		}
-		cols, err := s.file.ReadChunkAt(ref)
-		if err != nil {
-			return nil, err
-		}
-		for _, k := range cols[0].Blobs() {
-			note(k)
-		}
-	}
-
 	var runs []*mergeRun
 	var surv *rowAppender
 	var survPos []int64
@@ -317,8 +351,76 @@ func (s *distinctSpiller) processPartition(pt *distinctPart, getOut func() (*spi
 		survPos = nil
 		return nil
 	}
+
+	// overflow flushes the survivors found so far, then re-routes the
+	// partition's remaining state — the in-memory seen keys plus the
+	// unread seen/raw chunks — into a sub-spiller one hash nibble
+	// deeper, and processes its partitions recursively.
+	overflow := func(nextSeen, nextRaw int) ([]*mergeRun, error) {
+		if err := flush(); err != nil {
+			return nil, err
+		}
+		sub := &distinctSpiller{ctx: ctx, kind: s.kind, level: s.level + 1}
+		defer sub.release()
+		for k := range seen {
+			if err := sub.addSeen([]byte(k)); err != nil {
+				return nil, err
+			}
+		}
+		seen = nil
+		ctx.memShrink(seenBytes)
+		seenBytes = 0
+		for _, ref := range pt.seenRefs[nextSeen:] {
+			if ctx.interrupted() {
+				return nil, ErrCancelled
+			}
+			cols, err := s.file.ReadChunkAt(ref)
+			if err != nil {
+				return nil, err
+			}
+			for _, k := range cols[0].Blobs() {
+				if err := sub.addSeen(k); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for _, ref := range pt.rawRefs[nextRaw:] {
+			if ctx.interrupted() {
+				return nil, ErrCancelled
+			}
+			cols, err := s.file.ReadChunkAt(ref)
+			if err != nil {
+				return nil, err
+			}
+			if err := sub.routeRawRows(cols[:len(cols)-1], cols[len(cols)-1].Int64s()); err != nil {
+				return nil, err
+			}
+		}
+		subRuns, err := sub.processAll(getOut, held)
+		if err != nil {
+			return nil, err
+		}
+		return append(runs, subRuns...), nil
+	}
+
+	for si, ref := range pt.seenRefs {
+		if ctx.interrupted() {
+			return nil, ErrCancelled
+		}
+		cols, err := s.file.ReadChunkAt(ref)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range cols[0].Blobs() {
+			note(k)
+		}
+		if canRecurse && ctx.shouldSpill(seenBytes) {
+			return overflow(si+1, 0)
+		}
+	}
+
 	var buf []byte
-	for _, ref := range pt.rawRefs {
+	for ri, ref := range pt.rawRefs {
 		if ctx.interrupted() {
 			return nil, ErrCancelled
 		}
@@ -349,6 +451,9 @@ func (s *distinctSpiller) processPartition(pt *distinctPart, getOut func() (*spi
 			if err := flush(); err != nil {
 				return nil, err
 			}
+		}
+		if canRecurse && ctx.shouldSpill(seenBytes) {
+			return overflow(len(pt.seenRefs), ri+1)
 		}
 	}
 	if err := flush(); err != nil {

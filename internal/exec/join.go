@@ -2,6 +2,8 @@ package exec
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"vexdb/internal/catalog"
 	"vexdb/internal/plan"
@@ -187,10 +189,18 @@ func (j *hashJoinOp) drainBuild(ctx *Context) (*vector.Chunk, *joinSpill, error)
 
 // spillProbe drains the probe input through the partitioned path:
 // resident partitions join immediately, spilled ones defer, and the
-// deferred partitions are then processed one at a time.
+// deferred partitions are then processed one at a time. A pipelined
+// probe side keeps its morsel parallelism — workers claim morsels and
+// probe concurrently; the order-restoring sort hides the scheduling.
 func (j *hashJoinOp) spillProbe() error {
 	js := j.spill
-	if j.probePipe != nil {
+	switch {
+	case j.probePipe != nil && j.workers > 1:
+		if err := j.spillProbeParallel(); err != nil {
+			return err
+		}
+	case j.probePipe != nil:
+		ps := js.newProbeState()
 		n := j.probePipe.src.open(j.ctx)
 		var sc pipeScratch
 		for i := 0; i < n; i++ {
@@ -207,12 +217,13 @@ func (j *hashJoinOp) spillProbe() error {
 			if ch == nil || ch.NumRows() == 0 {
 				continue
 			}
-			if err := js.probeChunk(ch, i); err != nil {
+			if err := js.probeChunk(ch, i, ps); err != nil {
 				return err
 			}
 		}
 		j.probePipe.src.finish()
-	} else {
+	default:
+		ps := js.newProbeState()
 		c := 0
 		for {
 			if j.ctx.interrupted() {
@@ -226,14 +237,71 @@ func (j *hashJoinOp) spillProbe() error {
 				break
 			}
 			if ch.NumRows() > 0 {
-				if err := js.probeChunk(ch, c); err != nil {
+				if err := js.probeChunk(ch, c, ps); err != nil {
 					return err
 				}
 			}
 			c++
 		}
 	}
-	return js.processSpilled()
+	return js.processSpilled(js.newProbeState())
+}
+
+// spillProbeParallel drains a pipelined probe side with a worker pool:
+// each worker claims morsels, probes resident partitions through its
+// own probe state (private run builder and key scratch), and
+// serializes only on routing rows deferred to spilled partitions.
+func (j *hashJoinOp) spillProbeParallel() error {
+	js := j.spill
+	n := j.probePipe.src.open(j.ctx)
+	workers := j.workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			ps := js.newProbeState()
+			var sc pipeScratch
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stop.Load() || j.ctx.interrupted() {
+					return
+				}
+				ch, err := j.probePipe.src.fetch(i)
+				if err == nil {
+					ch, err = j.probePipe.apply(ch, &sc)
+				}
+				if err == nil && ch != nil && ch.NumRows() > 0 {
+					err = js.probeChunk(ch, i, ps)
+				}
+				if err != nil {
+					errs[w] = err
+					stop.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	j.probePipe.src.finish()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if j.ctx.interrupted() {
+		return ErrCancelled
+	}
+	return nil
 }
 
 // spillNext streams the spilled join's output: first drain the probe

@@ -27,17 +27,28 @@
 // residual-rejected rows, each in probe-row order, which is the order
 // the in-memory probe appends them in.
 //
-// The probe side runs serially under spill (morsels are still fetched
-// through the pipeline source when the plan probed in parallel); the
-// order-restoring sort makes that an implementation detail, not a
-// semantic one. Joins without equi-keys (cross products) and joins
-// whose keys or residual contain UDFs never spill — they keep the
-// in-memory path regardless of budget.
+// The probe side stays morsel-parallel under spill when the plan
+// probed in parallel: workers claim probe morsels and probe resident
+// partitions concurrently, each tagging output through its own run
+// builder (all runs merge in one order-restoring sort), and serialize
+// only on routing deferred rows to spilled partitions. The sort makes
+// worker scheduling an implementation detail, not a semantic one.
+// Joins without equi-keys (cross products) and joins whose keys or
+// residual contain UDFs never spill — they keep the in-memory path
+// regardless of budget.
+//
+// The level-0 fan-out defaults to 16 partitions but widens (up to 256)
+// when the planner estimated the build side large enough that one
+// partitioning pass at 16 would still leave oversized partitions
+// (plan.ExecHints.FanoutLog2); recursive re-partitioning then starts
+// on the first hash nibble above the level-0 bits.
 package exec
 
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"vexdb/internal/plan"
 	"vexdb/internal/spill"
@@ -205,13 +216,45 @@ type joinSpill struct {
 
 	buildTypes []vector.Type
 	file       *spill.File // shared by all partitions' build/probe chunks
-	parts      [spillFanout]joinSpillPart
+	parts      []joinSpillPart
+	fanoutBits uint  // level-0 partition count is 1<<fanoutBits
 	nextSeq    int64 // global build row counter (input order)
 
-	sorter  *runBuilder // output order restoration
-	outPos  int64
-	outCols int // joined output columns (before the 2 tag columns)
-	keyBuf  []byte
+	// mu guards the deferred-probe routing (partition buffers and the
+	// shared spill file) during the parallel probe; build and
+	// post-probe phases are single-threaded.
+	mu      sync.Mutex
+	sorters []*runBuilder // one per probe worker; runs merge at finish
+	outPos  atomic.Int64
+	outCols int    // joined output columns (before the 2 tag columns)
+	keyBuf  []byte // build/repartition phase scratch (single-threaded)
+}
+
+// probeState is one probe worker's private state: its own run builder
+// (runs from all workers merge in finishEmit) and key scratch buffer.
+type probeState struct {
+	sorter *runBuilder
+	keyBuf []byte
+}
+
+// newProbeState registers a probe worker's private output builder.
+func (js *joinSpill) newProbeState() *probeState {
+	b := newRunBuilder(js.ctx, joinSortKeys(js.outCols), 0, "join-out")
+	js.mu.Lock()
+	js.sorters = append(js.sorters, b)
+	js.mu.Unlock()
+	return &probeState{sorter: b}
+}
+
+// part0 returns a key hash's level-0 partition.
+func (js *joinSpill) part0(h uint64) int {
+	return int(h & uint64(len(js.parts)-1))
+}
+
+// subPart returns the recursive partition at level >= 1: the hash
+// nibble directly above the bits consumed by shallower levels.
+func (js *joinSpill) subPart(h uint64, level int) int {
+	return int((h >> (js.fanoutBits + 4*uint(level-1))) & (spillFanout - 1))
 }
 
 // joinSortKeys returns the tag sort keys over a joined chunk with
@@ -228,12 +271,19 @@ func joinSortKeys(nOut int) []plan.SortKey {
 // largest-first until the resident set fits the budget.
 func newJoinSpill(ctx *Context, spec *plan.HashJoin, acc []*vector.Vector, accBytes int64, intKey bool) (*joinSpill, error) {
 	js := &joinSpill{ctx: ctx, spec: spec, intKey: intKey}
+	js.fanoutBits = 4
+	if h := spec.Hints.FanoutLog2; h > 4 {
+		js.fanoutBits = uint(h)
+		if js.fanoutBits > 8 {
+			js.fanoutBits = 8
+		}
+	}
+	js.parts = make([]joinSpillPart, 1<<js.fanoutBits)
 	js.buildTypes = make([]vector.Type, len(acc))
 	for i, c := range acc {
 		js.buildTypes[i] = c.Type()
 	}
 	js.outCols = len(spec.Left.Schema()) + len(spec.Right.Schema())
-	js.sorter = newRunBuilder(ctx, joinSortKeys(js.outCols), 0, "join-out")
 	if len(acc) > 0 && acc[0].Len() > 0 {
 		if err := js.addBuildChunk(vector.NewChunk(acc...)); err != nil {
 			return nil, err
@@ -292,13 +342,13 @@ func (js *joinSpill) addBuildChunk(ch *vector.Chunk) error {
 	n := ch.NumRows()
 	start := js.nextSeq
 	js.nextSeq += int64(n)
-	var sel [spillFanout][]int
+	sel := make([][]int, len(js.parts))
 	for r := 0; r < n; r++ {
 		h, null := joinKeyHash(keyVecs, r, js.intKey, &js.keyBuf)
 		if null {
 			continue
 		}
-		p := partitionOf(h, 0)
+		p := js.part0(h)
 		sel[p] = append(sel[p], r)
 	}
 	rowBytes := chunkBytes(ch)/int64(n) + 8
@@ -441,8 +491,11 @@ func (js *joinSpill) finishBuild() error {
 
 // probeChunk routes one probe chunk: immediate probing against
 // resident partitions, deferral to probe chunk lists for spilled
-// ones, and immediate LEFT-join padding for NULL-key rows.
-func (js *joinSpill) probeChunk(ch *vector.Chunk, chunkIdx int) error {
+// ones, and immediate LEFT-join padding for NULL-key rows. Safe for
+// concurrent probe workers: resident state is read-only here, output
+// goes through the worker's private state, and only the deferral
+// buffers (and shared spill file) serialize on js.mu.
+func (js *joinSpill) probeChunk(ch *vector.Chunk, chunkIdx int, ps *probeState) error {
 	keyVecs := make([]*vector.Vector, len(js.spec.LeftKeys))
 	for i, k := range js.spec.LeftKeys {
 		v, err := Evaluate(k, ch)
@@ -454,57 +507,65 @@ func (js *joinSpill) probeChunk(ch *vector.Chunk, chunkIdx int) error {
 	n := ch.NumRows()
 	base := int64(chunkIdx) << 32
 	var nullRows []int
-	var resSel, defSel [spillFanout][]int
+	resSel := make([][]int, len(js.parts))
+	defSel := make([][]int, len(js.parts))
+	anyDeferred := false
 	for r := 0; r < n; r++ {
-		h, null := joinKeyHash(keyVecs, r, js.intKey, &js.keyBuf)
+		h, null := joinKeyHash(keyVecs, r, js.intKey, &ps.keyBuf)
 		if null {
 			nullRows = append(nullRows, r)
 			continue
 		}
-		p := partitionOf(h, 0)
+		p := js.part0(h)
 		if js.parts[p].spilled {
 			defSel[p] = append(defSel[p], r)
+			anyDeferred = true
 		} else {
 			resSel[p] = append(resSel[p], r)
 		}
 	}
 	// Deferred rows: store the full probe row plus its posKey base.
-	for p := range defSel {
-		if len(defSel[p]) == 0 {
-			continue
-		}
-		pt := &js.parts[p]
-		if pt.probeBuf == nil {
-			types := make([]vector.Type, ch.NumCols()+1)
-			for i := 0; i < ch.NumCols(); i++ {
-				types[i] = ch.Col(i).Type()
+	if anyDeferred {
+		js.mu.Lock()
+		for p := range defSel {
+			if len(defSel[p]) == 0 {
+				continue
 			}
-			types[ch.NumCols()] = vector.Int64
-			pt.probeBuf = newRowAppender(types)
-		}
-		for _, r := range defSel[p] {
-			for c := 0; c < ch.NumCols(); c++ {
-				pt.probeBuf.cols[c].AppendRowFrom(ch.Col(c), r)
+			pt := &js.parts[p]
+			if pt.probeBuf == nil {
+				types := make([]vector.Type, ch.NumCols()+1)
+				for i := 0; i < ch.NumCols(); i++ {
+					types[i] = ch.Col(i).Type()
+				}
+				types[ch.NumCols()] = vector.Int64
+				pt.probeBuf = newRowAppender(types)
 			}
-			pt.probeBuf.cols[ch.NumCols()].AppendValue(vector.NewInt64(base | int64(r)))
-		}
-		if pt.probeBuf.rows() >= vector.DefaultChunkSize {
-			if err := js.writeBuf(pt.probeBuf, &pt.probeRefs); err != nil {
-				return err
+			for _, r := range defSel[p] {
+				for c := 0; c < ch.NumCols(); c++ {
+					pt.probeBuf.cols[c].AppendRowFrom(ch.Col(c), r)
+				}
+				pt.probeBuf.cols[ch.NumCols()].AppendValue(vector.NewInt64(base | int64(r)))
+			}
+			if pt.probeBuf.rows() >= vector.DefaultChunkSize {
+				if err := js.writeBuf(pt.probeBuf, &pt.probeRefs); err != nil {
+					js.mu.Unlock()
+					return err
+				}
 			}
 		}
+		js.mu.Unlock()
 	}
 	// Resident partitions probe immediately.
 	for p := range resSel {
 		if len(resSel[p]) == 0 {
 			continue
 		}
-		if err := js.probeAgainst(js.parts[p].ix, ch, keyVecs, resSel[p], func(r int) int64 { return base | int64(r) }); err != nil {
+		if err := js.probeAgainst(js.parts[p].ix, ch, keyVecs, resSel[p], func(r int) int64 { return base | int64(r) }, ps); err != nil {
 			return err
 		}
 	}
 	// NULL-key rows never match: LEFT joins pad them immediately.
-	return js.emitUnmatched(ch, nullRows, func(r int) int64 { return base | unmatchedBit | int64(r) })
+	return js.emitUnmatched(ch, nullRows, func(r int) int64 { return base | unmatchedBit | int64(r) }, ps)
 }
 
 // probeAgainst joins the given probe rows against one partition's
@@ -513,7 +574,7 @@ func (js *joinSpill) probeChunk(ch *vector.Chunk, chunkIdx int) error {
 // posKey section bits reproduce in-memory emission order: matched
 // rows sort by (probe row, build id); padded rows sort after every
 // matched row of their chunk, unmatched-key before residual-rejected.
-func (js *joinSpill) probeAgainst(ix *joinIndex, ch *vector.Chunk, keyVecs []*vector.Vector, rows []int, baseOf func(r int) int64) error {
+func (js *joinSpill) probeAgainst(ix *joinIndex, ch *vector.Chunk, keyVecs []*vector.Vector, rows []int, baseOf func(r int) int64, ps *probeState) error {
 	var leftSel, rightSel []int
 	var posKeys, seqs []int64
 	// Per-row match bookkeeping exists only to decide LEFT-join
@@ -523,7 +584,7 @@ func (js *joinSpill) probeAgainst(ix *joinIndex, ch *vector.Chunk, keyVecs []*ve
 		matched = make(map[int]bool, len(rows))
 	}
 	for _, r := range rows {
-		for _, m := range ix.lookup(keyVecs, r, &js.keyBuf) {
+		for _, m := range ix.lookup(keyVecs, r, &ps.keyBuf) {
 			leftSel = append(leftSel, r)
 			rightSel = append(rightSel, int(m))
 			posKeys = append(posKeys, baseOf(r))
@@ -573,7 +634,7 @@ func (js *joinSpill) probeAgainst(ix *joinIndex, ch *vector.Chunk, keyVecs []*ve
 				}
 			}
 		}
-		if err := js.emitTagged(joined, posKeys, seqs); err != nil {
+		if err := js.emitTagged(joined, posKeys, seqs, ps); err != nil {
 			return err
 		}
 	}
@@ -593,15 +654,15 @@ func (js *joinSpill) probeAgainst(ix *joinIndex, ch *vector.Chunk, keyVecs []*ve
 			unmatched = append(unmatched, r)
 		}
 	}
-	if err := js.emitUnmatched(ch, unmatched, func(r int) int64 { return baseOf(r) | unmatchedBit }); err != nil {
+	if err := js.emitUnmatched(ch, unmatched, func(r int) int64 { return baseOf(r) | unmatchedBit }, ps); err != nil {
 		return err
 	}
-	return js.emitUnmatched(ch, rejected, func(r int) int64 { return baseOf(r) | unmatchedBit | residualBit })
+	return js.emitUnmatched(ch, rejected, func(r int) int64 { return baseOf(r) | unmatchedBit | residualBit }, ps)
 }
 
 // emitUnmatched appends NULL-padded output rows for unmatched LEFT
 // probe rows.
-func (js *joinSpill) emitUnmatched(ch *vector.Chunk, rows []int, keyOf func(r int) int64) error {
+func (js *joinSpill) emitUnmatched(ch *vector.Chunk, rows []int, keyOf func(r int) int64, ps *probeState) error {
 	if len(rows) == 0 || js.spec.Kind != sql.LeftJoin {
 		return nil
 	}
@@ -610,26 +671,29 @@ func (js *joinSpill) emitUnmatched(ch *vector.Chunk, rows []int, keyOf func(r in
 	for i, r := range rows {
 		posKeys[i] = keyOf(r)
 	}
-	return js.emitTagged(padded, posKeys, make([]int64, len(rows)))
+	return js.emitTagged(padded, posKeys, make([]int64, len(rows)), ps)
 }
 
 // emitTagged appends output rows with their (posKey, buildSeq) tags to
-// the order-restoring sorter.
-func (js *joinSpill) emitTagged(out *vector.Chunk, posKeys, seqs []int64) error {
+// the worker's order-restoring run builder. outPos only reserves
+// distinct position ranges per builder chunk — the restoration sort
+// keys on the tags, so reservation order across workers is irrelevant.
+func (js *joinSpill) emitTagged(out *vector.Chunk, posKeys, seqs []int64, ps *probeState) error {
 	if out.NumRows() == 0 {
 		return nil
 	}
 	cols := append(append([]*vector.Vector{}, out.Cols()...),
 		vector.FromInt64s(posKeys), vector.FromInt64s(seqs))
-	err := js.sorter.add(vector.NewChunk(cols...), js.outPos)
-	js.outPos += int64(out.NumRows())
-	return err
+	n := int64(out.NumRows())
+	base := js.outPos.Add(n) - n
+	return ps.sorter.add(vector.NewChunk(cols...), base)
 }
 
 // processSpilled joins every spilled partition: its deferred probe
 // rows against its build rows, recursing when a partition's build
-// side still exceeds the budget.
-func (js *joinSpill) processSpilled() error {
+// side still exceeds the budget. Runs after all probe workers have
+// joined (single-threaded).
+func (js *joinSpill) processSpilled(ps *probeState) error {
 	for p := range js.parts {
 		pt := &js.parts[p]
 		if !pt.spilled {
@@ -641,7 +705,7 @@ func (js *joinSpill) processSpilled() error {
 			}
 			pt.probeBuf = nil
 		}
-		if err := js.processPart(js.file, pt.buildRefs, pt.probeRefs, 1); err != nil {
+		if err := js.processPart(js.file, pt.buildRefs, pt.probeRefs, 1, ps); err != nil {
 			return err
 		}
 	}
@@ -652,9 +716,10 @@ func (js *joinSpill) processSpilled() error {
 	return nil
 }
 
-// processPart joins one spilled partition. level is the hash nibble
-// used if the partition must re-partition.
-func (js *joinSpill) processPart(f *spill.File, buildRefs, probeRefs []spill.ChunkRef, level int) error {
+// processPart joins one spilled partition. level is the recursion
+// depth, selecting the hash bits used if the partition must
+// re-partition.
+func (js *joinSpill) processPart(f *spill.File, buildRefs, probeRefs []spill.ChunkRef, level int, ps *probeState) error {
 	if len(probeRefs) == 0 {
 		return nil // no probe rows: inner joins and LEFT pads both emit nothing
 	}
@@ -688,7 +753,7 @@ func (js *joinSpill) processPart(f *spill.File, buildRefs, probeRefs []spill.Chu
 	defer js.ctx.memShrink(bytes)
 
 	if js.ctx.shouldSpill(bytes) && level < maxSpillLevels {
-		return js.repartition(f, acc, seqs, probeRefs, level)
+		return js.repartition(f, acc, seqs, probeRefs, level, ps)
 	}
 
 	var ix *joinIndex
@@ -722,7 +787,7 @@ func (js *joinSpill) processPart(f *spill.File, buildRefs, probeRefs []spill.Chu
 		for i := range rows {
 			rows[i] = i
 		}
-		if err := js.probeAgainst(ix, probeData, keyVecs, rows, func(r int) int64 { return tags[r] }); err != nil {
+		if err := js.probeAgainst(ix, probeData, keyVecs, rows, func(r int) int64 { return tags[r] }, ps); err != nil {
 			return err
 		}
 	}
@@ -731,7 +796,7 @@ func (js *joinSpill) processPart(f *spill.File, buildRefs, probeRefs []spill.Chu
 
 // repartition splits an oversized spilled partition on the next hash
 // nibble and recurses.
-func (js *joinSpill) repartition(f *spill.File, acc []*vector.Vector, seqs []int64, probeRefs []spill.ChunkRef, level int) error {
+func (js *joinSpill) repartition(f *spill.File, acc []*vector.Vector, seqs []int64, probeRefs []spill.ChunkRef, level int, ps *probeState) error {
 	sub, err := js.ctx.spillManager().Create("join-sub")
 	if err != nil {
 		return err
@@ -756,7 +821,8 @@ func (js *joinSpill) repartition(f *spill.File, acc []*vector.Vector, seqs []int
 			if null {
 				continue // cannot happen: NULL keys were dropped at level 0
 			}
-			sel[partitionOf(h, level)] = append(sel[partitionOf(h, level)], r)
+			p := js.subPart(h, level)
+			sel[p] = append(sel[p], r)
 		}
 		for p := range sel {
 			if len(sel[p]) == 0 {
@@ -808,7 +874,8 @@ func (js *joinSpill) repartition(f *spill.File, acc []*vector.Vector, seqs []int
 			if null {
 				continue // cannot happen: NULL keys were padded at level 0
 			}
-			sel[partitionOf(h, level)] = append(sel[partitionOf(h, level)], r)
+			p := js.subPart(h, level)
+			sel[p] = append(sel[p], r)
 		}
 		all := vector.NewChunk(cols...)
 		for p := range sel {
@@ -824,27 +891,39 @@ func (js *joinSpill) repartition(f *spill.File, acc []*vector.Vector, seqs []int
 	}
 
 	for p := 0; p < spillFanout; p++ {
-		if err := js.processPart(sub, subBuild[p], subProbe[p], level+1); err != nil {
+		if err := js.processPart(sub, subBuild[p], subProbe[p], level+1, ps); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// finishEmit closes the probe phase: the sorter's runs merge into
-// final output order. The caller strips the two tag columns.
+// finishEmit closes the probe phase: every probe worker's runs merge
+// into final output order. The caller strips the two tag columns.
 func (js *joinSpill) finishEmit() (*runMerger, error) {
-	runs, file, err := js.sorter.finish()
+	var runs []*mergeRun
 	var files []*spill.File
-	if file != nil {
-		files = append(files, file)
+	var held int64
+	var ferr error
+	for _, b := range js.sorters {
+		rs, file, err := b.finish()
+		if file != nil {
+			files = append(files, file)
+		}
+		held += b.heldBytes()
+		if err != nil && ferr == nil {
+			ferr = err
+		}
+		if err == nil {
+			runs = append(runs, rs...)
+		}
 	}
-	if err != nil {
+	if ferr != nil {
 		releaseFiles(files)
-		js.ctx.memShrink(js.sorter.heldBytes())
-		return nil, err
+		js.ctx.memShrink(held)
+		return nil, ferr
 	}
-	return newRunMerger(js.ctx, joinSortKeys(js.outCols), runs, -1, files, js.sorter.heldBytes()), nil
+	return newRunMerger(js.ctx, joinSortKeys(js.outCols), runs, -1, files, held), nil
 }
 
 // release frees any files the spill state still holds (the manager

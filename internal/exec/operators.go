@@ -105,9 +105,80 @@ func (c *Context) interrupted() bool {
 func Build(node plan.Node) (Operator, error) { return buildWith(node, 1) }
 
 // buildWith converts a bound plan into an operator tree, substituting
-// morsel-parallel operators for eligible subtrees when workers > 1.
+// morsel-parallel operators for eligible subtrees when workers > 1 and
+// the planner did not mark the node Serial. Nodes carrying an EXPLAIN
+// ANALYZE tap are wrapped in a counting operator; Scan and Filter
+// count inside their operators instead, because the pipeline extractor
+// collapses them into morsel stages with no operator boundary.
 func buildWith(node plan.Node, workers int) (Operator, error) {
-	if workers > 1 {
+	op, err := buildNode(node, workers)
+	if err != nil {
+		return nil, err
+	}
+	if tap := boundaryTap(node); tap != nil {
+		op = &tapOp{child: op, tap: tap}
+	}
+	return op, nil
+}
+
+// boundaryTap returns the node's tap when its rows are counted at the
+// operator boundary (nil for Scan/Filter, which count internally).
+func boundaryTap(node plan.Node) *plan.NodeStats {
+	switch n := node.(type) {
+	case *plan.HashJoin:
+		return n.Hints.Tap
+	case *plan.Aggregate:
+		return n.Hints.Tap
+	case *plan.Sort:
+		return n.Hints.Tap
+	case *plan.Distinct:
+		return n.Hints.Tap
+	}
+	return nil
+}
+
+// serialHint reports whether the planner pinned this node to serial
+// execution (estimated input too small to amortize parallel setup).
+func serialHint(node plan.Node) bool {
+	switch n := node.(type) {
+	case *plan.HashJoin:
+		return n.Hints.Serial
+	case *plan.Aggregate:
+		return n.Hints.Serial
+	case *plan.Sort:
+		return n.Hints.Serial
+	case *plan.Distinct:
+		return n.Hints.Serial
+	}
+	return false
+}
+
+// tapOp counts the rows flowing through it into a plan node's stats
+// (EXPLAIN ANALYZE); it changes nothing else.
+type tapOp struct {
+	child Operator
+	tap   *plan.NodeStats
+}
+
+func (t *tapOp) Open(ctx *Context) error { return t.child.Open(ctx) }
+
+func (t *tapOp) Next() (*vector.Chunk, error) {
+	ch, err := t.child.Next()
+	tapCount(t.tap, ch)
+	return ch, err
+}
+
+func (t *tapOp) Close() error { return t.child.Close() }
+
+// tapCount adds ch's rows to tap; nil-safe on both arguments.
+func tapCount(tap *plan.NodeStats, ch *vector.Chunk) {
+	if tap != nil && ch != nil {
+		tap.Rows.Add(int64(ch.NumRows()))
+	}
+}
+
+func buildNode(node plan.Node, workers int) (Operator, error) {
+	if workers > 1 && !serialHint(node) {
 		op, ok, err := buildParallel(node, workers)
 		if err != nil {
 			return nil, err
@@ -118,7 +189,7 @@ func buildWith(node plan.Node, workers int) (Operator, error) {
 	}
 	switch n := node.(type) {
 	case *plan.Scan:
-		return &scanOp{table: n.Table, projection: n.Projection, preds: n.Preds}, nil
+		return &scanOp{table: n.Table, projection: n.Projection, preds: n.Preds, rowPos: n.RowPos, tap: n.Hints.Tap}, nil
 	case *plan.Material:
 		return &materialOp{data: n.Data}, nil
 	case *plan.TableFuncScan:
@@ -128,7 +199,7 @@ func buildWith(node plan.Node, workers int) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &filterOp{pred: n.Pred, child: child}, nil
+		return &filterOp{pred: n.Pred, child: child, tap: n.Hints.Tap}, nil
 	case *plan.Project:
 		child, err := buildWith(n.Child, workers)
 		if err != nil {
@@ -272,6 +343,7 @@ func (m *materialOp) Close() error { return nil }
 type filterOp struct {
 	pred  plan.Expr
 	child Operator
+	tap   *plan.NodeStats
 	ctx   *Context
 	sel   []int // selection buffer reused across chunks
 }
@@ -297,6 +369,7 @@ func (f *filterOp) Next() (*vector.Chunk, error) {
 			return nil, err
 		}
 		if out != nil {
+			tapCount(f.tap, out)
 			return out, nil
 		}
 	}

@@ -44,7 +44,10 @@ type scanSource struct {
 	table      *catalog.Table
 	projection []int
 	preds      []plan.ScanPredicate
+	rowPos     bool
+	tap        *plan.NodeStats
 	stats      *ScanStats
+	bases      []int64
 	n          int
 
 	scanned, skipped atomic.Int64
@@ -54,6 +57,9 @@ type scanSource struct {
 func (s *scanSource) open(ctx *Context) int {
 	s.n = s.table.Data.NumSegments()
 	s.stats = ctx.stats()
+	if s.rowPos {
+		s.bases = rowPosBases(s.table.Data)
+	}
 	return s.n
 }
 
@@ -69,6 +75,10 @@ func (s *scanSource) fetch(i int) (*vector.Chunk, error) {
 	}
 	s.scanned.Add(1)
 	s.stats.addScanned(1)
+	if s.rowPos {
+		ch = withRowPos(ch, s.bases[i])
+	}
+	tapCount(s.tap, ch)
 	return ch, nil
 }
 
@@ -103,10 +113,13 @@ func (m *materialSource) finish() {}
 // ------------------------------------------------------- pipeline spec
 
 // pipeStage is one chunk-local transformation: a filter when pred is
-// set, otherwise a projection.
+// set, otherwise a projection. tap, when set, counts the stage's
+// output rows (EXPLAIN ANALYZE) — pipelined stages have no operator
+// boundary to wrap, so they count inline.
 type pipeStage struct {
 	pred  plan.Expr
 	exprs []plan.Expr
+	tap   *plan.NodeStats
 }
 
 // pipeSpec is a morsel-parallelizable scan→filter→project chain.
@@ -132,7 +145,7 @@ type pipeScratch struct {
 func extractPipe(node plan.Node) *pipeSpec {
 	switch n := node.(type) {
 	case *plan.Scan:
-		return &pipeSpec{src: &scanSource{table: n.Table, projection: n.Projection, preds: n.Preds}}
+		return &pipeSpec{src: &scanSource{table: n.Table, projection: n.Projection, preds: n.Preds, rowPos: n.RowPos, tap: n.Hints.Tap}}
 	case *plan.Material:
 		return &pipeSpec{src: &materialSource{data: n.Data}}
 	case *plan.Filter:
@@ -143,7 +156,7 @@ func extractPipe(node plan.Node) *pipeSpec {
 		if p == nil {
 			return nil
 		}
-		p.stages = append(p.stages, pipeStage{pred: n.Pred})
+		p.stages = append(p.stages, pipeStage{pred: n.Pred, tap: n.Hints.Tap})
 		return p
 	case *plan.Project:
 		if !callsAllParallel(n.Exprs) {
@@ -176,6 +189,7 @@ func (p *pipeSpec) apply(ch *vector.Chunk, sc *pipeScratch) (*vector.Chunk, erro
 				return nil, nil
 			}
 			ch = out
+			tapCount(st.tap, ch)
 			continue
 		}
 		cols := make([]*vector.Vector, len(st.exprs))

@@ -138,6 +138,8 @@ type scanOp struct {
 	table      *catalog.Table
 	projection []int
 	preds      []plan.ScanPredicate
+	rowPos     bool
+	tap        *plan.NodeStats
 
 	results  chan scanResult
 	free     chan []*vector.Vector
@@ -170,6 +172,10 @@ func (s *scanOp) Open(ctx *Context) error {
 	}
 	done := ctx.done()
 	stats := ctx.stats()
+	var bases []int64
+	if s.rowPos {
+		bases = rowPosBases(store)
+	}
 
 	s.wg.Add(1)
 	go func() {
@@ -193,6 +199,9 @@ func (s *scanOp) Open(ctx *Context) error {
 			if err == nil {
 				scanned++
 				stats.addScanned(1)
+				if s.rowPos {
+					ch = withRowPos(ch, bases[i])
+				}
 			}
 			select {
 			case s.results <- scanResult{ch: ch, bufs: bufs, err: err}:
@@ -232,7 +241,35 @@ func (s *scanOp) Next() (*vector.Chunk, error) {
 		return nil, r.err
 	}
 	s.last = r.bufs
+	tapCount(s.tap, r.ch)
 	return r.ch, nil
+}
+
+// rowPosBases returns, per segment, the global position of its first
+// row. Pruned segments still advance the base: positions name physical
+// table rows, so they are stable across predicate pushdown and worker
+// scheduling — which is what lets the order-restoring sort after a
+// reordered join reproduce the syntactic plan's output byte for byte.
+func rowPosBases(store *storage.ColumnStore) []int64 {
+	counts := store.SegmentRowCounts()
+	bases := make([]int64, len(counts))
+	var acc int64
+	for i, c := range counts {
+		bases[i] = acc
+		acc += int64(c)
+	}
+	return bases
+}
+
+// withRowPos appends the __rowpos column (base, base+1, ...) to ch.
+func withRowPos(ch *vector.Chunk, base int64) *vector.Chunk {
+	n := ch.NumRows()
+	pos := make([]int64, n)
+	for i := range pos {
+		pos[i] = base + int64(i)
+	}
+	cols := append(append([]*vector.Vector(nil), ch.Cols()...), vector.FromInt64s(pos))
+	return vector.NewChunk(cols...)
 }
 
 func (s *scanOp) Close() error {

@@ -149,6 +149,87 @@ func EachCall(e Expr, fn func(*Call) bool) bool {
 	return true
 }
 
+// EachColRef walks e depth-first and invokes fn on every column
+// reference it contains.
+func EachColRef(e Expr, fn func(*ColRef)) {
+	switch x := e.(type) {
+	case *ColRef:
+		fn(x)
+	case *BinOp:
+		EachColRef(x.Left, fn)
+		EachColRef(x.Right, fn)
+	case *Neg:
+		EachColRef(x.Operand, fn)
+	case *Not:
+		EachColRef(x.Operand, fn)
+	case *IsNull:
+		EachColRef(x.Operand, fn)
+	case *Cast:
+		EachColRef(x.Operand, fn)
+	case *Case:
+		for _, w := range x.Whens {
+			EachColRef(w.Cond, fn)
+			EachColRef(w.Then, fn)
+		}
+		if x.Else != nil {
+			EachColRef(x.Else, fn)
+		}
+	case *Call:
+		for _, a := range x.Args {
+			EachColRef(a, fn)
+		}
+	case *In:
+		EachColRef(x.Operand, fn)
+		for _, l := range x.List {
+			EachColRef(l, fn)
+		}
+	}
+}
+
+// MapColRefs returns a copy of e with every column reference replaced
+// by f's result. Interior nodes are rebuilt (leaves other than ColRef
+// are shared), so the input expression is never mutated — the
+// cost-based planner uses this to retarget predicates at rebuilt join
+// shapes while the original tree stays intact.
+func MapColRefs(e Expr, f func(*ColRef) Expr) Expr {
+	switch x := e.(type) {
+	case *ColRef:
+		return f(x)
+	case *BinOp:
+		return &BinOp{Op: x.Op, Left: MapColRefs(x.Left, f), Right: MapColRefs(x.Right, f), Typ: x.Typ}
+	case *Neg:
+		return &Neg{Operand: MapColRefs(x.Operand, f)}
+	case *Not:
+		return &Not{Operand: MapColRefs(x.Operand, f)}
+	case *IsNull:
+		return &IsNull{Operand: MapColRefs(x.Operand, f), Negate: x.Negate}
+	case *Cast:
+		return &Cast{Operand: MapColRefs(x.Operand, f), To: x.To}
+	case *Case:
+		out := &Case{Typ: x.Typ}
+		for _, w := range x.Whens {
+			out.Whens = append(out.Whens, When{Cond: MapColRefs(w.Cond, f), Then: MapColRefs(w.Then, f)})
+		}
+		if x.Else != nil {
+			out.Else = MapColRefs(x.Else, f)
+		}
+		return out
+	case *Call:
+		out := &Call{Fn: x.Fn, Typ: x.Typ}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, MapColRefs(a, f))
+		}
+		return out
+	case *In:
+		out := &In{Operand: MapColRefs(x.Operand, f), Negate: x.Negate}
+		for _, l := range x.List {
+			out.List = append(out.List, MapColRefs(l, f))
+		}
+		return out
+	}
+	return e
+}
+
 // binOpType infers the result type of a binary operator application.
 func binOpType(op sql.BinaryOp, l, r vector.Type) (vector.Type, error) {
 	switch op {

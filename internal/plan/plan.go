@@ -1,6 +1,8 @@
 package plan
 
 import (
+	"sync/atomic"
+
 	"vexdb/internal/catalog"
 	"vexdb/internal/core"
 	"vexdb/internal/sql"
@@ -11,6 +13,32 @@ import (
 // columns in order.
 type Node interface {
 	Schema() catalog.Schema
+}
+
+// NodeStats receives per-node runtime counters when a plan is executed
+// with taps installed (EXPLAIN ANALYZE). Updated atomically by the
+// executor; read after the stream drains.
+type NodeStats struct {
+	Rows atomic.Int64 // rows the node emitted
+}
+
+// ExecHints carries cost-based planner decisions down to the executor.
+// Every hint is advisory and result-preserving: the executor may honor
+// or ignore any of them without changing output bytes. The zero value
+// means "no hints" (syntactic behavior).
+type ExecHints struct {
+	// EstRows is the planner's output-cardinality estimate; 0 means
+	// unknown. Used for EXPLAIN and for sizing decisions.
+	EstRows int64
+	// Serial forces single-worker execution of this operator when the
+	// estimated input is too small to amortize parallel setup.
+	Serial bool
+	// FanoutLog2 overrides the first-level spill partition fan-out
+	// (log2 of the partition count); 0 keeps the default.
+	FanoutLog2 int
+	// Tap, when non-nil, asks the executor to count the node's actual
+	// output rows into it (EXPLAIN ANALYZE).
+	Tap *NodeStats
 }
 
 // ScanPredicate is one scan-eligible WHERE conjunct of the form
@@ -29,21 +57,30 @@ type ScanPredicate struct {
 // Scan reads a base table. Projection (set by Prune) restricts the
 // produced columns to the listed table-schema positions; nil produces
 // every column. Preds (set by the binder) are pushed-down predicates
-// the scan may use to skip whole segments.
+// the scan may use to skip whole segments. RowPos (set by the
+// cost-based join reorderer, after pruning) appends a synthetic
+// "__rowpos" Int64 column holding each row's global position in the
+// table — positions count every segment, including ones zone-map
+// pruning skips, so they identify rows stably across plans.
 type Scan struct {
 	Table      *catalog.Table
 	Projection []int
 	Preds      []ScanPredicate
+	RowPos     bool
+	Hints      ExecHints
 }
 
 // Schema implements Node.
 func (s *Scan) Schema() catalog.Schema {
-	if s.Projection == nil {
-		return s.Table.Schema
+	out := s.Table.Schema
+	if s.Projection != nil {
+		out = make(catalog.Schema, 0, len(s.Projection)+1)
+		for _, p := range s.Projection {
+			out = append(out, s.Table.Schema[p])
+		}
 	}
-	out := make(catalog.Schema, len(s.Projection))
-	for i, p := range s.Projection {
-		out[i] = s.Table.Schema[p]
+	if s.RowPos {
+		out = append(out[:len(out):len(out)], catalog.Column{Name: "__rowpos", Type: vector.Int64})
 	}
 	return out
 }
@@ -86,6 +123,7 @@ func (t *TableFuncScan) Schema() catalog.Schema {
 type Filter struct {
 	Pred  Expr
 	Child Node
+	Hints ExecHints
 }
 
 // Schema implements Node.
@@ -117,6 +155,7 @@ type HashJoin struct {
 	LeftKeys  []Expr // evaluated over Left's schema
 	RightKeys []Expr // evaluated over Right's schema
 	Extra     Expr   // evaluated over the combined schema; may be nil
+	Hints     ExecHints
 }
 
 // Schema implements Node.
@@ -156,6 +195,7 @@ type Aggregate struct {
 	GroupNames []string
 	Aggs       []AggSpec
 	Child      Node
+	Hints      ExecHints
 }
 
 // Schema implements Node.
@@ -186,6 +226,7 @@ type Sort struct {
 	Keys  []SortKey
 	Child Node
 	Limit int64
+	Hints ExecHints
 }
 
 // Schema implements Node.
@@ -205,6 +246,7 @@ func (l *Limit) Schema() catalog.Schema { return l.Child.Schema() }
 // Distinct removes duplicate rows.
 type Distinct struct {
 	Child Node
+	Hints ExecHints
 }
 
 // Schema implements Node.

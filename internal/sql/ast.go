@@ -83,6 +83,15 @@ type Select struct {
 	UnionAll bool
 }
 
+// Explain is EXPLAIN [ANALYZE] <select>: it renders the query's
+// execution plan (with cost estimates) instead of its rows; ANALYZE
+// additionally runs the query and reports actual cardinalities next
+// to the estimates.
+type Explain struct {
+	Analyze bool
+	Query   *Select
+}
+
 // SelectItem is one projection in the select list. Star selects all
 // visible columns (optionally qualified: t.*).
 type SelectItem struct {
@@ -121,6 +130,7 @@ func (*Insert) stmt()      {}
 func (*Delete) stmt()      {}
 func (*Update) stmt()      {}
 func (*Select) stmt()      {}
+func (*Explain) stmt()     {}
 
 // ---------------------------------------------------------------- table refs
 

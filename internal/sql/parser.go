@@ -117,6 +117,18 @@ func (p *Parser) parseStatement() (Statement, error) {
 	switch t.Text {
 	case "SELECT":
 		return p.parseSelect()
+	case "EXPLAIN":
+		p.next()
+		ex := &Explain{}
+		if p.acceptKeyword("ANALYZE") {
+			ex.Analyze = true
+		}
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		ex.Query = sel
+		return ex, nil
 	case "CREATE":
 		return p.parseCreate()
 	case "DROP":

@@ -50,5 +50,5 @@ var keywords = map[string]bool{
 	"INSERT": true, "INTO": true, "VALUES": true, "DELETE": true,
 	"UPDATE": true, "SET": true, "JOIN": true, "INNER": true, "LEFT": true,
 	"OUTER": true, "ON": true, "DISTINCT": true, "IF": true, "EXISTS": true,
-	"UNION": true, "ALL": true,
+	"UNION": true, "ALL": true, "EXPLAIN": true, "ANALYZE": true,
 }

@@ -12,9 +12,9 @@ import (
 	"vexdb/internal/vector"
 )
 
-// On-disk table format, version 2 (all integers little-endian):
+// On-disk table format, version 3 (all integers little-endian):
 //
-//	magic   [8]byte  "VXTB0002"
+//	magic   [8]byte  "VXTB0003"
 //	ncols   uint32
 //	nrows   uint64
 //	per column: nameLen uint16, name bytes, type uint8
@@ -23,20 +23,26 @@ import (
 //	  rows uint32 (1..SegmentRows)
 //	  per column block:
 //	    enc uint8 (raw / rle / for / dict)
-//	    zoneFlags uint8 (bit0: min/max present)
+//	    zoneFlags uint8 (bit0: min/max present, bit1: HLL sketch present)
 //	    nullCount uint32
 //	    [min value, max value]  (type uint8 + typed payload)
+//	    [sketch: p uint8, 2^p register bytes]
 //	    payloadLen uint64, payload bytes, crc32(payload) uint32
 //
 // Segments are stored in their sealed (possibly compressed) form and
 // stay encoded after loading: LoadTableFile attaches the payload
-// bytes and zone maps directly, and columns decode lazily when first
-// scanned. Version 1 files ("VXTB0001", one raw payload per column,
-// no segments or zone maps) are still read; writes always produce
-// version 2. Any other version is rejected.
+// bytes, zone maps and distinct-count sketches directly, and columns
+// decode lazily when first scanned. Version 2 files ("VXTB0002",
+// identical but with no sketch flag) and version 1 files ("VXTB0001",
+// one raw payload per column, no segments or zone maps) are still
+// read; writes always produce version 3. Any other version is
+// rejected. A version-3 sketch whose register width differs from the
+// current hllP is skipped rather than rejected, so a future precision
+// change stays backward readable.
 var (
 	tableMagicV1 = [8]byte{'V', 'X', 'T', 'B', '0', '0', '0', '1'}
 	tableMagicV2 = [8]byte{'V', 'X', 'T', 'B', '0', '0', '0', '2'}
+	tableMagicV3 = [8]byte{'V', 'X', 'T', 'B', '0', '0', '0', '3'}
 )
 
 const nullMarker = uint32(0xFFFFFFFF)
@@ -80,7 +86,7 @@ func (s *ColumnStore) sealedView() (segRows []int, segCols [][]*SealedColumn, er
 // compressed) column payloads of every segment to w.
 func WriteTable(w io.Writer, names []string, store *ColumnStore) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.Write(tableMagicV2[:]); err != nil {
+	if _, err := bw.Write(tableMagicV3[:]); err != nil {
 		return err
 	}
 	types := store.Types()
@@ -127,6 +133,9 @@ func WriteTable(w io.Writer, names []string, store *ColumnStore) error {
 			if sc.Zone.HasMinMax() {
 				flags |= 1
 			}
+			if sc.Sketch != nil {
+				flags |= 2
+			}
 			if err := bw.WriteByte(flags); err != nil {
 				return err
 			}
@@ -138,6 +147,14 @@ func WriteTable(w io.Writer, names []string, store *ColumnStore) error {
 					return err
 				}
 				if err := writeZoneValue(bw, sc.Zone.Max); err != nil {
+					return err
+				}
+			}
+			if flags&2 != 0 {
+				if err := bw.WriteByte(hllP); err != nil {
+					return err
+				}
+				if _, err := bw.Write(sc.Sketch.Registers()); err != nil {
 					return err
 				}
 			}
@@ -236,8 +253,8 @@ func readZoneValue(br *bufio.Reader) (vector.Value, error) {
 	return vector.Null(), fmt.Errorf("storage: zone value type %d invalid", tb)
 }
 
-// ReadTable reads a table written by WriteTable (version 2) or by the
-// version 1 writer. Unknown versions are rejected.
+// ReadTable reads a table written by WriteTable (version 3) or by the
+// version 1 and 2 writers. Unknown versions are rejected.
 func ReadTable(r io.Reader) (names []string, store *ColumnStore, err error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var magic [8]byte
@@ -245,8 +262,10 @@ func ReadTable(r io.Reader) (names []string, store *ColumnStore, err error) {
 		return nil, nil, fmt.Errorf("storage: read magic: %w", err)
 	}
 	switch magic {
+	case tableMagicV3:
+		return readTableSegments(br, true)
 	case tableMagicV2:
-		return readTableV2(br)
+		return readTableSegments(br, false)
 	case tableMagicV1:
 		return readTableV1(br)
 	}
@@ -283,7 +302,9 @@ func readHeader(br *bufio.Reader) (names []string, types []vector.Type, nrows ui
 	return names, types, nrows, nil
 }
 
-func readTableV2(br *bufio.Reader) (names []string, store *ColumnStore, err error) {
+// readTableSegments reads the segmented body shared by versions 2 and
+// 3; sketches (version 3) are the only difference between the two.
+func readTableSegments(br *bufio.Reader, hasSketch bool) (names []string, store *ColumnStore, err error) {
 	names, types, nrows, err := readHeader(br)
 	if err != nil {
 		return nil, nil, err
@@ -340,6 +361,23 @@ func readTableV2(br *bufio.Reader) (names []string, store *ColumnStore, err erro
 						names[c], zone.Min.Type(), zone.Max.Type(), types[c])
 				}
 			}
+			var sketch *HLL
+			if hasSketch && flags&2 != 0 {
+				p, err := br.ReadByte()
+				if err != nil {
+					return nil, nil, err
+				}
+				if p == 0 || p > 16 {
+					return nil, nil, fmt.Errorf("storage: column %q: sketch precision %d invalid", names[c], p)
+				}
+				regs := make([]byte, 1<<p)
+				if _, err := io.ReadFull(br, regs); err != nil {
+					return nil, nil, err
+				}
+				// A precision other than the current hllP reads cleanly
+				// but is not adopted (the planner just sees no sketch).
+				sketch = hllFromRegisters(regs)
+			}
 			var plen uint64
 			if err := binary.Read(br, binary.LittleEndian, &plen); err != nil {
 				return nil, nil, err
@@ -355,7 +393,7 @@ func readTableV2(br *bufio.Reader) (names []string, store *ColumnStore, err erro
 			if crc32.ChecksumIEEE(payload) != sum {
 				return nil, nil, fmt.Errorf("storage: column %q: checksum mismatch", names[c])
 			}
-			cols[c] = loadedColumn(enc, types[c], int(rows), zone, payload)
+			cols[c] = loadedColumn(enc, types[c], int(rows), zone, sketch, payload)
 		}
 		store.attachSealedSegment(int(rows), cols)
 		total += uint64(rows)

@@ -197,7 +197,7 @@ func TestDiskV1FileAccepted(t *testing.T) {
 }
 
 func TestDiskUnknownVersionRejected(t *testing.T) {
-	for _, magic := range []string{"VXTB0003", "VXTB9999", "XXXXXXXX"} {
+	for _, magic := range []string{"VXTB0004", "VXTB9999", "XXXXXXXX"} {
 		payload := magic + strings.Repeat("\x00", 64)
 		_, _, err := ReadTable(bytes.NewReader([]byte(payload)))
 		if err == nil || !strings.Contains(err.Error(), "unsupported") {

@@ -191,6 +191,10 @@ type SealedColumn struct {
 	Typ  vector.Type
 	Rows int
 	Zone ZoneMap
+	// Sketch is the column's distinct-count HLL, computed at seal time
+	// when compression (and thus statistics) is enabled; nil otherwise
+	// (uncompressed tables, all-NULL or boolean columns, pre-V3 files).
+	Sketch *HLL
 
 	// payload holds the encoded bytes for compressed encodings, and
 	// for raw columns loaded from disk that have not been decoded yet.
@@ -216,6 +220,7 @@ func sealColumn(v *vector.Vector, compress bool) *SealedColumn {
 		return c
 	}
 	c.Zone = computeZone(v)
+	c.Sketch = computeSketch(v)
 	if v.HasNulls() || v.Len() == 0 {
 		return c
 	}
@@ -234,8 +239,8 @@ func sealColumn(v *vector.Vector, compress bool) *SealedColumn {
 
 // loadedColumn reconstructs a sealed column from its persisted form.
 // Raw payloads are kept as bytes and decoded lazily on first scan.
-func loadedColumn(enc Encoding, typ vector.Type, rows int, zone ZoneMap, payload []byte) *SealedColumn {
-	return &SealedColumn{Enc: enc, Typ: typ, Rows: rows, Zone: zone, payload: payload,
+func loadedColumn(enc Encoding, typ vector.Type, rows int, zone ZoneMap, sketch *HLL, payload []byte) *SealedColumn {
+	return &SealedColumn{Enc: enc, Typ: typ, Rows: rows, Zone: zone, Sketch: sketch, payload: payload,
 		logicalBytes: logicalSizeFor(typ, rows, enc, payload)}
 }
 

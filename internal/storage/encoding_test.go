@@ -210,14 +210,14 @@ func TestDecodeRejectsCorruptPayloads(t *testing.T) {
 		name string
 		sc   *SealedColumn
 	}{
-		{"rle-short", loadedColumn(EncRLE, vector.Int64, 10, ZoneMap{}, []byte{1, 2})},
-		{"rle-run-overflow", loadedColumn(EncRLE, vector.Int64, 2, ZoneMap{}, func() []byte {
+		{"rle-short", loadedColumn(EncRLE, vector.Int64, 10, ZoneMap{}, nil, []byte{1, 2})},
+		{"rle-run-overflow", loadedColumn(EncRLE, vector.Int64, 2, ZoneMap{}, nil, func() []byte {
 			p := binary.LittleEndian.AppendUint32(nil, 1)
 			p = binary.LittleEndian.AppendUint64(p, 9)
 			return binary.LittleEndian.AppendUint32(p, 5) // run of 5 into 2 rows
 		}())},
-		{"for-bad-width", loadedColumn(EncFOR, vector.Int64, 1, ZoneMap{}, append(make([]byte, 8), 3, 0))},
-		{"dict-code-range", loadedColumn(EncDict, vector.String, 1, ZoneMap{}, func() []byte {
+		{"for-bad-width", loadedColumn(EncFOR, vector.Int64, 1, ZoneMap{}, nil, append(make([]byte, 8), 3, 0))},
+		{"dict-code-range", loadedColumn(EncDict, vector.String, 1, ZoneMap{}, nil, func() []byte {
 			p := binary.LittleEndian.AppendUint32(nil, 1) // 1 entry
 			p = binary.LittleEndian.AppendUint32(p, 1)    // len 1
 			p = append(p, 'x', 1, 9)                      // width 1, code 9

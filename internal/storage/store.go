@@ -312,6 +312,30 @@ type TableStats struct {
 	// segments decoded for scans vs. skipped by zone-map pruning.
 	SegmentsScanned int64
 	SegmentsSkipped int64
+	// Columns holds the per-column statistics rollup (one entry per
+	// table column, in schema order) the cost-based planner reads.
+	Columns []ColumnStats
+}
+
+// ColumnStats is the table-level rollup of one column's per-segment
+// statistics: zone maps merged to global bounds and null counts, and
+// segment HLL sketches merged to a distinct-count estimate. Only
+// sealed, statistics-bearing segments contribute — StatsRows below
+// Rows of the table means part of the data (the mutable tail, or
+// segments sealed with compression off) is uncovered and estimates
+// should be scaled accordingly.
+type ColumnStats struct {
+	// StatsRows counts the rows covered by zone-map statistics.
+	StatsRows int
+	NullCount int
+	// Distinct is the merged-HLL distinct estimate over the rows
+	// covered by sketches (SketchRows); 0 means no sketch available.
+	Distinct   int64
+	SketchRows int
+	// Min and Max bound the column's non-NULL values over the covered
+	// rows; valid only when HasMinMax.
+	Min, Max  vector.Value
+	HasMinMax bool
 }
 
 // Stats computes the store's physical statistics.
@@ -341,7 +365,74 @@ func (s *ColumnStore) Stats() TableStats {
 			st.EncodedColumns[sc.Enc.String()]++
 		}
 	}
+	st.Columns = s.columnStatsLocked()
 	return st
+}
+
+// ColumnStatistics returns the per-column rollup alone (the cheap
+// subset of Stats the planner needs).
+func (s *ColumnStore) ColumnStatistics() []ColumnStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.columnStatsLocked()
+}
+
+// columnStatsLocked merges per-segment zone maps and HLL sketches into
+// table-level column statistics. Caller holds at least the read lock.
+func (s *ColumnStore) columnStatsLocked() []ColumnStats {
+	out := make([]ColumnStats, len(s.types))
+	sketches := make([]*HLL, len(s.types))
+	for _, seg := range s.segs {
+		if seg.sealed == nil {
+			continue
+		}
+		for c, sc := range seg.sealed {
+			cs := &out[c]
+			z := sc.Zone
+			if z.Rows == 0 {
+				continue // sealed with compression off: no statistics
+			}
+			cs.StatsRows += z.Rows
+			cs.NullCount += z.NullCount
+			if z.HasMinMax() {
+				if !cs.HasMinMax {
+					cs.Min, cs.Max, cs.HasMinMax = z.Min, z.Max, true
+				} else {
+					if r, err := z.Min.Compare(cs.Min); err == nil && r < 0 {
+						cs.Min = z.Min
+					}
+					if r, err := z.Max.Compare(cs.Max); err == nil && r > 0 {
+						cs.Max = z.Max
+					}
+				}
+			}
+			if sc.Sketch != nil {
+				cs.SketchRows += z.Rows
+				if sketches[c] == nil {
+					sketches[c] = NewHLL()
+				}
+				sketches[c].Merge(sc.Sketch)
+			}
+		}
+	}
+	for c, h := range sketches {
+		out[c].Distinct = h.Estimate()
+	}
+	return out
+}
+
+// SegmentRowCounts returns the row count of every segment in order.
+// Scans that tag rows with global positions use this to compute each
+// segment's base offset, counting segments whether or not zone-map
+// pruning later skips them.
+func (s *ColumnStore) SegmentRowCounts() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int, len(s.segs))
+	for i, seg := range s.segs {
+		out[i] = seg.rows
+	}
+	return out
 }
 
 // Column materializes the full column c as one contiguous vector.

@@ -1,0 +1,265 @@
+// E8: cost-based planning benchmark. A skewed three-table events join
+// — two large event tables sharing a hot low-cardinality key (their
+// join explodes) plus a selective dimension — is executed with the
+// cost-based planner on and off. The planner must produce identical
+// result bytes, pick the expected join order (dimension first), and
+// beat the syntactic plan on wall clock by shrinking the intermediate.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"vexdb/internal/engine"
+	"vexdb/internal/vector"
+)
+
+// Plan-bench workload shape. 60k events x 151 hot keys makes the
+// syntactic first join emit ~24M rows; the selective dimension filter
+// keeps only 1% of dk values, so joining it first emits a few hundred.
+const (
+	planEvents  = 60_000
+	planHotKeys = 151
+	planDims    = 1000
+)
+
+// PlanQuery is the benchmarked statement. Written syntactically
+// worst-first: the exploding ev1-ev2 join precedes the selective
+// dimension join.
+const PlanQuery = "SELECT count(*) AS n, sum(ev1.v + ev2.w) AS s " +
+	"FROM ev1 JOIN ev2 ON ev1.k = ev2.k JOIN dm ON ev1.dk = dm.dk " +
+	"WHERE dm.dk < 10"
+
+// PlanRun is one planner mode's measurement.
+type PlanRun struct {
+	Planner          string        // "syntactic" | "cost-based"
+	Elapsed          time.Duration // best of planBenchIters timed runs
+	IntermediateRows int64         // sum of actual hash-join output rows
+}
+
+// PlanBenchResult is the E8 report.
+type PlanBenchResult struct {
+	Events    int
+	HotKeys   int
+	DimRows   int
+	Workers   int
+	Query     string
+	Syntactic PlanRun
+	CostBased PlanRun
+	Speedup   float64 // syntactic / cost-based wall clock
+	// Identical: both modes returned byte-identical results.
+	Identical bool
+	// ExpectedOrder: the cost-based plan joins the dimension first.
+	ExpectedOrder bool
+}
+
+const planBenchIters = 3
+
+// E8PlanBench loads the events workload into a fresh in-memory engine
+// and measures PlanQuery under both planner modes. It fails (error,
+// not just a report field) when results differ or the cost-based plan
+// picks the wrong first join — correctness gates, not perf gates.
+func E8PlanBench(workers int) (*PlanBenchResult, error) {
+	db := engine.New()
+	db.Parallelism = workers
+	if err := loadPlanEvents(db); err != nil {
+		return nil, err
+	}
+
+	res := &PlanBenchResult{
+		Events:  planEvents,
+		HotKeys: planHotKeys,
+		DimRows: planDims,
+		Workers: workers,
+		Query:   PlanQuery,
+	}
+
+	var fingerprints [2]string
+	for i, planner := range []bool{false, true} {
+		db.NoCostPlanner = !planner
+		run := PlanRun{Planner: "syntactic"}
+		if planner {
+			run.Planner = "cost-based"
+		}
+		for it := 0; it < planBenchIters; it++ {
+			start := time.Now()
+			fp, err := planFingerprint(db, PlanQuery)
+			if err != nil {
+				return nil, fmt.Errorf("%s run: %w", run.Planner, err)
+			}
+			if d := time.Since(start); it == 0 || d < run.Elapsed {
+				run.Elapsed = d
+			}
+			fingerprints[i] = fp
+		}
+		analyzed, err := explainAnalyze(db, PlanQuery)
+		if err != nil {
+			return nil, fmt.Errorf("%s explain: %w", run.Planner, err)
+		}
+		run.IntermediateRows = joinActualRows(analyzed)
+		if planner {
+			res.CostBased = run
+			res.ExpectedOrder = firstJoinScans(analyzed)["dm"]
+		} else {
+			res.Syntactic = run
+		}
+	}
+
+	res.Identical = fingerprints[0] == fingerprints[1]
+	res.Speedup = float64(res.Syntactic.Elapsed) / math.Max(float64(res.CostBased.Elapsed), 1)
+	if !res.Identical {
+		return res, fmt.Errorf("plan bench: cost-based results differ from syntactic")
+	}
+	if !res.ExpectedOrder {
+		return res, fmt.Errorf("plan bench: cost-based plan did not join the dimension first")
+	}
+	return res, nil
+}
+
+// loadPlanEvents creates and fills ev1/ev2/dm with the deterministic
+// skewed generators.
+func loadPlanEvents(db *engine.DB) error {
+	ddl := []string{
+		"CREATE TABLE ev1 (k BIGINT, dk BIGINT, v DOUBLE)",
+		"CREATE TABLE ev2 (k BIGINT, w DOUBLE)",
+		"CREATE TABLE dm (dk BIGINT, label VARCHAR)",
+	}
+	for _, q := range ddl {
+		if _, err := db.Exec(q); err != nil {
+			return err
+		}
+	}
+	ins := func(name string, rows int, gen func(i int) string) error {
+		var sb strings.Builder
+		for i := 0; i < rows; i++ {
+			if i%1000 == 0 {
+				if sb.Len() > 0 {
+					if _, err := db.Exec(sb.String()); err != nil {
+						return err
+					}
+					sb.Reset()
+				}
+				fmt.Fprintf(&sb, "INSERT INTO %s VALUES ", name)
+			} else {
+				sb.WriteString(",")
+			}
+			sb.WriteString(gen(i))
+		}
+		if sb.Len() > 0 {
+			if _, err := db.Exec(sb.String()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := ins("ev1", planEvents, func(i int) string {
+		return fmt.Sprintf("(%d, %d, %g)", i%planHotKeys, i%planDims, float64(i)/4)
+	}); err != nil {
+		return err
+	}
+	if err := ins("ev2", planEvents, func(i int) string {
+		return fmt.Sprintf("(%d, %g)", i%planHotKeys, float64(i)/2)
+	}); err != nil {
+		return err
+	}
+	return ins("dm", planDims, func(i int) string {
+		return fmt.Sprintf("(%d, 'd%d')", i, i)
+	})
+}
+
+// planFingerprint executes q and renders the result with exact float
+// identity (IEEE bit patterns), for cross-plan comparison.
+func planFingerprint(db *engine.DB, q string) (string, error) {
+	rs, err := db.Query(q)
+	if err != nil {
+		return "", err
+	}
+	tab, err := rs.Materialize()
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for i := 0; i < tab.NumRows(); i++ {
+		for c := 0; c < tab.NumCols(); c++ {
+			v := tab.Cols[c].Get(i)
+			switch {
+			case v.IsNull():
+				sb.WriteString("N")
+			case v.Type() == vector.Float64:
+				fmt.Fprintf(&sb, "%016x", math.Float64bits(v.Float64()))
+			default:
+				sb.WriteString(v.String())
+			}
+			sb.WriteString("|")
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String(), nil
+}
+
+// explainAnalyze returns the rendered EXPLAIN ANALYZE plan lines.
+func explainAnalyze(db *engine.DB, q string) ([]string, error) {
+	rs, err := db.Query("EXPLAIN ANALYZE " + q)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := rs.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	lines := make([]string, tab.NumRows())
+	for i := range lines {
+		lines[i] = tab.Cols[0].Get(i).Str()
+	}
+	return lines, nil
+}
+
+var actRE = regexp.MustCompile(`act=(\d+)`)
+
+// joinActualRows sums the actual output rows of every hash join — the
+// total intermediate cardinality the plan materialized.
+func joinActualRows(lines []string) int64 {
+	var total int64
+	for _, ln := range lines {
+		if !strings.Contains(ln, "HashJoin") {
+			continue
+		}
+		if m := actRE.FindStringSubmatch(ln); m != nil {
+			n, _ := strconv.ParseInt(m[1], 10, 64)
+			total += n
+		}
+	}
+	return total
+}
+
+// firstJoinScans returns the table names scanned under the deepest
+// (first-executed) hash join of a rendered plan.
+func firstJoinScans(lines []string) map[string]bool {
+	indent := func(s string) int {
+		return (len(s) - len(strings.TrimLeft(s, " "))) / 2
+	}
+	joinLine, joinDepth := -1, -1
+	for i, ln := range lines {
+		if strings.Contains(ln, "HashJoin") && indent(ln) > joinDepth {
+			joinLine, joinDepth = i, indent(ln)
+		}
+	}
+	scans := map[string]bool{}
+	if joinLine < 0 {
+		return scans
+	}
+	for _, ln := range lines[joinLine+1:] {
+		if indent(ln) <= joinDepth {
+			break
+		}
+		fields := strings.Fields(ln)
+		if len(fields) >= 2 && fields[0] == "Scan" {
+			scans[fields[1]] = true
+		}
+	}
+	return scans
+}

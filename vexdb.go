@@ -134,6 +134,13 @@ type Options struct {
 	// typed retryable error (see GovernorConfig). Nil (the default)
 	// admits every query immediately, as before.
 	Governor *GovernorConfig
+
+	// NoCostPlanner disables the cost-based planning pass (join
+	// reordering over column sketches, build-side selection,
+	// serial/fan-out execution hints); plans then execute exactly as
+	// bound. Results are identical either way — the switch exists for
+	// benchmarking and differential testing. See SetCostPlanning.
+	NoCostPlanner bool
 }
 
 // GovernorConfig configures the process-wide resource governor:
@@ -185,6 +192,7 @@ func (db *DB) applyOptions(opts Options) {
 	db.SetMemoryBudget(opts.MemoryBudget)
 	db.SetTempDir(opts.TempDir)
 	db.SetQueryTimeout(opts.QueryTimeout)
+	db.SetCostPlanning(!opts.NoCostPlanner)
 	if opts.Governor != nil {
 		db.SetGovernor(*opts.Governor)
 	}
@@ -352,6 +360,14 @@ func (db *DB) RegisterTable(f *TableFunc) error { return db.eng.Registry().Regis
 // compare equal but are distinguishable (NaN against numbers, -0.0 vs
 // 0.0). Integer, string, COUNT and boolean results are exact.
 func (db *DB) SetParallelism(n int) { db.eng.Parallelism = n }
+
+// SetCostPlanning enables (the default) or disables the cost-based
+// planning pass: join reordering driven by column sketches, build-side
+// selection, and serial/spill-fan-out execution hints. Disabling it
+// never changes results — plans just execute exactly as bound — so a
+// before/after comparison isolates the planner's effect (EXPLAIN shows
+// the chosen plan either way).
+func (db *DB) SetCostPlanning(on bool) { db.eng.NoCostPlanner = !on }
 
 // SetMemoryBudget bounds, per query, the estimated in-memory footprint
 // of blocking operators; over-budget queries spill to TempDir and
