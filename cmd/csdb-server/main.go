@@ -9,13 +9,16 @@
 // a shared pool (-mem-pool) and worker slots from a shared budget
 // (-worker-slots), excess queries wait in a bounded FIFO queue
 // (-max-queue), and overload is rejected with a retryable wire error.
-// SIGTERM/SIGINT drain gracefully: the listener closes, in-flight
-// queries finish within -drain-timeout, then the process exits. A
+// With -wal-dir, writes are durable: each statement's WAL record is
+// group-commit fsynced before the client sees its acknowledgement,
+// and a restart replays the log. SIGTERM/SIGINT drain gracefully: the
+// listener closes, in-flight queries finish within -drain-timeout,
+// the WAL is checkpointed and sealed, then the process exits. A
 // second signal aborts immediately.
 //
 // Usage:
 //
-//	csdb-server [-addr 127.0.0.1:5433] [-db DIR] [-init script.sql]
+//	csdb-server [-addr 127.0.0.1:5433] [-db DIR] [-wal-dir DIR] [-init script.sql]
 package main
 
 import (
@@ -53,6 +56,8 @@ func run() error {
 	sessionMem := flag.String("session-mem", "0", "per-connection memory lease limit, e.g. 256MB (0 = unlimited)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline, admission wait included (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown window for in-flight queries")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory: writes become durable (group-commit fsync before ack) and crash recovery replays the log on start")
+	syncMode := flag.String("sync", "group", "WAL fsync policy: group (one fsync per commit batch), each (per statement), none (OS-buffered)")
 	flag.Parse()
 
 	budget, err := cliutil.ParseByteSize(*memBudget)
@@ -67,11 +72,17 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("-session-mem: %w", err)
 	}
+	mode, err := vexdb.ParseSyncMode(*syncMode)
+	if err != nil {
+		return fmt.Errorf("-sync: %w", err)
+	}
 	opts := vexdb.Options{
 		Parallelism:  *workers,
 		MemoryBudget: budget,
 		TempDir:      *tempDir,
 		QueryTimeout: *queryTimeout,
+		WALDir:       *walDir,
+		SyncMode:     mode,
 		Governor: &vexdb.GovernorConfig{
 			PoolBytes:        pool,
 			WorkerSlots:      *workerSlots,
@@ -82,12 +93,18 @@ func run() error {
 		},
 	}
 	var db *vexdb.DB
-	if *dbDir != "" {
+	switch {
+	case *dbDir != "":
 		db, err = vexdb.OpenDirOptions(*dbDir, opts)
 		if err != nil {
 			return err
 		}
-	} else {
+	case *walDir != "":
+		db, err = vexdb.OpenDurable(opts)
+		if err != nil {
+			return err
+		}
+	default:
 		db = vexdb.OpenOptions(opts)
 	}
 	if *initFile != "" {
@@ -122,6 +139,16 @@ func run() error {
 		fmt.Println("aborting: cancelling in-flight queries")
 		srv.Close()
 		<-done
+	}
+	// Seal the WAL after the drain: in-flight writes have committed, so
+	// a checkpoint leaves a truncated log and instant recovery.
+	if *walDir != "" {
+		if err := db.Checkpoint(); err != nil {
+			fmt.Fprintln(os.Stderr, "csdb-server: final checkpoint:", err)
+		}
+		if err := db.Close(); err != nil {
+			return fmt.Errorf("wal close: %w", err)
+		}
 	}
 	return nil
 }

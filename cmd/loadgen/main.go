@@ -12,12 +12,18 @@
 //   - after graceful shutdown no goroutines, spill files, or pool
 //     leases remain.
 //
+// With -writers N the storm is mixed read/write: N extra connections
+// stream single-row INSERTs into a dedicated ingest table while the
+// read clients run. Writes land in their own table so the read
+// baselines stay byte-identical, and after the storm the ingest row
+// count must equal exactly the acknowledged statements.
+//
 // It emits a throughput / latency-percentile report as JSON
 // (-out BENCH_concurrency.json) and exits non-zero on any violation.
 //
 // Usage:
 //
-//	loadgen -clients 16 -requests 25 -faults 0.1 -out BENCH_concurrency.json
+//	loadgen -clients 16 -requests 25 -writers 4 -faults 0.1 -out BENCH_concurrency.json
 package main
 
 import (
@@ -45,6 +51,7 @@ import (
 type config struct {
 	addr         string
 	clients      int
+	writers      int
 	requests     int
 	rows         int
 	workers      int
@@ -72,6 +79,7 @@ type queryClass struct {
 type report struct {
 	Config struct {
 		Clients      int     `json:"clients"`
+		Writers      int     `json:"writers"`
 		Requests     int     `json:"requests_per_client"`
 		Rows         int     `json:"rows"`
 		MemPool      int64   `json:"mem_pool_bytes"`
@@ -89,6 +97,15 @@ type report struct {
 		UnexpectedErrors int64 `json:"unexpected_errors"`
 		ResultMismatches int64 `json:"result_mismatches"`
 	} `json:"totals"`
+	// Writes summarizes the -writers ingest stream: acknowledged INSERT
+	// statements, governor rejections (each retried until admitted), and
+	// write statements/second over the storm window.
+	Writes struct {
+		Statements int64   `json:"statements"`
+		Rejected   int64   `json:"rejected"`
+		Errors     int64   `json:"errors"`
+		QPS        float64 `json:"qps"`
+	} `json:"writes"`
 	ThroughputQPS float64            `json:"throughput_qps"`
 	LatencyMS     map[string]float64 `json:"latency_ms"`
 	Classes       []*queryClass      `json:"classes"`
@@ -110,6 +127,7 @@ func parseFlags() (config, error) {
 	memPool := flag.String("mem-pool", "256MB", "shared memory pool for the governor")
 	flag.StringVar(&c.addr, "addr", "", "existing server address (empty = start an in-process server)")
 	flag.IntVar(&c.clients, "clients", 16, "concurrent wire clients")
+	flag.IntVar(&c.writers, "writers", 0, "concurrent ingest writers (single-row INSERTs into a dedicated table)")
 	flag.IntVar(&c.requests, "requests", 25, "requests per client")
 	flag.IntVar(&c.rows, "rows", 100_000, "rows in the generated events table")
 	flag.IntVar(&c.workers, "workers", 0, "per-query parallelism cap (0 = all CPUs)")
@@ -166,7 +184,18 @@ func run() error {
 		return fmt.Errorf("serial baseline: %w", err)
 	}
 
+	var ingestBase int64
+	if cfg.writers > 0 {
+		if ingestBase, err = setupIngest(addr); err != nil {
+			return fmt.Errorf("ingest setup: %w", err)
+		}
+	}
+
 	rep := storm(cfg, addr, classes)
+
+	if cfg.writers > 0 {
+		verifyIngest(addr, rep, ingestBase)
+	}
 
 	if srv != nil {
 		srv.Shutdown(cfg.drainTimeout)
@@ -184,6 +213,10 @@ func run() error {
 		rep.Violations = append(rep.Violations,
 			fmt.Sprintf("%d results diverged from the serial baseline", rep.Totals.ResultMismatches))
 	}
+	if rep.Writes.Errors > 0 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("%d write errors", rep.Writes.Errors))
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -195,6 +228,10 @@ func run() error {
 	fmt.Printf("loadgen: %d queries, %d ok, %d rejected, %d faults injected, %.1f qps (report: %s)\n",
 		rep.Totals.Queries, rep.Totals.OK, rep.Totals.Rejected,
 		rep.Totals.InjectedFaults, rep.ThroughputQPS, cfg.out)
+	if cfg.writers > 0 {
+		fmt.Printf("loadgen: %d writes acked by %d writers (%d rejected), %.1f write qps\n",
+			rep.Writes.Statements, cfg.writers, rep.Writes.Rejected, rep.Writes.QPS)
+	}
 	if len(rep.Violations) > 0 {
 		return fmt.Errorf("violations: %s", strings.Join(rep.Violations, "; "))
 	}
@@ -335,6 +372,7 @@ func (col *collector) record(d time.Duration) {
 func storm(cfg config, addr string, classes []*queryClass) *report {
 	rep := &report{LatencyMS: map[string]float64{}, Classes: classes}
 	rep.Config.Clients = cfg.clients
+	rep.Config.Writers = cfg.writers
 	rep.Config.Requests = cfg.requests
 	rep.Config.Rows = cfg.rows
 	rep.Config.MemPool = cfg.memPool
@@ -354,10 +392,20 @@ func storm(cfg config, addr string, classes []*queryClass) *report {
 			clientLoop(cfg, addr, classes, col, id)
 		}(i)
 	}
+	for i := 0; i < cfg.writers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			writeLoop(cfg, addr, col, id)
+		}(i)
+	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	rep.ThroughputQPS = float64(rep.Totals.OK) / elapsed.Seconds()
+	if cfg.writers > 0 {
+		rep.Writes.QPS = float64(rep.Writes.Statements) / elapsed.Seconds()
+	}
 	sort.Slice(col.latencies, func(i, j int) bool { return col.latencies[i] < col.latencies[j] })
 	pct := func(p float64) float64 {
 		if len(col.latencies) == 0 {
@@ -427,6 +475,90 @@ func clientLoop(cfg config, addr string, classes []*queryClass, col *collector, 
 			col.mu.Unlock()
 			fmt.Fprintf(os.Stderr, "loadgen: %s: fingerprint %x, baseline %x\n", q.Name, fp, q.fp)
 		}
+	}
+}
+
+// setupIngest creates the writers' dedicated table (kept separate from
+// the read tables so baselines stay byte-identical) and records how
+// many rows it already holds, so a run against a persistent server
+// still verifies exactly this storm's acknowledged statements.
+func setupIngest(addr string) (int64, error) {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	if _, err := c.Exec("CREATE TABLE IF NOT EXISTS ingest (writer BIGINT, seq BIGINT)"); err != nil {
+		return 0, err
+	}
+	tab, err := c.Query(wire.Columnar, "SELECT count(*) AS n FROM ingest")
+	if err != nil {
+		return 0, err
+	}
+	return tab.Cols[0].Get(0).Int64(), nil
+}
+
+// verifyIngest asserts the write-path invariant at the SQL layer: the
+// ingest table grew by exactly the acknowledged statements — every
+// acked INSERT visible, none duplicated or lost.
+func verifyIngest(addr string, rep *report, base int64) {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("ingest verification: %v", err))
+		return
+	}
+	defer c.Close()
+	tab, err := c.Query(wire.Columnar, "SELECT count(*) AS n FROM ingest")
+	if err != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("ingest verification: %v", err))
+		return
+	}
+	if got, want := tab.Cols[0].Get(0).Int64(), base+rep.Writes.Statements; got != want {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("ingest holds %d rows, want %d (%d acked writes on top of %d)",
+				got, want, rep.Writes.Statements, base))
+	}
+}
+
+// writeLoop streams cfg.requests single-row INSERTs on one dedicated
+// connection. Governor rejections are retried after the advertised
+// backoff so every writer eventually commits its full quota; any other
+// error ends the writer and is reported as a violation.
+func writeLoop(cfg config, addr string, col *collector, id int) {
+	fail := func(format string, args ...any) {
+		col.mu.Lock()
+		col.rep.Writes.Errors++
+		col.mu.Unlock()
+		fmt.Fprintf(os.Stderr, "loadgen: writer %d: %s\n", id, fmt.Sprintf(format, args...))
+	}
+	c, err := wire.Dial(addr)
+	if err != nil {
+		fail("%v", err)
+		return
+	}
+	defer c.Close()
+	for i := 0; i < cfg.requests; {
+		res, err := c.Exec(fmt.Sprintf("INSERT INTO ingest VALUES (%d, %d)", id, i))
+		if err != nil {
+			var ov *governor.OverloadedError
+			if errors.As(err, &ov) {
+				col.mu.Lock()
+				col.rep.Writes.Rejected++
+				col.mu.Unlock()
+				time.Sleep(ov.RetryAfter)
+				continue
+			}
+			fail("%v", err)
+			return
+		}
+		if res != 1 {
+			fail("insert acked %d rows", res)
+			return
+		}
+		col.mu.Lock()
+		col.rep.Writes.Statements++
+		col.mu.Unlock()
+		i++
 	}
 }
 

@@ -1,0 +1,160 @@
+// Command walbench measures the write path's group-commit win: it
+// runs W concurrent sessions each INSERTing rows into one durable
+// table and reports statements/second for 1 and 16 writers under each
+// WAL sync policy — group (one fsync per commit batch), each (one
+// fsync per statement, the serial baseline), and none (OS-buffered).
+//
+// The headline number is speedup_16w = group QPS / each QPS at 16
+// writers: with per-statement fsync every writer pays a full disk
+// flush in turn, while group commit batches all concurrently waiting
+// statements into one. -assert N exits non-zero when the speedup
+// falls below N (CI guards ≥3x).
+//
+// Usage:
+//
+//	walbench [-rows 400] [-out BENCH_wal.json] [-assert 3]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"vexdb"
+)
+
+type runResult struct {
+	Writers  int     `json:"writers"`
+	SyncMode string  `json:"sync_mode"`
+	Rows     int     `json:"rows"`
+	Seconds  float64 `json:"seconds"`
+	QPS      float64 `json:"qps"`
+	// Fsyncs and AvgBatch expose the group-commit mechanics: how many
+	// commit fsyncs the run issued and how many statements each made
+	// durable on average.
+	Fsyncs   int64   `json:"fsyncs"`
+	AvgBatch float64 `json:"avg_batch"`
+}
+
+type report struct {
+	Config struct {
+		RowsPerRun int `json:"rows_per_run"`
+	} `json:"config"`
+	Runs []runResult `json:"runs"`
+	// Speedup16W is group-commit QPS over per-statement-fsync QPS at
+	// 16 concurrent writers — the group-commit batching win.
+	Speedup16W float64 `json:"speedup_16w"`
+	// Speedup1W is the same ratio with a single writer, where no
+	// batching is possible; expected ~1x.
+	Speedup1W float64 `json:"speedup_1w"`
+}
+
+func main() {
+	rows := flag.Int("rows", 400, "INSERT statements per run (split across writers)")
+	out := flag.String("out", "", "write the JSON report to this file (default: stdout only)")
+	assert := flag.Float64("assert", 0, "exit non-zero when 16-writer group/each speedup is below this")
+	flag.Parse()
+
+	if err := run(*rows, *out, *assert); err != nil {
+		fmt.Fprintln(os.Stderr, "walbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rows int, out string, assert float64) error {
+	scratch, err := os.MkdirTemp("", "walbench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(scratch)
+
+	var rep report
+	rep.Config.RowsPerRun = rows
+	qps := map[string]float64{}
+
+	modes := []struct {
+		name string
+		mode vexdb.SyncMode
+	}{{"group", vexdb.SyncGroup}, {"each", vexdb.SyncEach}, {"none", vexdb.SyncNone}}
+	for _, writers := range []int{1, 16} {
+		for _, m := range modes {
+			r, err := bench(filepath.Join(scratch, fmt.Sprintf("%s-%dw", m.name, writers)), writers, m.mode, rows)
+			if err != nil {
+				return err
+			}
+			r.SyncMode = m.name
+			rep.Runs = append(rep.Runs, r)
+			qps[fmt.Sprintf("%s-%d", m.name, writers)] = r.QPS
+			fmt.Printf("%-6s %2d writers: %8.0f stmts/s (%d rows in %.3fs, %d fsyncs, avg batch %.1f)\n",
+				m.name, writers, r.QPS, r.Rows, r.Seconds, r.Fsyncs, r.AvgBatch)
+		}
+	}
+	rep.Speedup16W = qps["group-16"] / qps["each-16"]
+	rep.Speedup1W = qps["group-1"] / qps["each-1"]
+	fmt.Printf("group-commit speedup: %.1fx at 16 writers, %.1fx at 1 writer\n",
+		rep.Speedup16W, rep.Speedup1W)
+
+	if out != "" {
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if assert > 0 && rep.Speedup16W < assert {
+		return fmt.Errorf("group-commit speedup %.2fx at 16 writers, below required %.2fx", rep.Speedup16W, assert)
+	}
+	return nil
+}
+
+// bench runs one configuration: writers goroutines sharing rows
+// single-row INSERT statements against a fresh durable database.
+func bench(dir string, writers int, mode vexdb.SyncMode, rows int) (runResult, error) {
+	db, err := vexdb.OpenDurable(vexdb.Options{WALDir: dir, SyncMode: mode})
+	if err != nil {
+		return runResult{}, err
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE bench (w BIGINT, seq BIGINT)"); err != nil {
+		return runResult{}, err
+	}
+	per := rows / writers
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := db.Exec(fmt.Sprintf("INSERT INTO bench VALUES (%d, %d)", w, i)); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return runResult{}, err
+		}
+	}
+	total := per * writers
+	if n := db.NumRows("bench"); n != total {
+		return runResult{}, fmt.Errorf("%d writers committed %d rows, want %d", writers, n, total)
+	}
+	r := runResult{Writers: writers, Rows: total, Seconds: elapsed, QPS: float64(total) / elapsed}
+	if syncs, commits := db.Engine().WALGroupStats(); syncs > 0 {
+		r.Fsyncs = syncs
+		r.AvgBatch = float64(commits) / float64(syncs)
+	}
+	return r, nil
+}

@@ -1,0 +1,383 @@
+package vexdb
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The crash harness re-execs the test binary as a writer child
+// (guarded by this env var), kills it with SIGKILL mid-INSERT, and
+// asserts recovery restores exactly a committed prefix.
+const crashChildEnv = "VEXDB_CRASH_CHILD"
+
+func TestMain(m *testing.M) {
+	if dir := os.Getenv(crashChildEnv); dir != "" {
+		crashChildMain(dir)
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// crashChildMain is the writer process: it opens the durable database
+// in dir, creates the table, then INSERTs rows with consecutive
+// sequence numbers, printing "ack <n>" only after each statement's
+// commit returned — i.e. after its WAL record is durable. It never
+// exits on its own; the parent kills it.
+func crashChildMain(dir string) {
+	db, err := OpenDurable(Options{WALDir: dir})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "child open: %v\n", err)
+		os.Exit(1)
+	}
+	if _, err := db.Exec("CREATE TABLE IF NOT EXISTS crashlog (seq BIGINT, payload VARCHAR)"); err != nil {
+		fmt.Fprintf(os.Stderr, "child create: %v\n", err)
+		os.Exit(1)
+	}
+	// Resume after the committed prefix so repeated crash rounds keep
+	// extending one sequence.
+	start := db.NumRows("crashlog")
+	out := bufio.NewWriter(os.Stdout)
+	for seq := start; ; seq++ {
+		stmt := fmt.Sprintf("INSERT INTO crashlog VALUES (%d, 'row-%d')", seq, seq)
+		if _, err := db.Exec(stmt); err != nil {
+			fmt.Fprintf(os.Stderr, "child insert %d: %v\n", seq, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "ack %d\n", seq)
+		out.Flush()
+	}
+}
+
+// spawnCrashChild starts the writer, waits until it acked at least
+// minAcks inserts, lets it run a little longer (so the kill lands at a
+// randomized offset, possibly mid-append), then SIGKILLs it. Returns
+// the highest acked sequence number.
+func spawnCrashChild(t *testing.T, dir string, minAcks int, rng *rand.Rand) int {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), crashChildEnv+"="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	acks := make(chan int, 1024)
+	go func() {
+		defer close(acks)
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			var seq int
+			if _, err := fmt.Sscanf(sc.Text(), "ack %d", &seq); err == nil {
+				acks <- seq
+			}
+		}
+	}()
+
+	lastAck := -1
+	deadline := time.After(30 * time.Second)
+	for n := 0; n < minAcks; {
+		select {
+		case seq, ok := <-acks:
+			if !ok {
+				t.Fatal("crash child exited before acking enough inserts")
+			}
+			lastAck = seq
+			n++
+		case <-deadline:
+			cmd.Process.Kill()
+			t.Fatal("timeout waiting for child acks")
+		}
+	}
+	// Randomized extra running time: the SIGKILL lands at an arbitrary
+	// point of an in-flight statement — possibly mid WAL append, mid
+	// fsync, or between append and ack.
+	time.Sleep(time.Duration(rng.Intn(20)) * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait() // reaps; exit status is the signal, ignore it
+	// Drain any acks buffered before the kill.
+	for seq := range acks {
+		lastAck = seq
+	}
+	return lastAck
+}
+
+// assertCommittedPrefix opens the database after a crash and checks
+// crashlog holds exactly the rows 0..m-1 for some m > lastAck: every
+// acknowledged insert survived, nothing is torn, no row is duplicated
+// or skipped. Returns m.
+func assertCommittedPrefix(t *testing.T, dir string, lastAck int) int {
+	t.Helper()
+	db, err := OpenDurable(Options{WALDir: dir})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer db.Close()
+	tab, err := db.Query("SELECT seq, payload FROM crashlog ORDER BY seq")
+	if err != nil {
+		t.Fatalf("post-crash table unreadable: %v", err)
+	}
+	m := tab.NumRows()
+	if m <= lastAck {
+		t.Fatalf("recovered %d rows, lost acknowledged inserts (last ack %d)", m, lastAck)
+	}
+	seqs := tab.Cols[0].Int64s()
+	for i := 0; i < m; i++ {
+		if seqs[i] != int64(i) {
+			t.Fatalf("row %d has seq %d: recovered set is not a contiguous prefix", i, seqs[i])
+		}
+		if want := fmt.Sprintf("row-%d", i); tab.Cols[1].Get(i).Str() != want {
+			t.Fatalf("row %d payload %q, want %q", i, tab.Cols[1].Get(i).Str(), want)
+		}
+	}
+	return m
+}
+
+// TestCrashRecoveryKill9 kills a writer process with SIGKILL at
+// randomized offsets mid-INSERT, several rounds against the same WAL
+// directory, asserting after every crash that recovery yields exactly
+// the committed prefix — never a lost ack, never a torn row.
+func TestCrashRecoveryKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes")
+	}
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	prevRows := 0
+	for round := 0; round < 3; round++ {
+		lastAck := spawnCrashChild(t, dir, 50+rng.Intn(100), rng)
+		if lastAck < prevRows {
+			t.Fatalf("round %d: child acked only to %d, below prior recovery %d", round, lastAck, prevRows)
+		}
+		m := assertCommittedPrefix(t, dir, lastAck)
+		t.Logf("round %d: acked to seq %d, recovered %d rows", round, lastAck, m)
+		prevRows = m
+	}
+}
+
+// TestCrashRecoveryAfterCheckpoint crashes a writer whose history
+// spans a checkpoint: recovery must stitch checkpoint tables and log
+// suffix back together.
+func TestCrashRecoveryAfterCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes")
+	}
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(42))
+	lastAck := spawnCrashChild(t, dir, 60, rng)
+	m := assertCommittedPrefix(t, dir, lastAck)
+
+	// Checkpoint in the parent, then run (and kill) another writer so
+	// the log holds only post-checkpoint records.
+	db, err := OpenDurable(Options{WALDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lastAck2 := spawnCrashChild(t, dir, 40, rng)
+	if lastAck2 < m {
+		t.Fatalf("second child started below checkpointed prefix: %d < %d", lastAck2, m)
+	}
+	assertCommittedPrefix(t, dir, lastAck2)
+}
+
+func TestDurableReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDurable(Options{WALDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := `
+		CREATE TABLE kv (k BIGINT, v VARCHAR);
+		INSERT INTO kv VALUES (1, 'one'), (2, 'two'), (3, 'three');
+		DELETE FROM kv WHERE k = 2;
+		UPDATE kv SET v = 'ONE' WHERE k = 1;
+		CREATE TABLE doomed (x BIGINT);
+		DROP TABLE doomed;
+		CREATE TABLE copied AS SELECT k FROM kv;
+	`
+	if _, err := db.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenDurable(Options{WALDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	tab, err := re.Query("SELECT k, v FROM kv ORDER BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 2 || tab.Cols[1].Get(0).Str() != "ONE" || tab.Cols[0].Get(1).Int64() != 3 {
+		t.Fatalf("recovered kv wrong: %d rows", tab.NumRows())
+	}
+	if re.HasTable("doomed") {
+		t.Fatal("dropped table resurrected by replay")
+	}
+	if n := re.NumRows("copied"); n != 2 {
+		t.Fatalf("CTAS table recovered %d rows, want 2", n)
+	}
+}
+
+// A checkpoint must shrink the log and leave the database reopenable
+// from checkpoint tables alone plus an (almost) empty log.
+func TestCheckpointTruncatesLog(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDurable(Options{WALDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE big (x BIGINT, s VARCHAR)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO big VALUES (%d, 'padding-padding-%d')", i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := db.Engine().WALSize()
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	after := db.Engine().WALSize()
+	if after >= before {
+		t.Fatalf("checkpoint did not truncate the log: %d -> %d bytes", before, after)
+	}
+	// More writes after the checkpoint land in the fresh log.
+	if _, err := db.Exec("INSERT INTO big VALUES (50, 'after-checkpoint')"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDurable(Options{WALDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if n := re.NumRows("big"); n != 51 {
+		t.Fatalf("recovered %d rows, want 51", n)
+	}
+	// Exactly one checkpoint directory remains.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpts := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			ckpts++
+		}
+	}
+	if ckpts != 1 {
+		t.Fatalf("%d checkpoint directories left, want 1", ckpts)
+	}
+}
+
+// CreateTableFrom (the bulk-load fast path) must be durable too.
+func TestCreateTableFromDurable(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDurable(Options{WALDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := NewTable([]string{"x"}, []*Vector{NewVectorInt64([]int64{7, 8, 9})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTableFrom("bulk", tab); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDurable(Options{WALDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if n := re.NumRows("bulk"); n != 3 {
+		t.Fatalf("bulk-loaded table recovered %d rows, want 3", n)
+	}
+}
+
+func TestSyncModesAllRecover(t *testing.T) {
+	for name, mode := range map[string]SyncMode{"group": SyncGroup, "each": SyncEach, "none": SyncNone} {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "wal")
+			db, err := OpenDurable(Options{WALDir: dir, SyncMode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db.ExecScript("CREATE TABLE t (x BIGINT); INSERT INTO t VALUES (1), (2)"); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			re, err := OpenDurable(Options{WALDir: dir, SyncMode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			if n := re.NumRows("t"); n != 2 {
+				t.Fatalf("mode %s recovered %d rows", name, n)
+			}
+		})
+	}
+}
+
+func TestTruncateResetsStatistics(t *testing.T) {
+	db := Open()
+	// Enough rows to seal segments so sketches exist.
+	vals := make([]int64, 3*2048)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	tb, err := NewTable([]string{"x"}, []*Vector{NewVectorInt64(vals)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTableFrom("s", tb); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := db.Engine().Catalog().Table("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tab.Data.ColumnStatistics()
+	if before[0].Distinct == 0 {
+		t.Fatal("test needs sealed sketches before truncate")
+	}
+	if _, err := db.Exec("DELETE FROM s"); err != nil {
+		t.Fatal(err)
+	}
+	after := tab.Data.ColumnStatistics()
+	if after[0].Distinct != 0 || after[0].StatsRows != 0 || after[0].SketchRows != 0 {
+		t.Fatalf("stale statistics after truncate: %+v", after[0])
+	}
+	if after[0].HasMinMax {
+		t.Fatalf("stale min/max bounds after truncate: %+v", after[0])
+	}
+}

@@ -56,7 +56,18 @@ type Table struct {
 	Name   string
 	Schema Schema
 	Data   *storage.ColumnStore
+
+	// writeMu serializes writers of this table so that the order rows
+	// are applied to Data matches the order their WAL records were
+	// assigned LSNs. Readers never take it: they pin Data snapshots.
+	writeMu sync.Mutex
 }
+
+// LockWrites serializes this table's write path (WAL append + apply).
+func (t *Table) LockWrites() { t.writeMu.Lock() }
+
+// UnlockWrites releases LockWrites.
+func (t *Table) UnlockWrites() { t.writeMu.Unlock() }
 
 // Catalog is the set of tables and functions of one database.
 type Catalog struct {
@@ -142,6 +153,38 @@ func (c *Catalog) DropTable(name string) error {
 	}
 	delete(c.tables, key(name))
 	return nil
+}
+
+// Snapshot pins the data of every table at a single point in time: a
+// query planned against it reads the same immutable row set from every
+// scan, however many writers commit while it streams. The snapshot is
+// a pure read — taking one never blocks writers.
+type Snapshot struct {
+	tables map[*Table]*storage.TableSnapshot
+}
+
+// Snapshot captures the current data version of every table.
+func (c *Catalog) Snapshot() *Snapshot {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s := &Snapshot{tables: make(map[*Table]*storage.TableSnapshot, len(c.tables))}
+	for _, t := range c.tables {
+		s.tables[t] = t.Data.Snapshot()
+	}
+	return s
+}
+
+// Data returns the pinned version of t's data, falling back to t's
+// live current version when t was created after the snapshot (a reader
+// can only reach such a table through a query that named it, and then
+// only with whatever rows it sees — still a committed prefix).
+func (s *Snapshot) Data(t *Table) *storage.TableSnapshot {
+	if s != nil {
+		if snap, ok := s.tables[t]; ok {
+			return snap
+		}
+	}
+	return t.Data.Snapshot()
 }
 
 // TableNames returns all table names, sorted.

@@ -20,6 +20,7 @@ import (
 	"vexdb/internal/sql"
 	"vexdb/internal/storage"
 	"vexdb/internal/vector"
+	"vexdb/internal/wal"
 )
 
 // ErrQueryTimeout is returned (wrapped) when a query exceeds the
@@ -28,15 +29,28 @@ import (
 var ErrQueryTimeout = errors.New("engine: query deadline exceeded")
 
 // DB is one database instance: a catalog of tables plus a UDF
-// registry. Queries may run concurrently; DDL and DML take a write
-// lock per statement.
+// registry. Queries may run concurrently; SELECTs pin a catalog
+// snapshot and never block on writers. DML statements to different
+// tables run concurrently (serialized per table), DDL and checkpoints
+// quiesce all writers.
 type DB struct {
 	cat *catalog.Catalog
 	reg *core.Registry
 
-	// ddlMu serializes DDL/DML so concurrent INSERTs into the same
-	// table do not interleave chunk appends with reads mid-statement.
-	ddlMu sync.Mutex
+	// ddlMu is the statement-class lock: DML (INSERT/DELETE/UPDATE)
+	// holds it shared — concurrent writers to different tables proceed
+	// in parallel, ordered per table by Table.LockWrites — while DDL
+	// (CREATE/DROP) and checkpoints hold it exclusively to see a
+	// quiesced catalog. SELECTs never take it.
+	ddlMu sync.RWMutex
+
+	// wal, when non-nil, makes every write durable: its record is
+	// appended (and per SyncMode fsynced via group commit) before the
+	// statement is acknowledged, and recovery replays the log on open.
+	wal     *wal.Log
+	walDir  string
+	closeMu sync.Mutex
+	closed  bool
 
 	// Parallelism bounds the morsel-driven parallel executor and
 	// partitioned UDF evaluation (0 = NumCPU).
@@ -169,39 +183,57 @@ func (db *DB) RunSelect(s *sql.Select) (*vector.Table, error) {
 }
 
 func (db *DB) execCreate(s *sql.CreateTable) (*Result, error) {
-	db.ddlMu.Lock()
-	defer db.ddlMu.Unlock()
-	if s.IfNotExists && db.cat.HasTable(s.Name) {
-		return &Result{}, nil
-	}
+	// CTAS evaluates its SELECT before taking the DDL lock: the read
+	// pins its own snapshot and must not hold up concurrent writers.
+	var ctasRows *vector.Table
+	var schema catalog.Schema
 	if s.AsSelect != nil {
 		tab, err := db.RunSelect(s.AsSelect)
 		if err != nil {
 			return nil, err
 		}
-		schema := make(catalog.Schema, tab.NumCols())
+		ctasRows = tab
+		schema = make(catalog.Schema, tab.NumCols())
 		for i, name := range tab.Names {
 			schema[i] = catalog.Column{Name: name, Type: tab.Cols[i].Type()}
 		}
-		ct, err := db.cat.CreateTable(s.Name, schema)
-		if err != nil {
-			return nil, err
+	} else {
+		schema = make(catalog.Schema, len(s.Columns))
+		for i, c := range s.Columns {
+			schema[i] = catalog.Column{Name: c.Name, Type: c.Type}
 		}
-		if tab.NumRows() > 0 {
-			if err := ct.Data.AppendChunk(tab.Chunk()); err != nil {
-				return nil, err
-			}
-		}
-		return &Result{RowsAffected: int64(tab.NumRows())}, nil
 	}
-	schema := make(catalog.Schema, len(s.Columns))
-	for i, c := range s.Columns {
-		schema[i] = catalog.Column{Name: c.Name, Type: c.Type}
+
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	if s.IfNotExists && db.cat.HasTable(s.Name) {
+		return &Result{}, nil
 	}
-	if _, err := db.cat.CreateTable(s.Name, schema); err != nil {
+	// One record carries schema and (for CTAS) rows, so the statement
+	// replays atomically: a torn tail drops it whole, never half.
+	rec := &wal.Record{Type: wal.RecCreate, Table: s.Name, Cols: walSchema(schema)}
+	if ctasRows != nil && ctasRows.NumRows() > 0 {
+		rec.Chunk = ctasRows.Chunk()
+	}
+	lsn, err := db.walAppend(rec)
+	if err != nil {
 		return nil, err
 	}
-	return &Result{}, nil
+	ct, err := db.cat.CreateTable(s.Name, schema)
+	if err != nil {
+		return nil, err
+	}
+	var affected int64
+	if ctasRows != nil && ctasRows.NumRows() > 0 {
+		if err := ct.Data.AppendChunk(ctasRows.Chunk()); err != nil {
+			return nil, err
+		}
+		affected = int64(ctasRows.NumRows())
+	}
+	if err := db.walCommit(lsn); err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: affected}, nil
 }
 
 func (db *DB) execDrop(s *sql.DropTable) (*Result, error) {
@@ -210,15 +242,27 @@ func (db *DB) execDrop(s *sql.DropTable) (*Result, error) {
 	if s.IfExists && !db.cat.HasTable(s.Name) {
 		return &Result{}, nil
 	}
+	if !db.cat.HasTable(s.Name) {
+		return nil, fmt.Errorf("catalog: table %q does not exist", s.Name)
+	}
+	lsn, err := db.walAppend(&wal.Record{Type: wal.RecDrop, Table: s.Name})
+	if err != nil {
+		return nil, err
+	}
 	if err := db.cat.DropTable(s.Name); err != nil {
+		return nil, err
+	}
+	if err := db.walCommit(lsn); err != nil {
 		return nil, err
 	}
 	return &Result{}, nil
 }
 
 func (db *DB) execInsert(s *sql.Insert) (*Result, error) {
-	db.ddlMu.Lock()
-	defer db.ddlMu.Unlock()
+	// Shared statement lock: INSERTs into different tables run
+	// concurrently; only DDL and checkpoints exclude us.
+	db.ddlMu.RLock()
+	defer db.ddlMu.RUnlock()
 	tab, err := db.cat.Table(s.Table)
 	if err != nil {
 		return nil, err
@@ -272,49 +316,119 @@ func (db *DB) execInsert(s *sql.Insert) (*Result, error) {
 		return vector.NewChunk(cols...), nil
 	}
 
+	// Build the statement's rows as ONE chunk before any table lock:
+	// a single WAL record and a single store append give readers
+	// statement atomicity and replay all-or-nothing semantics.
+	var ch *vector.Chunk
 	if s.Query != nil {
 		src, err := db.RunSelect(s.Query)
 		if err != nil {
 			return nil, err
 		}
-		ch, err := buildChunk(src)
+		ch, err = buildChunk(src)
 		if err != nil {
 			return nil, err
 		}
-		if err := tab.Data.AppendChunk(ch); err != nil {
-			return nil, err
+	} else {
+		// Literal VALUES rows, evaluated column-wise into one chunk.
+		binder := plan.NewBinder(db.cat, db.reg)
+		n := len(s.Rows)
+		cols := make([]*vector.Vector, len(tab.Schema))
+		for i, col := range tab.Schema {
+			cols[i] = vector.New(col.Type, n)
 		}
-		return &Result{RowsAffected: int64(src.NumRows())}, nil
+		for _, row := range s.Rows {
+			if len(row) != len(colIdx) {
+				return nil, fmt.Errorf("engine: INSERT row has %d values, expected %d", len(row), len(colIdx))
+			}
+			vals := make([]vector.Value, len(tab.Schema))
+			for i := range vals {
+				vals[i] = vector.Null()
+			}
+			for j, e := range row {
+				bound, err := bindConst(binder, e)
+				if err != nil {
+					return nil, err
+				}
+				v, err := exec.EvalConst(bound)
+				if err != nil {
+					return nil, err
+				}
+				vals[colIdx[j]] = v
+			}
+			for i, v := range vals {
+				if !v.IsNull() && v.Type() != tab.Schema[i].Type {
+					cv, err := castValue(v, tab.Schema[i].Type)
+					if err != nil {
+						return nil, fmt.Errorf("engine: column %q: %w", tab.Schema[i].Name, err)
+					}
+					v = cv
+				}
+				cols[i].AppendValue(v)
+			}
+		}
+		ch = vector.NewChunk(cols...)
+	}
+	if ch.NumRows() == 0 {
+		return &Result{}, nil
 	}
 
-	// Literal VALUES rows.
-	binder := plan.NewBinder(db.cat, db.reg)
-	var rows int64
-	for _, row := range s.Rows {
-		if len(row) != len(colIdx) {
-			return nil, fmt.Errorf("engine: INSERT row has %d values, expected %d", len(row), len(colIdx))
-		}
-		vals := make([]vector.Value, len(tab.Schema))
-		for i := range vals {
-			vals[i] = vector.Null()
-		}
-		for j, e := range row {
-			bound, err := bindConst(binder, e)
-			if err != nil {
-				return nil, err
-			}
-			v, err := exec.EvalConst(bound)
-			if err != nil {
-				return nil, err
-			}
-			vals[colIdx[j]] = v
-		}
-		if err := tab.Data.AppendRow(vals); err != nil {
-			return nil, err
-		}
-		rows++
+	tab.LockWrites()
+	lsn, err := db.walAppend(&wal.Record{Type: wal.RecInsert, Table: tab.Name, Chunk: ch})
+	if err != nil {
+		tab.UnlockWrites()
+		return nil, err
 	}
-	return &Result{RowsAffected: rows}, nil
+	if err := tab.Data.AppendChunk(ch); err != nil {
+		tab.UnlockWrites()
+		return nil, err
+	}
+	tab.UnlockWrites()
+	// Durability wait happens outside the table lock, so committers of
+	// concurrent statements share one fsync (group commit).
+	if err := db.walCommit(lsn); err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: int64(ch.NumRows())}, nil
+}
+
+// castValue coerces a single literal to the column type by routing it
+// through a one-row vector cast (the same coercions INSERT..SELECT
+// applies column-wise).
+func castValue(v vector.Value, t vector.Type) (vector.Value, error) {
+	tmp := vector.New(v.Type(), 1)
+	tmp.AppendValue(v)
+	cv, err := tmp.Cast(t)
+	if err != nil {
+		return vector.Value{}, err
+	}
+	return cv.Get(0), nil
+}
+
+// CreateTableFrom creates a table from an already materialized
+// relation (the bulk-load fast path). Schema and rows travel in one
+// WAL record, like CTAS, so the load replays all-or-nothing.
+func (db *DB) CreateTableFrom(name string, schema catalog.Schema, ch *vector.Chunk) error {
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	rec := &wal.Record{Type: wal.RecCreate, Table: name, Cols: walSchema(schema)}
+	if ch != nil && ch.NumRows() > 0 {
+		rec.Chunk = ch
+	}
+	lsn, err := db.walAppend(rec)
+	if err != nil {
+		return err
+	}
+	ct, err := db.cat.CreateTable(name, schema)
+	if err != nil {
+		return err
+	}
+	if ch != nil && ch.NumRows() > 0 {
+		if err := ct.Data.AppendChunk(ch); err != nil {
+			return err
+		}
+	}
+	return db.walCommit(lsn)
 }
 
 // bindConst binds an expression with no visible columns.
@@ -332,30 +446,60 @@ func bindConst(b *plan.Binder, e sql.Expr) (plan.Expr, error) {
 }
 
 // execDelete rewrites the table keeping rows where the predicate is
-// not TRUE (column-store style copy-on-delete).
+// not TRUE (column-store style copy-on-delete). The read, rewrite and
+// publish happen under the table's write lock so a concurrent INSERT
+// can neither be lost nor double-applied; the rewrite is logged as a
+// single RecReplace record (or RecTruncate for the unqualified form)
+// so replay is all-or-nothing.
 func (db *DB) execDelete(s *sql.Delete) (*Result, error) {
-	db.ddlMu.Lock()
-	defer db.ddlMu.Unlock()
+	db.ddlMu.RLock()
+	defer db.ddlMu.RUnlock()
 	tab, err := db.cat.Table(s.Table)
 	if err != nil {
 		return nil, err
 	}
+	tab.LockWrites()
 	if s.Where == nil {
 		n := tab.Data.NumRows()
+		lsn, err := db.walAppend(&wal.Record{Type: wal.RecTruncate, Table: tab.Name})
+		if err != nil {
+			tab.UnlockWrites()
+			return nil, err
+		}
 		tab.Data.Truncate()
+		tab.UnlockWrites()
+		if err := db.walCommit(lsn); err != nil {
+			return nil, err
+		}
 		return &Result{RowsAffected: int64(n)}, nil
 	}
 	keep, removed, err := db.partitionRows(tab, s.Where)
 	if err != nil {
+		tab.UnlockWrites()
 		return nil, err
 	}
-	tab.Data.Truncate()
-	if keep.NumRows() > 0 {
-		if err := tab.Data.AppendChunk(keep.Chunk()); err != nil {
-			return nil, err
-		}
+	lsn, err := db.replaceLocked(tab, keep.Chunk())
+	tab.UnlockWrites()
+	if err != nil {
+		return nil, err
+	}
+	if err := db.walCommit(lsn); err != nil {
+		return nil, err
 	}
 	return &Result{RowsAffected: removed}, nil
+}
+
+// replaceLocked logs and applies an atomic whole-table substitution.
+// Caller holds tab's write lock.
+func (db *DB) replaceLocked(tab *catalog.Table, ch *vector.Chunk) (uint64, error) {
+	lsn, err := db.walAppend(&wal.Record{Type: wal.RecReplace, Table: tab.Name, Chunk: ch})
+	if err != nil {
+		return 0, err
+	}
+	if err := tab.Data.Replace(ch); err != nil {
+		return 0, err
+	}
+	return lsn, nil
 }
 
 // partitionRows evaluates pred over the whole table and returns the
@@ -400,10 +544,11 @@ func (db *DB) partitionRows(tab *catalog.Table, pred sql.Expr) (*vector.Table, i
 }
 
 // execUpdate rewrites the table applying SET expressions to matching
-// rows.
+// rows. Like DELETE it reads and republishes under the table's write
+// lock and logs one RecReplace record.
 func (db *DB) execUpdate(s *sql.Update) (*Result, error) {
-	db.ddlMu.Lock()
-	defer db.ddlMu.Unlock()
+	db.ddlMu.RLock()
+	defer db.ddlMu.RUnlock()
 	tab, err := db.cat.Table(s.Table)
 	if err != nil {
 		return nil, err
@@ -411,6 +556,13 @@ func (db *DB) execUpdate(s *sql.Update) (*Result, error) {
 	binder := plan.NewBinder(db.cat, db.reg)
 	sc := newTableScope(tab)
 
+	tab.LockWrites()
+	locked := true
+	defer func() {
+		if locked {
+			tab.UnlockWrites()
+		}
+	}()
 	full, err := materializeTable(tab)
 	if err != nil {
 		return nil, err
@@ -482,8 +634,13 @@ func (db *DB) execUpdate(s *sql.Update) (*Result, error) {
 		full.Cols[ci] = merged
 	}
 
-	tab.Data.Truncate()
-	if err := tab.Data.AppendChunk(full.Chunk()); err != nil {
+	lsn, err := db.replaceLocked(tab, full.Chunk())
+	tab.UnlockWrites()
+	locked = false
+	if err != nil {
+		return nil, err
+	}
+	if err := db.walCommit(lsn); err != nil {
 		return nil, err
 	}
 	return &Result{RowsAffected: affected}, nil

@@ -92,6 +92,7 @@ func (db *DB) streamSelect(sess *governor.Session, s *sql.Select) (*exec.ChunkSt
 	}
 	node = plan.Prune(node)
 	ctx := &exec.Context{
+		Snap:         db.cat.Snapshot(),
 		Parallelism:  db.Parallelism,
 		MemoryBudget: db.MemoryBudget,
 		TempDir:      db.TempDir,
@@ -166,6 +167,7 @@ func (db *DB) explain(ex *sql.Explain) (*ResultSet, error) {
 	}
 	node = plan.Prune(node)
 	ctx := &exec.Context{
+		Snap:         db.cat.Snapshot(),
 		Parallelism:  db.Parallelism,
 		MemoryBudget: db.MemoryBudget,
 		TempDir:      db.TempDir,

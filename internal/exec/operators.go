@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"runtime"
 
+	"vexdb/internal/catalog"
 	"vexdb/internal/plan"
 	"vexdb/internal/spill"
+	"vexdb/internal/storage"
 	"vexdb/internal/vector"
 )
 
@@ -19,6 +21,13 @@ type Operator interface {
 
 // Context carries per-query execution settings.
 type Context struct {
+	// Snap, when non-nil, pins the data version every scan of this
+	// query reads. All scans of one query then observe the same
+	// committed prefix of each table — concurrent writers publish new
+	// versions without tearing in-flight results. When nil, each scan
+	// pins the table's current version at open.
+	Snap *catalog.Snapshot
+
 	// Parallelism bounds the goroutines used by parallel operators and
 	// partitioned UDF evaluation. Zero means runtime.NumCPU().
 	Parallelism int
@@ -70,6 +79,15 @@ type Context struct {
 }
 
 // Workers returns the effective parallelism.
+// tableData resolves the data version scans of t read: the query's
+// pinned snapshot when one is set, else the table's current version.
+func (c *Context) tableData(t *catalog.Table) *storage.TableSnapshot {
+	if c != nil && c.Snap != nil {
+		return c.Snap.Data(t)
+	}
+	return t.Data.Snapshot()
+}
+
 func (c *Context) Workers() int {
 	if c == nil || c.Parallelism <= 0 {
 		return runtime.NumCPU()

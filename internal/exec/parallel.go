@@ -19,6 +19,7 @@ import (
 
 	"vexdb/internal/catalog"
 	"vexdb/internal/plan"
+	"vexdb/internal/storage"
 	"vexdb/internal/vector"
 )
 
@@ -47,6 +48,7 @@ type scanSource struct {
 	rowPos     bool
 	tap        *plan.NodeStats
 	stats      *ScanStats
+	store      *storage.TableSnapshot
 	bases      []int64
 	n          int
 
@@ -55,21 +57,22 @@ type scanSource struct {
 }
 
 func (s *scanSource) open(ctx *Context) int {
-	s.n = s.table.Data.NumSegments()
+	s.store = ctx.tableData(s.table)
+	s.n = s.store.NumSegments()
 	s.stats = ctx.stats()
 	if s.rowPos {
-		s.bases = rowPosBases(s.table.Data)
+		s.bases = rowPosBases(s.store)
 	}
 	return s.n
 }
 
 func (s *scanSource) fetch(i int) (*vector.Chunk, error) {
-	if len(s.preds) > 0 && segmentPrunable(s.table.Data.Zones(i), s.preds) {
+	if len(s.preds) > 0 && segmentPrunable(s.store.Zones(i), s.preds) {
 		s.skipped.Add(1)
 		s.stats.addSkipped(1)
 		return nil, nil
 	}
-	ch, err := s.table.Data.Segment(i, s.projection)
+	ch, err := s.store.Segment(i, s.projection)
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +87,9 @@ func (s *scanSource) fetch(i int) (*vector.Chunk, error) {
 
 func (s *scanSource) finish() {
 	s.finishOnce.Do(func() {
-		s.table.Data.NoteScan(s.scanned.Load(), s.skipped.Load())
+		if s.store != nil { // Close without Open (a sibling failed to open)
+			s.store.NoteScan(s.scanned.Load(), s.skipped.Load())
+		}
 	})
 }
 

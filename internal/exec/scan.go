@@ -164,7 +164,7 @@ func (s *scanOp) Open(ctx *Context) error {
 	s.aborted.Store(false)
 	s.last = nil
 
-	store := s.table.Data
+	store := ctx.tableData(s.table)
 	n := store.NumSegments()
 	ncols := len(s.projection)
 	if s.projection == nil {
@@ -250,7 +250,7 @@ func (s *scanOp) Next() (*vector.Chunk, error) {
 // table rows, so they are stable across predicate pushdown and worker
 // scheduling — which is what lets the order-restoring sort after a
 // reordered join reproduce the syntactic plan's output byte for byte.
-func rowPosBases(store *storage.ColumnStore) []int64 {
+func rowPosBases(store *storage.TableSnapshot) []int64 {
 	counts := store.SegmentRowCounts()
 	bases := make([]int64, len(counts))
 	var acc int64

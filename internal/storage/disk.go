@@ -48,13 +48,16 @@ var (
 const nullMarker = uint32(0xFFFFFFFF)
 
 // sealedView returns every non-empty segment in sealed form for
-// persistence: sealed segments as-is, the mutable tail sealed into a
-// temporary view with its payload fixed while the lock is held (the
-// store itself is not modified).
+// persistence: sealed segments as-is, the open tail sealed into a
+// temporary view with its payload fixed (the store itself is not
+// modified). The view is taken from one pinned version, so it is a
+// consistent point-in-time image even while writers run.
 func (s *ColumnStore) sealedView() (segRows []int, segCols [][]*SealedColumn, err error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, seg := range s.segs {
+	s.mu.Lock()
+	compress := s.compress
+	snap := s.Snapshot()
+	s.mu.Unlock()
+	for _, seg := range snap.v.segs {
 		if seg.sealed != nil {
 			segRows = append(segRows, seg.rows)
 			segCols = append(segCols, seg.sealed)
@@ -65,7 +68,7 @@ func (s *ColumnStore) sealedView() (segRows []int, segCols [][]*SealedColumn, er
 		}
 		tmp := make([]*SealedColumn, len(seg.cols))
 		for i, c := range seg.cols {
-			sc := sealColumn(c, s.compress)
+			sc := sealColumn(c, compress)
 			if sc.payload == nil {
 				// Detach from the live tail vector: appends after this
 				// snapshot must not affect the written payload.

@@ -30,8 +30,7 @@ func sealedColumnOf(t *testing.T, s *ColumnStore, seg, col int) *SealedColumn {
 	if !s.SegmentIsSealed(seg) {
 		t.Fatalf("segment %d not sealed", seg)
 	}
-	sealed, _ := s.snapshotSegment(seg)
-	return sealed[col]
+	return s.Snapshot().v.segs[seg].sealed[col]
 }
 
 func TestSealPicksRLEForRuns(t *testing.T) {

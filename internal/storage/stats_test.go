@@ -230,9 +230,13 @@ func TestV2FileLoadsWithoutSketch(t *testing.T) {
 func stripSketches(s *ColumnStore) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, seg := range s.segs {
+	// Re-publish so the stats rollup cached on the old version is
+	// dropped along with the sketches.
+	old := s.cur.Load()
+	for _, seg := range old.segs {
 		for _, sc := range seg.sealed {
 			sc.Sketch = nil
 		}
 	}
+	s.cur.Store(&tableVersion{segs: old.segs, rows: old.rows})
 }

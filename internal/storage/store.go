@@ -6,6 +6,17 @@
 // each column is frozen into a per-column encoding (RLE,
 // frame-of-reference, dictionary, or raw) and annotated with a zone
 // map (min/max, null count) that scans use to skip whole segments.
+//
+// Concurrency follows a copy-on-write version scheme: the store's
+// state is an immutable tableVersion (segment list + row count)
+// published through an atomic pointer. Readers pin a TableSnapshot —
+// a cheap handle on one version — and read it to completion without
+// locks, unaffected by concurrent writes. Writers serialize on the
+// store mutex, share sealed segments with the previous version by
+// pointer, clone only the mutable tail before touching it, and
+// publish the new version in one atomic store, so a statement's rows
+// become visible all at once and a reader never observes a torn
+// write.
 package storage
 
 import (
@@ -23,22 +34,40 @@ const SegmentRows = vector.DefaultChunkSize
 
 // ColumnStore holds the data of one table as a list of segments. Each
 // segment stores up to SegmentRows rows of every column. Appends and
-// scans are safe for concurrent use.
+// scans are safe for concurrent use; scans taken through Snapshot are
+// additionally isolated from concurrent writes.
 type ColumnStore struct {
-	mu       sync.RWMutex
+	mu       sync.Mutex // serializes writers; readers go through cur
 	types    []vector.Type
-	segs     []*segment
-	rows     int
 	compress bool
+	cur      atomic.Pointer[tableVersion]
 
 	// Cumulative scan counters (updated by the executor's scans).
 	segsScanned atomic.Int64
 	segsSkipped atomic.Int64
 }
 
-// segment is either mutable (cols holds the growing tail vectors) or
-// sealed (sealed holds the frozen, possibly compressed columns and
-// cols is nil). Sealed segments are immutable.
+// tableVersion is one immutable published state of the table. Sealed
+// segments are shared between versions by pointer; the mutable tail is
+// exclusive to the version that created it (writers clone it before
+// appending), so every segment reachable from a version is immutable
+// from that version's point of view.
+type tableVersion struct {
+	segs []*segment
+	rows int
+
+	// stats caches the per-column statistics rollup, computed at most
+	// once per version (versions are immutable, so the rollup never
+	// goes stale — and is dropped wholesale when a write or TRUNCATE
+	// publishes a successor).
+	statsOnce sync.Once
+	stats     []ColumnStats
+}
+
+// segment is either open (cols holds the tail vectors) or sealed
+// (sealed holds the frozen, possibly compressed columns and cols is
+// nil). Once a segment is reachable from a published version it is
+// never mutated; writers copy the open tail instead.
 type segment struct {
 	cols   []*vector.Vector
 	rows   int
@@ -48,7 +77,9 @@ type segment struct {
 // NewColumnStore creates an empty store for columns of the given types
 // with compression enabled.
 func NewColumnStore(types []vector.Type) *ColumnStore {
-	return &ColumnStore{types: append([]vector.Type(nil), types...), compress: true}
+	s := &ColumnStore{types: append([]vector.Type(nil), types...), compress: true}
+	s.cur.Store(&tableVersion{})
+	return s
 }
 
 // SetCompression toggles compression and zone-map computation for
@@ -66,144 +97,65 @@ func (s *ColumnStore) SetCompression(on bool) {
 func (s *ColumnStore) Types() []vector.Type { return s.types }
 
 // NumRows returns the current row count.
-func (s *ColumnStore) NumRows() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.rows
-}
+func (s *ColumnStore) NumRows() int { return s.cur.Load().rows }
 
 // NumColumns returns the column count.
 func (s *ColumnStore) NumColumns() int { return len(s.types) }
 
-func newSegment(types []vector.Type) *segment {
-	cols := make([]*vector.Vector, len(types))
-	for i, t := range types {
-		cols[i] = vector.New(t, SegmentRows)
-	}
-	return &segment{cols: cols}
+// TableSnapshot is a pinned, immutable point-in-time view of one
+// table: the version it references never changes, so a reader can
+// walk its segments lock-free while concurrent statements append,
+// rewrite or truncate the live store. Scan accounting (NoteScan)
+// still feeds the live store's cumulative counters.
+type TableSnapshot struct {
+	v     *tableVersion
+	store *ColumnStore
 }
 
-// seal freezes the segment: every column is encoded (or kept raw) and
-// annotated with a zone map, and the mutable vectors are released.
-func (g *segment) seal(compress bool) {
-	sealed := make([]*SealedColumn, len(g.cols))
-	for i, c := range g.cols {
-		sealed[i] = sealColumn(c, compress)
-	}
-	g.sealed = sealed
-	g.cols = nil
+// Snapshot pins the store's current version.
+func (s *ColumnStore) Snapshot() *TableSnapshot {
+	return &TableSnapshot{v: s.cur.Load(), store: s}
 }
 
-// AppendChunk appends the rows of ch. Column arity and types must
-// match the store schema; numeric columns are cast when they differ.
-// Segments that fill up are sealed in place.
-func (s *ColumnStore) AppendChunk(ch *vector.Chunk) error {
-	if ch.NumCols() != len(s.types) {
-		return fmt.Errorf("storage: append %d columns to %d-column table", ch.NumCols(), len(s.types))
-	}
-	cast := make([]*vector.Vector, ch.NumCols())
-	for i := 0; i < ch.NumCols(); i++ {
-		c := ch.Col(i)
-		if c.Type() != s.types[i] {
-			cc, err := c.Cast(s.types[i])
-			if err != nil {
-				return fmt.Errorf("storage: column %d: %w", i, err)
-			}
-			c = cc
-		}
-		cast[i] = c
-	}
+// Types returns the column types.
+func (t *TableSnapshot) Types() []vector.Type { return t.store.types }
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	offset := 0
-	n := ch.NumRows()
-	for offset < n {
-		seg := s.lastOpenSegment()
-		room := SegmentRows - seg.rows
-		take := n - offset
-		if take > room {
-			take = room
-		}
-		for i, col := range seg.cols {
-			col.AppendVector(cast[i].Slice(offset, offset+take))
-		}
-		seg.rows += take
-		offset += take
-		s.rows += take
-		if seg.rows == SegmentRows {
-			seg.seal(s.compress)
-		}
-	}
-	return nil
-}
+// NumRows returns the snapshot's row count.
+func (t *TableSnapshot) NumRows() int { return t.v.rows }
 
-func (s *ColumnStore) lastOpenSegment() *segment {
-	if len(s.segs) == 0 {
-		s.segs = append(s.segs, newSegment(s.types))
-	} else if last := s.segs[len(s.segs)-1]; last.sealed != nil || last.rows == SegmentRows {
-		s.segs = append(s.segs, newSegment(s.types))
-	}
-	return s.segs[len(s.segs)-1]
-}
+// NumColumns returns the column count.
+func (t *TableSnapshot) NumColumns() int { return len(t.store.types) }
 
-// attachSealedSegment appends an already sealed segment (used when
-// loading a table file; payloads stay encoded until scanned).
-func (s *ColumnStore) attachSealedSegment(rows int, cols []*SealedColumn) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.segs = append(s.segs, &segment{rows: rows, sealed: cols})
-	s.rows += rows
-}
+// NumSegments returns the snapshot's segment count.
+func (t *TableSnapshot) NumSegments() int { return len(t.v.segs) }
 
-// AppendRow appends a single row of values.
-func (s *ColumnStore) AppendRow(vals []vector.Value) error {
-	if len(vals) != len(s.types) {
-		return fmt.Errorf("storage: row has %d values, table has %d columns", len(vals), len(s.types))
-	}
-	cols := make([]*vector.Vector, len(s.types))
-	for i, t := range s.types {
-		cols[i] = vector.New(t, 1)
-		v := vals[i]
-		if !v.IsNull() && v.Type() != t {
-			cv, err := v.Cast(t)
-			if err != nil {
-				return fmt.Errorf("storage: column %d: %w", i, err)
-			}
-			v = cv
-		}
-		cols[i].AppendValue(v)
-	}
-	return s.AppendChunk(vector.NewChunk(cols...))
-}
+// SegmentIsSealed reports whether segment i is sealed.
+func (t *TableSnapshot) SegmentIsSealed(i int) bool { return t.v.segs[i].sealed != nil }
 
-// NumSegments returns the number of segments.
-func (s *ColumnStore) NumSegments() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.segs)
-}
+// NoteScan adds to the live store's cumulative scanned/skipped segment
+// counters (called by the executor when a scan finishes).
+func (t *TableSnapshot) NoteScan(scanned, skipped int64) { t.store.NoteScan(scanned, skipped) }
 
-// snapshotSegment returns segment i's state under the read lock:
-// either its immutable sealed columns, or (for the mutable tail) a
-// copy of the live vector headers. Sealed columns can be decoded
-// outside the lock; tail vectors alias live storage, matching the
-// pre-sealing zero-copy behavior.
-func (s *ColumnStore) snapshotSegment(i int) (sealed []*SealedColumn, cols []*vector.Vector) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	seg := s.segs[i]
-	if seg.sealed != nil {
-		return seg.sealed, nil
+// Zones returns the zone maps of segment i's columns (indexed by
+// table column position), or nil for the mutable tail — unsealed
+// segments carry no statistics and are never pruned.
+func (t *TableSnapshot) Zones(i int) []ZoneMap {
+	seg := t.v.segs[i]
+	if seg.sealed == nil {
+		return nil
 	}
-	return nil, append([]*vector.Vector(nil), seg.cols...)
+	out := make([]ZoneMap, len(seg.sealed))
+	for j, sc := range seg.sealed {
+		out[j] = sc.Zone
+	}
+	return out
 }
 
 // Segment returns segment i's columns restricted to the projected
 // column indexes (nil projects all), as a chunk. Sealed raw columns
 // are returned zero-copy; compressed columns are decoded.
-func (s *ColumnStore) Segment(i int, projection []int) (*vector.Chunk, error) {
-	return s.SegmentInto(i, projection, nil)
+func (t *TableSnapshot) Segment(i int, projection []int) (*vector.Chunk, error) {
+	return t.SegmentInto(i, projection, nil)
 }
 
 // SegmentInto is Segment with optional reusable decode buffers: when
@@ -212,9 +164,9 @@ func (s *ColumnStore) Segment(i int, projection []int) (*vector.Chunk, error) {
 // buffer instead of allocating. The returned chunk may alias both the
 // buffers and store-owned raw vectors, and is valid until the buffers
 // are reused.
-func (s *ColumnStore) SegmentInto(i int, projection []int, bufs []*vector.Vector) (*vector.Chunk, error) {
-	sealed, live := s.snapshotSegment(i)
-	if sealed != nil {
+func (t *TableSnapshot) SegmentInto(i int, projection []int, bufs []*vector.Vector) (*vector.Chunk, error) {
+	seg := t.v.segs[i]
+	if sealed := seg.sealed; sealed != nil {
 		if projection == nil {
 			cols := make([]*vector.Vector, len(sealed))
 			for j, sc := range sealed {
@@ -238,13 +190,247 @@ func (s *ColumnStore) SegmentInto(i int, projection []int, bufs []*vector.Vector
 	}
 
 	if projection == nil {
-		return vector.NewChunk(live...), nil
+		return vector.NewChunk(seg.cols...), nil
 	}
 	cols := make([]*vector.Vector, len(projection))
 	for j, p := range projection {
-		cols[j] = live[p]
+		cols[j] = seg.cols[p]
 	}
 	return vector.NewChunk(cols...), nil
+}
+
+// SegmentRowCounts returns the row count of every segment in order.
+// Scans that tag rows with global positions use this to compute each
+// segment's base offset, counting segments whether or not zone-map
+// pruning later skips them.
+func (t *TableSnapshot) SegmentRowCounts() []int {
+	out := make([]int, len(t.v.segs))
+	for i, seg := range t.v.segs {
+		out[i] = seg.rows
+	}
+	return out
+}
+
+// Column materializes the full column c as one contiguous vector.
+func (t *TableSnapshot) Column(c int) (*vector.Vector, error) {
+	out := vector.New(t.store.types[c], t.v.rows)
+	for i, seg := range t.v.segs {
+		if seg.sealed != nil {
+			v, err := seg.sealed[c].Decode(nil)
+			if err != nil {
+				return nil, fmt.Errorf("storage: segment %d column %d: %w", i, c, err)
+			}
+			out.AppendVector(v)
+			continue
+		}
+		out.AppendVector(seg.cols[c])
+	}
+	return out, nil
+}
+
+// ColumnStatistics returns the snapshot's per-column rollup, computed
+// at most once per version and cached (versions are immutable).
+func (t *TableSnapshot) ColumnStatistics() []ColumnStats {
+	v := t.v
+	v.statsOnce.Do(func() { v.stats = columnStatsOf(t.store.types, v.segs) })
+	return v.stats
+}
+
+// ------------------------------------------------------------ writers
+
+func newSegment(types []vector.Type) *segment {
+	cols := make([]*vector.Vector, len(types))
+	for i, t := range types {
+		cols[i] = vector.New(t, SegmentRows)
+	}
+	return &segment{cols: cols}
+}
+
+// cloneOpen returns a private copy of an open segment: published
+// versions may be pinned by readers, so a writer must never append to
+// a tail vector they can see.
+func (g *segment) cloneOpen(types []vector.Type) *segment {
+	cols := make([]*vector.Vector, len(g.cols))
+	for i, c := range g.cols {
+		nc := vector.New(types[i], SegmentRows)
+		nc.AppendVector(c)
+		cols[i] = nc
+	}
+	return &segment{cols: cols, rows: g.rows}
+}
+
+// seal freezes the segment: every column is encoded (or kept raw) and
+// annotated with a zone map, and the mutable vectors are released.
+func (g *segment) seal(compress bool) {
+	sealed := make([]*SealedColumn, len(g.cols))
+	for i, c := range g.cols {
+		sealed[i] = sealColumn(c, compress)
+	}
+	g.sealed = sealed
+	g.cols = nil
+}
+
+// AppendChunk appends the rows of ch. Column arity and types must
+// match the store schema; numeric columns are cast when they differ.
+// Segments that fill up are sealed in place. The new rows are
+// published in a single version swap once the whole chunk is in, so
+// snapshot readers see either none or all of them.
+func (s *ColumnStore) AppendChunk(ch *vector.Chunk) error {
+	cast, err := s.castColumns(ch)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.appendLocked(s.cur.Load(), cast, ch.NumRows())
+	s.cur.Store(v)
+	return nil
+}
+
+// castColumns aligns a chunk's columns with the store schema.
+func (s *ColumnStore) castColumns(ch *vector.Chunk) ([]*vector.Vector, error) {
+	if ch.NumCols() != len(s.types) {
+		return nil, fmt.Errorf("storage: append %d columns to %d-column table", ch.NumCols(), len(s.types))
+	}
+	cast := make([]*vector.Vector, ch.NumCols())
+	for i := 0; i < ch.NumCols(); i++ {
+		c := ch.Col(i)
+		if c.Type() != s.types[i] {
+			cc, err := c.Cast(s.types[i])
+			if err != nil {
+				return nil, fmt.Errorf("storage: column %d: %w", i, err)
+			}
+			c = cc
+		}
+		cast[i] = c
+	}
+	return cast, nil
+}
+
+// appendLocked builds base's successor version with n rows of cast
+// appended. Sealed segments are shared by pointer; an open tail is
+// cloned before it is touched. Caller holds s.mu and publishes the
+// result.
+func (s *ColumnStore) appendLocked(base *tableVersion, cast []*vector.Vector, n int) *tableVersion {
+	segs := append([]*segment(nil), base.segs...)
+	var tail *segment
+	if len(segs) > 0 {
+		if last := segs[len(segs)-1]; last.sealed == nil && last.rows < SegmentRows {
+			tail = last.cloneOpen(s.types)
+			segs[len(segs)-1] = tail
+		}
+	}
+	offset := 0
+	for offset < n {
+		if tail == nil {
+			tail = newSegment(s.types)
+			segs = append(segs, tail)
+		}
+		room := SegmentRows - tail.rows
+		take := n - offset
+		if take > room {
+			take = room
+		}
+		for i, col := range tail.cols {
+			col.AppendVector(cast[i].Slice(offset, offset+take))
+		}
+		tail.rows += take
+		offset += take
+		if tail.rows == SegmentRows {
+			tail.seal(s.compress)
+			tail = nil
+		}
+	}
+	return &tableVersion{segs: segs, rows: base.rows + n}
+}
+
+// AppendRow appends a single row of values.
+func (s *ColumnStore) AppendRow(vals []vector.Value) error {
+	if len(vals) != len(s.types) {
+		return fmt.Errorf("storage: row has %d values, table has %d columns", len(vals), len(s.types))
+	}
+	cols := make([]*vector.Vector, len(s.types))
+	for i, t := range s.types {
+		cols[i] = vector.New(t, 1)
+		v := vals[i]
+		if !v.IsNull() && v.Type() != t {
+			cv, err := v.Cast(t)
+			if err != nil {
+				return fmt.Errorf("storage: column %d: %w", i, err)
+			}
+			v = cv
+		}
+		cols[i].AppendValue(v)
+	}
+	return s.AppendChunk(vector.NewChunk(cols...))
+}
+
+// Replace atomically substitutes the table's entire contents with ch
+// (which may be nil or empty): copy-on-delete DELETE and UPDATE
+// rewrites publish exactly one new version, so a snapshot reader sees
+// either the old contents or the new, never the truncated
+// intermediate state.
+func (s *ColumnStore) Replace(ch *vector.Chunk) error {
+	var cast []*vector.Vector
+	n := 0
+	if ch != nil && ch.NumRows() > 0 {
+		var err error
+		cast, err = s.castColumns(ch)
+		if err != nil {
+			return err
+		}
+		n = ch.NumRows()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := &tableVersion{}
+	if n > 0 {
+		v = s.appendLocked(v, cast, n)
+	}
+	s.cur.Store(v)
+	return nil
+}
+
+// attachSealedSegment appends an already sealed segment (used when
+// loading a table file; payloads stay encoded until scanned).
+func (s *ColumnStore) attachSealedSegment(rows int, cols []*SealedColumn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base := s.cur.Load()
+	segs := append(append([]*segment(nil), base.segs...), &segment{rows: rows, sealed: cols})
+	s.cur.Store(&tableVersion{segs: segs, rows: base.rows + rows})
+}
+
+// Truncate removes all rows, keeping the schema. The empty successor
+// version carries no segments and therefore no zone maps or HLL
+// sketches: the statistics rollup (and with it the cost planner's
+// distinct-count estimates) resets along with the data instead of
+// reporting the dropped rows' NDVs.
+func (s *ColumnStore) Truncate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cur.Store(&tableVersion{})
+}
+
+// ------------------------------------------------- compatibility reads
+//
+// The methods below serve callers that want "current state" semantics
+// (single-statement reads, stats, persistence). Each pins the current
+// version for the duration of the call.
+
+// NumSegments returns the number of segments.
+func (s *ColumnStore) NumSegments() int { return s.Snapshot().NumSegments() }
+
+// Segment returns segment i of the current version; see
+// TableSnapshot.Segment.
+func (s *ColumnStore) Segment(i int, projection []int) (*vector.Chunk, error) {
+	return s.Snapshot().Segment(i, projection)
+}
+
+// SegmentInto is Segment with reusable decode buffers; see
+// TableSnapshot.SegmentInto.
+func (s *ColumnStore) SegmentInto(i int, projection []int, bufs []*vector.Vector) (*vector.Chunk, error) {
+	return s.Snapshot().SegmentInto(i, projection, bufs)
 }
 
 // decodeRecycling decodes one sealed column through the caller's
@@ -267,26 +453,12 @@ func decodeRecycling(sc *SealedColumn, bufs []*vector.Vector, j int) (*vector.Ve
 	return v, nil
 }
 
-// Zones returns the zone maps of segment i's columns (indexed by
-// table column position), or nil for the mutable tail — unsealed
-// segments carry no statistics and are never pruned.
-func (s *ColumnStore) Zones(i int) []ZoneMap {
-	sealed, _ := s.snapshotSegment(i)
-	if sealed == nil {
-		return nil
-	}
-	out := make([]ZoneMap, len(sealed))
-	for j, sc := range sealed {
-		out[j] = sc.Zone
-	}
-	return out
-}
+// Zones returns the zone maps of segment i's columns of the current
+// version; see TableSnapshot.Zones.
+func (s *ColumnStore) Zones(i int) []ZoneMap { return s.Snapshot().Zones(i) }
 
 // SegmentIsSealed reports whether segment i has been sealed.
-func (s *ColumnStore) SegmentIsSealed(i int) bool {
-	sealed, _ := s.snapshotSegment(i)
-	return sealed != nil
-}
+func (s *ColumnStore) SegmentIsSealed(i int) bool { return s.Snapshot().SegmentIsSealed(i) }
 
 // NoteScan adds to the store's cumulative scanned/skipped segment
 // counters (called by the executor when a scan finishes).
@@ -340,16 +512,15 @@ type ColumnStats struct {
 
 // Stats computes the store's physical statistics.
 func (s *ColumnStore) Stats() TableStats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	snap := s.Snapshot()
 	st := TableStats{
-		Rows:            s.rows,
-		Segments:        len(s.segs),
+		Rows:            snap.NumRows(),
+		Segments:        snap.NumSegments(),
 		EncodedColumns:  map[string]int{},
 		SegmentsScanned: s.segsScanned.Load(),
 		SegmentsSkipped: s.segsSkipped.Load(),
 	}
-	for _, seg := range s.segs {
+	for _, seg := range snap.v.segs {
 		if seg.sealed == nil {
 			for _, c := range seg.cols {
 				n := int64(rawSizeOf(c))
@@ -365,24 +536,24 @@ func (s *ColumnStore) Stats() TableStats {
 			st.EncodedColumns[sc.Enc.String()]++
 		}
 	}
-	st.Columns = s.columnStatsLocked()
+	st.Columns = snap.ColumnStatistics()
 	return st
 }
 
 // ColumnStatistics returns the per-column rollup alone (the cheap
-// subset of Stats the planner needs).
+// subset of Stats the planner needs). The rollup is computed at most
+// once per published version and cached on it, so repeated planning
+// against an unchanged table costs one pointer load.
 func (s *ColumnStore) ColumnStatistics() []ColumnStats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.columnStatsLocked()
+	return s.Snapshot().ColumnStatistics()
 }
 
-// columnStatsLocked merges per-segment zone maps and HLL sketches into
-// table-level column statistics. Caller holds at least the read lock.
-func (s *ColumnStore) columnStatsLocked() []ColumnStats {
-	out := make([]ColumnStats, len(s.types))
-	sketches := make([]*HLL, len(s.types))
-	for _, seg := range s.segs {
+// columnStatsOf merges per-segment zone maps and HLL sketches into
+// table-level column statistics.
+func columnStatsOf(types []vector.Type, segs []*segment) []ColumnStats {
+	out := make([]ColumnStats, len(types))
+	sketches := make([]*HLL, len(types))
+	for _, seg := range segs {
 		if seg.sealed == nil {
 			continue
 		}
@@ -422,42 +593,7 @@ func (s *ColumnStore) columnStatsLocked() []ColumnStats {
 }
 
 // SegmentRowCounts returns the row count of every segment in order.
-// Scans that tag rows with global positions use this to compute each
-// segment's base offset, counting segments whether or not zone-map
-// pruning later skips them.
-func (s *ColumnStore) SegmentRowCounts() []int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]int, len(s.segs))
-	for i, seg := range s.segs {
-		out[i] = seg.rows
-	}
-	return out
-}
+func (s *ColumnStore) SegmentRowCounts() []int { return s.Snapshot().SegmentRowCounts() }
 
 // Column materializes the full column c as one contiguous vector.
-func (s *ColumnStore) Column(c int) (*vector.Vector, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := vector.New(s.types[c], s.rows)
-	for i, seg := range s.segs {
-		if seg.sealed != nil {
-			v, err := seg.sealed[c].Decode(nil)
-			if err != nil {
-				return nil, fmt.Errorf("storage: segment %d column %d: %w", i, c, err)
-			}
-			out.AppendVector(v)
-			continue
-		}
-		out.AppendVector(seg.cols[c])
-	}
-	return out, nil
-}
-
-// Truncate removes all rows, keeping the schema.
-func (s *ColumnStore) Truncate() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.segs = nil
-	s.rows = 0
-}
+func (s *ColumnStore) Column(c int) (*vector.Vector, error) { return s.Snapshot().Column(c) }

@@ -1,0 +1,252 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vexdb/internal/storage"
+	"vexdb/internal/vector"
+)
+
+// Type tags one logical write operation in the log.
+type Type uint8
+
+const (
+	// RecCreate registers a table (schema, and for CTAS optionally its
+	// initial rows in the same record, so a crash can never leave the
+	// statement half-applied).
+	RecCreate Type = 1
+	// RecInsert appends a chunk of rows to a table. One INSERT
+	// statement produces exactly one record, whatever its row count.
+	RecInsert Type = 2
+	// RecTruncate removes all rows of a table, keeping the schema.
+	RecTruncate Type = 3
+	// RecDrop removes a table.
+	RecDrop Type = 4
+	// RecReplace atomically substitutes a table's entire contents with
+	// the record's chunk (copy-on-delete DELETE/UPDATE rewrites).
+	RecReplace Type = 5
+	// RecCheckpoint marks a durable checkpoint: every record at or
+	// before its LSN is captured by the checkpoint's table files, and a
+	// freshly sealed (truncated) log begins with one.
+	RecCheckpoint Type = 6
+)
+
+func (t Type) String() string {
+	switch t {
+	case RecCreate:
+		return "create"
+	case RecInsert:
+		return "insert"
+	case RecTruncate:
+		return "truncate"
+	case RecDrop:
+		return "drop"
+	case RecReplace:
+		return "replace"
+	case RecCheckpoint:
+		return "checkpoint"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// ColumnDef is one column of a RecCreate schema.
+type ColumnDef struct {
+	Name string
+	Type vector.Type
+}
+
+// Record is one logical operation. LSN is assigned by Log.Append.
+type Record struct {
+	LSN   uint64
+	Type  Type
+	Table string
+	// Cols carries the schema of a RecCreate.
+	Cols []ColumnDef
+	// Chunk carries the rows of RecInsert/RecReplace and optionally of
+	// a CTAS RecCreate. Columns use the raw storage payload encoding
+	// (storage.EncodeColumn), the same layout as disk segments and
+	// wire chunk frames.
+	Chunk *vector.Chunk
+}
+
+// maxFramePayload bounds one record's payload; anything larger in the
+// file is treated as corruption (a torn or overwritten length field).
+const maxFramePayload = 1 << 30
+
+// encodePayload serializes the record body (everything the frame CRC
+// covers).
+func encodePayload(r *Record) ([]byte, error) {
+	out := binary.LittleEndian.AppendUint64(nil, r.LSN)
+	out = append(out, byte(r.Type))
+	switch r.Type {
+	case RecCheckpoint:
+		return out, nil
+	case RecTruncate, RecDrop:
+		return appendString16(out, r.Table), nil
+	case RecInsert, RecReplace:
+		out = appendString16(out, r.Table)
+		return appendChunk(out, r.Chunk)
+	case RecCreate:
+		out = appendString16(out, r.Table)
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(r.Cols)))
+		for _, c := range r.Cols {
+			out = appendString16(out, c.Name)
+			out = append(out, byte(c.Type))
+		}
+		if r.Chunk == nil || r.Chunk.NumRows() == 0 {
+			return append(out, 0), nil
+		}
+		out = append(out, 1)
+		return appendChunk(out, r.Chunk)
+	}
+	return nil, fmt.Errorf("wal: encode record of unknown type %d", r.Type)
+}
+
+func appendString16(out []byte, s string) []byte {
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(s)))
+	return append(out, s...)
+}
+
+func appendChunk(out []byte, ch *vector.Chunk) ([]byte, error) {
+	if ch == nil {
+		return nil, fmt.Errorf("wal: record carries no chunk")
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(ch.NumRows()))
+	out = binary.LittleEndian.AppendUint16(out, uint16(ch.NumCols()))
+	for i := 0; i < ch.NumCols(); i++ {
+		col := ch.Col(i)
+		payload, err := storage.EncodeColumn(col)
+		if err != nil {
+			return nil, fmt.Errorf("wal: column %d: %w", i, err)
+		}
+		out = append(out, byte(col.Type()))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+		out = append(out, payload...)
+	}
+	return out, nil
+}
+
+// decodePayload parses one record body. Decoding is strict: truncated
+// or trailing bytes are corruption, never best-effort.
+func decodePayload(p []byte) (*Record, error) {
+	d := &decoder{buf: p}
+	r := &Record{LSN: d.u64(), Type: Type(d.u8())}
+	switch r.Type {
+	case RecCheckpoint:
+	case RecTruncate, RecDrop:
+		r.Table = d.str16()
+	case RecInsert, RecReplace:
+		r.Table = d.str16()
+		r.Chunk = d.chunk()
+	case RecCreate:
+		r.Table = d.str16()
+		ncols := int(d.u16())
+		if d.err == nil && ncols > 1<<12 {
+			d.err = fmt.Errorf("implausible column count %d", ncols)
+		}
+		for i := 0; i < ncols && d.err == nil; i++ {
+			r.Cols = append(r.Cols, ColumnDef{Name: d.str16(), Type: vector.Type(d.u8())})
+		}
+		if d.u8() == 1 {
+			r.Chunk = d.chunk()
+		}
+	default:
+		return nil, fmt.Errorf("wal: record type %d unknown", r.Type)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("wal: decode %s record: %w", r.Type, d.err)
+	}
+	if len(d.buf) != d.off {
+		return nil, fmt.Errorf("wal: %s record has %d trailing bytes", r.Type, len(d.buf)-d.off)
+	}
+	return r, nil
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("truncated at byte %d", d.off)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) str16() string {
+	n := int(d.u16())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (d *decoder) chunk() *vector.Chunk {
+	nrows := int(d.u32())
+	ncols := int(d.u16())
+	if d.err != nil {
+		return nil
+	}
+	if nrows > maxFramePayload || ncols > 1<<12 {
+		d.err = fmt.Errorf("implausible chunk %d rows x %d cols", nrows, ncols)
+		return nil
+	}
+	cols := make([]*vector.Vector, ncols)
+	for i := range cols {
+		t := vector.Type(d.u8())
+		plen := int(d.u32())
+		payload := d.take(plen)
+		if d.err != nil {
+			return nil
+		}
+		col, err := storage.DecodeColumn(t, nrows, payload)
+		if err != nil {
+			d.err = fmt.Errorf("column %d: %w", i, err)
+			return nil
+		}
+		cols[i] = col
+	}
+	return vector.NewChunk(cols...)
+}

@@ -21,6 +21,7 @@ import (
 	"vexdb/internal/governor"
 	"vexdb/internal/storage"
 	"vexdb/internal/vector"
+	"vexdb/internal/wal"
 )
 
 // Type identifies a SQL column type.
@@ -141,7 +142,46 @@ type Options struct {
 	// bound. Results are identical either way — the switch exists for
 	// benchmarking and differential testing. See SetCostPlanning.
 	NoCostPlanner bool
+
+	// WALDir, when non-empty, makes writes durable: every
+	// CREATE/INSERT/DELETE/UPDATE/DROP appends a checksummed record to
+	// a write-ahead log in this directory before it is acknowledged,
+	// and opening the same directory again replays the log (plus the
+	// latest checkpoint) to recover exactly the acknowledged writes —
+	// a kill -9 mid-statement never loses acknowledged rows and never
+	// leaves a table unreadable. Use OpenDurable/OpenDirOptions, whose
+	// error returns surface recovery failures.
+	WALDir string
+
+	// SyncMode picks the WAL's fsync policy: SyncGroup (default)
+	// fsyncs once per group-commit batch so concurrent writers share
+	// the disk flush, SyncEach fsyncs every statement individually,
+	// SyncNone leaves flushing to the OS (and to Checkpoint/Close).
+	// Ignored without WALDir.
+	SyncMode SyncMode
+
+	// DisableWAL keeps the database purely in-memory even when WALDir
+	// is set (escape hatch for tooling that reuses a durable config).
+	DisableWAL bool
 }
+
+// SyncMode selects the WAL durability/latency trade-off; see the
+// Options.SyncMode field.
+type SyncMode = wal.SyncMode
+
+// WAL sync modes.
+const (
+	// SyncGroup fsyncs once per group-commit batch (default).
+	SyncGroup = wal.SyncGroup
+	// SyncEach fsyncs every statement individually.
+	SyncEach = wal.SyncEach
+	// SyncNone never fsyncs on commit; only checkpoints and Close do.
+	SyncNone = wal.SyncNone
+)
+
+// ParseSyncMode maps "group", "each" or "none" (and common aliases)
+// to a SyncMode; the empty string selects SyncGroup.
+func ParseSyncMode(s string) (SyncMode, error) { return wal.ParseSyncMode(s) }
 
 // GovernorConfig configures the process-wide resource governor:
 // shared memory pool, worker slots, concurrent-query and queue caps,
@@ -159,12 +199,44 @@ func Open() *DB {
 }
 
 // OpenOptions creates an empty in-memory database configured with
-// opts.
+// opts. Durability options (WALDir) are ignored here because WAL
+// recovery can fail — use OpenDurable for a durable database.
 func OpenOptions(opts Options) *DB {
 	db := Open()
 	db.applyOptions(opts)
 	return db
 }
+
+// OpenDurable opens a database whose writes are durable: state left in
+// opts.WALDir by a previous incarnation (checkpoint plus log) is
+// recovered first, then every subsequent write is logged before it is
+// acknowledged. Callers should Close (or Checkpoint) the database on
+// shutdown.
+func OpenDurable(opts Options) (*DB, error) {
+	db := Open()
+	db.applyOptions(opts)
+	if err := db.enableWAL(opts); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func (db *DB) enableWAL(opts Options) error {
+	if opts.WALDir == "" || opts.DisableWAL {
+		return nil
+	}
+	return db.eng.EnableWAL(opts.WALDir, opts.SyncMode)
+}
+
+// Checkpoint persists every table under the WAL directory and
+// truncates the log, bounding both recovery time and log size. It
+// waits for in-flight writes to finish first.
+func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
+
+// Close flushes and closes the write-ahead log. The sealed log
+// replays on the next OpenDurable; call Checkpoint first to also
+// reset it. Close is a no-op for in-memory databases and idempotent.
+func (db *DB) Close() error { return db.eng.Close() }
 
 // OpenDir opens a database from a directory of table files written by
 // SaveDir.
@@ -177,13 +249,18 @@ func OpenDir(dir string) (*DB, error) {
 }
 
 // OpenDirOptions opens a database from a directory of table files,
-// configured with opts.
+// configured with opts. When opts.WALDir is set the WAL's state
+// (checkpoint and log) is recovered on top of the loaded tables and
+// subsequent writes are durable.
 func OpenDirOptions(dir string, opts Options) (*DB, error) {
 	db, err := OpenDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	db.applyOptions(opts)
+	if err := db.enableWAL(opts); err != nil {
+		return nil, err
+	}
 	return db, nil
 }
 
@@ -438,14 +515,11 @@ func (db *DB) CreateTableFrom(name string, tab *Table) error {
 	for i, n := range tab.Names {
 		schema[i] = catalog.Column{Name: n, Type: tab.Cols[i].Type()}
 	}
-	ct, err := db.eng.Catalog().CreateTable(name, schema)
-	if err != nil {
-		return err
+	var ch *vector.Chunk
+	if tab.NumRows() > 0 {
+		ch = tab.Chunk()
 	}
-	if tab.NumRows() == 0 {
-		return nil
-	}
-	return ct.Data.AppendChunk(tab.Chunk())
+	return db.eng.CreateTableFrom(name, schema, ch)
 }
 
 // Engine exposes the underlying engine instance for in-module tooling
