@@ -64,6 +64,7 @@ type config struct {
 	faults       float64
 	seed         int64
 	expectRej    bool
+	exp          string
 	out          string
 }
 
@@ -138,8 +139,16 @@ func parseFlags() (config, error) {
 	flag.Float64Var(&c.faults, "faults", 0.1, "per-request fault-injection probability")
 	flag.Int64Var(&c.seed, "seed", 1, "deterministic traffic seed")
 	flag.BoolVar(&c.expectRej, "expect-rejects", false, "fail unless the governor rejected at least one query")
-	flag.StringVar(&c.out, "out", "BENCH_concurrency.json", "report output path")
+	flag.StringVar(&c.exp, "exp", "", "experiment to run: empty = concurrency storm, adaptive = hybrid-spill + adaptive-lease benchmark")
+	flag.StringVar(&c.out, "out", "", "report output path (default BENCH_concurrency.json, or BENCH_adaptive.json with -exp adaptive)")
 	flag.Parse()
+	if c.out == "" {
+		if c.exp == "adaptive" {
+			c.out = "BENCH_adaptive.json"
+		} else {
+			c.out = "BENCH_concurrency.json"
+		}
+	}
 	var err error
 	if c.memBudget, err = cliutil.ParseByteSize(*memBudget); err != nil {
 		return c, fmt.Errorf("-mem-budget: %w", err)
@@ -154,6 +163,13 @@ func run() error {
 	cfg, err := parseFlags()
 	if err != nil {
 		return err
+	}
+	switch cfg.exp {
+	case "":
+	case "adaptive":
+		return runAdaptive(cfg)
+	default:
+		return fmt.Errorf("-exp: unknown experiment %q (want adaptive)", cfg.exp)
 	}
 
 	baseGoroutines := runtime.NumGoroutine()

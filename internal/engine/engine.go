@@ -147,7 +147,7 @@ func (db *DB) ExecStmt(stmt sql.Statement) (*Result, error) {
 		}
 		return &Result{Table: tab}, nil
 	case *sql.Explain:
-		rs, err := db.explain(s)
+		rs, err := db.explain(nil, s)
 		if err != nil {
 			return nil, err
 		}

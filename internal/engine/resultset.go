@@ -65,7 +65,7 @@ func (db *DB) QueryStmtSession(sess *governor.Session, stmt sql.Statement) (*Res
 		return &ResultSet{schema: stream.Schema(), stream: stream}, nil
 	}
 	if ex, ok := stmt.(*sql.Explain); ok {
-		return db.explain(ex)
+		return db.explain(sess, ex)
 	}
 	res, err := db.ExecStmt(stmt)
 	if err != nil {
@@ -110,11 +110,7 @@ func (db *DB) streamSelect(sess *governor.Session, s *sql.Select) (*exec.ChunkSt
 		}
 		ticket = t
 		ctx.Parallelism = t.Workers()
-		if lease := t.MemoryBudget(); lease > 0 {
-			if ctx.MemoryBudget == 0 || lease < ctx.MemoryBudget {
-				ctx.MemoryBudget = lease
-			}
-		}
+		wireLease(ctx, t, db.MemoryBudget)
 		// The admission wait already consumed part of the deadline.
 		if deadline > 0 {
 			deadline -= time.Since(start)
@@ -152,14 +148,41 @@ func (db *DB) streamSelect(sess *governor.Session, s *sql.Select) (*exec.ChunkSt
 	return cs, nil
 }
 
+// wireLease points an exec context's memory budget at a governor
+// ticket's dynamic lease. The initial budget is the smaller of the
+// lease and the engine's own per-query cap; LiveBudget re-reads the
+// lease watermark on every over-budget check (so grows and reclaim
+// shrinks take effect mid-query), and GrowBudget asks the governor for
+// idle pool bytes right before an operator would otherwise spill. The
+// engine cap stays a ceiling on both paths.
+func wireLease(ctx *exec.Context, t *governor.Ticket, engineCap int64) {
+	lease := t.MemoryBudget()
+	if lease <= 0 {
+		return // pool disabled: engine budget stands alone
+	}
+	clamp := func(b int64) int64 {
+		if engineCap > 0 && b > engineCap {
+			return engineCap
+		}
+		return b
+	}
+	ctx.MemoryBudget = clamp(lease)
+	ctx.LiveBudget = func() int64 { return clamp(t.MemoryBudget()) }
+	ctx.GrowBudget = func(n int64) int64 { return clamp(t.TryGrow(n)) }
+}
+
 // explain binds and plans ex.Query exactly as streamSelect would
 // (including the cost-based pass, unless disabled) and renders the
 // resulting tree as a one-column result set, one operator line per
 // row. EXPLAIN ANALYZE additionally executes the query to completion
 // with row-count taps installed, so the rendering reports actual
-// cardinalities next to the estimates; the diagnostic run bypasses the
-// governor (it admits no result stream a client could hold open).
-func (db *DB) explain(ex *sql.Explain) (*ResultSet, error) {
+// cardinalities next to the estimates. The ANALYZE run admits through
+// the governor like a regular query — it consumes real executor
+// resources — and its ticket is released before the (materialized)
+// plan text streams back, so it cannot strand a lease; the rendering
+// then leads with the query's memory dynamics: initial vs final lease,
+// grow/shrink counts, and spill totals.
+func (db *DB) explain(sess *governor.Session, ex *sql.Explain) (*ResultSet, error) {
 	binder := plan.NewBinder(db.cat, db.reg)
 	node, err := binder.BindSelect(ex.Query)
 	if err != nil {
@@ -172,9 +195,24 @@ func (db *DB) explain(ex *sql.Explain) (*ResultSet, error) {
 		MemoryBudget: db.MemoryBudget,
 		TempDir:      db.TempDir,
 	}
+	var ticket *governor.Ticket
+	if ex.Analyze && db.Gov != nil {
+		t, err := db.Gov.Admit(sess, ctx.Workers(), db.QueryTimeout, nil)
+		if err != nil {
+			if errors.Is(err, governor.ErrQueueTimeout) {
+				return nil, fmt.Errorf("%w (queued %v)", ErrQueryTimeout, db.QueryTimeout)
+			}
+			return nil, err
+		}
+		ticket = t
+		defer t.Release()
+		ctx.Parallelism = t.Workers()
+		wireLease(ctx, t, db.MemoryBudget)
+	}
 	if !db.NoCostPlanner {
 		node = cost.Apply(node, ctx.Workers(), ctx.MemoryBudget)
 	}
+	var memLines []string
 	if ex.Analyze {
 		plan.InstallTaps(node)
 		cs, err := exec.Stream(node, ctx)
@@ -191,11 +229,13 @@ func (db *DB) explain(ex *sql.Explain) (*ResultSet, error) {
 				break
 			}
 		}
+		spill := cs.SpillStats()
 		if err := cs.Close(); err != nil {
 			return nil, err
 		}
+		memLines = explainMemoryLines(ticket, spill)
 	}
-	lines := strings.Split(plan.Render(node, ex.Analyze), "\n")
+	lines := append(memLines, strings.Split(plan.Render(node, ex.Analyze), "\n")...)
 	tab, err := vector.NewTable([]string{"plan"}, []*vector.Vector{vector.FromStrings(lines)})
 	if err != nil {
 		return nil, err
@@ -206,6 +246,29 @@ func (db *DB) explain(ex *sql.Explain) (*ResultSet, error) {
 		return nil, err
 	}
 	return &ResultSet{schema: schema, stream: cs}, nil
+}
+
+// explainMemoryLines renders an EXPLAIN ANALYZE header describing the
+// query's memory dynamics: the governor lease it started with, the
+// lease it ended with after grows and reclaim shrinks, and what the
+// spill machinery did under that budget. Empty without a governor
+// lease and without spill activity, so plans from ungoverned databases
+// render exactly as before.
+func explainMemoryLines(t *governor.Ticket, spill *exec.SpillStats) []string {
+	var lines []string
+	if t != nil && t.InitialBudget() > 0 {
+		grows, shrinks := t.Growths()
+		lines = append(lines, fmt.Sprintf(
+			"memory: lease initial=%d final=%d grows=%d shrinks=%d",
+			t.InitialBudget(), t.MemoryBudget(), grows, shrinks))
+	}
+	if spill.Spilled() || spill.ResidentPartitions() > 0 {
+		lines = append(lines, fmt.Sprintf(
+			"spill: partitions spilled=%d resident=%d runs=%d written=%d read=%d",
+			spill.Partitions(), spill.ResidentPartitions(), spill.Runs(),
+			spill.BytesWritten(), spill.BytesRead()))
+	}
+	return lines
 }
 
 // timerBox holds a deadline timer that may be stopped before it is

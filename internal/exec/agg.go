@@ -165,6 +165,22 @@ func (t *aggTable) consumeVecs(groupVecs, argVecs []*vector.Vector, n int, posOf
 	return nil
 }
 
+// consumeRowsSel folds a selection of rows of evaluated
+// group/argument vectors into the table. The hybrid spill path routes
+// the rows of a resident partition here — the selection is the subset
+// of a chunk that hashed to this partition — instead of to disk.
+func (t *aggTable) consumeRowsSel(groupVecs, argVecs []*vector.Vector, rows []int, posOf func(r int) int64) error {
+	for _, r := range rows {
+		g := t.getOrCreate(groupVecs, r, posOf(r))
+		for i, s := range t.spec.Aggs {
+			if err := updateAgg(&g.aggs[i], s, argVecs[i], r, &t.scratch, &t.bytes); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // ensureGlobalGroup materializes the single output row a global
 // aggregation owes even for empty input.
 func (t *aggTable) ensureGlobalGroup() {

@@ -1,21 +1,27 @@
-// Grace-partitioned spill for hash aggregation. When a query runs
-// under a memory budget and its aggregation state outgrows it, the
-// consumer switches to out-of-core mode:
+// Grace-partitioned spill for hash aggregation, in hybrid spill mode
+// (mirroring the hybrid join build). When a query runs under a memory
+// budget and its aggregation state outgrows it, the consumer switches
+// to out-of-core mode:
 //
-//  1. The in-memory table's groups are dumped as per-partition
-//     "partial" rows (group key values, firstSeen position, and each
-//     aggregate's serialized partial state), partitioned by a hash of
-//     the encoded group key, and the table is dropped.
-//  2. Every subsequent input row is routed by the same hash to its
-//     partition as a "raw" row (evaluated group and argument columns
+//  1. The in-memory table's groups are partitioned by a hash of the
+//     encoded group key and folded into per-partition resident tables;
+//     then only the largest partitions are evicted to disk — their
+//     groups serialized as "partial" rows (group key values, firstSeen
+//     position, and each aggregate's serialized partial state) — until
+//     the resident remainder fits the budget.
+//  2. Every subsequent input row is routed by the same hash: rows
+//     whose partition is still resident update its in-memory states
+//     directly (no disk I/O); rows of an evicted partition append to
+//     its file as "raw" rows (evaluated group and argument columns
 //     plus the row's global input position) without touching a hash
-//     table at all.
-//  3. On emit, partitions are processed one at a time: partials merge
-//     by key, raw rows re-aggregate, and if a partition itself
-//     outgrows the budget it re-partitions recursively on the next
-//     hash nibble. Each partition's finalized groups form a run
-//     sorted by firstSeen; the shared run merger folds the partition
-//     runs back into exact global first-appearance order, because
+//     table at all. If resident partitions outgrow the budget again,
+//     the largest are evicted in turn.
+//  3. On emit, resident partitions sort their groups by firstSeen and
+//     become runs directly. Evicted partitions are processed one at a
+//     time: partials merge by key, raw rows re-aggregate, and if a
+//     partition itself outgrows the budget it re-partitions
+//     recursively on the next hash nibble. The shared run merger folds
+//     all runs back into exact global first-appearance order, because
 //     firstSeen is the minimum input position over all of a group's
 //     rows — an order-independent quantity.
 //
@@ -48,6 +54,16 @@ import (
 // spillFanout is the grace-partition fan-out per recursion level (one
 // hash nibble).
 const spillFanout = 16
+
+// HybridAggEnabled selects hybrid spill-mode aggregation: on overflow
+// only the largest partitions are evicted to disk, and post-overflow
+// rows whose partition is resident update in-memory states directly.
+// False restores the pre-hybrid behavior — every post-overflow row
+// routes to its partition file ("route everything") — kept for
+// benchmarking the hybrid win (cmd/loadgen -exp adaptive) and for
+// differential tests; results are byte-identical either way. Must not
+// be toggled while queries are running.
+var HybridAggEnabled = true
 
 // maxSpillLevels caps re-partitioning depth; a partition that still
 // exceeds the budget at the deepest level (pathological key skew, or
@@ -152,15 +168,24 @@ type aggSpiller struct {
 	ctx    *Context
 	layout *aggLayout
 	level  int
+	hybrid bool // resident partitions allowed (HybridAggEnabled at creation)
 
 	fileMu sync.Mutex
 	file   *spill.File
+
+	// evictMu serializes eviction decisions: concurrent routers may
+	// keep folding rows into partitions not being evicted, but only one
+	// spillUntilFits pass picks victims at a time. Lock order is
+	// evictMu → parts[p].mu → fileMu.
+	evictMu sync.Mutex
 
 	parts [spillFanout]aggSpillPart
 }
 
 type aggSpillPart struct {
 	mu          sync.Mutex
+	table       *aggTable // resident in-memory states; nil once spilled
+	spilled     bool      // evicted: rows for this partition go to disk
 	raw         *rowAppender
 	partial     *rowAppender
 	rawRefs     []spill.ChunkRef
@@ -168,7 +193,7 @@ type aggSpillPart struct {
 }
 
 func newAggSpiller(ctx *Context, layout *aggLayout, level int) *aggSpiller {
-	return &aggSpiller{ctx: ctx, layout: layout, level: level}
+	return &aggSpiller{ctx: ctx, layout: layout, level: level, hybrid: HybridAggEnabled}
 }
 
 // writeBuf flushes one partition's buffered rows into the shared file,
@@ -212,9 +237,12 @@ func (s *aggSpiller) partitionRows(groupVecs []*vector.Vector, n int) [spillFano
 	return sel
 }
 
-// routeVecs appends n evaluated rows to their partitions' raw chunk
-// lists. posOf supplies each row's global input position. Safe for
-// concurrent use by multiple workers.
+// routeVecs routes n evaluated rows to their partitions: rows of a
+// resident partition fold into its in-memory table directly, rows of
+// an evicted partition append to its raw chunk list. posOf supplies
+// each row's global input position. Safe for concurrent use by
+// multiple workers; finishes by re-checking the resident footprint
+// against the budget and evicting if needed.
 func (s *aggSpiller) routeVecs(groupVecs, argVecs []*vector.Vector, n int, posOf func(r int) int64) error {
 	sel := s.partitionRows(groupVecs, n)
 	for p := range sel {
@@ -224,6 +252,17 @@ func (s *aggSpiller) routeVecs(groupVecs, argVecs []*vector.Vector, n int, posOf
 		pt := &s.parts[p]
 		pt.mu.Lock()
 		err := func() error {
+			if s.hybrid && !pt.spilled {
+				if pt.table == nil {
+					pt.table = newAggTable(s.layout.spec)
+				}
+				prev := pt.table.bytes
+				if err := pt.table.consumeRowsSel(groupVecs, argVecs, sel[p], posOf); err != nil {
+					return err
+				}
+				s.ctx.memGrow(pt.table.bytes - prev)
+				return nil
+			}
 			if pt.raw == nil {
 				pt.raw = newRowAppender(s.layout.rawTypes())
 			}
@@ -252,12 +291,36 @@ func (s *aggSpiller) routeVecs(groupVecs, argVecs []*vector.Vector, n int, posOf
 			return err
 		}
 	}
-	return nil
+	return s.spillUntilFits()
 }
 
-// dumpTable writes every group of t as a partial row and accounts the
-// table's memory as released (the caller drops the table). Safe for
-// concurrent use.
+// appendPartialRows serializes the selected groups of t as partial
+// rows into a (the dumpTable/evict serialization shared by the disk
+// and resident absorption paths). stateBuf is the caller's reusable
+// encode buffer.
+func (s *aggSpiller) appendPartialRows(a *rowAppender, t *aggTable, gis []int, stateBuf *[]byte) {
+	ng := len(s.layout.groupTypes)
+	for _, gi := range gis {
+		g := &t.groups[gi]
+		for i, kv := range g.keyVals {
+			appendCast(a.cols[i], kv, s.layout.groupTypes[i])
+		}
+		a.cols[ng].AppendValue(vector.NewInt64(g.firstSeen))
+		for i := range g.aggs {
+			*stateBuf = encodeAggState((*stateBuf)[:0], &g.aggs[i])
+			a.cols[ng+1+i].AppendValue(vector.NewBlob(append([]byte(nil), *stateBuf...)))
+		}
+	}
+}
+
+// dumpTable absorbs every group of t into the spiller and accounts the
+// table's memory as released (the caller drops the table): groups of
+// resident partitions fold into the per-partition in-memory tables via
+// the partial-row codec — the same path spilled partials replay
+// through, so merge semantics cannot diverge between disk and memory —
+// and groups of evicted partitions are written as partial rows. Safe
+// for concurrent use; ends by evicting the largest resident partitions
+// until the remainder fits the budget.
 func (s *aggSpiller) dumpTable(t *aggTable) error {
 	ng := len(s.layout.groupTypes)
 	var sel [spillFanout][]int
@@ -278,23 +341,25 @@ func (s *aggSpiller) dumpTable(t *aggTable) error {
 		pt := &s.parts[p]
 		pt.mu.Lock()
 		err := func() error {
+			if s.hybrid && !pt.spilled {
+				a := newRowAppender(s.layout.partialTypes())
+				s.appendPartialRows(a, t, sel[p], &stateBuf)
+				if pt.table == nil {
+					pt.table = newAggTable(s.layout.spec)
+				}
+				prev := pt.table.bytes
+				if err := pt.table.mergePartialChunk(a.cols, ng); err != nil {
+					return err
+				}
+				s.ctx.memGrow(pt.table.bytes - prev)
+				return nil
+			}
 			if pt.partial == nil {
 				pt.partial = newRowAppender(s.layout.partialTypes())
 			}
-			a := pt.partial
-			for _, gi := range sel[p] {
-				g := &t.groups[gi]
-				for i, kv := range g.keyVals {
-					appendCast(a.cols[i], kv, s.layout.groupTypes[i])
-				}
-				a.cols[ng].AppendValue(vector.NewInt64(g.firstSeen))
-				for i := range g.aggs {
-					stateBuf = encodeAggState(stateBuf[:0], &g.aggs[i])
-					a.cols[ng+1+i].AppendValue(vector.NewBlob(append([]byte(nil), stateBuf...)))
-				}
-			}
-			if a.rows() >= vector.DefaultChunkSize {
-				return s.writeBuf(a, &pt.partialRefs)
+			s.appendPartialRows(pt.partial, t, sel[p], &stateBuf)
+			if pt.partial.rows() >= vector.DefaultChunkSize {
+				return s.writeBuf(pt.partial, &pt.partialRefs)
 			}
 			return nil
 		}()
@@ -304,11 +369,78 @@ func (s *aggSpiller) dumpTable(t *aggTable) error {
 		}
 	}
 	s.ctx.memShrink(t.bytes)
+	return s.spillUntilFits()
+}
+
+// spillUntilFits evicts the largest resident partitions to disk until
+// the spiller's resident footprint passes the budget check (which
+// itself first tries to grow the governor lease), mirroring the hybrid
+// join build. Ties go to the higher partition index so the choice is
+// deterministic for a given set of sizes.
+func (s *aggSpiller) spillUntilFits() error {
+	if !s.hybrid {
+		return nil
+	}
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+	for {
+		var resident int64
+		best, bestBytes := -1, int64(0)
+		for p := range s.parts {
+			pt := &s.parts[p]
+			pt.mu.Lock()
+			if pt.table != nil {
+				b := pt.table.bytes
+				resident += b
+				if b >= bestBytes {
+					best, bestBytes = p, b
+				}
+			}
+			pt.mu.Unlock()
+		}
+		if best < 0 || bestBytes == 0 || !s.ctx.shouldSpill(resident) {
+			return nil
+		}
+		if err := s.evictPart(best); err != nil {
+			return err
+		}
+	}
+}
+
+// evictPart serializes one resident partition's groups as partial rows
+// and marks the partition spilled; subsequent rows for it go to disk.
+// No re-partitioning is needed: every group already belongs here.
+func (s *aggSpiller) evictPart(p int) error {
+	pt := &s.parts[p]
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	t := pt.table
+	if t == nil {
+		return nil
+	}
+	if pt.partial == nil {
+		pt.partial = newRowAppender(s.layout.partialTypes())
+	}
+	gis := make([]int, len(t.groups))
+	for i := range gis {
+		gis[i] = i
+	}
+	var stateBuf []byte
+	s.appendPartialRows(pt.partial, t, gis, &stateBuf)
+	if pt.partial.rows() >= vector.DefaultChunkSize {
+		if err := s.writeBuf(pt.partial, &pt.partialRefs); err != nil {
+			return err
+		}
+	}
+	s.ctx.memShrink(t.bytes)
+	pt.table = nil
+	pt.spilled = true
 	return nil
 }
 
 // reroutePartialChunk forwards spilled partial rows to the next
-// recursion level's partitions.
+// recursion level's partitions: resident partitions merge them into
+// their in-memory tables, evicted ones buffer them for disk.
 func (s *aggSpiller) reroutePartialChunk(cols []*vector.Vector, ng int) error {
 	sel := s.partitionRows(cols[:ng], cols[ng].Len())
 	for p := range sel {
@@ -318,6 +450,25 @@ func (s *aggSpiller) reroutePartialChunk(cols []*vector.Vector, ng int) error {
 		pt := &s.parts[p]
 		pt.mu.Lock()
 		err := func() error {
+			if s.hybrid && !pt.spilled {
+				if pt.table == nil {
+					pt.table = newAggTable(s.layout.spec)
+				}
+				// mergePartialChunk walks whole columns, so materialize
+				// just this partition's rows first.
+				a := newRowAppender(s.layout.partialTypes())
+				for _, r := range sel[p] {
+					for i, c := range cols {
+						a.cols[i].AppendRowFrom(c, r)
+					}
+				}
+				prev := pt.table.bytes
+				if err := pt.table.mergePartialChunk(a.cols, ng); err != nil {
+					return err
+				}
+				s.ctx.memGrow(pt.table.bytes - prev)
+				return nil
+			}
 			if pt.partial == nil {
 				pt.partial = newRowAppender(s.layout.partialTypes())
 			}
@@ -336,12 +487,14 @@ func (s *aggSpiller) reroutePartialChunk(cols []*vector.Vector, ng int) error {
 			return err
 		}
 	}
-	return nil
+	return s.spillUntilFits()
 }
 
-// finish flushes all buffered rows and counts the spilled partitions.
+// finish flushes all buffered rows and counts the partitions that went
+// to disk vs the ones hybrid mode kept resident (surfaced through
+// SpillStats and, under EXPLAIN ANALYZE, the operator's tap).
 func (s *aggSpiller) finish() error {
-	n := int64(0)
+	var spilled, resident int64
 	for p := range s.parts {
 		pt := &s.parts[p]
 		if pt.raw != nil {
@@ -355,10 +508,17 @@ func (s *aggSpiller) finish() error {
 			}
 		}
 		if len(pt.rawRefs) > 0 || len(pt.partialRefs) > 0 {
-			n++
+			spilled++
+		} else if pt.table != nil && len(pt.table.groups) > 0 {
+			resident++
 		}
 	}
-	s.ctx.spillStats().addPartitions(n)
+	s.ctx.spillStats().addPartitions(spilled)
+	s.ctx.spillStats().addResident(resident)
+	if tap := s.layout.spec.Hints.Tap; tap != nil {
+		tap.SpillSpilled.Add(spilled)
+		tap.SpillResident.Add(resident)
+	}
 	return nil
 }
 
@@ -673,20 +833,11 @@ func finishAggEmit(ctx *Context, spec *plan.Aggregate, consumers []*aggConsumer,
 		return outFile, nil
 	}
 
-	var runs []*mergeRun
 	var held int64
-	for p := 0; p < spillFanout; p++ {
-		pt := &sp.parts[p]
-		if len(pt.rawRefs) == 0 && len(pt.partialRefs) == 0 {
-			continue
-		}
-		src := aggPartSource{file: sp.file, rawRefs: pt.rawRefs, partialRefs: pt.partialRefs}
-		prs, err := processAggPartition(ctx, spec, shared.layout, src, 1, getOut, &held)
-		if err != nil {
-			ctx.memShrink(held)
-			return nil, err
-		}
-		runs = append(runs, prs...)
+	runs, err := spillerRuns(ctx, spec, shared.layout, sp, 1, getOut, &held)
+	if err != nil {
+		ctx.memShrink(held)
+		return nil, err
 	}
 	// Every partition is consumed; the spiller's file can go now. The
 	// out-file lives until the merge drains.
@@ -696,6 +847,49 @@ func finishAggEmit(ctx *Context, spec *plan.Aggregate, consumers []*aggConsumer,
 		files = append(files, outFile)
 	}
 	return &aggEmitter{merger: newRunMerger(ctx, nil, runs, -1, files, held)}, nil
+}
+
+// spillerRuns turns every partition of sp into firstSeen-sorted runs:
+// resident tables (hybrid mode) never touched disk — their groups are
+// already merged by key and emit directly — while spilled partitions
+// re-aggregate (and recurse) via processAggPartition. A resident table
+// excludes disk refs by construction: the routing paths keep the two
+// mutually exclusive. nextLevel is the recursion level for spilled
+// partitions.
+func spillerRuns(ctx *Context, spec *plan.Aggregate, layout *aggLayout, sp *aggSpiller, nextLevel int, getOut func() (*spill.File, error), held *int64) ([]*mergeRun, error) {
+	var runs []*mergeRun
+	for p := 0; p < spillFanout; p++ {
+		pt := &sp.parts[p]
+		if pt.table != nil {
+			t := pt.table
+			pt.table = nil
+			if len(t.groups) == 0 {
+				ctx.memShrink(t.bytes)
+				continue
+			}
+			run, err := t.emitRun()
+			ctx.memShrink(t.bytes)
+			if err != nil {
+				return nil, err
+			}
+			mr, err := maybeSpillAggRun(ctx, run, getOut, held)
+			if err != nil {
+				return nil, err
+			}
+			runs = append(runs, mr)
+			continue
+		}
+		if len(pt.rawRefs) == 0 && len(pt.partialRefs) == 0 {
+			continue
+		}
+		src := aggPartSource{file: sp.file, rawRefs: pt.rawRefs, partialRefs: pt.partialRefs}
+		prs, err := processAggPartition(ctx, spec, layout, src, nextLevel, getOut, held)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, prs...)
+	}
+	return runs, nil
 }
 
 // processAggPartition re-aggregates one partition: partial rows merge
@@ -789,18 +983,9 @@ func processAggPartition(ctx *Context, spec *plan.Aggregate, layout *aggLayout, 
 	if err := sub.finish(); err != nil {
 		return nil, err
 	}
-	var runs []*mergeRun
-	for p := 0; p < spillFanout; p++ {
-		pt := &sub.parts[p]
-		if len(pt.rawRefs) == 0 && len(pt.partialRefs) == 0 {
-			continue
-		}
-		subSrc := aggPartSource{file: sub.file, rawRefs: pt.rawRefs, partialRefs: pt.partialRefs}
-		prs, err := processAggPartition(ctx, spec, layout, subSrc, level+1, getOut, held)
-		if err != nil {
-			return nil, err
-		}
-		runs = append(runs, prs...)
+	runs, err := spillerRuns(ctx, spec, layout, sub, level+1, getOut, held)
+	if err != nil {
+		return nil, err
 	}
 	sub.release()
 	return runs, nil

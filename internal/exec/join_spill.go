@@ -461,11 +461,13 @@ func (js *joinSpill) spillPart(p int) error {
 }
 
 // finishBuild flushes spilled buffers and builds hash indexes over the
-// resident partitions.
+// resident partitions, recording the hybrid outcome (partitions on
+// disk vs resident) for SpillStats and EXPLAIN ANALYZE.
 func (js *joinSpill) finishBuild() error {
 	if err := js.spillUntilFits(); err != nil {
 		return err
 	}
+	var resident int64
 	for p := range js.parts {
 		pt := &js.parts[p]
 		if pt.spilled {
@@ -480,11 +482,23 @@ func (js *joinSpill) finishBuild() error {
 		if pt.build == nil {
 			continue
 		}
+		resident++
 		ix, err := newJoinIndex(js.spec, vector.NewChunk(pt.build...), pt.seq, js.intKey)
 		if err != nil {
 			return err
 		}
 		pt.ix = ix
+	}
+	js.ctx.spillStats().addResident(resident)
+	if tap := js.spec.Hints.Tap; tap != nil {
+		var spilled int64
+		for p := range js.parts {
+			if js.parts[p].spilled {
+				spilled++
+			}
+		}
+		tap.SpillSpilled.Add(spilled)
+		tap.SpillResident.Add(resident)
 	}
 	return nil
 }

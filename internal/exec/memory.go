@@ -17,9 +17,14 @@ import (
 )
 
 // memTracker accumulates the estimated bytes of live blocking-operator
-// state for one query against a fixed budget.
+// state for one query against its budget. The budget is static when
+// the query runs standalone, and a live watermark when a governor
+// lease backs it: `live` re-reads the ticket's atomic lease, so a
+// TryGrow raises the limit mid-query and a governor reclaim lowers it
+// — the next over-budget check simply fires against the new value.
 type memTracker struct {
 	budget int64
+	live   func() int64 // optional dynamic budget; overrides budget
 	used   atomic.Int64
 }
 
@@ -30,9 +35,19 @@ func newMemTracker(budget int64) *memTracker {
 func (t *memTracker) grow(n int64)   { t.used.Add(n) }
 func (t *memTracker) shrink(n int64) { t.used.Add(-n) }
 
+// limit returns the budget currently in force.
+func (t *memTracker) limit() int64 {
+	if t.live != nil {
+		if b := t.live(); b > 0 {
+			return b
+		}
+	}
+	return t.budget
+}
+
 // over reports whether the tracked footprint exceeds the budget.
 func (t *memTracker) over() bool {
-	return t.used.Load() > t.budget
+	return t.used.Load() > t.limit()
 }
 
 // SpillStats accumulates one query's out-of-core counters: how many
@@ -41,6 +56,7 @@ func (t *memTracker) over() bool {
 // safe for concurrent use and for a nil receiver, mirroring ScanStats.
 type SpillStats struct {
 	partitions   atomic.Int64
+	resident     atomic.Int64
 	runs         atomic.Int64
 	bytesWritten atomic.Int64
 	bytesRead    atomic.Int64
@@ -53,6 +69,18 @@ func (s *SpillStats) Partitions() int64 {
 		return 0
 	}
 	return s.partitions.Load()
+}
+
+// ResidentPartitions returns the number of hash partitions a hybrid
+// blocking operator kept in memory after overflowing: the partitions
+// spill-mode execution did NOT have to write. Zero for queries that
+// never overflowed (nothing was partitioned) or that evicted every
+// partition.
+func (s *SpillStats) ResidentPartitions() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.resident.Load()
 }
 
 // Runs returns the number of sorted runs written to disk by external
@@ -88,6 +116,12 @@ func (s *SpillStats) Spilled() bool {
 func (s *SpillStats) addPartitions(n int64) {
 	if s != nil {
 		s.partitions.Add(n)
+	}
+}
+
+func (s *SpillStats) addResident(n int64) {
+	if s != nil {
+		s.resident.Add(n)
 	}
 }
 
@@ -134,11 +168,30 @@ func (c *Context) overBudget() bool {
 // can recurse forever — while the operator actually responsible for
 // the pressure spills. Total in-memory state is therefore softly
 // bounded by budget + consumers×budget/4 rather than exactly budget.
+//
+// Before answering yes, the context asks its governor lease (when one
+// backs the budget) to grow into idle pool bytes: spilling is the
+// expensive path, so a query about to take it first tries to lease
+// enough headroom to stay resident. A partial or refused grow falls
+// through to spill — the grow is advisory, never a wait.
 func (c *Context) shouldSpill(local int64) bool {
-	if !c.spillEnabled() || !c.mem.over() {
+	if !c.spillEnabled() {
 		return false
 	}
-	return local*4 >= c.mem.budget
+	limit := c.mem.limit()
+	used := c.mem.used.Load()
+	if used <= limit || local*4 < limit {
+		return false
+	}
+	if c.GrowBudget != nil {
+		// Ask for 50% headroom over the current footprint so one grow
+		// covers a stretch of growth instead of one chunk.
+		target := used + used/2
+		if nl := c.GrowBudget(target - limit); nl >= used {
+			return false
+		}
+	}
+	return true
 }
 
 func (c *Context) memGrow(n int64) {

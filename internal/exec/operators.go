@@ -71,6 +71,20 @@ type Context struct {
 	// itself fails (the caller still owns cleanup on error).
 	OnClose func()
 
+	// LiveBudget, when non-nil, re-reads the query's current memory
+	// budget on every over-budget check — the engine points it at the
+	// governor ticket's atomic lease watermark, so lease grows and
+	// reclaim shrinks take effect mid-query. MemoryBudget stays the
+	// initial value (it still gates whether spilling is set up at all).
+	LiveBudget func() int64
+
+	// GrowBudget, when non-nil, asks the governor lease for up to n
+	// more bytes and returns the new total budget. shouldSpill calls it
+	// before answering yes, so a query about to spill first tries to
+	// grow into idle pool bytes. Must never block; a refused or partial
+	// grow simply lets the spill proceed.
+	GrowBudget func(n int64) int64
+
 	// mem and spillMgr are installed by Stream when MemoryBudget > 0;
 	// they are shared by every operator of the query (the Context
 	// itself is copied).

@@ -93,6 +93,7 @@ func Stream(node plan.Node, ctx *Context) (*ChunkStream, error) {
 	if c2.MemoryBudget > 0 {
 		if c2.mem == nil {
 			c2.mem = newMemTracker(c2.MemoryBudget)
+			c2.mem.live = c2.LiveBudget
 		}
 		ownedMgr = spill.NewManager(c2.TempDir, c2.Spill)
 		c2.spillMgr = ownedMgr

@@ -10,9 +10,11 @@
 //
 // Invariants:
 //
-//   - The sum of outstanding memory leases never exceeds Config.PoolBytes
-//     (leases are fixed fair shares, PoolBytes/MaxActive, so even a
-//     query admitted when the pool is idle cannot strand later ones).
+//   - The sum of outstanding memory leases never exceeds Config.PoolBytes.
+//     Leases start at a fair share (PoolBytes/MaxActive) and may grow
+//     into idle pool bytes via Ticket.TryGrow; admission reclaims grown
+//     bytes back toward fair share before it would otherwise shrink a
+//     newcomer's grant, so a grown query can never strand later ones.
 //   - At most MaxActive tickets are outstanding; excess admissions
 //     queue in arrival order and are granted strictly FIFO.
 //   - Every granted ticket carries at least one worker: worker slots
@@ -21,7 +23,10 @@
 //
 // The lease becomes the query's exec MemoryBudget, so an over-budget
 // query degrades to spill exactly as a standalone one would — the
-// governor changes who sets the number, not the spill machinery.
+// governor changes who sets the number, not the spill machinery. The
+// lease is read through an atomic watermark, which is also the shrink
+// enforcement mechanism: lowering the watermark makes the query's next
+// over-budget check fire, and spill takes it back under the new lease.
 package governor
 
 import (
@@ -29,6 +34,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -67,6 +73,15 @@ type Config struct {
 	// RetryAfter is the base client back-off hint carried by
 	// OverloadedError; 0 means 250ms.
 	RetryAfter time.Duration
+
+	// ReclaimPolicy selects how leases behave after admission:
+	//
+	//   "fair" (default) — Ticket.TryGrow grants idle pool bytes, and
+	//     admission reclaims grown bytes back toward fair share when
+	//     the pool cannot cover a newcomer's fair-share grant.
+	//   "static" — PR 6 behavior: leases are fixed at admission;
+	//     TryGrow is a no-op and nothing is ever reclaimed.
+	ReclaimPolicy string
 }
 
 func (c Config) maxActive() int {
@@ -95,6 +110,22 @@ func (c Config) retryAfter() time.Duration {
 		return c.RetryAfter
 	}
 	return 250 * time.Millisecond
+}
+
+// adaptive reports whether leases may grow and be reclaimed.
+func (c Config) adaptive() bool { return c.ReclaimPolicy != "static" }
+
+// fairShare is the lease granted at admission (and the level reclaim
+// shrinks grown tickets back toward).
+func (c Config) fairShare() int64 {
+	if c.PoolBytes <= 0 {
+		return 0
+	}
+	fair := c.PoolBytes / int64(c.maxActive())
+	if fair < 1 {
+		fair = 1
+	}
+	return fair
 }
 
 // OverloadedError is the typed, retryable rejection: the server is
@@ -129,6 +160,7 @@ type Governor struct {
 	workersFree int
 	queue       []*waiter
 	draining    bool
+	tickets     map[*Ticket]struct{} // outstanding, for the reclaim path
 
 	// cumulative / peak counters for reports and tests
 	admitted   int64
@@ -137,11 +169,20 @@ type Governor struct {
 	peakActive int
 	peakQueued int
 	peakLeased int64
+	grows      int64
+	grownBytes int64
+	shrinks    int64
+	shrunkByts int64
+	reclaims   int64
 }
 
 // New creates a governor from cfg (zero fields take their defaults).
 func New(cfg Config) *Governor {
-	return &Governor{cfg: cfg, workersFree: cfg.workerSlots()}
+	return &Governor{
+		cfg:         cfg,
+		workersFree: cfg.workerSlots(),
+		tickets:     make(map[*Ticket]struct{}),
+	}
 }
 
 // Session is one client's admission scope (per-connection in the wire
@@ -166,20 +207,83 @@ func (s *Session) Close() {
 
 // Ticket is one admitted query's resource lease. Release must be
 // called exactly when the query finishes (it is idempotent).
+//
+// The memory lease is dynamic: it starts at the admission fair share,
+// TryGrow raises it into idle pool bytes, and the governor's reclaim
+// path lowers it back toward fair share under admission pressure. The
+// current value lives in an atomic watermark so the executor's
+// over-budget check observes a shrink without any locking.
 type Ticket struct {
-	g       *Governor
-	sess    *Session
-	budget  int64
-	workers int
-	once    sync.Once
+	g        *Governor
+	sess     *Session
+	initial  int64        // lease granted at admission (fair share)
+	lease    atomic.Int64 // current lease watermark; exec reads this
+	workers  int
+	once     sync.Once
+	released bool // guarded by g.mu; blocks TryGrow after Release
+	grows    int  // guarded by g.mu
+	shrinks  int  // guarded by g.mu
 }
 
-// MemoryBudget returns the bytes leased from the pool (0 when the
-// pool is disabled: no lease, caller falls back to its own budget).
-func (t *Ticket) MemoryBudget() int64 { return t.budget }
+// MemoryBudget returns the bytes currently leased from the pool (0
+// when the pool is disabled: no lease, caller falls back to its own
+// budget). The value can change between calls: TryGrow raises it and
+// a governor reclaim lowers it.
+func (t *Ticket) MemoryBudget() int64 { return t.lease.Load() }
+
+// InitialBudget returns the fair-share lease granted at admission.
+func (t *Ticket) InitialBudget() int64 { return t.initial }
+
+// Growths returns how many times TryGrow enlarged this lease and how
+// many times a reclaim shrank it.
+func (t *Ticket) Growths() (grows, shrinks int) {
+	t.g.mu.Lock()
+	defer t.g.mu.Unlock()
+	return t.grows, t.shrinks
+}
 
 // Workers returns the granted executor parallelism (always ≥ 1).
 func (t *Ticket) Workers() int { return t.workers }
+
+// TryGrow asks for up to n more leased bytes and returns the ticket's
+// new total lease. It grants min(n, idle pool bytes, session
+// remaining) — possibly zero, in which case the lease is unchanged and
+// the caller should go ahead and spill. Never blocks and never takes
+// bytes from other tickets; only admission-side reclaim does that.
+func (t *Ticket) TryGrow(n int64) int64 {
+	g := t.g
+	if n <= 0 || g.cfg.PoolBytes <= 0 || !g.cfg.adaptive() {
+		return t.lease.Load()
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if t.released {
+		return t.lease.Load()
+	}
+	grant := n
+	if avail := g.cfg.PoolBytes - g.leased; grant > avail {
+		grant = avail
+	}
+	if t.sess != nil && g.cfg.SessionMaxMemory > 0 {
+		if rem := g.cfg.SessionMaxMemory - t.sess.leased; grant > rem {
+			grant = rem
+		}
+	}
+	if grant <= 0 {
+		return t.lease.Load()
+	}
+	g.leased += grant
+	if t.sess != nil {
+		t.sess.leased += grant
+	}
+	if g.leased > g.peakLeased {
+		g.peakLeased = g.leased
+	}
+	g.grows++
+	g.grownBytes += grant
+	t.grows++
+	return t.lease.Add(grant)
+}
 
 // Release returns the lease to the pool and wakes the next queued
 // admission. Idempotent.
@@ -187,12 +291,15 @@ func (t *Ticket) Release() {
 	t.once.Do(func() {
 		g := t.g
 		g.mu.Lock()
+		t.released = true
+		lease := t.lease.Load()
+		delete(g.tickets, t)
 		g.active--
-		g.leased -= t.budget
+		g.leased -= lease
 		g.workersFree += t.workers - 1
 		if t.sess != nil {
 			t.sess.active--
-			t.sess.leased -= t.budget
+			t.sess.leased -= lease
 		}
 		g.dispatchLocked()
 		g.mu.Unlock()
@@ -291,7 +398,17 @@ func (g *Governor) grantLocked(sess *Session, wantWorkers int) (*Ticket, error) 
 	}
 	var budget int64
 	if g.cfg.PoolBytes > 0 {
-		budget = g.cfg.PoolBytes / int64(g.cfg.maxActive())
+		budget = g.cfg.fairShare()
+		if avail := g.cfg.PoolBytes - g.leased; budget > avail {
+			// Grown tickets are holding the newcomer's fair share.
+			// Reclaim shrinks them back toward fair share — always
+			// recoverable, because every grown byte sits above fair
+			// share and at most maxActive-1 tickets are outstanding.
+			g.reclaimLocked(budget - avail)
+			if avail = g.cfg.PoolBytes - g.leased; budget > avail {
+				budget = avail
+			}
+		}
 		if budget < 1 {
 			budget = 1
 		}
@@ -329,7 +446,52 @@ func (g *Governor) grantLocked(sess *Session, wantWorkers int) (*Ticket, error) 
 	if g.leased > g.peakLeased {
 		g.peakLeased = g.leased
 	}
-	return &Ticket{g: g, sess: sess, budget: budget, workers: 1 + extra}, nil
+	t := &Ticket{g: g, sess: sess, initial: budget, workers: 1 + extra}
+	t.lease.Store(budget)
+	g.tickets[t] = struct{}{}
+	return t, nil
+}
+
+// reclaimLocked shrinks grown tickets back toward their fair share
+// until `need` bytes are idle again, largest excess first. The shrink
+// lowers each victim's atomic lease watermark; the query's next
+// over-budget check observes the smaller lease and spills, which is
+// the enforcement mechanism — nothing blocks here.
+func (g *Governor) reclaimLocked(need int64) {
+	if need <= 0 || !g.cfg.adaptive() {
+		return
+	}
+	fair := g.cfg.fairShare()
+	ran := false
+	for need > 0 {
+		var victim *Ticket
+		var excess int64
+		for t := range g.tickets {
+			if e := t.lease.Load() - fair; e > excess {
+				victim, excess = t, e
+			}
+		}
+		if victim == nil {
+			break
+		}
+		cut := excess
+		if cut > need {
+			cut = need
+		}
+		victim.lease.Add(-cut)
+		victim.shrinks++
+		g.leased -= cut
+		if victim.sess != nil {
+			victim.sess.leased -= cut
+		}
+		g.shrinks++
+		g.shrunkByts += cut
+		need -= cut
+		ran = true
+	}
+	if ran {
+		g.reclaims++
+	}
 }
 
 // dispatchLocked grants queued admissions in FIFO order while
@@ -372,13 +534,23 @@ type Stats struct {
 	PeakActive      int   // high-water concurrent queries
 	PeakQueued      int   // high-water queue depth
 	PeakLeasedBytes int64 // high-water leased bytes (≤ PoolBytes always)
+
+	PoolBytes   int64 // configured pool size (0 = leasing disabled)
+	Grows       int64 // successful TryGrow grants since start
+	GrownBytes  int64 // total bytes granted by TryGrow since start
+	Shrinks     int64 // tickets shrunk by reclaim since start
+	ShrunkBytes int64 // total bytes taken back by reclaim since start
+	Reclaims    int64 // reclaim passes that shrank at least one ticket
+
+	Utilization     float64 // LeasedBytes / PoolBytes (0 when disabled)
+	PeakUtilization float64 // PeakLeasedBytes / PoolBytes
 }
 
 // Stats returns a consistent snapshot.
 func (g *Governor) Stats() Stats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return Stats{
+	s := Stats{
 		Active:          g.active,
 		Queued:          len(g.queue),
 		LeasedBytes:     g.leased,
@@ -388,7 +560,18 @@ func (g *Governor) Stats() Stats {
 		PeakActive:      g.peakActive,
 		PeakQueued:      g.peakQueued,
 		PeakLeasedBytes: g.peakLeased,
+		PoolBytes:       g.cfg.PoolBytes,
+		Grows:           g.grows,
+		GrownBytes:      g.grownBytes,
+		Shrinks:         g.shrinks,
+		ShrunkBytes:     g.shrunkByts,
+		Reclaims:        g.reclaims,
 	}
+	if g.cfg.PoolBytes > 0 {
+		s.Utilization = float64(g.leased) / float64(g.cfg.PoolBytes)
+		s.PeakUtilization = float64(g.peakLeased) / float64(g.cfg.PoolBytes)
+	}
+	return s
 }
 
 // Config returns the governor's effective configuration.

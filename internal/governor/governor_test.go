@@ -2,6 +2,7 @@ package governor
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -232,4 +233,119 @@ func TestDrainingRejectsAndFlushesQueue(t *testing.T) {
 		t.Fatalf("post-drain admit error = %v, want *OverloadedError", err)
 	}
 	tk.Release()
+}
+
+// TestTryGrowAndReclaim pins the adaptive-lease protocol: TryGrow
+// extends a lease into idle pool bytes, and the next admission that
+// would otherwise be starved reclaims the excess back toward fair
+// share — never below it, and never breaching the pool.
+func TestTryGrowAndReclaim(t *testing.T) {
+	g := New(Config{PoolBytes: 1000, MaxActive: 4})
+	a := mustAdmit(t, g, nil) // fair share 250
+	if got := a.TryGrow(2000); got != 1000 {
+		t.Fatalf("grow into idle pool: lease = %d, want 1000 (capped at pool)", got)
+	}
+	if a.MemoryBudget() != 1000 || a.InitialBudget() != 250 {
+		t.Fatalf("lease/initial = %d/%d, want 1000/250", a.MemoryBudget(), a.InitialBudget())
+	}
+
+	// Admission under pressure shrinks the grown ticket, not to zero
+	// but toward fair share, and funds the newcomer's full lease.
+	b := mustAdmit(t, g, nil)
+	if b.MemoryBudget() != 250 {
+		t.Fatalf("newcomer lease = %d, want fair share 250", b.MemoryBudget())
+	}
+	if a.MemoryBudget() != 750 {
+		t.Fatalf("victim lease = %d, want 750 (shrunk by newcomer's 250)", a.MemoryBudget())
+	}
+	grows, shrinks := a.Growths()
+	if grows != 1 || shrinks != 1 {
+		t.Fatalf("ticket growths = %d/%d, want 1/1", grows, shrinks)
+	}
+	st := g.Stats()
+	if st.Grows != 1 || st.GrownBytes != 750 || st.Shrinks != 1 || st.ShrunkBytes != 250 || st.Reclaims != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.LeasedBytes != 1000 || st.PeakLeasedBytes != 1000 || st.Utilization != 1.0 {
+		t.Fatalf("pool accounting: %+v", st)
+	}
+
+	a.Release()
+	b.Release()
+	if st := g.Stats(); st.LeasedBytes != 0 || st.Active != 0 {
+		t.Fatalf("stranded bytes after release: %+v", st)
+	}
+
+	// Session ceilings still bound grows.
+	gs := New(Config{PoolBytes: 4000, MaxActive: 4, SessionMaxMemory: 1500})
+	sess := gs.NewSession()
+	c := mustAdmit(t, gs, sess) // lease 1000
+	if got := c.TryGrow(4000); got != 1500 {
+		t.Fatalf("session-capped grow: lease = %d, want 1500", got)
+	}
+	c.Release()
+
+	// The static policy refuses to grow at all.
+	gst := New(Config{PoolBytes: 1000, MaxActive: 4, ReclaimPolicy: "static"})
+	d := mustAdmit(t, gst, nil)
+	if got := d.TryGrow(500); got != 250 {
+		t.Fatalf("static grow: lease = %d, want unchanged 250", got)
+	}
+	d.Release()
+	if st := gst.Stats(); st.Grows != 0 || st.Shrinks != 0 {
+		t.Fatalf("static policy counted grows/shrinks: %+v", st)
+	}
+}
+
+// TestAdaptiveLeaseChurn storms the governor with concurrent
+// admit/grow/release cycles (run under -race in CI) and asserts the
+// pool invariants hold throughout: leased bytes never exceed the pool
+// even at peak, grow and shrink traffic actually happened, and no
+// bytes are stranded once every ticket is released.
+func TestAdaptiveLeaseChurn(t *testing.T) {
+	const pool = 1 << 20
+	g := New(Config{PoolBytes: pool, MaxActive: 8, MaxQueued: 256, WorkerSlots: 16})
+
+	var wg sync.WaitGroup
+	for id := 0; id < 16; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tk, err := g.Admit(nil, 1+id%4, 5*time.Second, nil)
+				if err != nil {
+					t.Errorf("churn admit: %v", err)
+					return
+				}
+				// Deterministic pseudo-random grow sizes, many of them
+				// large enough to swallow the whole idle pool.
+				n := int64((id*7919+i*104729)%pool) + 1
+				if lease := tk.TryGrow(n); lease > pool {
+					t.Errorf("lease %d exceeds pool %d", lease, pool)
+				}
+				// Hold the grown lease across a yield so other
+				// goroutines admit against it and trigger reclaims.
+				runtime.Gosched()
+				if tk.MemoryBudget() < 1 {
+					t.Errorf("lease shrunk below minimum: %d", tk.MemoryBudget())
+				}
+				tk.Release()
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	st := g.Stats()
+	if st.PeakLeasedBytes > pool {
+		t.Fatalf("peak leased %d exceeds pool %d", st.PeakLeasedBytes, pool)
+	}
+	if st.Grows == 0 || st.Shrinks == 0 {
+		t.Fatalf("churn exercised no grow/shrink traffic: %+v", st)
+	}
+	if st.LeasedBytes != 0 || st.Active != 0 || st.Queued != 0 {
+		t.Fatalf("stranded state after churn: %+v", st)
+	}
+	if st.PeakUtilization <= 0 || st.PeakUtilization > 1 {
+		t.Fatalf("peak utilization %v outside (0,1]", st.PeakUtilization)
+	}
 }

@@ -151,6 +151,11 @@ func hintSuffix(h *ExecHints, fanout, act bool) string {
 	parts = append(parts, fmt.Sprintf("est=%d", h.EstRows))
 	if act && h.Tap != nil {
 		parts = append(parts, fmt.Sprintf("act=%d", h.Tap.Rows.Load()))
+		// Hybrid spill outcome for blocking operators that overflowed:
+		// partitions written to disk vs kept resident in memory.
+		if sp, res := h.Tap.SpillSpilled.Load(), h.Tap.SpillResident.Load(); sp > 0 || res > 0 {
+			parts = append(parts, fmt.Sprintf("spilled=%d resident=%d", sp, res))
+		}
 	}
 	if h.Serial {
 		parts = append(parts, "serial")

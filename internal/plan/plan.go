@@ -20,6 +20,13 @@ type Node interface {
 // executor; read after the stream drains.
 type NodeStats struct {
 	Rows atomic.Int64 // rows the node emitted
+
+	// Hybrid spill-mode counters for blocking operators: how many hash
+	// partitions overflowed to disk vs stayed resident in memory after
+	// the operator went out-of-core. Both zero when the operator never
+	// overflowed.
+	SpillSpilled  atomic.Int64
+	SpillResident atomic.Int64
 }
 
 // ExecHints carries cost-based planner decisions down to the executor.

@@ -134,8 +134,10 @@ func TestColumnStatisticsRollup(t *testing.T) {
 	}
 }
 
-// The mutable tail carries no statistics, so coverage must fall short
-// of the table row count.
+// The mutable tail contributes on-the-fly statistics, so coverage
+// reaches the full table row count (freshly loaded small tables no
+// longer fall back to sqrt(rows) planner defaults) with bounds and
+// NDV spanning sealed segments and tail alike.
 func TestColumnStatisticsPartialCoverage(t *testing.T) {
 	s := NewColumnStore([]vector.Type{vector.Int64})
 	n := SegmentRows + 100
@@ -147,8 +149,18 @@ func TestColumnStatisticsPartialCoverage(t *testing.T) {
 		t.Fatal(err)
 	}
 	cs := s.ColumnStatistics()
-	if cs[0].StatsRows != SegmentRows {
-		t.Fatalf("StatsRows = %d, want %d (tail uncovered)", cs[0].StatsRows, SegmentRows)
+	if cs[0].StatsRows != n {
+		t.Fatalf("StatsRows = %d, want %d (tail covered)", cs[0].StatsRows, n)
+	}
+	if cs[0].SketchRows != n {
+		t.Fatalf("SketchRows = %d, want %d", cs[0].SketchRows, n)
+	}
+	if !cs[0].HasMinMax || cs[0].Min.Int64() != 0 || cs[0].Max.Int64() != int64(n-1) {
+		t.Fatalf("bounds = %v..%v, want 0..%d", cs[0].Min, cs[0].Max, n-1)
+	}
+	// All values distinct: the merged HLL estimate must land near n.
+	if cs[0].Distinct < int64(n)*9/10 || cs[0].Distinct > int64(n)*11/10 {
+		t.Fatalf("Distinct = %d, want ~%d", cs[0].Distinct, n)
 	}
 	counts := s.SegmentRowCounts()
 	if len(counts) != 2 || counts[0] != SegmentRows || counts[1] != 100 {

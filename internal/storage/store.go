@@ -229,10 +229,12 @@ func (t *TableSnapshot) Column(c int) (*vector.Vector, error) {
 }
 
 // ColumnStatistics returns the snapshot's per-column rollup, computed
-// at most once per version and cached (versions are immutable).
+// at most once per version and cached (versions are immutable —
+// including the mutable-looking tail segment, which copy-on-write
+// clones before any append, so tail statistics cannot go stale).
 func (t *TableSnapshot) ColumnStatistics() []ColumnStats {
 	v := t.v
-	v.statsOnce.Do(func() { v.stats = columnStatsOf(t.store.types, v.segs) })
+	v.statsOnce.Do(func() { v.stats = columnStatsOf(t.store.types, v.segs, t.store.compress) })
 	return v.stats
 }
 
@@ -549,41 +551,60 @@ func (s *ColumnStore) ColumnStatistics() []ColumnStats {
 }
 
 // columnStatsOf merges per-segment zone maps and HLL sketches into
-// table-level column statistics.
-func columnStatsOf(types []vector.Type, segs []*segment) []ColumnStats {
+// table-level column statistics. With tailStats set (the store seals
+// with compression and statistics on), the mutable tail segment
+// contributes approximate sketches computed on the fly — a zone map
+// and HLL over its ≤ SegmentRows rows — so freshly loaded small tables
+// get real row counts, bounds and NDV estimates instead of falling
+// back to sqrt(rows) planner defaults. The computation is cached per
+// published version (see ColumnStatistics), so repeated planning pays
+// for it once.
+func columnStatsOf(types []vector.Type, segs []*segment, tailStats bool) []ColumnStats {
 	out := make([]ColumnStats, len(types))
 	sketches := make([]*HLL, len(types))
+	mergeZone := func(c int, z ZoneMap, sketch *HLL) {
+		cs := &out[c]
+		cs.StatsRows += z.Rows
+		cs.NullCount += z.NullCount
+		if z.HasMinMax() {
+			if !cs.HasMinMax {
+				cs.Min, cs.Max, cs.HasMinMax = z.Min, z.Max, true
+			} else {
+				if r, err := z.Min.Compare(cs.Min); err == nil && r < 0 {
+					cs.Min = z.Min
+				}
+				if r, err := z.Max.Compare(cs.Max); err == nil && r > 0 {
+					cs.Max = z.Max
+				}
+			}
+		}
+		if sketch != nil {
+			cs.SketchRows += z.Rows
+			if sketches[c] == nil {
+				sketches[c] = NewHLL()
+			}
+			sketches[c].Merge(sketch)
+		}
+	}
 	for _, seg := range segs {
 		if seg.sealed == nil {
+			if !tailStats {
+				continue
+			}
+			for c, col := range seg.cols {
+				if col.Len() == 0 {
+					continue
+				}
+				mergeZone(c, computeZone(col), computeSketch(col))
+			}
 			continue
 		}
 		for c, sc := range seg.sealed {
-			cs := &out[c]
 			z := sc.Zone
 			if z.Rows == 0 {
 				continue // sealed with compression off: no statistics
 			}
-			cs.StatsRows += z.Rows
-			cs.NullCount += z.NullCount
-			if z.HasMinMax() {
-				if !cs.HasMinMax {
-					cs.Min, cs.Max, cs.HasMinMax = z.Min, z.Max, true
-				} else {
-					if r, err := z.Min.Compare(cs.Min); err == nil && r < 0 {
-						cs.Min = z.Min
-					}
-					if r, err := z.Max.Compare(cs.Max); err == nil && r > 0 {
-						cs.Max = z.Max
-					}
-				}
-			}
-			if sc.Sketch != nil {
-				cs.SketchRows += z.Rows
-				if sketches[c] == nil {
-					sketches[c] = NewHLL()
-				}
-				sketches[c].Merge(sc.Sketch)
-			}
+			mergeZone(c, z, sc.Sketch)
 		}
 	}
 	for c, h := range sketches {

@@ -467,6 +467,21 @@ func (db *DB) SetQueryTimeout(d time.Duration) { db.eng.QueryTimeout = d }
 // it is not synchronized with concurrent query execution.
 func (db *DB) SetGovernor(cfg GovernorConfig) { db.eng.Gov = governor.New(cfg) }
 
+// GovernorStats is a snapshot of the resource governor's gauges and
+// counters: active/queued queries, leased pool bytes and utilization,
+// admission outcomes, and the adaptive-lease activity (TryGrow grants,
+// reclaim shrinks) with their peak watermarks.
+type GovernorStats = governor.Stats
+
+// GovernorStats returns the governor's current snapshot; the zero
+// value when no governor is installed.
+func (db *DB) GovernorStats() GovernorStats {
+	if db.eng.Gov == nil {
+		return GovernorStats{}
+	}
+	return db.eng.Gov.Stats()
+}
+
 // SaveDir persists every table to dir.
 func (db *DB) SaveDir(dir string) error { return db.eng.SaveDir(dir) }
 
